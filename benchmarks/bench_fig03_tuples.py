@@ -1,0 +1,20 @@
+"""Figure 3: full closed cube computation w.r.t. number of tuples.
+
+Paper setting: D=10, C=100, S=0, M=1, T = 200K..1000K, comparing
+C-Cubing(MM), C-Cubing(Star), C-Cubing(StarArray) and QC-DFS.
+Scaled setting: D=8, C=20, T swept at two points per algorithm.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
+
+
+@pytest.mark.parametrize("num_tuples", [300, 600])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig03_closed_cube_vs_tuples(benchmark, algorithm, num_tuples):
+    relation = synthetic_relation(num_tuples, num_dims=8, cardinality=20, skew=0.0)
+    benchmark.group = f"fig03 T={num_tuples}"
+    run_cubing(benchmark, relation, algorithm, min_sup=1, closed=True)

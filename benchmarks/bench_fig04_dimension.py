@@ -1,0 +1,19 @@
+"""Figure 4: full closed cube computation w.r.t. number of dimensions.
+
+Paper setting: T=1000K, S=2, C=100, M=1, D = 6..10.
+Scaled setting: T=500, C=20, S=2, D swept at 5 and 7.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
+
+
+@pytest.mark.parametrize("num_dims", [5, 7])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig04_closed_cube_vs_dimension(benchmark, algorithm, num_dims):
+    relation = synthetic_relation(500, num_dims=num_dims, cardinality=20, skew=2.0)
+    benchmark.group = f"fig04 D={num_dims}"
+    run_cubing(benchmark, relation, algorithm, min_sup=1, closed=True)

@@ -1,0 +1,21 @@
+"""Figure 5: full closed cube computation w.r.t. cardinality.
+
+Paper setting: T=1000K, D=8, S=1, M=1, C = 10..10000.
+Scaled setting: T=500, D=6, S=1, C swept at 10 and 200.
+The paper's observation to check: C-Cubing(Star) is ahead at low cardinality,
+C-Cubing(StarArray) at high cardinality, and QC-DFS degrades the most as C grows.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
+
+
+@pytest.mark.parametrize("cardinality", [10, 200])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig05_closed_cube_vs_cardinality(benchmark, algorithm, cardinality):
+    relation = synthetic_relation(500, num_dims=6, cardinality=cardinality, skew=1.0)
+    benchmark.group = f"fig05 C={cardinality}"
+    run_cubing(benchmark, relation, algorithm, min_sup=1, closed=True)

@@ -1,0 +1,19 @@
+"""Figure 7: full closed cube computation on the weather data w.r.t. dimensions.
+
+Paper setting: SEP83L.DAT (1M tuples), first 5..8 dimensions, M=1.
+Scaled setting: synthetic weather trace (1200 reports), 5 and 7 dimensions.
+"""
+
+import pytest
+
+from conftest import run_cubing, weather_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
+
+
+@pytest.mark.parametrize("num_dims", [5, 7])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig07_weather_closed_cube_vs_dimension(benchmark, algorithm, num_dims):
+    relation = weather_relation(num_dims=num_dims, num_tuples=1200)
+    benchmark.group = f"fig07 D={num_dims}"
+    run_cubing(benchmark, relation, algorithm, min_sup=1, closed=True)

@@ -1,0 +1,22 @@
+"""Figure 8: closed iceberg cube computation w.r.t. min_sup.
+
+Paper setting: T=1000K, C=100, S=0, D=8, M = 2..16 (QC-DFS has no iceberg mode,
+so only the three C-Cubing variants are compared).
+Scaled setting: T=1200, C=20, D=6, M swept at 2 and 16.
+The paper's observation to check: the Star family leads at low min_sup and
+C-Cubing(MM) closes the gap as min_sup grows.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
+
+
+@pytest.mark.parametrize("min_sup", [2, 16])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig08_closed_iceberg_vs_minsup(benchmark, algorithm, min_sup):
+    relation = synthetic_relation(1200, num_dims=6, cardinality=20, skew=0.0)
+    benchmark.group = f"fig08 M={min_sup}"
+    run_cubing(benchmark, relation, algorithm, min_sup=min_sup, closed=True)

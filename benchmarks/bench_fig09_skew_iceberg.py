@@ -1,0 +1,19 @@
+"""Figure 9: closed iceberg cube computation w.r.t. skew.
+
+Paper setting: T=1000K, D=8, C=100, M=10, S = 0..3.
+Scaled setting: T=1200, D=6, C=20, M=8, S swept at 0 and 3.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
+
+
+@pytest.mark.parametrize("skew", [0.0, 3.0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig09_closed_iceberg_vs_skew(benchmark, algorithm, skew):
+    relation = synthetic_relation(1200, num_dims=6, cardinality=20, skew=skew)
+    benchmark.group = f"fig09 S={skew}"
+    run_cubing(benchmark, relation, algorithm, min_sup=8, closed=True)

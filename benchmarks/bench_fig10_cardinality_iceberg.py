@@ -1,0 +1,22 @@
+"""Figure 10: closed iceberg cube computation w.r.t. cardinality.
+
+Paper setting: T=1000K, D=8, S=1, M=10, C = 10..10000.
+Scaled setting: T=1200, D=6, S=1, M=8, C swept at 10 and 200.
+The paper's observation to check: C-Cubing(StarArray) gains on C-Cubing(Star)
+as the cardinality grows (multiway traversal beats multiway aggregation on
+sparse data).
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
+
+
+@pytest.mark.parametrize("cardinality", [10, 200])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig10_closed_iceberg_vs_cardinality(benchmark, algorithm, cardinality):
+    relation = synthetic_relation(1200, num_dims=6, cardinality=cardinality, skew=1.0)
+    benchmark.group = f"fig10 C={cardinality}"
+    run_cubing(benchmark, relation, algorithm, min_sup=8, closed=True)

@@ -1,0 +1,19 @@
+"""Figure 11: closed iceberg cube computation on the weather data w.r.t. min_sup.
+
+Paper setting: weather data, D=8, M = 2..16.
+Scaled setting: synthetic weather trace, 1500 reports, D=8, M swept at 2 and 16.
+"""
+
+import pytest
+
+from conftest import run_cubing, weather_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
+
+
+@pytest.mark.parametrize("min_sup", [2, 16])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11_weather_closed_iceberg_vs_minsup(benchmark, algorithm, min_sup):
+    relation = weather_relation(num_dims=8, num_tuples=1500)
+    benchmark.group = f"fig11 M={min_sup}"
+    run_cubing(benchmark, relation, algorithm, min_sup=min_sup, closed=True)

@@ -1,0 +1,25 @@
+"""Figure 12: closed iceberg cube computation w.r.t. data dependence.
+
+Paper setting: T=400K, D=8, C=20, S=0, M=16, dependence score R = 0..3,
+comparing C-Cubing(MM) and C-Cubing(Star).
+Scaled setting: T=800, D=7, C=8, M=8, R swept at 0 and 3.
+The paper's observation to check: higher dependence favours the Star family
+because more closed cells survive the iceberg condition, so closed pruning
+removes real work.
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star")
+
+
+@pytest.mark.parametrize("dependence", [0.0, 3.0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig12_runtime_vs_dependence(benchmark, algorithm, dependence):
+    relation = synthetic_relation(
+        800, num_dims=7, cardinality=8, skew=0.0, dependence=dependence
+    )
+    benchmark.group = f"fig12 R={dependence}"
+    run_cubing(benchmark, relation, algorithm, min_sup=8, closed=True)

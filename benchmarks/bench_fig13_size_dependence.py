@@ -1,0 +1,35 @@
+"""Figure 13: iceberg vs closed iceberg cube size w.r.t. data dependence.
+
+Paper setting: T=400K, D=8, C=20, S=0, M=16, R = 0..3; the quantity reported is
+the size of the two cubes, not a runtime.  The benchmark times the oracle
+computation of both cubes and records the cell counts as extra info; the
+expected shape is that the closed cube shrinks relative to the iceberg cube as
+dependence grows.
+"""
+
+import pytest
+
+from repro.core.validate import reference_closed_cube, reference_iceberg_cube
+
+from conftest import synthetic_relation
+
+
+@pytest.mark.parametrize("dependence", [0.0, 3.0])
+def test_fig13_cube_sizes_vs_dependence(benchmark, dependence):
+    relation = synthetic_relation(
+        800, num_dims=7, cardinality=8, skew=0.0, dependence=dependence
+    )
+    benchmark.group = f"fig13 R={dependence}"
+
+    def both_cubes():
+        return (
+            reference_iceberg_cube(relation, min_sup=8),
+            reference_closed_cube(relation, min_sup=8),
+        )
+
+    iceberg, closed = benchmark.pedantic(both_cubes, rounds=1, iterations=1)
+    benchmark.extra_info["iceberg_cells"] = len(iceberg)
+    benchmark.extra_info["closed_cells"] = len(closed)
+    benchmark.extra_info["iceberg_mb"] = round(iceberg.size_megabytes(), 5)
+    benchmark.extra_info["closed_mb"] = round(closed.size_megabytes(), 5)
+    assert len(closed) <= len(iceberg)

@@ -1,0 +1,34 @@
+"""Figure 14: iceberg vs closed iceberg cube size w.r.t. min_sup (R = 2).
+
+Paper setting: T=400K, D=8, C=20, S=0, R=2, M = 1..64.  The expected shape is
+that iceberg pruning dominates at high min_sup, so the two cube sizes converge,
+while at low min_sup the closed cube is much smaller than the iceberg cube.
+"""
+
+import pytest
+
+from repro.core.validate import reference_closed_cube, reference_iceberg_cube
+
+from conftest import synthetic_relation
+
+
+@pytest.mark.parametrize("min_sup", [1, 16])
+def test_fig14_cube_sizes_vs_minsup(benchmark, min_sup):
+    relation = synthetic_relation(
+        800, num_dims=7, cardinality=8, skew=0.0, dependence=2.0
+    )
+    benchmark.group = f"fig14 M={min_sup}"
+
+    def both_cubes():
+        return (
+            reference_iceberg_cube(relation, min_sup=min_sup),
+            reference_closed_cube(relation, min_sup=min_sup),
+        )
+
+    iceberg, closed = benchmark.pedantic(both_cubes, rounds=1, iterations=1)
+    benchmark.extra_info["iceberg_cells"] = len(iceberg)
+    benchmark.extra_info["closed_cells"] = len(closed)
+    benchmark.extra_info["closed_to_iceberg_ratio"] = round(
+        len(closed) / max(len(iceberg), 1), 4
+    )
+    assert len(closed) <= len(iceberg)

@@ -1,0 +1,25 @@
+"""Figure 15: best algorithm over the (min_sup, dependence) grid.
+
+Paper setting: T=400K, D=8, C=20, S=0, min_sup = 1..512, R = 1..3; the paper
+plots which of C-Cubing(MM) / C-Cubing(Star) wins at each grid point.  Here
+each benchmark measures one algorithm at one corner of the grid; comparing the
+per-group results reproduces the winner map (the switching min_sup grows with
+the dependence score).
+"""
+
+import pytest
+
+from conftest import run_cubing, synthetic_relation
+
+ALGORITHMS = ("c-cubing-mm", "c-cubing-star")
+
+
+@pytest.mark.parametrize("min_sup", [1, 16])
+@pytest.mark.parametrize("dependence", [0.0, 3.0])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig15_best_algorithm_grid(benchmark, algorithm, dependence, min_sup):
+    relation = synthetic_relation(
+        600, num_dims=7, cardinality=8, skew=0.0, dependence=dependence
+    )
+    benchmark.group = f"fig15 R={dependence} M={min_sup}"
+    run_cubing(benchmark, relation, algorithm, min_sup=min_sup, closed=True)

@@ -1,0 +1,23 @@
+"""Figure 17: benefit of closed pruning — C-Cubing(StarArray) vs StarArray.
+
+Paper setting: weather data, D=8, M = 1..32, output disabled; the paper shows
+the closed version running faster than the non-closed version, especially at
+low min_sup, because Lemma 5 / Lemma 6 pruning removes whole subtrees and
+child trees rather than just suppressing output.
+"""
+
+import pytest
+
+from conftest import run_cubing, weather_relation
+
+
+@pytest.mark.parametrize("min_sup", [1, 8])
+@pytest.mark.parametrize(
+    "algorithm,closed",
+    [("c-cubing-star-array", True), ("star-array", False)],
+    ids=["c-cubing-star-array", "star-array"],
+)
+def test_fig17_closed_pruning_benefit(benchmark, algorithm, closed, min_sup):
+    relation = weather_relation(num_dims=8, num_tuples=1500)
+    benchmark.group = f"fig17 M={min_sup}"
+    run_cubing(benchmark, relation, algorithm, min_sup=min_sup, closed=closed)

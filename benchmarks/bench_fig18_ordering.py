@@ -1,0 +1,26 @@
+"""Figure 18: dimension ordering strategies for C-Cubing(StarArray).
+
+Paper setting: T=400K, D=8, four dimensions with cardinality 10 and four with
+cardinality 1000, skews 0..3, min_sup = 1..256; the orderings compared are the
+original schema order, cardinality-descending, and the paper's entropy-based
+order.  Expected shape: entropy <= cardinality <= original runtime.
+"""
+
+import pytest
+
+from conftest import mixed_relation, run_cubing
+
+
+@pytest.mark.parametrize("min_sup", [4, 16])
+@pytest.mark.parametrize("ordering", ["original", "cardinality", "entropy"])
+def test_fig18_dimension_ordering(benchmark, ordering, min_sup):
+    relation = mixed_relation(num_tuples=1000, high_cardinality=200)
+    benchmark.group = f"fig18 M={min_sup}"
+    run_cubing(
+        benchmark,
+        relation,
+        "c-cubing-star-array",
+        min_sup=min_sup,
+        closed=True,
+        dimension_order=ordering,
+    )

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+editable installs keep working on minimal environments that lack the
+``wheel`` package (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

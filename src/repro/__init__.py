@@ -1,0 +1,73 @@
+"""repro: a reproduction of "C-Cubing: Efficient Computation of Closed Cubes by
+Aggregation-Based Checking" (Xin, Shao, Han, Liu — ICDE 2006).
+
+The package provides:
+
+* a fact-table substrate (:class:`repro.core.relation.Relation`),
+* the aggregation-based closedness measure
+  (:class:`repro.core.closedness.ClosednessState`),
+* the paper's three closed-cubing algorithms — C-Cubing(MM), C-Cubing(Star),
+  C-Cubing(StarArray) — together with their iceberg engines (MM-Cubing,
+  Star-Cubing, StarArray) and the baselines they are compared against
+  (BUC, QC-DFS, output-index checking, a brute-force oracle),
+* synthetic and weather-like data generators matching the paper's workloads,
+* closed-rule mining (Section 6.2) and partitioned computation (Section 6.3),
+* a benchmark harness regenerating every figure of the evaluation section.
+
+Quick start::
+
+    from repro import Relation, compute_closed_cube
+
+    rows = [("a1", "b1", "c1", "d1"),
+            ("a1", "b1", "c1", "d3"),
+            ("a1", "b2", "c2", "d2")]
+    relation = Relation.from_rows(rows, ["A", "B", "C", "D"])
+    cube = compute_closed_cube(relation, min_sup=2)
+    print(cube.format(relation))
+"""
+
+from .core.api import (
+    DEFAULT_CLOSED_ALGORITHM,
+    DEFAULT_ICEBERG_ALGORITHM,
+    compute_closed_cube,
+    compute_cube,
+    run_algorithm,
+)
+from .core.cube import CellStats, CubeResult
+from .core.errors import ReproError
+from .core.measures import (
+    AvgMeasure,
+    CountMeasure,
+    IcebergCondition,
+    MaxMeasure,
+    MeasureSet,
+    MinMeasure,
+    SumMeasure,
+)
+from .core.relation import Relation, Schema
+from .algorithms.base import available_algorithms, algorithms_supporting_closed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Relation",
+    "Schema",
+    "CubeResult",
+    "CellStats",
+    "ReproError",
+    "compute_cube",
+    "compute_closed_cube",
+    "run_algorithm",
+    "available_algorithms",
+    "algorithms_supporting_closed",
+    "DEFAULT_CLOSED_ALGORITHM",
+    "DEFAULT_ICEBERG_ALGORITHM",
+    "CountMeasure",
+    "SumMeasure",
+    "MinMeasure",
+    "MaxMeasure",
+    "AvgMeasure",
+    "MeasureSet",
+    "IcebergCondition",
+]

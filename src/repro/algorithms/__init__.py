@@ -1,0 +1,49 @@
+"""Cubing algorithms: the paper's three C-Cubing variants, their engines, and baselines.
+
+Importing this package registers every algorithm with the registry in
+:mod:`repro.algorithms.base`, so the public API and benchmark harness can look
+them up by name.
+"""
+
+from .base import (
+    CubingAlgorithm,
+    CubingOptions,
+    RunResult,
+    available_algorithms,
+    algorithms_supporting_closed,
+    get_algorithm,
+    register_algorithm,
+)
+from .naive import NaiveClosedCubing, NaiveCubing
+from .buc import BUC
+from .qc_dfs import QCDFS
+from .output_based import OutputCheckedClosedCubing
+from .multiway import DenseSubspace
+from .mm_cubing import MMCubing
+from .c_mm import CCubingMM
+from .star_cubing import StarCubing
+from .star_array import StarArrayCubing
+from .c_star import CCubingStar
+from .c_star_array import CCubingStarArray
+
+__all__ = [
+    "CubingAlgorithm",
+    "CubingOptions",
+    "RunResult",
+    "available_algorithms",
+    "algorithms_supporting_closed",
+    "get_algorithm",
+    "register_algorithm",
+    "NaiveCubing",
+    "NaiveClosedCubing",
+    "BUC",
+    "QCDFS",
+    "OutputCheckedClosedCubing",
+    "DenseSubspace",
+    "MMCubing",
+    "CCubingMM",
+    "StarCubing",
+    "StarArrayCubing",
+    "CCubingStar",
+    "CCubingStarArray",
+]

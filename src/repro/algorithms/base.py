@@ -1,0 +1,191 @@
+"""Common plumbing for cubing algorithms: options, the ABC, and the registry.
+
+Every algorithm in :mod:`repro.algorithms` is a subclass of
+:class:`CubingAlgorithm` and is registered under one or more names (the names
+used in the paper's figures, e.g. ``"c-cubing-star"`` or ``"qc-dfs"``).  The
+public API (:mod:`repro.core.api`) and the benchmark harness look algorithms up
+through :func:`get_algorithm` so that figure specifications can refer to them
+by name.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from ..core.cube import CubeResult
+from ..core.errors import AlgorithmError, UnknownAlgorithmError
+from ..core.measures import EMPTY_MEASURES, IcebergCondition, MeasureSet
+from ..core.ordering import resolve_order
+from ..core.relation import Relation
+
+
+@dataclass(frozen=True)
+class CubingOptions:
+    """Options shared by every cubing algorithm.
+
+    Attributes
+    ----------
+    min_sup:
+        The iceberg threshold on ``count`` (Definition 2).  ``1`` computes the
+        full (closed) cube.
+    closed:
+        When ``True`` the algorithm emits only closed cells; algorithms that
+        cannot compute closed cubes reject this flag.
+    measures:
+        Payload measures aggregated alongside ``count``.
+    iceberg:
+        Full iceberg condition; when ``None`` it is derived from ``min_sup``.
+    dimension_order:
+        Ordering strategy for order-sensitive algorithms — a strategy name
+        (``"original"``, ``"cardinality"``, ``"entropy"``), an explicit
+        permutation, a callable, or ``None``.
+    initial_collapsed:
+        Dimensions to treat as collapsed from the start (their output value is
+        always ``*``).  Used by the partitioned-computation driver
+        (Section 6.3) to compute the ``*``-slice of a partitioning dimension.
+    """
+
+    min_sup: int = 1
+    closed: bool = False
+    measures: MeasureSet = field(default_factory=MeasureSet)
+    iceberg: Optional[IcebergCondition] = None
+    dimension_order: object = None
+    initial_collapsed: Sequence[int] = ()
+
+    def resolved_iceberg(self) -> IcebergCondition:
+        """The iceberg condition, built from ``min_sup`` when not given explicitly."""
+        if self.iceberg is not None:
+            if self.iceberg.min_sup != self.min_sup:
+                raise AlgorithmError(
+                    "iceberg.min_sup and options.min_sup disagree "
+                    f"({self.iceberg.min_sup} vs {self.min_sup})"
+                )
+            return self.iceberg
+        return IcebergCondition(min_sup=self.min_sup)
+
+    def with_overrides(self, **kwargs: object) -> "CubingOptions":
+        """A copy of these options with some fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass
+class RunResult:
+    """A cube together with bookkeeping the benchmark harness cares about."""
+
+    cube: CubeResult
+    elapsed_seconds: float
+    algorithm: str
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class CubingAlgorithm(ABC):
+    """Base class of every cubing algorithm.
+
+    Subclasses implement :meth:`compute`; the base class provides option
+    validation, timing (:meth:`run`), and dimension-order resolution.
+    """
+
+    #: Primary registry name.
+    name: str = "abstract"
+    #: ``True`` when the algorithm can emit closed cubes.
+    supports_closed: bool = False
+    #: ``True`` when the algorithm can emit non-closed (iceberg) cubes.
+    supports_non_closed: bool = True
+    #: ``True`` when the result depends on the dimension order option.
+    order_sensitive: bool = False
+
+    def __init__(self, options: Optional[CubingOptions] = None) -> None:
+        self.options = options or CubingOptions()
+        #: Per-run counters (pruning events, nodes built, ...) exposed to the
+        #: benchmark harness; subclasses update this inside ``compute``.
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def validate_options(self) -> None:
+        """Reject option combinations the algorithm cannot honour."""
+        if self.options.closed and not self.supports_closed:
+            raise AlgorithmError(
+                f"{self.name} cannot compute closed cubes; "
+                "use one of the C-Cubing variants or QC-DFS"
+            )
+        if not self.options.closed and not self.supports_non_closed:
+            raise AlgorithmError(
+                f"{self.name} only computes closed cubes; set closed=True"
+            )
+        if self.options.min_sup < 1:
+            raise AlgorithmError("min_sup must be at least 1")
+        collapsed = list(self.options.initial_collapsed)
+        if len(set(collapsed)) != len(collapsed):
+            raise AlgorithmError("initial_collapsed contains duplicates")
+
+    def resolve_order(self, relation: Relation) -> List[int]:
+        """Concrete dimension processing order for this run."""
+        return resolve_order(relation, self.options.dimension_order)
+
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def compute(self, relation: Relation) -> CubeResult:
+        """Compute the (closed) iceberg cube of ``relation``."""
+
+    def run(self, relation: Relation) -> RunResult:
+        """Validate options, compute the cube, and time the computation."""
+        self.validate_options()
+        self.counters = {}
+        start = time.perf_counter()
+        cube = self.compute(relation)
+        elapsed = time.perf_counter() - start
+        return RunResult(cube, elapsed, self.name, dict(self.counters))
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named per-run counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                     #
+# --------------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Type[CubingAlgorithm]] = {}
+
+
+def register_algorithm(
+    cls: Type[CubingAlgorithm], aliases: Iterable[str] = ()
+) -> Type[CubingAlgorithm]:
+    """Register an algorithm class under its ``name`` and any aliases."""
+    for key in [cls.name, *aliases]:
+        normalized = key.lower()
+        existing = _REGISTRY.get(normalized)
+        if existing is not None and existing is not cls:
+            raise AlgorithmError(
+                f"algorithm name {normalized!r} already registered for "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[normalized] = cls
+    return cls
+
+
+def get_algorithm(
+    name: str, options: Optional[CubingOptions] = None
+) -> CubingAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    cls = _REGISTRY.get(name.lower())
+    if cls is None:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {sorted(set(_REGISTRY))}"
+        )
+    return cls(options)
+
+
+def available_algorithms() -> List[str]:
+    """Primary names of every registered algorithm."""
+    return sorted({cls.name for cls in _REGISTRY.values()})
+
+
+def algorithms_supporting_closed() -> List[str]:
+    """Primary names of the algorithms that can emit closed cubes."""
+    return sorted({cls.name for cls in _REGISTRY.values() if cls.supports_closed})

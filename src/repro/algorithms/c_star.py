@@ -1,0 +1,35 @@
+"""C-Cubing(Star): closed iceberg cubing on star trees (Section 4.3).
+
+This is Star-Cubing with the aggregation-based closedness machinery switched
+on: every tree node carries the closedness measure (Closed Mask +
+Representative Tuple ID), trees carry a Tree Mask, subtree pruning follows
+Lemma 5 (``ClosedMask & TreeMask != 0``) and Lemma 6 (single-path / shared
+value on the dimension about to be collapsed), and the final output check is
+``ClosedMask & AllMask == 0``.
+
+The engine lives in :class:`repro.algorithms.star_cubing.StarCubing`; this
+class only fixes the configuration (closed output) and the registry name used
+by the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CubingOptions, register_algorithm
+from .star_cubing import StarCubing
+
+
+class CCubingStar(StarCubing):
+    """Closed iceberg cubing by Star-Cubing plus aggregation-based checking."""
+
+    name = "c-cubing-star"
+    supports_closed = True
+    supports_non_closed = False
+
+    def __init__(self, options: Optional[CubingOptions] = None) -> None:
+        options = (options or CubingOptions()).with_overrides(closed=True)
+        super().__init__(options)
+
+
+register_algorithm(CCubingStar, aliases=["cc-star", "ccubing-star", "c-cubing(star)"])

@@ -1,0 +1,34 @@
+"""C-Cubing(StarArray): closed iceberg cubing on StarArray structures.
+
+The engine is :class:`repro.algorithms.star_array.StarArrayCubing` (truncated
+trees + multiway traversal); this class switches on closed output, which
+activates the closedness measure on every node, Lemma 5 / Lemma 6 pruning, and
+the output-time ``ClosedMask & AllMask`` check — exactly the configuration the
+paper evaluates as C-Cubing(StarArray) and the one it recommends for sparse,
+high-cardinality data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CubingOptions, register_algorithm
+from .star_array import StarArrayCubing
+
+
+class CCubingStarArray(StarArrayCubing):
+    """Closed iceberg cubing by StarArray plus aggregation-based checking."""
+
+    name = "c-cubing-star-array"
+    supports_closed = True
+    supports_non_closed = False
+
+    def __init__(self, options: Optional[CubingOptions] = None) -> None:
+        options = (options or CubingOptions()).with_overrides(closed=True)
+        super().__init__(options)
+
+
+register_algorithm(
+    CCubingStarArray,
+    aliases=["cc-stararray", "ccubing-stararray", "c-cubing(stararray)"],
+)

@@ -1,0 +1,280 @@
+"""MM-Cubing: iceberg cubing by factorising the lattice space (Shao et al., SSDBM'04).
+
+MM-Cubing observes that most of a cube's cost sits in a small *dense* part of
+the value space.  It classifies each dimension's values by frequency into
+dense and sparse sets, computes the subspace spanned by dense values with
+MultiWay array aggregation (shared computation, no Apriori pruning needed),
+and handles every cell that touches a sparse value by recursing on the
+tuples carrying that value — a BUC-like partition step.  Because the two kinds
+of subspaces overlap on tuples (a tuple with a sparse value on one dimension
+still contributes to ``*`` and dense cells on the others), values that are
+"not within the current computation interest" must be prevented from producing
+output inside a recursion; the original system rewrites them to a special
+identifier and restores them afterwards.  This implementation never rewrites
+tuples — it tracks the *hidden* values per dimension explicitly, which is what
+C-Cubing(MM)'s Value Mask achieves, so the closedness measure always sees
+original tuple values.
+
+Ownership of every cell is decided by the first dimension (in processing
+order) on which the cell carries a sparse value: cells with only dense or
+``*`` values belong to the dense subspace; all others belong to the sparse
+recursion of that first sparse value.  This rule makes the output of the
+dense subspace and of every recursion branch disjoint while covering all
+cells exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.cell import Cell, all_mask
+from ..core.closedness import closedness_of_tids
+from ..core.cube import CubeResult
+from ..core.measures import MeasureState
+from ..core.relation import Relation
+from .base import CubingAlgorithm, register_algorithm
+from .multiway import DenseSubspace
+
+
+class MMCubing(CubingAlgorithm):
+    """Iceberg cubing by dense/sparse lattice factorisation with MultiWay arrays."""
+
+    name = "mm-cubing"
+    supports_closed = False
+    supports_non_closed = True
+    order_sensitive = False
+
+    #: Upper bound on the number of cells of one dense-subspace array, playing
+    #: the role of the paper's 4 MB aggregation-table limit.
+    max_dense_cells = 4096
+
+    def compute(self, relation: Relation) -> CubeResult:
+        self._relation = relation
+        self._iceberg = self.options.resolved_iceberg()
+        self._min_sup = self._iceberg.min_sup
+        self._closed = self.options.closed
+        self._measures = self.options.measures
+        self._num_dims = relation.num_dimensions
+        self._cube = CubeResult(self._num_dims, name=self.name)
+
+        collapsed = set(self.options.initial_collapsed)
+        dims = [d for d in range(relation.num_dimensions) if d not in collapsed]
+        hidden: Dict[int, FrozenSet[int]] = {dim: frozenset() for dim in dims}
+
+        all_tids = list(range(relation.num_tuples))
+        self._recurse(all_tids, dims, fixed={}, hidden=hidden)
+        return self._cube
+
+    # ------------------------------------------------------------------ #
+    # Recursive factorisation                                              #
+    # ------------------------------------------------------------------ #
+
+    def _recurse(
+        self,
+        tids: List[int],
+        dims: List[int],
+        fixed: Dict[int, int],
+        hidden: Dict[int, FrozenSet[int]],
+    ) -> None:
+        if len(tids) < self._min_sup:
+            return
+        self.bump("subspaces")
+
+        if self._closed and len(tids) == self._min_sup:
+            # C-Cubing(MM) short cut (Section 5.4): every cell this subspace
+            # could emit aggregates exactly these tuples, so only the closure
+            # can be closed — emit it directly instead of enumerating.
+            self._emit_closure(tids, dims, fixed, hidden)
+            self.bump("closure_shortcuts")
+            return
+
+        frequencies = self._frequencies(tids, dims)
+        dense = self._select_dense(frequencies, hidden, dims)
+
+        self._compute_dense_subspace(tids, dims, fixed, dense)
+
+        for position, dim in enumerate(dims):
+            partitions = self._partition(tids, dim)
+            child_dims = dims[:position] + dims[position + 1:]
+            for value, part in partitions.items():
+                if value in dense[dim] or value in hidden[dim]:
+                    continue
+                if len(part) < self._min_sup:
+                    self.bump("apriori_pruned")
+                    continue
+                child_hidden = dict(hidden)
+                for earlier in dims[:position]:
+                    sparse_here = frozenset(
+                        v for v in frequencies[earlier] if v not in dense[earlier]
+                    )
+                    child_hidden[earlier] = hidden[earlier] | sparse_here
+                del child_hidden[dim]
+                child_fixed = dict(fixed)
+                child_fixed[dim] = value
+                self._recurse(part, child_dims, child_fixed, child_hidden)
+
+    # ------------------------------------------------------------------ #
+    # Dense / sparse classification                                        #
+    # ------------------------------------------------------------------ #
+
+    def _frequencies(self, tids: Sequence[int], dims: Sequence[int]) -> Dict[int, Counter]:
+        columns = self._relation.columns
+        frequencies: Dict[int, Counter] = {}
+        for dim in dims:
+            column = columns[dim]
+            frequencies[dim] = Counter(column[tid] for tid in tids)
+        return frequencies
+
+    def _partition(self, tids: Sequence[int], dim: int) -> Dict[int, List[int]]:
+        column = self._relation.columns[dim]
+        partitions: Dict[int, List[int]] = {}
+        for tid in tids:
+            partitions.setdefault(column[tid], []).append(tid)
+        return partitions
+
+    def _select_dense(
+        self,
+        frequencies: Dict[int, Counter],
+        hidden: Dict[int, FrozenSet[int]],
+        dims: Sequence[int],
+    ) -> Dict[int, List[int]]:
+        """Pick the dense values of each dimension for this subspace.
+
+        A value is a dense candidate when it is not hidden, passes the iceberg
+        threshold, and is at least as frequent as the dimension's average
+        value frequency (the adaptive part of MM-Cubing's heuristic).  The
+        combined array size is then capped at :attr:`max_dense_cells` by
+        evicting the least frequent candidates, mirroring the bounded
+        aggregation table of the original system.
+        """
+        dense: Dict[int, List[int]] = {}
+        candidates: List[Tuple[int, int, int]] = []  # (frequency, dim, value)
+        for dim in dims:
+            counts = frequencies[dim]
+            if not counts:
+                dense[dim] = []
+                continue
+            average = sum(counts.values()) / len(counts)
+            threshold = max(self._min_sup, average)
+            selected = [
+                value
+                for value, count in counts.items()
+                if value not in hidden[dim] and count >= threshold
+            ]
+            dense[dim] = selected
+            candidates.extend((counts[value], dim, value) for value in selected)
+
+        def array_cells() -> int:
+            cells = 1
+            for dim in dims:
+                cells *= len(dense[dim]) + 1
+            return cells
+
+        if array_cells() > self.max_dense_cells:
+            candidates.sort()
+            for _, dim, value in candidates:
+                if array_cells() <= self.max_dense_cells:
+                    break
+                dense[dim].remove(value)
+                self.bump("dense_evictions")
+        return dense
+
+    # ------------------------------------------------------------------ #
+    # Dense subspace (MultiWay)                                            #
+    # ------------------------------------------------------------------ #
+
+    def _compute_dense_subspace(
+        self,
+        tids: Sequence[int],
+        dims: Sequence[int],
+        fixed: Dict[int, int],
+        dense: Dict[int, List[int]],
+    ) -> None:
+        subspace = DenseSubspace(
+            self._relation,
+            tids,
+            dims,
+            dense,
+            track_closedness=self._closed,
+            measures=self._measures,
+        )
+        self.bump("dense_subspaces")
+        for assignment, agg in subspace.iter_output_cells():
+            if not self._iceberg.accepts_count(agg.count):
+                continue
+            cell_assignment = dict(fixed)
+            cell_assignment.update(assignment)
+            cell = self._cell_from_assignment(cell_assignment)
+            if self._closed and agg.closed is not None:
+                if not agg.closed.is_closed(all_mask(cell)):
+                    self.bump("closed_check_rejected")
+                    continue
+            payload = (
+                self._measures.values(agg.measures)
+                if self._measures and agg.measures is not None
+                else {}
+            )
+            if not self._iceberg.accepts(agg.count, payload):
+                continue
+            rep = agg.closed.rep_tid if agg.closed is not None else None
+            self._cube.add(cell, agg.count, payload, rep_tid=rep)
+            self.bump("cells_emitted")
+
+    # ------------------------------------------------------------------ #
+    # Closed short cut                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _emit_closure(
+        self,
+        tids: List[int],
+        dims: Sequence[int],
+        fixed: Dict[int, int],
+        hidden: Dict[int, FrozenSet[int]],
+    ) -> None:
+        """Emit the closure of ``tids`` over the remaining dimensions, if owned here."""
+        columns = self._relation.columns
+        assignment = dict(fixed)
+        for dim in dims:
+            column = columns[dim]
+            value = column[tids[0]]
+            if all(column[tid] == value for tid in tids):
+                if value in hidden[dim]:
+                    # The closure fixes a value owned by another subspace, so
+                    # no cell owned here is closed.
+                    return
+                assignment[dim] = value
+        cell = self._cell_from_assignment(assignment)
+        closed_state = closedness_of_tids(tids, self._relation)
+        if not closed_state.is_closed(all_mask(cell)):
+            # A dimension outside this subspace (already collapsed) still
+            # shares a value, so even the closure is covered.
+            return
+        payload = self._payload_for(tids)
+        if not self._iceberg.accepts(len(tids), payload):
+            return
+        self._cube.add(cell, len(tids), payload, rep_tid=closed_state.rep_tid)
+        self.bump("cells_emitted")
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                              #
+    # ------------------------------------------------------------------ #
+
+    def _cell_from_assignment(self, assignment: Dict[int, int]) -> Cell:
+        values: List[Optional[int]] = [None] * self._num_dims
+        for dim, value in assignment.items():
+            values[dim] = value
+        return tuple(values)
+
+    def _payload_for(self, tids: Sequence[int]) -> Dict[str, float]:
+        measures = self._measures
+        if not measures:
+            return {}
+        relation = self._relation
+        states: List[MeasureState] = measures.create_states(relation, tids[0])
+        for tid in tids[1:]:
+            measures.merge_states(states, measures.create_states(relation, tid))
+        return measures.values(states)
+
+
+register_algorithm(MMCubing, aliases=["mm", "mmcubing"])

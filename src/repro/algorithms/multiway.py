@@ -1,0 +1,206 @@
+"""MultiWay simultaneous array aggregation (Zhao et al., SIGMOD'97).
+
+MultiWay computes every cuboid of a (small, dense) space at once by
+aggregating a multi-dimensional array: the base cuboid is materialised as an
+array indexed by dimension value slots, and each coarser cuboid is produced by
+collapsing one axis of an already-computed finer cuboid, so each input cell is
+read a bounded number of times.  MM-Cubing (Section 2.1.3 and 3 of the paper)
+uses exactly this engine for its *dense subspace*; the closedness measure of
+C-Cubing(MM) rides along with ``count`` through the same aggregation.
+
+The implementation here is value-slot based rather than chunked: every
+dimension of the subspace gets one slot per *dense* value plus one shared
+``OTHER`` slot holding everything else (sparse or masked values).  Cells whose
+coordinates touch the ``OTHER`` slot participate in aggregation (they must —
+they contribute to ``*`` coordinates) but are never emitted, which is how
+MM-Cubing avoids duplicate outputs between the dense subspace and the sparse
+recursions.  Unlike the original implementation, tuples are never rewritten to
+a special identifier: the closedness measure always consults original tuple
+values through the Representative Tuple ID, so the paper's *Value Mask* fix is
+obtained by construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.closedness import ClosednessState
+from ..core.measures import MeasureSet, MeasureState
+from ..core.relation import Relation
+
+#: Slot index shared by every non-dense (or masked) value of a dimension.
+OTHER_SLOT = 0
+
+
+class AggCell:
+    """One cell of the dense array: count, closedness, and payload measures."""
+
+    __slots__ = ("count", "closed", "measures")
+
+    def __init__(
+        self,
+        count: int = 0,
+        closed: Optional[ClosednessState] = None,
+        measures: Optional[List[MeasureState]] = None,
+    ) -> None:
+        self.count = count
+        self.closed = closed
+        self.measures = measures
+
+    def merge(self, other: "AggCell", relation: Relation, measure_set: MeasureSet) -> None:
+        """Fold another disjoint cell into this one."""
+        self.count += other.count
+        if other.closed is not None:
+            if self.closed is None:
+                self.closed = ClosednessState.empty(relation.num_dimensions)
+            self.closed.merge(other.closed, relation)
+        if other.measures is not None:
+            if self.measures is None:
+                self.measures = measure_set.clone_states(other.measures)
+            else:
+                measure_set.merge_states(self.measures, other.measures)
+
+
+class DenseSubspace:
+    """A MultiWay aggregation over the dense values of a set of dimensions.
+
+    Parameters
+    ----------
+    relation:
+        The base relation (used for tuple values and closedness merging).
+    tids:
+        The tuples of the current subspace.
+    dims:
+        The remaining dimensions of the subspace, in processing order.
+    dense_values:
+        Per dimension (keyed by dimension id), the list of *dense* values that
+        own an array slot; everything else falls into the ``OTHER`` slot.
+    track_closedness:
+        Aggregate the closedness measure alongside ``count``.
+    measures:
+        Payload measures to aggregate.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        tids: Sequence[int],
+        dims: Sequence[int],
+        dense_values: Dict[int, Sequence[int]],
+        track_closedness: bool,
+        measures: MeasureSet,
+    ) -> None:
+        self.relation = relation
+        self.dims = list(dims)
+        self.track_closedness = track_closedness
+        self.measures = measures
+        self._slot_maps: List[Dict[int, int]] = []
+        self._slot_values: List[List[Optional[int]]] = []
+        for dim in self.dims:
+            slots = {value: index + 1 for index, value in enumerate(dense_values.get(dim, ()))}
+            self._slot_maps.append(slots)
+            values: List[Optional[int]] = [None] * (len(slots) + 1)
+            for value, slot in slots.items():
+                values[slot] = value
+            self._slot_values.append(values)
+        self._base = self._aggregate_base(tids)
+
+    # ------------------------------------------------------------------ #
+    # Base cuboid                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _aggregate_base(self, tids: Sequence[int]) -> Dict[Tuple[int, ...], AggCell]:
+        relation = self.relation
+        columns = relation.columns
+        measures = self.measures
+        base: Dict[Tuple[int, ...], AggCell] = {}
+        for tid in tids:
+            coords = tuple(
+                self._slot_maps[axis].get(columns[dim][tid], OTHER_SLOT)
+                for axis, dim in enumerate(self.dims)
+            )
+            cell = base.get(coords)
+            if cell is None:
+                cell = AggCell(0, None, None)
+                base[coords] = cell
+            cell.count += 1
+            if self.track_closedness:
+                if cell.closed is None:
+                    cell.closed = ClosednessState.for_tuple(tid, relation.num_dimensions)
+                else:
+                    cell.closed.add_tuple(tid, relation)
+            if measures:
+                states = measures.create_states(relation, tid)
+                if cell.measures is None:
+                    cell.measures = states
+                else:
+                    measures.merge_states(cell.measures, states)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Simultaneous aggregation over all axis subsets                       #
+    # ------------------------------------------------------------------ #
+
+    def views(self) -> Iterator[Tuple[Tuple[int, ...], Dict[Tuple[int, ...], AggCell]]]:
+        """Yield ``(axis_subset, view)`` pairs for every subset of the axes.
+
+        ``axis_subset`` lists the positions (into ``self.dims``) that remain
+        grouped in the view; the view maps the coordinates on those axes to
+        the aggregated cell.  Views are produced from the finest (all axes)
+        to the coarsest (the apex of the subspace), each computed from a
+        single already-computed parent with one more axis — the MultiWay
+        single-parent aggregation pattern.
+        """
+        num_axes = len(self.dims)
+        full = tuple(range(num_axes))
+        views: Dict[Tuple[int, ...], Dict[Tuple[int, ...], AggCell]] = {full: self._base}
+        yield full, self._base
+        for size in range(num_axes - 1, -1, -1):
+            for subset in combinations(range(num_axes), size):
+                missing = next(axis for axis in range(num_axes) if axis not in subset)
+                parent_axes = tuple(sorted(subset + (missing,)))
+                parent = views[parent_axes]
+                drop_position = parent_axes.index(missing)
+                view = self._collapse(parent, drop_position)
+                views[subset] = view
+                yield subset, view
+
+    def _collapse(
+        self, parent: Dict[Tuple[int, ...], AggCell], drop_position: int
+    ) -> Dict[Tuple[int, ...], AggCell]:
+        """Aggregate a parent view along one of its axes."""
+        relation = self.relation
+        measures = self.measures
+        view: Dict[Tuple[int, ...], AggCell] = {}
+        for coords, cell in parent.items():
+            reduced = coords[:drop_position] + coords[drop_position + 1:]
+            target = view.get(reduced)
+            if target is None:
+                target = AggCell(0, None, None)
+                view[reduced] = target
+            target.merge(cell, relation, measures)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Emission helpers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def iter_output_cells(
+        self,
+    ) -> Iterator[Tuple[Dict[int, int], AggCell]]:
+        """Yield ``(assignment, cell)`` for every emittable cell of the subspace.
+
+        The assignment maps dimension id to the *dense* value of the cell on
+        the axes that remain grouped in its view; cells with an ``OTHER``
+        coordinate are skipped (they belong to a sparse recursion).
+        """
+        for subset, view in self.views():
+            for coords, cell in view.items():
+                if any(coord == OTHER_SLOT for coord in coords):
+                    continue
+                assignment = {
+                    self.dims[axis]: self._slot_values[axis][coord]
+                    for axis, coord in zip(subset, coords)
+                }
+                yield assignment, cell

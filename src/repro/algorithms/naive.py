@@ -1,0 +1,115 @@
+"""Oracle cubing: straightforward per-cuboid grouping.
+
+This module is the correctness reference every other algorithm is tested
+against.  It enumerates all ``2^D`` cuboids explicitly, groups tuples per
+cuboid with a dictionary, applies the iceberg condition, and — for closed
+cubes — checks closedness directly from each group's tuple-id list (does any
+``*`` dimension have a single shared value?).
+
+It is intentionally free of the machinery the paper introduces (no closedness
+measure, no trees, no subspace factorisation) so that an error in that
+machinery cannot hide here.  Complexity is ``O(2^D * T)``, fine for the test
+and benchmark scales used in this repository.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cell import Cell
+from ..core.closedness import closedness_of_tids
+from ..core.cube import CubeResult
+from ..core.measures import MeasureState
+from ..core.relation import Relation
+from .base import CubingAlgorithm, CubingOptions, register_algorithm
+
+
+class NaiveCubing(CubingAlgorithm):
+    """Reference full / iceberg / closed cube computation by exhaustive grouping."""
+
+    name = "naive"
+    supports_closed = True
+    supports_non_closed = True
+    order_sensitive = False
+
+    def compute(self, relation: Relation) -> CubeResult:
+        options = self.options
+        iceberg = options.resolved_iceberg()
+        measures = options.measures
+        num_dims = relation.num_dimensions
+        collapsed = set(options.initial_collapsed)
+        groupable_dims = [d for d in range(num_dims) if d not in collapsed]
+
+        cube = CubeResult(num_dims, name=self.name)
+        columns = relation.columns
+        num_tuples = relation.num_tuples
+
+        for arity in range(len(groupable_dims) + 1):
+            for dims in combinations(groupable_dims, arity):
+                groups: Dict[Tuple[int, ...], List[int]] = {}
+                for tid in range(num_tuples):
+                    key = tuple(columns[dim][tid] for dim in dims)
+                    groups.setdefault(key, []).append(tid)
+                for key, tids in groups.items():
+                    count = len(tids)
+                    if not iceberg.accepts_count(count):
+                        continue
+                    cell = self._cell_for(num_dims, dims, key)
+                    if options.closed and not self._group_is_closed(
+                        relation, cell, tids
+                    ):
+                        self.bump("non_closed_rejected")
+                        continue
+                    payload = self._aggregate_measures(relation, measures, tids)
+                    if not iceberg.accepts(count, payload):
+                        continue
+                    cube.add(cell, count, payload, rep_tid=min(tids))
+                    self.bump("cells_emitted")
+        return cube
+
+    @staticmethod
+    def _cell_for(
+        num_dims: int, dims: Sequence[int], key: Sequence[int]
+    ) -> Cell:
+        values: List[Optional[int]] = [None] * num_dims
+        for dim, value in zip(dims, key):
+            values[dim] = value
+        return tuple(values)
+
+    @staticmethod
+    def _group_is_closed(relation: Relation, cell: Cell, tids: Sequence[int]) -> bool:
+        """Directly check Definition 3 via shared values on ``*`` dimensions."""
+        columns = relation.columns
+        first = tids[0]
+        for dim, value in enumerate(cell):
+            if value is not None:
+                continue
+            shared = columns[dim][first]
+            if all(columns[dim][tid] == shared for tid in tids):
+                return False
+        return True
+
+    @staticmethod
+    def _aggregate_measures(relation, measures, tids) -> Dict[str, float]:
+        if not measures:
+            return {}
+        states: List[MeasureState] = measures.create_states(relation, tids[0])
+        for tid in tids[1:]:
+            measures.merge_states(states, measures.create_states(relation, tid))
+        return measures.values(states)
+
+
+class NaiveClosedCubing(NaiveCubing):
+    """Convenience registration of the oracle pre-configured for closed cubes."""
+
+    name = "naive-closed"
+    supports_non_closed = False
+
+    def __init__(self, options: Optional[CubingOptions] = None) -> None:
+        options = (options or CubingOptions()).with_overrides(closed=True)
+        super().__init__(options)
+
+
+register_algorithm(NaiveCubing, aliases=["oracle", "bruteforce"])
+register_algorithm(NaiveClosedCubing, aliases=["oracle-closed"])

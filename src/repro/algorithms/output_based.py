@@ -1,0 +1,106 @@
+"""Output-based closedness checking: the closed-pattern-mining style baseline.
+
+Sections 1 and 2.2.2 of the paper describe the second pre-existing approach to
+closedness checking (besides QC-DFS's raw-data scanning): keep an index over
+the *already emitted* closed cells and test every new candidate against it,
+the way CLOSET+/CHARM test candidate closed itemsets against a result tree or
+hash table.  The paper argues this is a poor fit for cubing because the output
+(even the closed cube) can dwarf the input, so the index becomes the
+bottleneck — this module exists so that claim can be measured.
+
+The implementation layers the check on top of BUC:
+
+* candidates are the iceberg cells produced by the BUC recursion;
+* the index maps ``(count, representative tuple id)`` to the cells already
+  believed closed with that signature;
+* a candidate is *subsumed* (non-closed) if the index holds a strict
+  specialisation of it with the same count — equal count plus specialisation
+  implies an identical tuple set, hence coverage (Definition 3);
+* symmetrically, a new candidate evicts any indexed cell it covers, so the
+  index converges to exactly the closed cells.
+
+The ``index_probes`` and ``index_size_peak`` counters expose the overhead the
+paper talks about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cell import Cell, is_strict_specialisation
+from ..core.cube import CubeResult
+from ..core.relation import Relation
+from .base import CubingOptions, register_algorithm
+from .buc import BUC
+
+#: Index signature: cells with identical tuple sets necessarily share it.
+Signature = Tuple[int, int]
+
+
+class OutputCheckedClosedCubing(BUC):
+    """Closed iceberg cubing with CLOSET-style result-index subsumption checks."""
+
+    name = "output-checked"
+    supports_closed = True
+    supports_non_closed = False
+    order_sensitive = True
+
+    def __init__(self, options: Optional[CubingOptions] = None) -> None:
+        options = (options or CubingOptions()).with_overrides(closed=True)
+        super().__init__(options)
+
+    def compute(self, relation: Relation) -> CubeResult:
+        # Index of candidate closed cells: signature -> {cell: payload}
+        self._index: Dict[Signature, Dict[Cell, Dict[str, float]]] = {}
+        super().compute(relation)
+        return self._materialise()
+
+    # ------------------------------------------------------------------ #
+    # BUC hook: route emissions through the output index                  #
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, tids, assignment) -> None:
+        count = len(tids)
+        payload = self._aggregate_measures(tids)
+        if not self._iceberg.accepts(count, payload):
+            return
+        cell = self._cell_from_assignment(assignment)
+        signature: Signature = (count, min(tids))
+        bucket = self._index.setdefault(signature, {})
+
+        for existing in bucket:
+            self.bump("index_probes")
+            if is_strict_specialisation(cell, existing):
+                # An already-found cell covers the candidate: not closed.
+                self.bump("candidates_subsumed")
+                return
+
+        evicted = [
+            existing
+            for existing in bucket
+            if is_strict_specialisation(existing, cell)
+        ]
+        for existing in evicted:
+            del bucket[existing]
+            self.bump("index_evictions")
+
+        bucket[cell] = payload
+        self.bump("cells_indexed")
+        size = sum(len(cells) for cells in self._index.values())
+        if size > self.counters.get("index_size_peak", 0):
+            self.counters["index_size_peak"] = size
+
+    # ------------------------------------------------------------------ #
+    # Final materialisation                                               #
+    # ------------------------------------------------------------------ #
+
+    def _materialise(self) -> CubeResult:
+        cube = CubeResult(self._num_dims, name=self.name)
+        for (count, rep_tid), bucket in self._index.items():
+            for cell, payload in bucket.items():
+                cube.add(cell, count, payload, rep_tid=rep_tid)
+        self.counters["cells_emitted"] = len(cube)
+        return cube
+
+
+register_algorithm(OutputCheckedClosedCubing, aliases=["output-based", "closet-style"])

@@ -1,0 +1,215 @@
+"""StarArray: the paper's extension of Star-Cubing for sparse data (Section 4).
+
+Star-Cubing's full star trees become expensive on sparse, high-cardinality
+data: lower tree levels gain nothing from sharing yet still pay node
+construction and multiway-aggregation bookkeeping.  StarArray changes two
+things (Sections 4.1-4.2):
+
+* **Truncation** — a branch whose count drops below ``min_sup`` is not
+  expanded; its tuple ids are kept in a pool attached to the truncated node
+  (the array part of the hybrid ``<A, T>`` structure).
+* **Multiway traversal** — child trees are built one at a time.  For each
+  child tree the branches of the parent below the seeding node are re-read
+  (so the parent is traversed once *per child tree*), but the child tree
+  itself is touched exactly once while being built.  This trades repeated
+  parent reads for never re-traversing the (large, in sparse data) child
+  trees, which Section 4.2's cost analysis shows is the right trade-off when
+  data is sparse.
+
+In this implementation a child tree is built by gathering the tuple ids below
+the seeding node (a walk over the node's subtree pools — the "parent
+traversal") and regrouping them over the remaining dimensions in one pass (the
+single "child traversal").  The closed variant
+:class:`repro.algorithms.c_star_array.CCubingStarArray` adds the same Lemma 5
+/ Lemma 6 pruning and output-time closedness checks as C-Cubing(Star).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cell import Cell, all_mask
+from ..core.closedness import closed_pruning_applies, tree_mask_after_collapse
+from ..core.cube import CubeResult
+from ..core.errors import AlgorithmError
+from ..core.relation import Relation
+from .base import CubingAlgorithm, register_algorithm
+from .star_tree import (
+    STAR,
+    CuboidTree,
+    TreeNode,
+    build_star_tables,
+    build_tree_from_tids,
+    collect_tids,
+)
+
+
+class StarArrayCubing(CubingAlgorithm):
+    """Iceberg cubing over truncated StarArray trees with multiway traversal."""
+
+    name = "star-array"
+    supports_closed = False
+    supports_non_closed = True
+    order_sensitive = True
+
+    #: Whether globally infrequent values are star-reduced (no effect at min_sup=1).
+    star_reduction = True
+
+    def compute(self, relation: Relation) -> CubeResult:
+        if self.options.measures:
+            raise AlgorithmError(
+                f"{self.name} aggregates count only; payload measures are not supported"
+            )
+        self._relation = relation
+        self._iceberg = self.options.resolved_iceberg()
+        self._min_sup = self._iceberg.min_sup
+        self._closed = self.options.closed
+        self._num_dims = relation.num_dimensions
+        self._cube = CubeResult(self._num_dims, name=self.name)
+
+        collapsed = list(self.options.initial_collapsed)
+        initial_mask = 0
+        for dim in collapsed:
+            initial_mask |= 1 << dim
+        dims = [d for d in self.resolve_order(relation) if d not in set(collapsed)]
+
+        self._star_tables = None
+        if self.star_reduction and self._min_sup > 1:
+            self._star_tables = build_star_tables(relation, self._min_sup, dims)
+
+        all_tids = list(range(relation.num_tuples))
+        self._process(all_tids, dims, fixed={}, tree_mask=initial_mask, emit_root=True)
+        return self._cube
+
+    # ------------------------------------------------------------------ #
+    # Recursive computation                                                #
+    # ------------------------------------------------------------------ #
+
+    def _process(
+        self,
+        tids: List[int],
+        dims: Sequence[int],
+        fixed: Dict[int, int],
+        tree_mask: int,
+        emit_root: bool,
+    ) -> None:
+        """Build the StarArray over ``dims`` for ``tids`` and emit / recurse."""
+        tree = build_tree_from_tids(
+            self._relation,
+            tids,
+            dims,
+            fixed=fixed,
+            tree_mask=tree_mask,
+            min_sup=self._min_sup,
+            track_closedness=self._closed,
+            star_tables=self._star_tables,
+            truncate=True,
+        )
+        self.bump("trees_built")
+
+        root = tree.root
+        if self._is_blocked(tree, root):
+            # Lemma 5 at the root: every cell this computation could emit is
+            # covered through an already-collapsed dimension.
+            return
+
+        if emit_root:
+            self._maybe_emit(tree, root, path=())
+
+        # The root's own child computation collapses the first remaining
+        # dimension; deeper ones are seeded from the walk below.
+        self._maybe_recurse(tree, root, depth=0, path=())
+        self._walk(tree, root, depth=0, path=(), blocked=False)
+
+    def _walk(
+        self,
+        tree: CuboidTree,
+        node: TreeNode,
+        depth: int,
+        path: Tuple[int, ...],
+        blocked: bool,
+    ) -> None:
+        """Depth-first walk emitting cells and seeding child computations."""
+        dims = tree.dims
+        for child in node.children.values():
+            child_blocked = blocked or self._is_blocked(tree, child)
+            child_path = path + (child.value,)
+            if not child_blocked:
+                self._maybe_emit(tree, child, child_path)
+                self._maybe_recurse(tree, child, depth + 1, child_path)
+                self._walk(tree, child, depth + 1, child_path, child_blocked)
+            # A blocked child (star value or Lemma 5) emits nothing and seeds
+            # nothing below it, so the walk stops here; its tuples have already
+            # contributed to this tree's ancestors through the pools.
+
+    def _maybe_recurse(
+        self, tree: CuboidTree, node: TreeNode, depth: int, path: Tuple[int, ...]
+    ) -> None:
+        """Seed the child computation that collapses the dimension below ``node``.
+
+        This is the multiway-traversal step: the tuple ids below the node are
+        gathered by walking its subtree (re-reading the parent tree once per
+        child computation) and handed to a fresh :meth:`_process` call, which
+        builds the child StarArray in a single pass.
+        """
+        dims = tree.dims
+        if depth > len(dims) - 2:
+            return
+        if node.count < self._min_sup:
+            self.bump("apriori_pruned_trees")
+            return
+        collapse_dim = dims[depth]
+        if self._closed and node.closed is not None:
+            if node.closed.closed_mask & (1 << collapse_dim):
+                self.bump("lemma6_pruned")
+                return
+        fixed = dict(tree.fixed)
+        for level, value in enumerate(path):
+            fixed[dims[level]] = value
+        tids = collect_tids(node) if node.pool is None else list(node.pool)
+        self.bump("parent_traversal_tids", len(tids))
+        self._process(
+            tids,
+            dims[depth + 1:],
+            fixed=fixed,
+            tree_mask=tree_mask_after_collapse(tree.tree_mask, collapse_dim),
+            emit_root=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pruning and emission                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _is_blocked(self, tree: CuboidTree, node: TreeNode) -> bool:
+        """Star-reduced nodes and Lemma-5-pruned nodes emit nothing below them."""
+        if node.value == STAR:
+            self.bump("star_blocked")
+            return True
+        if self._closed and node.closed is not None:
+            if closed_pruning_applies(node.closed.closed_mask, tree.tree_mask):
+                self.bump("lemma5_pruned")
+                return True
+        return False
+
+    def _cell_for(self, tree: CuboidTree, path: Tuple[int, ...]) -> Cell:
+        values: List[Optional[int]] = [None] * self._num_dims
+        for dim, value in tree.fixed.items():
+            values[dim] = value
+        for level, value in enumerate(path):
+            values[tree.dims[level]] = value
+        return tuple(values)
+
+    def _maybe_emit(self, tree: CuboidTree, node: TreeNode, path: Tuple[int, ...]) -> None:
+        if not self._iceberg.accepts_count(node.count):
+            return
+        cell = self._cell_for(tree, path)
+        if self._closed and node.closed is not None:
+            if not node.closed.is_closed(all_mask(cell)):
+                self.bump("closed_check_rejected")
+                return
+        rep = node.closed.rep_tid if node.closed is not None else None
+        self._cube.add(cell, node.count, rep_tid=rep)
+        self.bump("cells_emitted")
+
+
+register_algorithm(StarArrayCubing, aliases=["stararray", "star-array-cubing"])

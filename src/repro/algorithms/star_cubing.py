@@ -1,0 +1,248 @@
+"""Star-Cubing: iceberg cubing by shared tree aggregation (Xin et al., VLDB'03).
+
+Star-Cubing organises the computation as a family of *cuboid trees* (see
+:mod:`repro.algorithms.star_tree`).  The base tree holds all tuples over the
+full dimension order; every node of a tree corresponds to one group-by cell,
+and *child trees* — obtained by collapsing the dimension right below a node —
+cover the group-bys that skip that dimension.  The distinguishing feature of
+Star-Cubing is **multiway aggregation**: one depth-first traversal of a parent
+tree simultaneously constructs and aggregates *all* of its child trees, so the
+parent is read exactly once.
+
+The traversal keeps, for every ancestor that created a child tree, a *cursor*
+into that child tree; visiting a parent node advances each cursor to the node
+keyed by the visited value and folds the visited node's count (and, for the
+closed variant, its closedness state) into it.  This is the mechanism the
+paper's Section 4.2 contrasts with StarArray's multiway traversal.
+
+The closed variant :class:`repro.algorithms.c_star.CCubingStar` enables, on top
+of this engine:
+
+* output-time closedness checking through the aggregated closedness measure,
+* Lemma 5 pruning — a node whose Closed Mask intersects the Tree Mask emits
+  nothing and seeds no child trees (its tuples still aggregate upward),
+* Lemma 6 pruning — a node whose tuples all share one value on the dimension
+  about to be collapsed seeds no child tree (the single-path rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cell import Cell, all_mask
+from ..core.closedness import closed_pruning_applies, tree_mask_after_collapse
+from ..core.cube import CubeResult
+from ..core.errors import AlgorithmError
+from ..core.relation import Relation
+from .base import CubingAlgorithm, register_algorithm
+from .star_tree import (
+    STAR,
+    CuboidTree,
+    TreeNode,
+    build_star_tables,
+    build_tree_from_tids,
+)
+
+
+class StarCubing(CubingAlgorithm):
+    """Iceberg cubing over star trees with multiway (shared) aggregation."""
+
+    name = "star-cubing"
+    supports_closed = False
+    supports_non_closed = True
+    order_sensitive = True
+
+    #: Whether globally infrequent values are star-reduced (no effect at min_sup=1).
+    star_reduction = True
+
+    def compute(self, relation: Relation) -> CubeResult:
+        if self.options.measures:
+            raise AlgorithmError(
+                f"{self.name} aggregates count only; payload measures are not supported"
+            )
+        self._relation = relation
+        self._iceberg = self.options.resolved_iceberg()
+        self._min_sup = self._iceberg.min_sup
+        self._closed = self.options.closed
+        self._num_dims = relation.num_dimensions
+        self._cube = CubeResult(self._num_dims, name=self.name)
+
+        collapsed = list(self.options.initial_collapsed)
+        initial_mask = 0
+        for dim in collapsed:
+            initial_mask |= 1 << dim
+        dims = [d for d in self.resolve_order(relation) if d not in set(collapsed)]
+
+        star_tables = None
+        if self.star_reduction and self._min_sup > 1:
+            star_tables = build_star_tables(relation, self._min_sup, dims)
+
+        all_tids = list(range(relation.num_tuples))
+        base_tree = build_tree_from_tids(
+            relation,
+            all_tids,
+            dims,
+            fixed={},
+            tree_mask=initial_mask,
+            min_sup=self._min_sup,
+            track_closedness=self._closed,
+            star_tables=star_tables,
+            truncate=False,
+        )
+        self.bump("trees_built")
+        self._process_tree(base_tree, emit_root=True)
+        return self._cube
+
+    # ------------------------------------------------------------------ #
+    # Tree processing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _process_tree(self, tree: CuboidTree, emit_root: bool) -> None:
+        """Emit this tree's cells, build all its child trees in one pass, recurse."""
+        root = tree.root
+        root_blocked = self._is_blocked(tree, root)
+
+        if emit_root and not root_blocked:
+            self._maybe_emit(tree, root, path=())
+
+        child_trees: List[CuboidTree] = []
+        pending: Optional[TreeNode] = None
+        if not root_blocked:
+            root_child = self._maybe_create_child_tree(tree, root, depth=0, path=())
+            if root_child is not None:
+                child_trees.append(root_child)
+                pending = root_child.root
+
+        if tree.dims:
+            for child in tree.root.children.values():
+                self._dfs(
+                    tree, child, depth=1, path=(child.value,), cursors=[],
+                    pending=pending, child_trees=child_trees, blocked=root_blocked,
+                )
+
+        for child_tree in child_trees:
+            self.bump("trees_built")
+            self._process_tree(child_tree, emit_root=False)
+
+    def _dfs(
+        self,
+        tree: CuboidTree,
+        node: TreeNode,
+        depth: int,
+        path: Tuple[int, ...],
+        cursors: List[TreeNode],
+        pending: Optional[TreeNode],
+        child_trees: List[CuboidTree],
+        blocked: bool,
+    ) -> None:
+        """Visit one parent-tree node: feed ancestor child trees, emit, recurse.
+
+        ``cursors`` are the positions in ancestor child trees this node must
+        advance; ``pending`` is the child tree created by this node's parent —
+        this node's own dimension is the one that tree collapsed, so the node
+        passes it through unadvanced and its children activate it.
+        """
+        relation = self._relation
+        advanced: List[TreeNode] = []
+        for cursor in cursors:
+            target = cursor.get_or_create_child(node.value)
+            target.add_contribution(node.count, node.closed, relation)
+            advanced.append(target)
+        self.bump("cursor_advances", len(cursors))
+
+        node_blocked = blocked or self._is_blocked(tree, node)
+
+        if not node_blocked:
+            self._maybe_emit(tree, node, path)
+
+        my_child_root: Optional[TreeNode] = None
+        if not node_blocked:
+            child_tree = self._maybe_create_child_tree(tree, node, depth, path)
+            if child_tree is not None:
+                child_trees.append(child_tree)
+                my_child_root = child_tree.root
+
+        if node.children:
+            next_cursors = advanced if pending is None else advanced + [pending]
+            for child in node.children.values():
+                self._dfs(
+                    tree, child, depth + 1, path + (child.value,), next_cursors,
+                    my_child_root, child_trees, node_blocked,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Pruning, emission, child-tree creation                               #
+    # ------------------------------------------------------------------ #
+
+    def _is_blocked(self, tree: CuboidTree, node: TreeNode) -> bool:
+        """True when this node and everything below it must not emit output.
+
+        Star-reduced nodes carry a fabricated value, so neither they nor their
+        descendants may emit or seed child trees.  In closed mode, Lemma 5
+        blocks a node whose Closed Mask intersects the Tree Mask.  Blocked
+        nodes still aggregate into ancestors' child trees.
+        """
+        if node.value == STAR:
+            self.bump("star_blocked")
+            return True
+        if self._closed and node.closed is not None:
+            if closed_pruning_applies(node.closed.closed_mask, tree.tree_mask):
+                self.bump("lemma5_pruned")
+                return True
+        return False
+
+    def _cell_for(self, tree: CuboidTree, path: Tuple[int, ...]) -> Cell:
+        values: List[Optional[int]] = [None] * self._num_dims
+        for dim, value in tree.fixed.items():
+            values[dim] = value
+        for level, value in enumerate(path):
+            values[tree.dims[level]] = value
+        return tuple(values)
+
+    def _maybe_emit(self, tree: CuboidTree, node: TreeNode, path: Tuple[int, ...]) -> None:
+        if not self._iceberg.accepts_count(node.count):
+            return
+        cell = self._cell_for(tree, path)
+        if self._closed and node.closed is not None:
+            if not node.closed.is_closed(all_mask(cell)):
+                self.bump("closed_check_rejected")
+                return
+        rep = node.closed.rep_tid if node.closed is not None else None
+        self._cube.add(cell, node.count, rep_tid=rep)
+        self.bump("cells_emitted")
+
+    def _maybe_create_child_tree(
+        self, tree: CuboidTree, node: TreeNode, depth: int, path: Tuple[int, ...]
+    ) -> Optional[CuboidTree]:
+        """Create the child tree obtained by collapsing the dimension below ``node``.
+
+        The child tree is only worth creating when at least one dimension
+        remains below the collapsed one, the node passes the iceberg count
+        (Apriori pruning), and — in closed mode — its tuples do not all share
+        one value on the collapsed dimension (Lemma 6 / single-path pruning).
+        """
+        dims = tree.dims
+        if depth > len(dims) - 2:
+            return None
+        if node.count < self._min_sup:
+            self.bump("apriori_pruned_trees")
+            return None
+        collapse_dim = dims[depth]
+        if self._closed and node.closed is not None:
+            if node.closed.closed_mask & (1 << collapse_dim):
+                self.bump("lemma6_pruned")
+                return None
+        fixed = dict(tree.fixed)
+        for level, value in enumerate(path):
+            fixed[dims[level]] = value
+        child = CuboidTree(
+            dims[depth + 1:],
+            fixed,
+            tree_mask_after_collapse(tree.tree_mask, collapse_dim),
+        )
+        child.root.count = node.count
+        child.root.closed = node.closed.copy() if node.closed is not None else None
+        return child
+
+
+register_algorithm(StarCubing, aliases=["star", "starcubing"])

@@ -1,0 +1,263 @@
+"""Tree structures shared by the Star-Cubing / StarArray family (Section 4).
+
+A *cuboid tree* represents one sub-computation of the cube: an ordered list of
+remaining dimensions (one tree level per dimension), a *fixed* assignment
+(the values inherited from the node the tree was created from), and a *Tree
+Mask* recording which dimensions have already been collapsed to ``*``
+(Section 4.3).  Every node at depth ``j`` of a tree corresponds to exactly one
+group-by cell: the fixed assignment plus the first ``j`` remaining dimensions
+set to the node's path values.
+
+Two node flavours are provided:
+
+* :class:`TreeNode` — the plain star-tree node used by Star-Cubing, holding a
+  count, optional closedness state, and children keyed by dimension value.
+* StarArray trees reuse the same node class but additionally carry a *pool* of
+  tuple ids on truncated nodes (Section 4.1): when a node's count drops below
+  ``min_sup`` its sub-branches are not expanded and the tuple ids are kept so
+  that later child trees can still aggregate them.
+
+The module also implements *star reduction*: dimension values whose global
+frequency is below ``min_sup`` can never appear in an iceberg cell, so they
+are mapped to the :data:`STAR` sentinel and share a single node per level.
+Star nodes are never emitted and never seed child trees, but they still
+participate in aggregation (their tuples count toward ``*`` cells).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.closedness import ClosednessState, closedness_of_tids
+from ..core.relation import Relation
+
+#: Sentinel value used for star-reduced (globally infrequent) dimension values.
+STAR = -1
+
+
+class TreeNode:
+    """One node of a cuboid tree.
+
+    Attributes
+    ----------
+    value:
+        The dimension value of this node (``STAR`` for star-reduced values,
+        ``None`` only for tree roots).
+    count:
+        Number of base tuples aggregated below this node.
+    children:
+        Mapping from dimension value to child node (next tree level).
+    closed:
+        Closedness state of the node's tuple group, present only when the
+        owning algorithm computes closed cubes.
+    pool:
+        Tuple-id pool for truncated StarArray nodes (``None`` elsewhere).
+    """
+
+    __slots__ = ("value", "count", "children", "closed", "pool")
+
+    def __init__(self, value: Optional[int] = None) -> None:
+        self.value = value
+        self.count = 0
+        self.children: Dict[int, "TreeNode"] = {}
+        self.closed: Optional[ClosednessState] = None
+        self.pool: Optional[List[int]] = None
+
+    def child(self, value: int) -> Optional["TreeNode"]:
+        return self.children.get(value)
+
+    def get_or_create_child(self, value: int) -> "TreeNode":
+        node = self.children.get(value)
+        if node is None:
+            node = TreeNode(value)
+            self.children[value] = node
+        return node
+
+    def add_contribution(
+        self,
+        count: int,
+        closed: Optional[ClosednessState],
+        relation: Relation,
+    ) -> None:
+        """Fold another disjoint group (count + closedness) into this node."""
+        self.count += count
+        if closed is not None:
+            if self.closed is None:
+                self.closed = ClosednessState.empty(relation.num_dimensions)
+            self.closed.merge(closed, relation)
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including this node)."""
+        total = 1
+        for child in self.children.values():
+            total += child.subtree_size()
+        return total
+
+    def iter_pool_tids(self) -> Iterator[int]:
+        """Yield every tuple id stored in pools anywhere below this node."""
+        if self.pool is not None:
+            yield from self.pool
+        for child in self.children.values():
+            yield from child.iter_pool_tids()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TreeNode(value={self.value}, count={self.count}, "
+            f"children={len(self.children)}, pool={None if self.pool is None else len(self.pool)})"
+        )
+
+
+class CuboidTree:
+    """A cuboid tree: a root node plus the sub-computation's bookkeeping.
+
+    Attributes
+    ----------
+    root:
+        Root :class:`TreeNode` (its cell is the fixed assignment alone).
+    dims:
+        The remaining dimensions, one per tree level, in processing order.
+    fixed:
+        Mapping from dimension to the value inherited from ancestors.
+    tree_mask:
+        Bit set of dimensions already collapsed to ``*`` (Tree Mask).
+    """
+
+    __slots__ = ("root", "dims", "fixed", "tree_mask")
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        fixed: Dict[int, int],
+        tree_mask: int,
+    ) -> None:
+        self.root = TreeNode(None)
+        self.dims = list(dims)
+        self.fixed = dict(fixed)
+        self.tree_mask = tree_mask
+
+    @property
+    def depth(self) -> int:
+        """Number of tree levels (remaining dimensions)."""
+        return len(self.dims)
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return self.root.subtree_size()
+
+
+# --------------------------------------------------------------------------- #
+# Star reduction                                                               #
+# --------------------------------------------------------------------------- #
+
+
+def build_star_tables(
+    relation: Relation, min_sup: int, dims: Iterable[int]
+) -> Dict[int, Dict[int, int]]:
+    """Per-dimension value remapping implementing star reduction.
+
+    A value whose global frequency in the base table is below ``min_sup``
+    cannot appear in any iceberg cell, so it is remapped to :data:`STAR`;
+    frequent values map to themselves.  With ``min_sup == 1`` every value maps
+    to itself and the tables are effectively identity maps.
+    """
+    tables: Dict[int, Dict[int, int]] = {}
+    for dim in dims:
+        counts: Dict[int, int] = {}
+        for value in relation.columns[dim]:
+            counts[value] = counts.get(value, 0) + 1
+        tables[dim] = {
+            value: (value if count >= min_sup else STAR)
+            for value, count in counts.items()
+        }
+    return tables
+
+
+def mapped_value(
+    star_tables: Optional[Dict[int, Dict[int, int]]], dim: int, value: int
+) -> int:
+    """Value after star reduction (identity when reduction is disabled)."""
+    if star_tables is None:
+        return value
+    return star_tables[dim].get(value, STAR)
+
+
+# --------------------------------------------------------------------------- #
+# Tree construction                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def build_tree_from_tids(
+    relation: Relation,
+    tids: Sequence[int],
+    dims: Sequence[int],
+    fixed: Dict[int, int],
+    tree_mask: int,
+    min_sup: int,
+    track_closedness: bool,
+    star_tables: Optional[Dict[int, Dict[int, int]]] = None,
+    truncate: bool = False,
+) -> CuboidTree:
+    """Build a cuboid tree (or StarArray) over ``dims`` from an explicit tid list.
+
+    ``truncate=False`` builds a full star tree: every tuple is expanded down to
+    the last dimension.  ``truncate=True`` builds a StarArray: a branch whose
+    count falls below ``min_sup`` is not expanded further and keeps its tuple
+    ids in the node's pool (Section 4.1); nodes at the last level always keep
+    their pool so child trees can be rebuilt from tuple ids.
+    """
+    tree = CuboidTree(dims, fixed, tree_mask)
+    root = tree.root
+    root.count = len(tids)
+    if track_closedness:
+        root.closed = closedness_of_tids(list(tids), relation)
+    if not dims:
+        root.pool = list(tids)
+        return tree
+    _expand_node(
+        relation, root, list(tids), dims, 0, min_sup, track_closedness,
+        star_tables, truncate,
+    )
+    return tree
+
+
+def _expand_node(
+    relation: Relation,
+    node: TreeNode,
+    tids: List[int],
+    dims: Sequence[int],
+    level: int,
+    min_sup: int,
+    track_closedness: bool,
+    star_tables: Optional[Dict[int, Dict[int, int]]],
+    truncate: bool,
+) -> None:
+    """Recursively group ``tids`` on ``dims[level]`` and attach child nodes."""
+    if level >= len(dims):
+        node.pool = tids
+        return
+    dim = dims[level]
+    column = relation.columns[dim]
+    groups: Dict[int, List[int]] = {}
+    for tid in tids:
+        value = column[tid]
+        if star_tables is not None:
+            value = star_tables[dim].get(value, STAR)
+        groups.setdefault(value, []).append(tid)
+    for value, group in groups.items():
+        child = node.get_or_create_child(value)
+        child.count = len(group)
+        if track_closedness:
+            child.closed = closedness_of_tids(group, relation)
+        if truncate and len(group) < min_sup:
+            # StarArray truncation: keep the tuple ids, do not expand below.
+            child.pool = group
+            continue
+        _expand_node(
+            relation, child, group, dims, level + 1, min_sup, track_closedness,
+            star_tables, truncate,
+        )
+
+
+def collect_tids(node: TreeNode) -> List[int]:
+    """All tuple ids below a StarArray node (walks the pools of its subtree)."""
+    return list(node.iter_pool_tids())

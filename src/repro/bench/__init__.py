@@ -1,0 +1,28 @@
+"""Benchmark harness: workloads, runner, figure registry, report rendering."""
+
+from .figures import FigureResult, available_figures, get_figure, run_figure
+from .harness import ExperimentRunner, Measurement, SweepResult
+from .report import render_figure, render_table, rows_to_csv
+from .workloads import (
+    Workload,
+    mixed_cardinality_workload,
+    synthetic_workload,
+    weather_workload,
+)
+
+__all__ = [
+    "FigureResult",
+    "available_figures",
+    "get_figure",
+    "run_figure",
+    "ExperimentRunner",
+    "Measurement",
+    "SweepResult",
+    "render_figure",
+    "render_table",
+    "rows_to_csv",
+    "Workload",
+    "mixed_cardinality_workload",
+    "synthetic_workload",
+    "weather_workload",
+]

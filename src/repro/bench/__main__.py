@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.bench --list
+
+Regenerate one figure::
+
+    python -m repro.bench --figure fig03
+
+Regenerate everything (takes several minutes)::
+
+    python -m repro.bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .figures import available_figures, run_figure
+from .report import render_figure, rows_to_csv
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the C-Cubing evaluation figures.",
+    )
+    parser.add_argument("--figure", action="append", default=[],
+                        help="figure id to run (repeatable), e.g. fig03")
+    parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of text tables")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure in available_figures():
+            print(figure)
+        return 0
+
+    figures = list(args.figure)
+    if args.all:
+        figures = available_figures()
+    if not figures:
+        parser.error("specify --figure FIG (repeatable), --all, or --list")
+
+    for figure in figures:
+        start = time.perf_counter()
+        result = run_figure(figure)
+        elapsed = time.perf_counter() - start
+        if args.csv:
+            print(rows_to_csv(result.rows), end="")
+        else:
+            print(render_figure(result))
+            print(f"(regenerated in {elapsed:.1f}s)")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

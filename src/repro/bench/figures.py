@@ -1,0 +1,541 @@
+"""Figure registry: one runnable experiment per figure of the paper's evaluation.
+
+Every entry regenerates the data series of one figure (Figures 3-18) or one of
+the Section 6 extension experiments, at the scaled-down sizes documented in
+DESIGN.md / EXPERIMENTS.md.  Each experiment returns a :class:`FigureResult`
+containing tidy rows (one per measurement) plus a short interpretation used by
+the report renderer; ``python -m repro.bench --figure fig03`` prints them.
+
+The sweeps follow the paper's parameterisation: which quantity is varied, what
+is held fixed, which algorithms are compared, and what qualitative shape the
+paper reports.  Absolute sizes are reduced so a full run of all experiments
+finishes in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..algorithms.base import CubingOptions, get_algorithm
+from ..core.errors import WorkloadError
+from ..core.ordering import ORDERINGS
+from ..core.validate import reference_closed_cube, reference_iceberg_cube
+from ..datagen.synthetic import SyntheticConfig, generate_relation, mixed_cardinality_config
+from ..rules.closed_rules import compression_report, mine_closed_rules
+from ..storage.partition import PartitionedCubeComputer
+from .harness import ExperimentRunner
+from .workloads import (
+    Workload,
+    mixed_cardinality_workload,
+    synthetic_workload,
+    weather_workload,
+)
+
+#: Algorithms compared in the full-closed-cube figures (Figures 3-7).
+FULL_CLOSED_ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
+#: Algorithms compared in the closed-iceberg figures (Figures 8-11).
+ICEBERG_ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
+
+
+@dataclass
+class FigureResult:
+    """The regenerated data of one figure."""
+
+    figure: str
+    title: str
+    paper_setting: str
+    expected_shape: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """A registered experiment."""
+
+    figure: str
+    title: str
+    runner: Callable[[], FigureResult]
+
+
+_REGISTRY: Dict[str, FigureSpec] = {}
+
+
+def register_figure(figure: str, title: str) -> Callable[[Callable[[], FigureResult]], Callable[[], FigureResult]]:
+    def decorator(func: Callable[[], FigureResult]) -> Callable[[], FigureResult]:
+        _REGISTRY[figure] = FigureSpec(figure, title, func)
+        return func
+    return decorator
+
+
+def available_figures() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_figure(figure: str) -> FigureSpec:
+    try:
+        return _REGISTRY[figure]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown figure {figure!r}; available: {available_figures()}"
+        ) from exc
+
+
+def run_figure(figure: str) -> FigureResult:
+    return get_figure(figure).runner()
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers                                                               #
+# --------------------------------------------------------------------------- #
+
+
+def _runtime_sweep(
+    figure: str,
+    title: str,
+    paper_setting: str,
+    expected_shape: str,
+    points: Sequence[tuple],
+    algorithms: Sequence[str],
+) -> FigureResult:
+    runner = ExperimentRunner()
+    sweep = runner.run_sweep(figure, points, algorithms)
+    result = FigureResult(figure, title, paper_setting, expected_shape)
+    for measurement in sweep.measurements:
+        result.rows.append(measurement.as_row())
+    for point in sweep.points():
+        result.notes.append(f"fastest at {point}: {sweep.winner(point)}")
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figures 3-7: full closed cube vs QC-DFS                                      #
+# --------------------------------------------------------------------------- #
+
+
+@register_figure("fig03", "Closed cube computation w.r.t. tuples")
+def figure_03() -> FigureResult:
+    points = []
+    for num_tuples in (200, 400, 600, 800):
+        workload = synthetic_workload(
+            f"T{num_tuples}", num_tuples, num_dims=8, cardinality=20, skew=0.0, min_sup=1
+        )
+        points.append((f"T={num_tuples}", workload))
+    return _runtime_sweep(
+        "fig03",
+        "Closed cube computation w.r.t. tuples",
+        "paper: D=10, C=100, S=0, M=1, T=200K..1000K",
+        "all C-Cubing variants beat QC-DFS at every size; gap grows with T",
+        points,
+        FULL_CLOSED_ALGORITHMS,
+    )
+
+
+@register_figure("fig04", "Closed cube computation w.r.t. dimension")
+def figure_04() -> FigureResult:
+    points = []
+    for num_dims in (4, 5, 6, 7, 8):
+        workload = synthetic_workload(
+            f"D{num_dims}", 500, num_dims=num_dims, cardinality=20, skew=2.0, min_sup=1
+        )
+        points.append((f"D={num_dims}", workload))
+    return _runtime_sweep(
+        "fig04",
+        "Closed cube computation w.r.t. dimension",
+        "paper: T=1000K, S=2, C=100, M=1, D=6..10",
+        "runtime grows with D for every algorithm; QC-DFS stays slowest",
+        points,
+        FULL_CLOSED_ALGORITHMS,
+    )
+
+
+@register_figure("fig05", "Closed cube computation w.r.t. cardinality")
+def figure_05() -> FigureResult:
+    points = []
+    for cardinality in (5, 10, 50, 200):
+        workload = synthetic_workload(
+            f"C{cardinality}", 500, num_dims=6, cardinality=cardinality, skew=1.0, min_sup=1
+        )
+        points.append((f"C={cardinality}", workload))
+    return _runtime_sweep(
+        "fig05",
+        "Closed cube computation w.r.t. cardinality",
+        "paper: T=1000K, D=8, S=1, M=1, C=10..10000",
+        "CC(Star) best at low C, CC(StarArray) overtakes at high C; QC-DFS degrades most",
+        points,
+        FULL_CLOSED_ALGORITHMS,
+    )
+
+
+@register_figure("fig06", "Closed cube computation w.r.t. skew")
+def figure_06() -> FigureResult:
+    points = []
+    for skew in (0.0, 1.0, 2.0, 3.0):
+        workload = synthetic_workload(
+            f"S{skew}", 500, num_dims=6, cardinality=20, skew=skew, min_sup=1
+        )
+        points.append((f"S={skew}", workload))
+    return _runtime_sweep(
+        "fig06",
+        "Closed cube computation w.r.t. skew",
+        "paper: T=1000K, C=100, D=8, M=1, S=0..3",
+        "every algorithm speeds up as skew grows; C-Cubing variants stay ahead of QC-DFS",
+        points,
+        FULL_CLOSED_ALGORITHMS,
+    )
+
+
+@register_figure("fig07", "Closed cube computation on the weather data w.r.t. dimension")
+def figure_07() -> FigureResult:
+    points = []
+    for num_dims in (5, 6, 7, 8):
+        workload = weather_workload(f"W{num_dims}", num_dims=num_dims, min_sup=1, num_tuples=1200)
+        points.append((f"D={num_dims}", workload))
+    return _runtime_sweep(
+        "fig07",
+        "Closed cube computation, weather data",
+        "paper: SEP83L.DAT, first 5..8 dimensions, M=1",
+        "C-Cubing variants beat QC-DFS on the real (simulated) trace as well",
+        points,
+        FULL_CLOSED_ALGORITHMS,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 8-11: closed iceberg cubes                                           #
+# --------------------------------------------------------------------------- #
+
+
+@register_figure("fig08", "Closed iceberg cube w.r.t. min_sup")
+def figure_08() -> FigureResult:
+    points = []
+    for min_sup in (2, 4, 8, 16):
+        workload = synthetic_workload(
+            f"M{min_sup}", 1200, num_dims=6, cardinality=20, skew=0.0, min_sup=min_sup
+        )
+        points.append((f"M={min_sup}", workload))
+    return _runtime_sweep(
+        "fig08",
+        "Closed iceberg cube computation w.r.t. min_sup",
+        "paper: T=1000K, C=100, S=0, D=8, M=2..16",
+        "Star family best at low min_sup; C-Cubing(MM) catches up as min_sup grows",
+        points,
+        ICEBERG_ALGORITHMS,
+    )
+
+
+@register_figure("fig09", "Closed iceberg cube w.r.t. skew")
+def figure_09() -> FigureResult:
+    points = []
+    for skew in (0.0, 1.0, 2.0, 3.0):
+        workload = synthetic_workload(
+            f"S{skew}", 1200, num_dims=6, cardinality=20, skew=skew, min_sup=8
+        )
+        points.append((f"S={skew}", workload))
+    return _runtime_sweep(
+        "fig09",
+        "Closed iceberg cube computation w.r.t. skew",
+        "paper: T=1000K, D=8, C=100, M=10, S=0..3",
+        "runtimes drop as skew grows; relative order of the three variants is preserved",
+        points,
+        ICEBERG_ALGORITHMS,
+    )
+
+
+@register_figure("fig10", "Closed iceberg cube w.r.t. cardinality")
+def figure_10() -> FigureResult:
+    points = []
+    for cardinality in (5, 10, 50, 200):
+        workload = synthetic_workload(
+            f"C{cardinality}", 1200, num_dims=6, cardinality=cardinality, skew=1.0, min_sup=8
+        )
+        points.append((f"C={cardinality}", workload))
+    return _runtime_sweep(
+        "fig10",
+        "Closed iceberg cube computation w.r.t. cardinality",
+        "paper: T=1000K, D=8, S=1, M=10, C=10..10000",
+        "CC(StarArray) gains on CC(Star) as cardinality grows",
+        points,
+        ICEBERG_ALGORITHMS,
+    )
+
+
+@register_figure("fig11", "Closed iceberg cube on the weather data w.r.t. min_sup")
+def figure_11() -> FigureResult:
+    points = []
+    for min_sup in (2, 4, 8, 16):
+        workload = weather_workload(f"M{min_sup}", num_dims=8, min_sup=min_sup, num_tuples=1500)
+        points.append((f"M={min_sup}", workload))
+    return _runtime_sweep(
+        "fig11",
+        "Closed iceberg cube computation, weather data, w.r.t. min_sup",
+        "paper: weather data, D=8, M=2..16",
+        "Star family leads at low min_sup; the switch to CC(MM) happens later than on synthetic data",
+        points,
+        ICEBERG_ALGORITHMS,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 12-15: closed pruning vs iceberg pruning (data dependence)           #
+# --------------------------------------------------------------------------- #
+
+
+def _dependence_workload(dependence: float, min_sup: int, num_tuples: int = 800) -> Workload:
+    return synthetic_workload(
+        f"R{dependence}-M{min_sup}",
+        num_tuples,
+        num_dims=7,
+        cardinality=8,
+        skew=0.0,
+        dependence=dependence,
+        min_sup=min_sup,
+    )
+
+
+@register_figure("fig12", "Runtime w.r.t. data dependence")
+def figure_12() -> FigureResult:
+    points = []
+    for dependence in (0.0, 1.0, 2.0, 3.0):
+        points.append((f"R={dependence}", _dependence_workload(dependence, min_sup=8)))
+    return _runtime_sweep(
+        "fig12",
+        "Cube computation w.r.t. data dependence",
+        "paper: T=400K, D=8, C=20, S=0, M=16, R=0..3",
+        "CC(Star) improves relative to CC(MM) as dependence grows (more closed pruning)",
+        points,
+        ("c-cubing-mm", "c-cubing-star"),
+    )
+
+
+@register_figure("fig13", "Cube size w.r.t. data dependence")
+def figure_13() -> FigureResult:
+    result = FigureResult(
+        "fig13",
+        "Cube size w.r.t. data dependence",
+        "paper: T=400K, D=8, C=20, S=0, M=16, R=0..3",
+        "the gap between iceberg and closed iceberg size grows with dependence",
+    )
+    for dependence in (0.0, 1.0, 2.0, 3.0):
+        workload = _dependence_workload(dependence, min_sup=8)
+        relation = workload.relation()
+        iceberg = reference_iceberg_cube(relation, workload.min_sup)
+        closed = reference_closed_cube(relation, workload.min_sup)
+        result.rows.append(
+            {
+                "point": f"R={dependence}",
+                "iceberg_cells": len(iceberg),
+                "closed_cells": len(closed),
+                "iceberg_mb": round(iceberg.size_megabytes(), 4),
+                "closed_mb": round(closed.size_megabytes(), 4),
+                "closed_to_iceberg_ratio": round(len(closed) / max(len(iceberg), 1), 3),
+            }
+        )
+    return result
+
+
+@register_figure("fig14", "Cube size w.r.t. min_sup")
+def figure_14() -> FigureResult:
+    result = FigureResult(
+        "fig14",
+        "Cube size w.r.t. min_sup",
+        "paper: T=400K, D=8, C=20, S=0, R=2, M=1..64",
+        "iceberg pruning dominates at high min_sup: iceberg and closed sizes converge",
+    )
+    for min_sup in (1, 4, 16, 64):
+        workload = _dependence_workload(2.0, min_sup=min_sup)
+        relation = workload.relation()
+        iceberg = reference_iceberg_cube(relation, min_sup)
+        closed = reference_closed_cube(relation, min_sup)
+        result.rows.append(
+            {
+                "point": f"M={min_sup}",
+                "iceberg_cells": len(iceberg),
+                "closed_cells": len(closed),
+                "iceberg_mb": round(iceberg.size_megabytes(), 4),
+                "closed_mb": round(closed.size_megabytes(), 4),
+                "closed_to_iceberg_ratio": round(len(closed) / max(len(iceberg), 1), 3),
+            }
+        )
+    return result
+
+
+@register_figure("fig15", "Best algorithm over the (min_sup, dependence) grid")
+def figure_15() -> FigureResult:
+    result = FigureResult(
+        "fig15",
+        "Best algorithm, varying min_sup and dependence",
+        "paper: T=400K, D=8, C=20, S=0, M=1..512, R=1..3",
+        "the min_sup at which CC(MM) overtakes CC(Star) increases with dependence",
+    )
+    runner = ExperimentRunner()
+    algorithms = ("c-cubing-mm", "c-cubing-star")
+    for dependence in (0.0, 1.0, 2.0, 3.0):
+        for min_sup in (1, 4, 16, 64):
+            workload = _dependence_workload(dependence, min_sup=min_sup, num_tuples=600)
+            measurements = runner.run_point(
+                "fig15", f"R={dependence},M={min_sup}", workload, algorithms
+            )
+            by_name = {m.algorithm: m.seconds for m in measurements}
+            winner = min(by_name, key=by_name.get)
+            result.rows.append(
+                {
+                    "point": f"R={dependence},M={min_sup}",
+                    "dependence": dependence,
+                    "min_sup": min_sup,
+                    "winner": winner,
+                    **{f"seconds[{name}]": round(seconds, 4) for name, seconds in by_name.items()},
+                }
+            )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Figures 16-17: overhead of closed checking / benefit of closed pruning       #
+# --------------------------------------------------------------------------- #
+
+
+def _overhead_sweep(
+    figure: str,
+    title: str,
+    paper_setting: str,
+    expected_shape: str,
+    closed_algorithm: str,
+    plain_algorithm: str,
+) -> FigureResult:
+    result = FigureResult(figure, title, paper_setting, expected_shape)
+    runner = ExperimentRunner()
+    for min_sup in (1, 2, 4, 8, 16):
+        closed_workload = weather_workload(
+            f"M{min_sup}-closed", num_dims=8, min_sup=min_sup, num_tuples=1500, closed=True
+        )
+        plain_workload = weather_workload(
+            f"M{min_sup}-plain", num_dims=8, min_sup=min_sup, num_tuples=1500, closed=False
+        )
+        relation = closed_workload.relation()
+        closed_measure = runner.run_point(
+            figure, f"M={min_sup}", closed_workload, [closed_algorithm], relation=relation
+        )[0]
+        plain_measure = runner.run_point(
+            figure, f"M={min_sup}", plain_workload, [plain_algorithm], relation=relation
+        )[0]
+        ratio = closed_measure.seconds / max(plain_measure.seconds, 1e-9)
+        result.rows.append(
+            {
+                "point": f"M={min_sup}",
+                "min_sup": min_sup,
+                f"seconds[{closed_algorithm}]": round(closed_measure.seconds, 4),
+                f"seconds[{plain_algorithm}]": round(plain_measure.seconds, 4),
+                "closed_cells": closed_measure.cells,
+                "iceberg_cells": plain_measure.cells,
+                "closed_over_plain": round(ratio, 3),
+            }
+        )
+    return result
+
+
+@register_figure("fig16", "Overhead of closed checking: C-Cubing(MM) vs MM-Cubing")
+def figure_16() -> FigureResult:
+    return _overhead_sweep(
+        "fig16",
+        "Overhead of closed checking (MM family), weather data",
+        "paper: weather data, D=8, M=1..32, output disabled",
+        "CC(MM) can beat MM-Cubing at low min_sup (closure short cut); overhead stays small at high min_sup",
+        closed_algorithm="c-cubing-mm",
+        plain_algorithm="mm-cubing",
+    )
+
+
+@register_figure("fig17", "Benefit of closed pruning: C-Cubing(StarArray) vs StarArray")
+def figure_17() -> FigureResult:
+    return _overhead_sweep(
+        "fig17",
+        "Benefit of closed pruning (StarArray family), weather data",
+        "paper: weather data, D=8, M=1..32, output disabled",
+        "the closed version is faster than the plain version, most clearly at low min_sup",
+        closed_algorithm="c-cubing-star-array",
+        plain_algorithm="star-array",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 18: dimension ordering                                                #
+# --------------------------------------------------------------------------- #
+
+
+@register_figure("fig18", "Dimension ordering strategies (StarArray)")
+def figure_18() -> FigureResult:
+    result = FigureResult(
+        "fig18",
+        "Cube computation (StarArray) w.r.t. dimension order",
+        "paper: T=400K, D=8, C=10 and 1000, S=0..3, M=1..256",
+        "entropy ordering <= cardinality ordering <= original ordering",
+    )
+    for min_sup in (2, 4, 8, 16):
+        workload = mixed_cardinality_workload(
+            f"M{min_sup}", num_tuples=1000, min_sup=min_sup, high_cardinality=200
+        )
+        relation = workload.relation()
+        row: Dict[str, object] = {"point": f"M={min_sup}", "min_sup": min_sup}
+        for order_name in ("original", "cardinality", "entropy"):
+            runner = ExperimentRunner(dimension_order=order_name)
+            measurement = runner.run_point(
+                "fig18", f"M={min_sup}", workload, ["c-cubing-star-array"], relation=relation
+            )[0]
+            row[f"seconds[{order_name}]"] = round(measurement.seconds, 4)
+        result.rows.append(row)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Section 6 extension experiments                                              #
+# --------------------------------------------------------------------------- #
+
+
+@register_figure("e62", "Closed rules vs closed cells (Section 6.2)")
+def experiment_62() -> FigureResult:
+    result = FigureResult(
+        "e62",
+        "Closed rules vs closed cells",
+        "paper: weather data, D=8, M=10 — 462k closed cells vs 57k closed rules",
+        "the rule set is a small fraction of the closed cell count",
+    )
+    relation = weather_workload("rules", num_dims=6, min_sup=4, num_tuples=800).relation()
+    closed = reference_closed_cube(relation, min_sup=4)
+    rules = mine_closed_rules(relation, closed, max_condition_arity=2)
+    report = compression_report(closed, rules)
+    result.rows.append({"point": "weather D=6 M=4", **report})
+    return result
+
+
+@register_figure("e63", "Partitioned computation (Section 6.3)")
+def experiment_63() -> FigureResult:
+    result = FigureResult(
+        "e63",
+        "Partitioned (external) closed cube computation",
+        "paper: partition the data on one dimension, compute partitions one by one",
+        "the partitioned result equals the in-memory result at every memory budget",
+    )
+    config = SyntheticConfig.uniform(num_tuples=400, num_dims=5, cardinality=8, skew=1.0, seed=3)
+    relation = generate_relation(config)
+    expected = reference_closed_cube(relation, min_sup=2)
+    for budget in (100, 200, None):
+        computer = PartitionedCubeComputer(
+            algorithm="c-cubing-star", min_sup=2, closed=True, memory_budget_tuples=budget
+        )
+        start = time.perf_counter()
+        cube, report = computer.compute(relation)
+        seconds = time.perf_counter() - start
+        result.rows.append(
+            {
+                "point": f"budget={budget}",
+                "seconds": round(seconds, 4),
+                "partitions": report.num_partitions,
+                "largest_partition": report.largest_partition,
+                "spilled_files": report.spilled_files,
+                "matches_in_memory": expected.same_cells(cube),
+            }
+        )
+    return result

@@ -1,0 +1,163 @@
+"""Experiment runner used by both the benchmark suite and the CLI.
+
+The harness runs one or more algorithms over a sweep of workloads, records
+wall-clock time, output size, and per-algorithm counters, and optionally
+verifies every result against the oracle.  Results are plain dataclasses so
+the report module can render them as the text tables recorded in
+EXPERIMENTS.md and the pytest-benchmark targets can reuse the same plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms.base import CubingOptions, get_algorithm
+from ..core.cube import CubeResult
+from ..core.errors import ValidationError, WorkloadError
+from ..core.relation import Relation
+from ..core.validate import reference_closed_cube, reference_iceberg_cube, verify_cube
+from .workloads import Workload
+
+
+@dataclass
+class Measurement:
+    """One (workload point, algorithm) measurement."""
+
+    figure: str
+    point: str
+    algorithm: str
+    seconds: float
+    cells: int
+    min_sup: int
+    closed: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+    verified: Optional[bool] = None
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "figure": self.figure,
+            "point": self.point,
+            "algorithm": self.algorithm,
+            "seconds": round(self.seconds, 4),
+            "cells": self.cells,
+            "min_sup": self.min_sup,
+            "closed": self.closed,
+            "verified": self.verified,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one figure, in sweep order."""
+
+    figure: str
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for measurement in self.measurements:
+            if measurement.algorithm not in seen:
+                seen.append(measurement.algorithm)
+        return seen
+
+    def points(self) -> List[str]:
+        seen: List[str] = []
+        for measurement in self.measurements:
+            if measurement.point not in seen:
+                seen.append(measurement.point)
+        return seen
+
+    def seconds(self, point: str, algorithm: str) -> Optional[float]:
+        for measurement in self.measurements:
+            if measurement.point == point and measurement.algorithm == algorithm:
+                return measurement.seconds
+        return None
+
+    def winner(self, point: str) -> Optional[str]:
+        """Fastest algorithm at a sweep point."""
+        best_name, best_seconds = None, None
+        for measurement in self.measurements:
+            if measurement.point != point:
+                continue
+            if best_seconds is None or measurement.seconds < best_seconds:
+                best_name, best_seconds = measurement.algorithm, measurement.seconds
+        return best_name
+
+
+class ExperimentRunner:
+    """Run algorithms over workload sweeps with optional oracle verification."""
+
+    def __init__(self, verify: bool = False, dimension_order: object = None) -> None:
+        self.verify = verify
+        self.dimension_order = dimension_order
+
+    # ------------------------------------------------------------------ #
+
+    def run_point(
+        self,
+        figure: str,
+        point: str,
+        workload: Workload,
+        algorithms: Sequence[str],
+        relation: Optional[Relation] = None,
+    ) -> List[Measurement]:
+        """Run every algorithm on one workload point."""
+        if not algorithms:
+            raise WorkloadError("at least one algorithm is required")
+        relation = relation if relation is not None else workload.relation()
+        reference: Optional[CubeResult] = None
+        if self.verify:
+            reference = (
+                reference_closed_cube(relation, workload.min_sup)
+                if workload.closed
+                else reference_iceberg_cube(relation, workload.min_sup)
+            )
+        measurements = []
+        for name in algorithms:
+            options = CubingOptions(
+                min_sup=workload.min_sup,
+                closed=workload.closed,
+                dimension_order=self.dimension_order,
+            )
+            algorithm = get_algorithm(name, options)
+            start = time.perf_counter()
+            cube = algorithm.compute(relation)
+            seconds = time.perf_counter() - start
+            verified: Optional[bool] = None
+            if reference is not None:
+                try:
+                    verify_cube(cube, reference, label=f"{figure}/{point}/{name}")
+                    verified = True
+                except ValidationError:
+                    verified = False
+                    raise
+            measurements.append(
+                Measurement(
+                    figure=figure,
+                    point=point,
+                    algorithm=name,
+                    seconds=seconds,
+                    cells=len(cube),
+                    min_sup=workload.min_sup,
+                    closed=workload.closed,
+                    counters=dict(algorithm.counters),
+                    verified=verified,
+                )
+            )
+        return measurements
+
+    def run_sweep(
+        self,
+        figure: str,
+        points: Sequence[tuple],
+        algorithms: Sequence[str],
+    ) -> SweepResult:
+        """Run a whole sweep: ``points`` is a sequence of (label, workload)."""
+        result = SweepResult(figure=figure)
+        for label, workload in points:
+            result.measurements.extend(
+                self.run_point(figure, label, workload, algorithms)
+            )
+        return result

@@ -1,0 +1,74 @@
+"""Plain-text rendering of benchmark results.
+
+The figure runners return tidy rows (lists of dictionaries); this module turns
+them into aligned text tables for the CLI and for EXPERIMENTS.md, and can also
+write them as CSV for further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Sequence
+
+from .figures import FigureResult
+
+
+def render_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of homogeneous-ish dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult) -> str:
+    """Full text report of one regenerated figure."""
+    lines = [
+        f"== {result.figure}: {result.title} ==",
+        f"paper setting : {result.paper_setting}",
+        f"expected shape: {result.expected_shape}",
+        "",
+        render_table(result.rows),
+    ]
+    if result.notes:
+        lines.append("")
+        lines.extend(f"note: {note}" for note in result.notes)
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise rows as CSV text (used by ``--csv``)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def render_summary(results: Iterable[FigureResult]) -> str:
+    """Concatenate several figure reports."""
+    return "\n\n".join(render_figure(result) for result in results)

@@ -1,0 +1,119 @@
+"""Workload construction for the benchmark harness.
+
+A workload is a named recipe producing a :class:`repro.core.relation.Relation`
+plus the cubing parameters (``min_sup``, closed or not) a figure needs.  The
+figure registry (:mod:`repro.bench.figures`) composes these into parameter
+sweeps.  All sizes are scaled down from the paper's 200K-1M tuple datasets to
+Python-friendly sizes; the *relative* parameterisation of each sweep follows
+the paper (see DESIGN.md Section 4 and EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.relation import Relation
+from ..datagen.synthetic import (
+    SyntheticConfig,
+    generate_relation,
+    mixed_cardinality_config,
+)
+from ..datagen.weather import WeatherConfig, generate_weather_relation, weather_subset
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A dataset recipe plus the cubing parameters of one experiment point."""
+
+    name: str
+    build: Callable[[], Relation]
+    min_sup: int = 1
+    closed: bool = True
+    description: str = ""
+
+    def relation(self) -> Relation:
+        """Materialise the dataset (cached per call site by the harness)."""
+        return self.build()
+
+
+_WEATHER_CACHE: Dict[WeatherConfig, Relation] = {}
+
+
+def weather_relation(config: Optional[WeatherConfig] = None) -> Relation:
+    """A cached synthetic weather relation (the generator is deterministic)."""
+    config = config or WeatherConfig()
+    cached = _WEATHER_CACHE.get(config)
+    if cached is None:
+        cached = generate_weather_relation(config)
+        _WEATHER_CACHE[config] = cached
+    return cached
+
+
+def synthetic_workload(
+    name: str,
+    num_tuples: int,
+    num_dims: int,
+    cardinality: int,
+    skew: float = 0.0,
+    dependence: float = 0.0,
+    min_sup: int = 1,
+    closed: bool = True,
+    seed: int = 1,
+) -> Workload:
+    """A uniform-parameter synthetic workload (the paper's usual T/D/C/S/M point)."""
+    config = SyntheticConfig.uniform(
+        num_tuples=num_tuples,
+        num_dims=num_dims,
+        cardinality=cardinality,
+        skew=skew,
+        dependence=dependence,
+        seed=seed,
+    )
+    return Workload(
+        name=name,
+        build=lambda config=config: generate_relation(config),
+        min_sup=min_sup,
+        closed=closed,
+        description=config.describe() + f" M={min_sup}",
+    )
+
+
+def weather_workload(
+    name: str,
+    num_dims: int = 8,
+    min_sup: int = 1,
+    closed: bool = True,
+    num_tuples: int = 2000,
+) -> Workload:
+    """A workload over the synthetic weather trace (Figures 7, 11, 16, 17)."""
+    config = WeatherConfig(num_tuples=num_tuples)
+    return Workload(
+        name=name,
+        build=lambda: weather_subset(weather_relation(config), num_dims),
+        min_sup=min_sup,
+        closed=closed,
+        description=f"weather D={num_dims} T={num_tuples} M={min_sup}",
+    )
+
+
+def mixed_cardinality_workload(
+    name: str,
+    num_tuples: int,
+    min_sup: int,
+    low_cardinality: int = 10,
+    high_cardinality: int = 200,
+    closed: bool = True,
+    seed: int = 1,
+) -> Workload:
+    """The Figure 18 workload: mixed cardinalities and skews across dimensions."""
+    config = mixed_cardinality_config(
+        num_tuples, low_cardinality=low_cardinality, high_cardinality=high_cardinality, seed=seed
+    )
+    return Workload(
+        name=name,
+        build=lambda config=config: generate_relation(config),
+        min_sup=min_sup,
+        closed=closed,
+        description=config.describe() + f" M={min_sup}",
+    )

@@ -1,0 +1,64 @@
+"""Core substrate: relations, cells, measures, closedness, cube results, API."""
+
+from .cell import Cell, all_mask, apex_cell, cell_arity, format_cell, make_cell
+from .closedness import ClosednessState, closedness_of_tids
+from .cube import CellStats, CubeResult
+from .errors import (
+    AlgorithmError,
+    EncodingError,
+    MeasureError,
+    PartitionError,
+    ReproError,
+    SchemaError,
+    UnknownAlgorithmError,
+    ValidationError,
+    WorkloadError,
+)
+from .measures import (
+    AvgMeasure,
+    CountMeasure,
+    IcebergCondition,
+    MaxMeasure,
+    MeasureSet,
+    MeasureSpec,
+    MinMeasure,
+    SumMeasure,
+)
+from .ordering import ORDERINGS, cardinality_order, entropy_order, original_order
+from .relation import Relation, Schema
+
+__all__ = [
+    "Cell",
+    "all_mask",
+    "apex_cell",
+    "cell_arity",
+    "format_cell",
+    "make_cell",
+    "ClosednessState",
+    "closedness_of_tids",
+    "CellStats",
+    "CubeResult",
+    "AlgorithmError",
+    "EncodingError",
+    "MeasureError",
+    "PartitionError",
+    "ReproError",
+    "SchemaError",
+    "UnknownAlgorithmError",
+    "ValidationError",
+    "WorkloadError",
+    "AvgMeasure",
+    "CountMeasure",
+    "IcebergCondition",
+    "MaxMeasure",
+    "MeasureSet",
+    "MeasureSpec",
+    "MinMeasure",
+    "SumMeasure",
+    "ORDERINGS",
+    "cardinality_order",
+    "entropy_order",
+    "original_order",
+    "Relation",
+    "Schema",
+]

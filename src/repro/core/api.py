@@ -1,0 +1,113 @@
+"""High-level facade: one-call cube computation.
+
+The functions here are the entry points most users need:
+
+>>> from repro import Relation, compute_closed_cube
+>>> rows = [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a1", "b2", "c1")]
+>>> relation = Relation.from_rows(rows, ["A", "B", "C"])
+>>> cube = compute_closed_cube(relation, min_sup=2)
+>>> sorted(count for _, count in cube.to_rows())
+[2, 3]
+
+Algorithms are addressed by their registry name (``"c-cubing-star"``,
+``"c-cubing-mm"``, ``"c-cubing-star-array"``, ``"qc-dfs"``, ``"mm-cubing"``,
+``"star-cubing"``, ``"star-array"``, ``"buc"``, ``"naive"``, ...); see
+:func:`repro.algorithms.base.available_algorithms`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..algorithms import base as _base
+from ..algorithms.base import CubingOptions, RunResult
+from .cube import CubeResult
+from .measures import MeasureSet, MeasureSpec
+from .relation import Relation
+
+#: Default engine for closed cubes: the paper's recommendation for general use.
+DEFAULT_CLOSED_ALGORITHM = "c-cubing-star"
+#: Default engine for plain iceberg cubes.
+DEFAULT_ICEBERG_ALGORITHM = "mm-cubing"
+
+
+def _build_options(
+    min_sup: int,
+    closed: bool,
+    measures: Optional[Sequence[MeasureSpec]],
+    dimension_order: object,
+    initial_collapsed: Sequence[int],
+) -> CubingOptions:
+    return CubingOptions(
+        min_sup=min_sup,
+        closed=closed,
+        measures=MeasureSet(measures or ()),
+        dimension_order=dimension_order,
+        initial_collapsed=tuple(initial_collapsed),
+    )
+
+
+def compute_cube(
+    relation: Relation,
+    min_sup: int = 1,
+    algorithm: str = DEFAULT_ICEBERG_ALGORITHM,
+    measures: Optional[Sequence[MeasureSpec]] = None,
+    dimension_order: object = None,
+    initial_collapsed: Sequence[int] = (),
+) -> CubeResult:
+    """Compute the (full or iceberg) cube of a relation.
+
+    Parameters
+    ----------
+    relation:
+        The input fact table.
+    min_sup:
+        Iceberg threshold on ``count``; ``1`` computes the full cube.
+    algorithm:
+        Registry name of the engine to use.
+    measures:
+        Optional payload measures (``SumMeasure``, ``AvgMeasure``, ...).
+    dimension_order:
+        Ordering strategy for order-sensitive engines.
+    initial_collapsed:
+        Dimensions forced to ``*`` in every output cell.
+    """
+    options = _build_options(min_sup, False, measures, dimension_order, initial_collapsed)
+    return _base.get_algorithm(algorithm, options).run(relation).cube
+
+
+def compute_closed_cube(
+    relation: Relation,
+    min_sup: int = 1,
+    algorithm: str = DEFAULT_CLOSED_ALGORITHM,
+    measures: Optional[Sequence[MeasureSpec]] = None,
+    dimension_order: object = None,
+    initial_collapsed: Sequence[int] = (),
+) -> CubeResult:
+    """Compute the closed (iceberg) cube of a relation.
+
+    The closed cube keeps only cells not covered by a more specific cell with
+    the same aggregate; it is a lossless compression of the iceberg cube
+    (use :meth:`repro.core.cube.CubeResult.closure_query` to answer queries on
+    non-materialised cells).
+    """
+    options = _build_options(min_sup, True, measures, dimension_order, initial_collapsed)
+    return _base.get_algorithm(algorithm, options).run(relation).cube
+
+
+def run_algorithm(
+    relation: Relation,
+    algorithm: str,
+    min_sup: int = 1,
+    closed: bool = False,
+    measures: Optional[Sequence[MeasureSpec]] = None,
+    dimension_order: object = None,
+    initial_collapsed: Sequence[int] = (),
+) -> RunResult:
+    """Run an algorithm and return the cube plus timing and counters.
+
+    This is the entry point the benchmark harness uses; most applications want
+    :func:`compute_cube` or :func:`compute_closed_cube` instead.
+    """
+    options = _build_options(min_sup, closed, measures, dimension_order, initial_collapsed)
+    return _base.get_algorithm(algorithm, options).run(relation)

@@ -1,0 +1,166 @@
+"""Cell model for group-by cells of a data cube.
+
+A *cell* over a ``D``-dimensional relation is represented as a plain tuple of
+length ``D`` whose entries are either an integer dimension code or ``None``
+(the paper's ``*`` / "all" value).  Plain tuples keep the hot paths of the
+cubing algorithms cheap (hashable, comparable, no attribute overhead) while
+this module provides the vocabulary around them:
+
+* construction helpers (:func:`make_cell`, :func:`cell_from_mapping`),
+* the *All Mask* of a cell (Definition 8 of the paper),
+* cover / specialisation relations between cells (Definition 3),
+* human-readable formatting against a schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import SchemaError
+
+#: Type alias for a group-by cell: one entry per dimension, ``None`` meaning
+#: the aggregated ``*`` value.
+Cell = Tuple[Optional[int], ...]
+
+#: The symbol used when rendering an aggregated dimension.
+STAR = "*"
+
+
+def make_cell(num_dims: int, assignment: Dict[int, int]) -> Cell:
+    """Build a cell with ``num_dims`` dimensions from a sparse assignment.
+
+    ``assignment`` maps dimension index to the fixed value; every other
+    dimension becomes ``*``.
+
+    >>> make_cell(4, {0: 3, 2: 1})
+    (3, None, 1, None)
+    """
+    if not all(0 <= dim < num_dims for dim in assignment):
+        raise SchemaError(
+            f"assignment {assignment!r} references dimensions outside 0..{num_dims - 1}"
+        )
+    return tuple(assignment.get(dim) for dim in range(num_dims))
+
+
+def cell_from_mapping(num_dims: int, values: Sequence[Optional[int]]) -> Cell:
+    """Coerce a sequence of per-dimension values into a :data:`Cell`.
+
+    The sequence must have exactly ``num_dims`` entries.
+    """
+    values = tuple(values)
+    if len(values) != num_dims:
+        raise SchemaError(
+            f"cell has {len(values)} entries but the schema has {num_dims} dimensions"
+        )
+    return values
+
+
+def apex_cell(num_dims: int) -> Cell:
+    """The all-``*`` cell (the apex cuboid's single cell)."""
+    return (None,) * num_dims
+
+
+def cell_dimensions(cell: Cell) -> Tuple[int, ...]:
+    """Indices of the dimensions on which ``cell`` is fixed (non-``*``)."""
+    return tuple(dim for dim, value in enumerate(cell) if value is not None)
+
+
+def cell_arity(cell: Cell) -> int:
+    """Number of non-``*`` dimensions (the ``k`` of a k-dimensional cell)."""
+    return sum(1 for value in cell if value is not None)
+
+
+def all_mask(cell: Cell) -> int:
+    """The *All Mask* of a cell (Definition 8).
+
+    Bit ``d`` is set iff the cell has ``*`` on dimension ``d``.  The mask is
+    returned as a Python integer used as a bit set.
+    """
+    mask = 0
+    for dim, value in enumerate(cell):
+        if value is None:
+            mask |= 1 << dim
+    return mask
+
+
+def is_specialisation(general: Cell, specific: Cell) -> bool:
+    """``True`` iff ``general`` <= ``specific`` in the paper's ``V(c) <= V(c')`` order.
+
+    Every fixed dimension of ``general`` must carry the same value in
+    ``specific``; ``specific`` may fix additional dimensions.  A cell is a
+    specialisation of itself.
+    """
+    if len(general) != len(specific):
+        raise SchemaError("cells being compared must have the same dimensionality")
+    for g_value, s_value in zip(general, specific):
+        if g_value is not None and g_value != s_value:
+            return False
+    return True
+
+
+def is_strict_specialisation(general: Cell, specific: Cell) -> bool:
+    """``True`` iff ``general < specific`` (specialisation and not equal)."""
+    return general != specific and is_specialisation(general, specific)
+
+
+def merge_cells(first: Cell, second: Cell) -> Optional[Cell]:
+    """Least upper bound of two cells if they are compatible, else ``None``.
+
+    Two cells are compatible when they agree on every dimension fixed by both.
+    The merge fixes the union of their fixed dimensions.
+    """
+    if len(first) != len(second):
+        raise SchemaError("cells being merged must have the same dimensionality")
+    merged: List[Optional[int]] = []
+    for f_value, s_value in zip(first, second):
+        if f_value is None:
+            merged.append(s_value)
+        elif s_value is None or s_value == f_value:
+            merged.append(f_value)
+        else:
+            return None
+    return tuple(merged)
+
+
+def project_cell(cell: Cell, dims: Iterable[int]) -> Cell:
+    """Keep only the dimensions in ``dims`` fixed; every other dimension becomes ``*``."""
+    keep = set(dims)
+    return tuple(value if dim in keep else None for dim, value in enumerate(cell))
+
+
+def tuple_matches(cell: Cell, row: Sequence[int]) -> bool:
+    """``True`` iff the base-table ``row`` aggregates into ``cell``."""
+    for value, row_value in zip(cell, row):
+        if value is not None and value != row_value:
+            return False
+    return True
+
+
+def format_cell(cell: Cell, dimension_names: Optional[Sequence[str]] = None,
+                decoders: Optional[Sequence[Dict[int, object]]] = None) -> str:
+    """Render a cell as ``(dim=value, ...)`` text.
+
+    ``dimension_names`` supplies labels; ``decoders`` optionally maps integer
+    codes back to the original values (as produced by
+    :class:`repro.core.relation.Relation`).
+    """
+    parts = []
+    for dim, value in enumerate(cell):
+        name = dimension_names[dim] if dimension_names else f"d{dim}"
+        if value is None:
+            rendered = STAR
+        elif decoders is not None:
+            rendered = str(decoders[dim].get(value, value))
+        else:
+            rendered = str(value)
+        parts.append(f"{name}={rendered}")
+    return "(" + ", ".join(parts) + ")"
+
+
+def sort_key(cell: Cell) -> Tuple:
+    """Stable ordering key: by arity, then by dimension pattern, then values."""
+    return (
+        cell_arity(cell),
+        tuple(0 if value is None else 1 for value in cell),
+        tuple(-1 if value is None else value for value in cell),
+    )

@@ -1,0 +1,230 @@
+"""Cube results: the common output container of every cubing algorithm.
+
+A :class:`CubeResult` maps group-by cells (see :mod:`repro.core.cell`) to
+their aggregated statistics (:class:`CellStats`).  Besides acting as the
+return type of every algorithm, it provides the operations the evaluation
+needs:
+
+* equality / diff between cubes (used by the correctness tests),
+* point and roll-up queries,
+* the *quotient-cube closure query* — answering a query on any (possibly
+  non-materialised) cell from the closed cube alone, which is what makes the
+  closed cube a lossless compression,
+* cube size accounting in cells and estimated bytes (Figures 13 and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cell import (
+    Cell,
+    cell_arity,
+    format_cell,
+    is_specialisation,
+    sort_key,
+    tuple_matches,
+)
+from .errors import ValidationError
+from .relation import Relation
+
+
+@dataclass
+class CellStats:
+    """Aggregated statistics of one output cell.
+
+    ``count`` is always present (it is both the iceberg measure and the basis
+    of closedness).  ``measures`` holds any payload measure values keyed by
+    measure name.  ``rep_tid`` is the representative tuple id when the
+    producing algorithm tracked one (the closed algorithms do); it is not part
+    of cube equality.
+    """
+
+    count: int
+    measures: Dict[str, float] = field(default_factory=dict)
+    rep_tid: Optional[int] = None
+
+    def key(self) -> Tuple:
+        """The part of the stats that participates in cube equality."""
+        return (self.count, tuple(sorted(self.measures.items())))
+
+
+#: Rough per-cell storage cost model used for the cube-size figures: one
+#: 32-bit word per dimension value plus one 64-bit word for the count.  The
+#: absolute constant does not matter for the figures (they compare sizes of
+#: two cubes over the same schema); it just keeps the reported unit in bytes.
+BYTES_PER_DIM = 4
+BYTES_PER_COUNT = 8
+
+
+class CubeResult:
+    """A set of output cells with their aggregated statistics."""
+
+    def __init__(self, num_dims: int, name: str = "") -> None:
+        self.num_dims = num_dims
+        self.name = name
+        self._cells: Dict[Cell, CellStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                            #
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        cell: Cell,
+        count: int,
+        measures: Optional[Dict[str, float]] = None,
+        rep_tid: Optional[int] = None,
+    ) -> None:
+        """Record an output cell.
+
+        Adding the same cell twice is always a bug in a cubing algorithm
+        (every group-by cell must be produced exactly once), so it raises
+        :class:`ValidationError` rather than silently overwriting.
+        """
+        if len(cell) != self.num_dims:
+            raise ValidationError(
+                f"cell {cell!r} has {len(cell)} entries, expected {self.num_dims}"
+            )
+        if cell in self._cells:
+            raise ValidationError(f"cell {cell!r} emitted twice")
+        self._cells[cell] = CellStats(count, dict(measures or {}), rep_tid)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol                                                  #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __getitem__(self, cell: Cell) -> CellStats:
+        return self._cells[cell]
+
+    def get(self, cell: Cell) -> Optional[CellStats]:
+        return self._cells.get(cell)
+
+    def items(self) -> Iterable[Tuple[Cell, CellStats]]:
+        return self._cells.items()
+
+    def cells(self) -> List[Cell]:
+        """All cells in a stable, human-friendly order."""
+        return sorted(self._cells, key=sort_key)
+
+    # ------------------------------------------------------------------ #
+    # Comparison                                                          #
+    # ------------------------------------------------------------------ #
+
+    def same_cells(self, other: "CubeResult") -> bool:
+        """``True`` iff both cubes contain exactly the same cells and counts."""
+        if self.num_dims != other.num_dims or len(self) != len(other):
+            return False
+        for cell, stats in self._cells.items():
+            other_stats = other.get(cell)
+            if other_stats is None or other_stats.key() != stats.key():
+                return False
+        return True
+
+    def diff(self, other: "CubeResult", limit: int = 20) -> str:
+        """Human-readable difference report, used in test failure messages."""
+        lines: List[str] = []
+        missing = [cell for cell in self._cells if cell not in other._cells]
+        extra = [cell for cell in other._cells if cell not in self._cells]
+        changed = [
+            cell
+            for cell, stats in self._cells.items()
+            if cell in other._cells and other._cells[cell].key() != stats.key()
+        ]
+        for label, cells in (("missing", missing), ("extra", extra), ("changed", changed)):
+            for cell in sorted(cells, key=sort_key)[:limit]:
+                lines.append(f"{label}: {cell}")
+        if not lines:
+            lines.append("(no differences)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def count_of(self, cell: Cell) -> Optional[int]:
+        """Count of a materialised cell, or ``None`` if it is not in the cube."""
+        stats = self._cells.get(cell)
+        return stats.count if stats is not None else None
+
+    def closure_query(self, cell: Cell) -> Optional[CellStats]:
+        """Answer a query on ``cell`` from a *closed* cube (quotient semantics).
+
+        The answer for any cell equals the answer of its closure — the most
+        specific closed cell that is a specialisation of it with the same
+        tuple set.  From the closed cube alone the closure is the closed
+        specialisation of ``cell`` with the **maximum count** (any closed cell
+        that specialises ``cell`` aggregates a subset of its tuples; the
+        closure aggregates all of them).  Returns ``None`` when ``cell`` is
+        empty or was pruned by the iceberg condition.
+        """
+        best: Optional[CellStats] = None
+        for other, stats in self._cells.items():
+            if is_specialisation(cell, other):
+                if best is None or stats.count > best.count:
+                    best = stats
+        return best
+
+    def cells_at_arity(self, arity: int) -> List[Cell]:
+        """Cells of the ``arity``-dimensional cuboids."""
+        return [cell for cell in self._cells if cell_arity(cell) == arity]
+
+    # ------------------------------------------------------------------ #
+    # Size accounting (Figures 13-14)                                     #
+    # ------------------------------------------------------------------ #
+
+    def size_cells(self) -> int:
+        """Number of materialised cells."""
+        return len(self._cells)
+
+    def size_bytes(self) -> int:
+        """Estimated storage footprint under the flat-record cost model."""
+        per_cell = self.num_dims * BYTES_PER_DIM + BYTES_PER_COUNT
+        return len(self._cells) * per_cell
+
+    def size_megabytes(self) -> float:
+        """Estimated storage footprint in MB (the unit used by the paper)."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    # ------------------------------------------------------------------ #
+    # Rendering                                                           #
+    # ------------------------------------------------------------------ #
+
+    def to_rows(self) -> List[Tuple[Cell, int]]:
+        """(cell, count) pairs in stable order; convenient for tests and demos."""
+        return [(cell, self._cells[cell].count) for cell in self.cells()]
+
+    def format(
+        self, relation: Optional[Relation] = None, limit: Optional[int] = None
+    ) -> str:
+        """Pretty-print the cube, optionally decoding values via ``relation``."""
+        names = relation.schema.dimension_names if relation is not None else None
+        decoders = relation.decoders if relation is not None else None
+        lines = []
+        for cell in self.cells()[: limit if limit is not None else len(self._cells)]:
+            stats = self._cells[cell]
+            rendered = format_cell(cell, names, decoders)
+            lines.append(f"{rendered} : count={stats.count}" +
+                         ("" if not stats.measures else f" {stats.measures}"))
+        if limit is not None and len(self._cells) > limit:
+            lines.append(f"... ({len(self._cells) - limit} more cells)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"CubeResult({label} dims={self.num_dims}, cells={len(self._cells)})"
+
+
+def count_matching_tuples(relation: Relation, cell: Cell) -> int:
+    """Count base-table tuples aggregating into ``cell`` (brute force)."""
+    return sum(1 for row in relation.rows() if tuple_matches(cell, row))

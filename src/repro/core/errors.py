@@ -1,0 +1,48 @@
+"""Exception hierarchy for the C-Cubing reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can guard an entire pipeline with a single ``except ReproError`` clause while
+still being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation schema is inconsistent or misused.
+
+    Examples: duplicate dimension names, a tuple whose arity does not match
+    the schema, or a reference to an unknown dimension.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised when dictionary encoding or decoding of dimension values fails."""
+
+
+class MeasureError(ReproError):
+    """Raised when a measure specification is invalid or cannot be aggregated."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when a cubing algorithm is configured or invoked incorrectly."""
+
+
+class UnknownAlgorithmError(AlgorithmError):
+    """Raised when an algorithm name is not present in the registry."""
+
+
+class ValidationError(ReproError):
+    """Raised when a computed cube fails a correctness validation check."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a benchmark workload or figure specification is invalid."""
+
+
+class PartitionError(ReproError):
+    """Raised by the external/partitioned computation driver (Section 6.3)."""

@@ -1,0 +1,312 @@
+"""Measure framework: distributive and algebraic aggregate measures.
+
+The paper (Definitions 4 and 5, Section 6.1) distinguishes *distributive*
+measures — computable from the measures of sub-parts alone (``count``, ``sum``,
+``min``, ``max``) — and *algebraic* measures — computable from a bounded number
+of distributive measures of the sub-parts (``avg`` = ``sum`` / ``count``).
+
+Every cubing algorithm in this package aggregates ``count`` (it is both the
+iceberg measure and the basis of closedness checking, Lemma 1) and may carry
+any number of additional measures from this module as a payload.  Measures are
+represented by small *state* objects that support three operations:
+
+``init(tid)``
+    the state of a single tuple,
+``merge(other)``
+    combine with the state of a disjoint part (in place),
+``value()``
+    the final measure value.
+
+This mirrors the classic Gray-et-al. cube operator formulation and keeps every
+aggregation path (arrays, trees, recursion) measure-agnostic.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .errors import MeasureError
+from .relation import Relation
+
+
+class MeasureState(ABC):
+    """Running state of one measure over a (partial) group of tuples."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def merge(self, other: "MeasureState") -> None:
+        """Fold the state of a disjoint sub-group into this state."""
+
+    @abstractmethod
+    def value(self) -> float:
+        """Final value of the measure for the group aggregated so far."""
+
+
+class MeasureSpec(ABC):
+    """Declarative description of a measure (name + how to build its state)."""
+
+    #: Human-readable measure name, e.g. ``"sum(price)"``.
+    name: str
+
+    #: ``True`` for distributive measures, ``False`` for merely algebraic ones.
+    distributive: bool = True
+
+    @abstractmethod
+    def create(self, relation: Relation, tid: int) -> MeasureState:
+        """State of the measure for the single tuple ``tid``."""
+
+    def describe(self) -> str:
+        """One-line description used in reports and ``repr``."""
+        kind = "distributive" if self.distributive else "algebraic"
+        return f"{self.name} ({kind})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Count                                                                        #
+# --------------------------------------------------------------------------- #
+
+
+class CountState(MeasureState):
+    """State for ``count``: a single integer."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 1) -> None:
+        self.count = count
+
+    def merge(self, other: MeasureState) -> None:
+        if not isinstance(other, CountState):
+            raise MeasureError("cannot merge count with a different measure state")
+        self.count += other.count
+
+    def value(self) -> float:
+        return float(self.count)
+
+
+class CountMeasure(MeasureSpec):
+    """The fundamental ``count`` measure (Lemma 1)."""
+
+    name = "count"
+    distributive = True
+
+    def create(self, relation: Relation, tid: int) -> CountState:
+        return CountState(1)
+
+
+# --------------------------------------------------------------------------- #
+# Sum / Min / Max over a measure column                                        #
+# --------------------------------------------------------------------------- #
+
+
+class SumState(MeasureState):
+    __slots__ = ("total",)
+
+    def __init__(self, total: float) -> None:
+        self.total = total
+
+    def merge(self, other: MeasureState) -> None:
+        if not isinstance(other, SumState):
+            raise MeasureError("cannot merge sum with a different measure state")
+        self.total += other.total
+
+    def value(self) -> float:
+        return self.total
+
+
+class SumMeasure(MeasureSpec):
+    """Distributive ``sum`` over one measure column of the relation."""
+
+    distributive = True
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.name = f"sum({column})"
+
+    def create(self, relation: Relation, tid: int) -> SumState:
+        index = relation.schema.measure_index(self.column)
+        return SumState(relation.measure_value(tid, index))
+
+
+class MinState(MeasureState):
+    __slots__ = ("minimum",)
+
+    def __init__(self, minimum: float) -> None:
+        self.minimum = minimum
+
+    def merge(self, other: MeasureState) -> None:
+        if not isinstance(other, MinState):
+            raise MeasureError("cannot merge min with a different measure state")
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+
+    def value(self) -> float:
+        return self.minimum
+
+
+class MinMeasure(MeasureSpec):
+    """Distributive ``min`` over one measure column."""
+
+    distributive = True
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.name = f"min({column})"
+
+    def create(self, relation: Relation, tid: int) -> MinState:
+        index = relation.schema.measure_index(self.column)
+        return MinState(relation.measure_value(tid, index))
+
+
+class MaxState(MeasureState):
+    __slots__ = ("maximum",)
+
+    def __init__(self, maximum: float) -> None:
+        self.maximum = maximum
+
+    def merge(self, other: MeasureState) -> None:
+        if not isinstance(other, MaxState):
+            raise MeasureError("cannot merge max with a different measure state")
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def value(self) -> float:
+        return self.maximum
+
+
+class MaxMeasure(MeasureSpec):
+    """Distributive ``max`` over one measure column."""
+
+    distributive = True
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.name = f"max({column})"
+
+    def create(self, relation: Relation, tid: int) -> MaxState:
+        index = relation.schema.measure_index(self.column)
+        return MaxState(relation.measure_value(tid, index))
+
+
+# --------------------------------------------------------------------------- #
+# Average (algebraic)                                                          #
+# --------------------------------------------------------------------------- #
+
+
+class AvgState(MeasureState):
+    """State for ``avg``: the bounded pair (sum, count) of Example 2."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self, total: float, count: int) -> None:
+        self.total = total
+        self.count = count
+
+    def merge(self, other: MeasureState) -> None:
+        if not isinstance(other, AvgState):
+            raise MeasureError("cannot merge avg with a different measure state")
+        self.total += other.total
+        self.count += other.count
+
+    def value(self) -> float:
+        if self.count == 0:
+            raise MeasureError("average of an empty group is undefined")
+        return self.total / self.count
+
+
+class AvgMeasure(MeasureSpec):
+    """Algebraic ``avg`` over one measure column (sum and count carried)."""
+
+    distributive = False
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.name = f"avg({column})"
+
+    def create(self, relation: Relation, tid: int) -> AvgState:
+        index = relation.schema.measure_index(self.column)
+        return AvgState(relation.measure_value(tid, index), 1)
+
+
+# --------------------------------------------------------------------------- #
+# Measure sets and iceberg conditions                                          #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class IcebergCondition:
+    """The iceberg constraint of Definition 2.
+
+    The primary constraint is always ``count >= min_sup`` (the paper's
+    setting); an optional secondary predicate over the payload measure values
+    can be supplied for complex-measure icebergs (Section 6.1).  The secondary
+    predicate is applied at output time only and must be *anti-monotonic* on
+    the count lattice for the algorithms' pruning to remain lossless; the
+    library does not attempt to verify that property.
+    """
+
+    min_sup: int = 1
+    payload_predicate: Optional[Callable[[Dict[str, float]], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.min_sup < 1:
+            raise MeasureError(f"min_sup must be >= 1, got {self.min_sup}")
+
+    def accepts_count(self, count: int) -> bool:
+        """Apriori-usable part of the condition."""
+        return count >= self.min_sup
+
+    def accepts(self, count: int, payload: Dict[str, float]) -> bool:
+        """Full condition, applied just before a cell is emitted."""
+        if count < self.min_sup:
+            return False
+        if self.payload_predicate is not None:
+            return bool(self.payload_predicate(payload))
+        return True
+
+
+class MeasureSet:
+    """The payload measures an algorithm aggregates alongside ``count``."""
+
+    def __init__(self, specs: Sequence[MeasureSpec] = ()) -> None:
+        self.specs: List[MeasureSpec] = list(specs)
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise MeasureError(f"duplicate measure names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def create_states(self, relation: Relation, tid: int) -> List[MeasureState]:
+        """Fresh per-tuple states, one per payload measure."""
+        return [spec.create(relation, tid) for spec in self.specs]
+
+    def merge_states(
+        self, target: List[MeasureState], source: Sequence[MeasureState]
+    ) -> None:
+        """Merge ``source`` states into ``target`` states, pairwise."""
+        for state, other in zip(target, source):
+            state.merge(other)
+
+    def clone_states(self, states: Sequence[MeasureState]) -> List[MeasureState]:
+        """Independent copies of a list of states (used by array aggregation)."""
+        return [copy.copy(state) for state in states]
+
+    def values(self, states: Sequence[MeasureState]) -> Dict[str, float]:
+        """Final measure values keyed by measure name."""
+        return {
+            spec.name: state.value() for spec, state in zip(self.specs, states)
+        }
+
+
+#: A shared, empty measure set for the common count-only configuration.
+EMPTY_MEASURES = MeasureSet()

@@ -1,0 +1,107 @@
+"""Verification utilities: check a computed cube against first principles.
+
+These helpers back the integration and property tests and are also exposed to
+users who want to sanity-check a result on a sample of their data:
+
+* :func:`reference_closed_cube` / :func:`reference_iceberg_cube` recompute the
+  expected result with the oracle algorithm,
+* :func:`verify_cube` compares a computed cube to the oracle and raises
+  :class:`repro.core.errors.ValidationError` with a diff on mismatch,
+* :func:`check_closedness_definition` re-derives closedness of every emitted
+  cell directly from Definition 3 (cover relation) on the raw data,
+* :func:`check_quotient_semantics` checks the lossless-compression property:
+  any cell of the full iceberg cube can be answered from the closed cube via
+  the closure query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .cube import CubeResult, count_matching_tuples
+from .errors import ValidationError
+from .relation import Relation
+
+
+def reference_iceberg_cube(relation: Relation, min_sup: int = 1) -> CubeResult:
+    """The iceberg cube computed by the oracle algorithm."""
+    from ..algorithms.base import CubingOptions
+    from ..algorithms.naive import NaiveCubing
+
+    return NaiveCubing(CubingOptions(min_sup=min_sup)).compute(relation)
+
+
+def reference_closed_cube(relation: Relation, min_sup: int = 1) -> CubeResult:
+    """The closed iceberg cube computed by the oracle algorithm."""
+    from ..algorithms.base import CubingOptions
+    from ..algorithms.naive import NaiveCubing
+
+    return NaiveCubing(CubingOptions(min_sup=min_sup, closed=True)).compute(relation)
+
+
+def verify_cube(
+    computed: CubeResult, expected: CubeResult, label: str = "cube"
+) -> None:
+    """Raise :class:`ValidationError` if two cubes differ (cells or counts)."""
+    if not expected.same_cells(computed):
+        raise ValidationError(
+            f"{label} does not match the reference result:\n"
+            + expected.diff(computed)
+        )
+
+
+def check_counts(relation: Relation, cube: CubeResult, sample: Optional[int] = None) -> None:
+    """Re-count a (sample of) emitted cells directly against the base table."""
+    cells = cube.cells()
+    if sample is not None:
+        cells = cells[:sample]
+    for cell in cells:
+        expected = count_matching_tuples(relation, cell)
+        actual = cube[cell].count
+        if actual != expected:
+            raise ValidationError(
+                f"cell {cell} reports count {actual} but the base table has {expected}"
+            )
+
+
+def check_closedness_definition(relation: Relation, cube: CubeResult) -> None:
+    """Verify every emitted cell is closed per Definition 3 (no shared ``*`` value)."""
+    columns = relation.columns
+    for cell in cube:
+        tids = [
+            tid
+            for tid in range(relation.num_tuples)
+            if all(
+                value is None or columns[dim][tid] == value
+                for dim, value in enumerate(cell)
+            )
+        ]
+        if not tids:
+            raise ValidationError(f"cell {cell} matches no tuples")
+        for dim, value in enumerate(cell):
+            if value is not None:
+                continue
+            shared = columns[dim][tids[0]]
+            if all(columns[dim][tid] == shared for tid in tids):
+                raise ValidationError(
+                    f"cell {cell} is not closed: dimension {dim} is shared "
+                    f"(value {shared}) by all {len(tids)} tuples"
+                )
+
+
+def check_quotient_semantics(
+    relation: Relation, closed_cube: CubeResult, min_sup: int = 1
+) -> None:
+    """Check lossless compression: every iceberg cell is answerable from the closed cube."""
+    full = reference_iceberg_cube(relation, min_sup=min_sup)
+    for cell, stats in full.items():
+        answer = closed_cube.closure_query(cell)
+        if answer is None:
+            raise ValidationError(
+                f"cell {cell} (count {stats.count}) has no closure in the closed cube"
+            )
+        if answer.count != stats.count:
+            raise ValidationError(
+                f"cell {cell}: closed cube answers count {answer.count}, "
+                f"expected {stats.count}"
+            )

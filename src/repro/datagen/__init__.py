@@ -1,0 +1,37 @@
+"""Data generators: synthetic (T, D, C, S, R) workloads and the weather simulator."""
+
+from .dependence import (
+    DependenceRule,
+    apply_rules,
+    dependence_score,
+    plan_rules,
+    rule_pruning_power,
+)
+from .distributions import ZipfSampler, make_samplers
+from .synthetic import (
+    SyntheticConfig,
+    generate_relation,
+    generate_relation_with_rules,
+    generate_rows,
+    mixed_cardinality_config,
+)
+from .weather import WEATHER_DIMENSIONS, WeatherConfig, generate_weather_relation, weather_subset
+
+__all__ = [
+    "DependenceRule",
+    "apply_rules",
+    "dependence_score",
+    "plan_rules",
+    "rule_pruning_power",
+    "ZipfSampler",
+    "make_samplers",
+    "SyntheticConfig",
+    "generate_relation",
+    "generate_relation_with_rules",
+    "generate_rows",
+    "mixed_cardinality_config",
+    "WEATHER_DIMENSIONS",
+    "WeatherConfig",
+    "generate_weather_relation",
+    "weather_subset",
+]

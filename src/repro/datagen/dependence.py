@@ -1,0 +1,176 @@
+"""Data-dependence modelling (Section 5.3 of the paper).
+
+Closed cells exist because dimension values *depend* on each other: if every
+tuple with ``A=a1, B=b1`` also has ``C=c1``, then the cell ``(a1, b1, *)`` is
+covered by ``(a1, b1, c1)`` and closed pruning has something to prune.  The
+paper models this with *dependence rules* of the form
+``(A=a1, B=b1) -> C=c1``; each rule has a *pruning power* estimating the
+fraction of cube cells it removes, and the dataset's *dependence score* is
+
+``R = -sum_i log(1 - pruning_power(rule_i))``
+
+so that a larger ``R`` means a more dependent dataset.  This module provides
+the rule type, the pruning-power / ``R`` computations, rule injection into an
+existing synthetic dataset, and a planner that picks rules achieving a target
+``R`` for a given schema (used by the Figure 12-15 workloads).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class DependenceRule:
+    """A functional dependence ``condition -> target_dim = target_value``.
+
+    ``condition`` maps dimension index to the required value; whenever a tuple
+    matches every condition entry, its value on ``target_dim`` is forced to
+    ``target_value``.
+    """
+
+    condition: Tuple[Tuple[int, int], ...]
+    target_dim: int
+    target_value: int
+
+    def matches(self, row: Sequence[int]) -> bool:
+        return all(row[dim] == value for dim, value in self.condition)
+
+    def apply(self, row: List[int]) -> None:
+        if self.matches(row):
+            row[self.target_dim] = self.target_value
+
+
+def rule_pruning_power(rule: DependenceRule, cardinalities: Sequence[int]) -> float:
+    """The paper's estimate of the fraction of cube cells a rule removes.
+
+    For a rule ``(a1, b1) -> c1`` the affected portion of the cube has relative
+    size ``1 / (Card(A) * Card(B))`` and the rule keeps one out of
+    ``Card(C) + 1`` classes of that portion, giving
+
+    ``Card(C) / (Card(A) * Card(B) * (Card(C) + 1))``.
+    """
+    condition_product = 1.0
+    for dim, _value in rule.condition:
+        condition_product *= cardinalities[dim]
+    target_card = cardinalities[rule.target_dim]
+    return target_card / (condition_product * (target_card + 1))
+
+
+def dependence_score(
+    rules: Sequence[DependenceRule], cardinalities: Sequence[int]
+) -> float:
+    """The dependence measure ``R`` of a rule set."""
+    score = 0.0
+    for rule in rules:
+        power = rule_pruning_power(rule, cardinalities)
+        if power >= 1.0:
+            raise WorkloadError(
+                f"rule {rule} has pruning power {power} >= 1; "
+                "its condition dimensions have cardinality 1"
+            )
+        score += -math.log(1.0 - power)
+    return score
+
+
+def apply_rules(rows: List[List[int]], rules: Sequence[DependenceRule]) -> int:
+    """Rewrite ``rows`` in place so that every rule holds; returns #rewrites."""
+    rewrites = 0
+    for row in rows:
+        for rule in rules:
+            if rule.matches(row) and row[rule.target_dim] != rule.target_value:
+                row[rule.target_dim] = rule.target_value
+                rewrites += 1
+    return rewrites
+
+
+def plan_rules(
+    cardinalities: Sequence[int],
+    target_score: float,
+    seed: int = 0,
+    condition_arity: int = 1,
+) -> List[DependenceRule]:
+    """Pick a rule set whose dependence score approximately reaches ``target_score``.
+
+    The planner keeps the rule set *consistent under a single application
+    pass*: dimensions are split into condition dimensions and target
+    dimensions (so no rewrite can invalidate or newly trigger another rule's
+    condition), and every target dimension is forced to a single value by all
+    of its rules (so two matching rules can never disagree).  Conditions use
+    low-indexed values, which are the frequent ones under Zipf skew, so the
+    rules actually shape the data.  A ``target_score`` of ``0`` returns no
+    rules.
+    """
+    if target_score < 0:
+        raise WorkloadError(f"target dependence score must be >= 0, got {target_score}")
+    if target_score == 0:
+        return []
+    num_dims = len(cardinalities)
+    if num_dims < condition_arity + 1:
+        raise WorkloadError(
+            f"need at least {condition_arity + 1} dimensions to build rules "
+            f"with condition arity {condition_arity}"
+        )
+    usable = [dim for dim in range(num_dims) if cardinalities[dim] >= 2]
+    if len(usable) < condition_arity + 1:
+        raise WorkloadError(
+            "not enough dimensions with cardinality >= 2 to build dependence rules"
+        )
+    rng = random.Random(seed)
+    # Alternate usable dimensions between the target pool and the condition pool.
+    target_pool = usable[0::2]
+    condition_pool = usable[1::2]
+    if len(condition_pool) < condition_arity:
+        condition_pool, target_pool = usable[:condition_arity], usable[condition_arity:]
+    if not target_pool or len(condition_pool) < condition_arity:
+        raise WorkloadError("cannot split dimensions into condition and target pools")
+    forced_value = {dim: rng.randrange(cardinalities[dim]) for dim in target_pool}
+
+    rules: List[DependenceRule] = []
+    score = 0.0
+    seen: set = set()
+    attempts = 0
+    while score < target_score and attempts < 100_000:
+        attempts += 1
+        condition_dims = rng.sample(condition_pool, condition_arity)
+        target_dim = rng.choice(target_pool)
+        condition = tuple(
+            (dim, rng.randrange(min(cardinalities[dim], 4)))
+            for dim in sorted(condition_dims)
+        )
+        rule = DependenceRule(condition, target_dim, forced_value[target_dim])
+        key = (rule.condition, rule.target_dim)
+        if key in seen:
+            continue
+        seen.add(key)
+        power = rule_pruning_power(rule, cardinalities)
+        if power >= 1.0:
+            continue
+        rules.append(rule)
+        score += -math.log(1.0 - power)
+    if score < target_score:
+        raise WorkloadError(
+            f"could not reach dependence score {target_score} "
+            f"(got {score:.3f} with {len(rules)} rules)"
+        )
+    return rules
+
+
+def measure_functional_dependences(
+    rows: Sequence[Sequence[int]], rules: Sequence[DependenceRule]
+) -> Dict[DependenceRule, float]:
+    """Fraction of matching tuples that satisfy each rule (for tests/reports)."""
+    results: Dict[DependenceRule, float] = {}
+    for rule in rules:
+        matching = [row for row in rows if rule.matches(row)]
+        if not matching:
+            results[rule] = 1.0
+            continue
+        holds = sum(1 for row in matching if row[rule.target_dim] == rule.target_value)
+        results[rule] = holds / len(matching)
+    return results

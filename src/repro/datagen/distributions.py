@@ -1,0 +1,76 @@
+"""Seeded value samplers used by the synthetic data generators.
+
+The paper's synthetic workloads are parameterised by a per-dimension
+cardinality ``C`` and a Zipf skew ``S``: ``S = 0`` draws values uniformly,
+larger ``S`` concentrates probability mass on the low-indexed values.  This
+module provides a small, dependency-free sampler for that family of
+distributions, driven by :class:`random.Random` so every dataset is
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List, Sequence
+
+
+class ZipfSampler:
+    """Draw values from ``{0, ..., cardinality-1}`` with Zipf exponent ``skew``.
+
+    With ``skew == 0`` the distribution is uniform; as ``skew`` grows the
+    probability of value ``v`` becomes proportional to ``1 / (v + 1) ** skew``
+    (the standard Zipf-Mandelbrot form used in cube-computation papers).
+    """
+
+    def __init__(self, cardinality: int, skew: float, rng: random.Random) -> None:
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be >= 1, got {cardinality}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.cardinality = cardinality
+        self.skew = skew
+        self._rng = rng
+        self._cdf = self._build_cdf(cardinality, skew)
+
+    @staticmethod
+    def _build_cdf(cardinality: int, skew: float) -> List[float]:
+        weights = [1.0 / ((value + 1) ** skew) for value in range(cardinality)]
+        total = sum(weights)
+        cdf: List[float] = []
+        cumulative = 0.0
+        for weight in weights:
+            cumulative += weight / total
+            cdf.append(cumulative)
+        cdf[-1] = 1.0
+        return cdf
+
+    def sample(self) -> int:
+        """Draw one value."""
+        if self.cardinality == 1:
+            return 0
+        if self.skew == 0:
+            return self._rng.randrange(self.cardinality)
+        return bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` independent values."""
+        return [self.sample() for _ in range(count)]
+
+
+def make_samplers(
+    cardinalities: Sequence[int], skews: Sequence[float], seed: int
+) -> List[ZipfSampler]:
+    """One sampler per dimension, each with its own derived random stream.
+
+    Separate streams keep every dimension's draw sequence independent of the
+    other dimensions' parameters, so changing one dimension's cardinality does
+    not reshuffle the rest of the dataset.
+    """
+    if len(cardinalities) != len(skews):
+        raise ValueError("cardinalities and skews must have the same length")
+    samplers = []
+    for index, (cardinality, skew) in enumerate(zip(cardinalities, skews)):
+        rng = random.Random(f"{seed}/dim{index}")
+        samplers.append(ZipfSampler(cardinality, skew, rng))
+    return samplers

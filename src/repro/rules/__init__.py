@@ -1,0 +1,17 @@
+"""Closed-rule mining (Section 6.2)."""
+
+from .closed_rules import (
+    ClosedRule,
+    compression_report,
+    mine_closed_rules,
+    minimal_generators,
+    verify_rules,
+)
+
+__all__ = [
+    "ClosedRule",
+    "compression_report",
+    "mine_closed_rules",
+    "minimal_generators",
+    "verify_rules",
+]

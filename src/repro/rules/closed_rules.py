@@ -1,0 +1,149 @@
+"""Closed-rule mining (Section 6.2 of the paper).
+
+A *closed rule* has the form ``A=a, B=b -> C=c, D=d``: whenever a cell fixes
+the condition values, the target dimensions are forced to the target values.
+The paper proposes closed rules as a more compact companion to the closed
+cube than the Quotient-Cube lower-bound lists: many (lower bound, upper
+bound) pairs share one rule, so the rule set is much smaller than the closed
+cell set (the paper reports 57k rules vs. 462k closed cells on the weather
+data).
+
+This module derives the rules from a closed cube:
+
+* for each closed cell, the *minimal generators* — minimal sub-cells with the
+  same count (hence the same tuple set) — are found by a breadth-first search
+  over subsets of the cell's fixed dimensions;
+* each (generator, closed cell) pair yields the rule
+  ``generator values -> remaining values``;
+* identical rules produced by different cells are deduplicated, which is
+  where the compression comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cell import Cell, cell_dimensions, project_cell
+from ..core.cube import CubeResult
+from ..core.errors import ValidationError
+from ..core.relation import Relation
+
+
+@dataclass(frozen=True)
+class ClosedRule:
+    """``condition -> consequent`` over (dimension, value) pairs."""
+
+    condition: Tuple[Tuple[int, int], ...]
+    consequent: Tuple[Tuple[int, int], ...]
+
+    def format(self, relation: Optional[Relation] = None) -> str:
+        """Human-readable rendering, optionally decoding values."""
+
+        def render(pairs: Iterable[Tuple[int, int]]) -> str:
+            parts = []
+            for dim, value in pairs:
+                if relation is not None:
+                    name = relation.schema.dimension_names[dim]
+                    shown = relation.decode(dim, value)
+                else:
+                    name, shown = f"d{dim}", value
+                parts.append(f"{name}={shown}")
+            return ", ".join(parts) if parts else "(true)"
+
+        return f"{render(self.condition)} -> {render(self.consequent)}"
+
+
+def _cell_count(relation: Relation, cube: CubeResult, cell: Cell) -> int:
+    """Count of an arbitrary cell, answered through the closed cube."""
+    stats = cube.closure_query(cell)
+    if stats is None:
+        raise ValidationError(
+            f"cell {cell} cannot be answered from the closed cube; "
+            "closed rules require a full (min_sup=1) closed cube or a cube whose "
+            "iceberg threshold the queried cells satisfy"
+        )
+    return stats.count
+
+
+def minimal_generators(
+    relation: Relation, cube: CubeResult, cell: Cell, max_arity: Optional[int] = None
+) -> List[Tuple[int, ...]]:
+    """Minimal subsets of the cell's fixed dimensions preserving its count.
+
+    A subset ``S`` is a generator when the cell restricted to ``S`` has the
+    same count (therefore the same tuple set) as the full cell; it is minimal
+    when no proper subset is a generator.  The search proceeds by increasing
+    arity and prunes supersets of found generators.
+    """
+    dims = cell_dimensions(cell)
+    target = cube[cell].count if cell in cube else _cell_count(relation, cube, cell)
+    limit = len(dims) if max_arity is None else min(max_arity, len(dims))
+    found: List[Tuple[int, ...]] = []
+    found_sets: List[FrozenSet[int]] = []
+    for arity in range(0, limit + 1):
+        for subset in combinations(dims, arity):
+            subset_set = frozenset(subset)
+            if any(generator <= subset_set for generator in found_sets):
+                continue
+            projected = project_cell(cell, subset)
+            if _cell_count(relation, cube, projected) == target:
+                found.append(subset)
+                found_sets.append(subset_set)
+        if found and arity >= max(len(g) for g in found):
+            # Supersets of found generators are never minimal; once every
+            # candidate at this arity has been checked we can still find new
+            # incomparable generators at higher arity, so keep going only if
+            # some dimensions remain uncovered.
+            pass
+    return found
+
+
+def mine_closed_rules(
+    relation: Relation,
+    closed_cube: CubeResult,
+    max_condition_arity: Optional[int] = None,
+) -> Set[ClosedRule]:
+    """Derive the deduplicated closed-rule set from a closed cube."""
+    rules: Set[ClosedRule] = set()
+    for cell in closed_cube:
+        dims = cell_dimensions(cell)
+        if not dims:
+            continue
+        generators = minimal_generators(relation, closed_cube, cell, max_condition_arity)
+        for generator in generators:
+            condition = tuple((dim, cell[dim]) for dim in generator)
+            consequent = tuple(
+                (dim, cell[dim]) for dim in dims if dim not in set(generator)
+            )
+            if not consequent:
+                continue
+            rules.add(ClosedRule(condition, consequent))
+    return rules
+
+
+def compression_report(
+    closed_cube: CubeResult, rules: Set[ClosedRule]
+) -> Dict[str, float]:
+    """Summary numbers matching the paper's Section 6.2 comparison."""
+    num_cells = len(closed_cube)
+    num_rules = len(rules)
+    ratio = (num_rules / num_cells) if num_cells else 0.0
+    return {
+        "closed_cells": num_cells,
+        "closed_rules": num_rules,
+        "rules_per_cell": ratio,
+    }
+
+
+def verify_rules(relation: Relation, rules: Iterable[ClosedRule]) -> None:
+    """Check every rule holds on the base table (used by tests)."""
+    for rule in rules:
+        for row in relation.rows():
+            if all(row[dim] == value for dim, value in rule.condition):
+                for dim, value in rule.consequent:
+                    if row[dim] != value:
+                        raise ValidationError(
+                            f"rule {rule.format()} violated by tuple {row}"
+                        )

@@ -1,0 +1,5 @@
+"""External / partitioned computation support (Section 6.3)."""
+
+from .partition import PartitionReport, PartitionedCubeComputer
+
+__all__ = ["PartitionReport", "PartitionedCubeComputer"]

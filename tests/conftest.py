@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro import Relation
+
+
+def random_relation(
+    seed: int,
+    max_dims: int = 5,
+    max_cardinality: int = 4,
+    max_tuples: int = 40,
+) -> Relation:
+    """A small random relation; used by the cross-algorithm equivalence tests."""
+    rng = random.Random(seed)
+    num_dims = rng.randint(1, max_dims)
+    cardinality = rng.randint(1, max_cardinality)
+    num_tuples = rng.randint(1, max_tuples)
+    rows = [
+        tuple(rng.randint(0, cardinality - 1) for _ in range(num_dims))
+        for _ in range(num_tuples)
+    ]
+    return Relation.from_rows(rows)
+
+
+@pytest.fixture
+def paper_table1() -> Relation:
+    """Table 1 of the paper: the running closed-iceberg example."""
+    rows = [
+        ("a1", "b1", "c1", "d1"),
+        ("a1", "b1", "c1", "d3"),
+        ("a1", "b2", "c2", "d2"),
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C", "D"])
+
+
+@pytest.fixture
+def small_skewed_relation() -> Relation:
+    """A 3-dimensional relation with repeated values and clear dependences."""
+    rows = [
+        (0, 0, 0),
+        (0, 0, 1),
+        (0, 1, 0),
+        (0, 1, 0),
+        (1, 0, 0),
+        (1, 0, 0),
+        (1, 2, 2),
+        (2, 2, 2),
+    ]
+    return Relation.from_rows(rows, ["x", "y", "z"])
+
+
+#: Algorithm names used across the equivalence tests.
+CLOSED_ALGORITHMS = (
+    "qc-dfs",
+    "output-checked",
+    "c-cubing-mm",
+    "c-cubing-star",
+    "c-cubing-star-array",
+    "naive-closed",
+)
+ICEBERG_ALGORITHMS = ("buc", "mm-cubing", "star-cubing", "star-array")

@@ -1,0 +1,67 @@
+"""Tests for the algorithm plumbing: options, registry, run bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import (
+    CubingOptions,
+    available_algorithms,
+    algorithms_supporting_closed,
+    get_algorithm,
+)
+from repro.core.errors import AlgorithmError, UnknownAlgorithmError
+from repro.core.measures import IcebergCondition
+from repro import Relation
+
+
+def test_registry_contains_the_papers_algorithms():
+    names = available_algorithms()
+    for expected in (
+        "naive", "buc", "qc-dfs", "output-checked", "mm-cubing", "c-cubing-mm",
+        "star-cubing", "star-array", "c-cubing-star", "c-cubing-star-array",
+    ):
+        assert expected in names
+    closed_names = algorithms_supporting_closed()
+    assert "c-cubing-star" in closed_names
+    assert "buc" not in closed_names
+
+
+def test_aliases_resolve_to_the_same_class():
+    assert type(get_algorithm("cc-star")) is type(get_algorithm("c-cubing-star"))
+    assert type(get_algorithm("QC-DFS")) is type(get_algorithm("qc-dfs"))
+
+
+def test_unknown_algorithm_raises():
+    with pytest.raises(UnknownAlgorithmError):
+        get_algorithm("does-not-exist")
+
+
+def test_options_iceberg_consistency():
+    options = CubingOptions(min_sup=2, iceberg=IcebergCondition(min_sup=2))
+    assert options.resolved_iceberg().min_sup == 2
+    bad = CubingOptions(min_sup=2, iceberg=IcebergCondition(min_sup=3))
+    with pytest.raises(AlgorithmError):
+        bad.resolved_iceberg()
+
+
+def test_options_with_overrides_is_a_copy():
+    options = CubingOptions(min_sup=2)
+    closed = options.with_overrides(closed=True)
+    assert closed.closed and not options.closed
+    assert closed.min_sup == 2
+
+
+def test_duplicate_initial_collapsed_rejected():
+    relation = Relation.from_columns([[0, 1], [1, 0]])
+    algo = get_algorithm("naive", CubingOptions(initial_collapsed=(0, 0)))
+    with pytest.raises(AlgorithmError):
+        algo.run(relation)
+
+
+def test_run_result_reports_time_and_counters():
+    relation = Relation.from_columns([[0, 1, 0], [1, 1, 0]])
+    result = get_algorithm("naive", CubingOptions()).run(relation)
+    assert result.elapsed_seconds >= 0
+    assert result.algorithm == "naive"
+    assert result.stats.get("cells_emitted", 0) == len(result.cube)

@@ -1,0 +1,101 @@
+"""Tests for the public API facade and the validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Relation,
+    SumMeasure,
+    available_algorithms,
+    compute_closed_cube,
+    compute_cube,
+    run_algorithm,
+)
+from repro.core.cube import CubeResult
+from repro.core.errors import UnknownAlgorithmError, ValidationError
+from repro.core.validate import (
+    check_closedness_definition,
+    check_counts,
+    check_quotient_semantics,
+    reference_closed_cube,
+    verify_cube,
+)
+
+
+@pytest.fixture
+def relation(paper_table1):
+    return paper_table1
+
+
+def test_compute_cube_defaults(relation):
+    cube = compute_cube(relation, min_sup=1)
+    assert cube.count_of((None, None, None, None)) == 3
+    assert len(cube) == len(reference_closed_cube(relation, 1)) or len(cube) >= len(
+        reference_closed_cube(relation, 1)
+    )
+
+
+def test_compute_closed_cube_matches_reference_for_every_engine(relation):
+    expected = reference_closed_cube(relation, min_sup=2)
+    for name in ("c-cubing-star", "c-cubing-mm", "c-cubing-star-array", "qc-dfs"):
+        cube = compute_closed_cube(relation, min_sup=2, algorithm=name)
+        assert expected.same_cells(cube)
+
+
+def test_compute_cube_with_measures(relation):
+    priced = Relation.from_rows(
+        [("a", "x"), ("a", "y")], ["d0", "d1"], measures={"v": [2.0, 3.0]}
+    )
+    cube = compute_cube(priced, min_sup=1, algorithm="buc", measures=[SumMeasure("v")])
+    assert cube[(0, None)].measures["sum(v)"] == 5.0
+
+
+def test_run_algorithm_returns_timing(relation):
+    result = run_algorithm(relation, "c-cubing-star", min_sup=1, closed=True)
+    assert result.elapsed_seconds >= 0
+    assert result.algorithm == "c-cubing-star"
+    assert len(result.cube) > 0
+
+
+def test_unknown_algorithm_raises(relation):
+    with pytest.raises(UnknownAlgorithmError):
+        compute_cube(relation, algorithm="not-an-algorithm")
+
+
+def test_available_algorithms_listing():
+    names = available_algorithms()
+    assert "c-cubing-star" in names and "qc-dfs" in names
+
+
+def test_verify_cube_raises_on_mismatch(relation):
+    expected = reference_closed_cube(relation, 1)
+    wrong = CubeResult(relation.num_dimensions)
+    wrong.add((None, None, None, None), 3)
+    with pytest.raises(ValidationError):
+        verify_cube(wrong, expected)
+    verify_cube(expected, expected)
+
+
+def test_check_counts_detects_wrong_count(relation):
+    cube = CubeResult(relation.num_dimensions)
+    cube.add((None, None, None, None), 99)
+    with pytest.raises(ValidationError):
+        check_counts(relation, cube)
+
+
+def test_check_closedness_definition_detects_non_closed_cell(relation):
+    cube = CubeResult(relation.num_dimensions)
+    # (a1, *, c1, *) is covered by (a1, b1, c1, *): not closed.
+    cube.add((0, None, 0, None), 2)
+    with pytest.raises(ValidationError):
+        check_closedness_definition(relation, cube)
+
+
+def test_check_quotient_semantics_detects_missing_closure(relation):
+    incomplete = CubeResult(relation.num_dimensions)
+    incomplete.add((None, None, None, None), 3)
+    with pytest.raises(ValidationError):
+        check_quotient_semantics(relation, incomplete, min_sup=1)
+    complete = reference_closed_cube(relation, 1)
+    check_quotient_semantics(relation, complete, min_sup=1)

@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness (workloads, runner, reporting, CLI plumbing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FigureResult, available_figures, get_figure, run_figure
+from repro.bench.harness import ExperimentRunner, Measurement
+from repro.bench.report import render_figure, render_table, rows_to_csv
+from repro.bench.workloads import (
+    mixed_cardinality_workload,
+    synthetic_workload,
+    weather_workload,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.core.errors import WorkloadError
+
+
+def test_synthetic_workload_builds_expected_shape():
+    workload = synthetic_workload("w", 50, num_dims=3, cardinality=4, skew=1.0, min_sup=2)
+    relation = workload.relation()
+    assert relation.num_tuples == 50
+    assert relation.num_dimensions == 3
+    assert workload.min_sup == 2
+    assert "T=50" in workload.description
+
+
+def test_weather_workload_is_cached_and_projected():
+    workload = weather_workload("w", num_dims=5, min_sup=2, num_tuples=200)
+    first = workload.relation()
+    second = workload.relation()
+    assert first.num_dimensions == 5
+    assert first.num_tuples == 200
+    # Both calls project the same cached base relation.
+    assert first.row(0) == second.row(0)
+
+
+def test_mixed_cardinality_workload():
+    workload = mixed_cardinality_workload("w", num_tuples=100, min_sup=2, high_cardinality=50)
+    relation = workload.relation()
+    assert relation.num_dimensions == 8
+
+
+def test_experiment_runner_single_point_with_verification():
+    workload = synthetic_workload("point", 40, num_dims=3, cardinality=3, min_sup=1)
+    runner = ExperimentRunner(verify=True)
+    measurements = runner.run_point("figX", "p0", workload, ["c-cubing-star", "qc-dfs"])
+    assert len(measurements) == 2
+    assert all(m.verified for m in measurements)
+    assert all(m.cells > 0 and m.seconds >= 0 for m in measurements)
+    assert measurements[0].as_row()["figure"] == "figX"
+
+
+def test_experiment_runner_sweep_and_winner():
+    runner = ExperimentRunner()
+    points = [
+        (f"T={size}", synthetic_workload(f"T{size}", size, 3, 3, min_sup=1))
+        for size in (20, 40)
+    ]
+    sweep = runner.run_sweep("figY", points, ["c-cubing-star", "c-cubing-mm"])
+    assert sweep.points() == ["T=20", "T=40"]
+    assert set(sweep.algorithms()) == {"c-cubing-star", "c-cubing-mm"}
+    assert sweep.winner("T=20") in {"c-cubing-star", "c-cubing-mm"}
+    assert sweep.seconds("T=20", "c-cubing-star") is not None
+    assert sweep.seconds("T=99", "c-cubing-star") is None
+
+
+def test_runner_requires_algorithms():
+    workload = synthetic_workload("point", 20, 2, 2, min_sup=1)
+    with pytest.raises(WorkloadError):
+        ExperimentRunner().run_point("f", "p", workload, [])
+
+
+def test_render_table_and_csv_round_trip():
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy", "c": 3}]
+    table = render_table(rows)
+    assert "a" in table and "22" in table
+    assert render_table([]) == "(no rows)"
+    csv_text = rows_to_csv(rows)
+    assert csv_text.splitlines()[0] == "a,b,c"
+    assert rows_to_csv([]) == ""
+
+
+def test_render_figure_includes_metadata():
+    result = FigureResult("figZ", "title", "setting", "shape", rows=[{"x": 1}], notes=["n"])
+    text = render_figure(result)
+    assert "figZ" in text and "setting" in text and "note: n" in text
+
+
+def test_figure_registry_contains_every_paper_figure():
+    figures = available_figures()
+    expected = {f"fig{n:02d}" for n in range(3, 19)} | {"e62", "e63"}
+    assert expected <= set(figures)
+    spec = get_figure("fig03")
+    assert spec.figure == "fig03"
+    with pytest.raises(WorkloadError):
+        get_figure("fig99")
+
+
+def test_run_small_extension_experiment():
+    result = run_figure("e63")
+    assert result.rows
+    assert all(row["matches_in_memory"] for row in result.rows)
+
+
+def test_cli_list_and_requires_selection(capsys):
+    assert bench_main(["--list"]) == 0
+    captured = capsys.readouterr()
+    assert "fig03" in captured.out
+    with pytest.raises(SystemExit):
+        bench_main([])

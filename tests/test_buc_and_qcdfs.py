@@ -1,0 +1,85 @@
+"""Tests for BUC, QC-DFS and the output-index baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import CubingOptions, get_algorithm
+from repro.core.validate import reference_closed_cube, reference_iceberg_cube
+from repro import Relation
+
+from conftest import random_relation
+
+
+def test_buc_matches_oracle_on_iceberg_cubes(small_skewed_relation):
+    for min_sup in (1, 2, 3):
+        expected = reference_iceberg_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm("buc", CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_buc_apriori_pruning_counter(small_skewed_relation):
+    algo = get_algorithm("buc", CubingOptions(min_sup=3))
+    algo.run(small_skewed_relation)
+    assert algo.counters.get("apriori_pruned", 0) > 0
+
+
+def test_buc_respects_dimension_order(small_skewed_relation):
+    default = get_algorithm("buc", CubingOptions()).run(small_skewed_relation).cube
+    reordered = get_algorithm(
+        "buc", CubingOptions(dimension_order=[2, 1, 0])
+    ).run(small_skewed_relation).cube
+    assert default.same_cells(reordered)
+
+
+def test_qcdfs_matches_oracle_closed_cube(small_skewed_relation):
+    for min_sup in (1, 2):
+        expected = reference_closed_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm("qc-dfs", CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_qcdfs_counts_scanning_work(small_skewed_relation):
+    algo = get_algorithm("qc-dfs", CubingOptions(min_sup=1))
+    algo.run(small_skewed_relation)
+    assert algo.counters.get("scan_steps", 0) > 0
+
+
+def test_qcdfs_forces_closed_output(small_skewed_relation):
+    algo = get_algorithm("qc-dfs", CubingOptions(min_sup=1, closed=False))
+    assert algo.options.closed is True
+
+
+def test_output_checked_matches_oracle(small_skewed_relation):
+    for min_sup in (1, 2):
+        expected = reference_closed_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm("output-checked", CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_output_checked_tracks_index_overhead(small_skewed_relation):
+    algo = get_algorithm("output-checked", CubingOptions(min_sup=1))
+    algo.run(small_skewed_relation)
+    assert algo.counters.get("index_size_peak", 0) >= len(
+        reference_closed_cube(small_skewed_relation, 1)
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_buc_family_on_random_relations(seed):
+    relation = random_relation(seed + 100, max_dims=4, max_cardinality=3, max_tuples=30)
+    for min_sup in (1, 2):
+        expected_iceberg = reference_iceberg_cube(relation, min_sup)
+        expected_closed = reference_closed_cube(relation, min_sup)
+        buc = get_algorithm("buc", CubingOptions(min_sup=min_sup)).run(relation).cube
+        qcdfs = get_algorithm("qc-dfs", CubingOptions(min_sup=min_sup)).run(relation).cube
+        checked = get_algorithm("output-checked", CubingOptions(min_sup=min_sup)).run(relation).cube
+        assert expected_iceberg.same_cells(buc)
+        assert expected_closed.same_cells(qcdfs)
+        assert expected_closed.same_cells(checked)

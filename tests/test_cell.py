@@ -1,0 +1,98 @@
+"""Unit tests for the cell model (repro.core.cell)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cell import (
+    all_mask,
+    apex_cell,
+    cell_arity,
+    cell_dimensions,
+    cell_from_mapping,
+    format_cell,
+    is_specialisation,
+    is_strict_specialisation,
+    make_cell,
+    merge_cells,
+    project_cell,
+    sort_key,
+    tuple_matches,
+)
+from repro.core.errors import SchemaError
+
+
+def test_make_cell_places_values_and_stars():
+    assert make_cell(4, {0: 3, 2: 1}) == (3, None, 1, None)
+
+
+def test_make_cell_rejects_out_of_range_dimensions():
+    with pytest.raises(SchemaError):
+        make_cell(2, {5: 1})
+
+
+def test_cell_from_mapping_checks_arity():
+    assert cell_from_mapping(3, [1, None, 2]) == (1, None, 2)
+    with pytest.raises(SchemaError):
+        cell_from_mapping(3, [1, None])
+
+
+def test_apex_cell_is_all_stars():
+    assert apex_cell(3) == (None, None, None)
+    assert cell_arity(apex_cell(3)) == 0
+
+
+def test_cell_dimensions_and_arity():
+    cell = (5, None, 0, None)
+    assert cell_dimensions(cell) == (0, 2)
+    assert cell_arity(cell) == 2
+
+
+def test_all_mask_matches_definition_8():
+    # Example 3 of the paper: the All Mask of (*, *, 2, *, 1) is (1,1,0,1,0).
+    cell = (None, None, 2, None, 1)
+    mask = all_mask(cell)
+    assert mask == 0b01011
+
+
+def test_specialisation_order():
+    general = (1, None, None)
+    specific = (1, 2, None)
+    assert is_specialisation(general, specific)
+    assert not is_specialisation(specific, general)
+    assert is_specialisation(general, general)
+    assert is_strict_specialisation(general, specific)
+    assert not is_strict_specialisation(general, general)
+
+
+def test_specialisation_requires_equal_dimensionality():
+    with pytest.raises(SchemaError):
+        is_specialisation((1, None), (1, None, None))
+
+
+def test_merge_cells_compatible_and_conflicting():
+    assert merge_cells((1, None, 3), (None, 2, 3)) == (1, 2, 3)
+    assert merge_cells((1, None), (2, None)) is None
+
+
+def test_project_cell_keeps_selected_dimensions():
+    assert project_cell((1, 2, 3), [0, 2]) == (1, None, 3)
+
+
+def test_tuple_matches():
+    assert tuple_matches((1, None, 3), (1, 7, 3))
+    assert not tuple_matches((1, None, 3), (2, 7, 3))
+
+
+def test_format_cell_with_and_without_names():
+    assert format_cell((1, None)) == "(d0=1, d1=*)"
+    assert format_cell((1, None), ["A", "B"]) == "(A=1, B=*)"
+    decoded = format_cell((0, None), ["A", "B"], [{0: "x"}, {}])
+    assert decoded == "(A=x, B=*)"
+
+
+def test_sort_key_orders_by_arity_first():
+    cells = [(1, 2), (None, None), (None, 2)]
+    ordered = sorted(cells, key=sort_key)
+    assert ordered[0] == (None, None)
+    assert ordered[-1] == (1, 2)

@@ -1,0 +1,82 @@
+"""Tests for closed-rule mining (Section 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Relation
+from repro.core.validate import reference_closed_cube
+from repro.rules.closed_rules import (
+    ClosedRule,
+    compression_report,
+    mine_closed_rules,
+    minimal_generators,
+    verify_rules,
+)
+
+
+@pytest.fixture
+def dependent_relation():
+    """A relation with the functional dependence A -> B."""
+    rows = [
+        (0, 0, 0),
+        (0, 0, 1),
+        (1, 1, 0),
+        (1, 1, 1),
+        (2, 0, 0),
+        (2, 0, 1),
+        (2, 0, 1),
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C"])
+
+
+def test_minimal_generators_of_a_dependent_cell(dependent_relation):
+    closed = reference_closed_cube(dependent_relation, min_sup=1)
+    # The cell (A=1, B=1, *) is closed; its count equals the count of (A=1, *, *),
+    # so {A} is a minimal generator while {B} is not (B=1 only occurs with A=1 here,
+    # so {B} is also a generator) — both must be found and both are minimal.
+    cell = (1, 1, None)
+    assert cell in closed
+    generators = minimal_generators(dependent_relation, closed, cell)
+    assert (0,) in generators or (1,) in generators
+    assert all(len(generator) == 1 for generator in generators)
+
+
+def test_mined_rules_hold_on_the_base_table(dependent_relation):
+    closed = reference_closed_cube(dependent_relation, min_sup=1)
+    rules = mine_closed_rules(dependent_relation, closed)
+    assert rules
+    verify_rules(dependent_relation, rules)
+    # The dependence A=1 -> B=1 must be captured by some rule.
+    assert any(
+        ((0, 1),) == rule.condition and (1, 1) in rule.consequent for rule in rules
+    )
+
+
+def test_rules_are_deduplicated_across_cells(dependent_relation):
+    closed = reference_closed_cube(dependent_relation, min_sup=1)
+    rules = mine_closed_rules(dependent_relation, closed)
+    assert len(rules) == len(set(rules))
+
+
+def test_compression_report_counts(dependent_relation):
+    closed = reference_closed_cube(dependent_relation, min_sup=1)
+    rules = mine_closed_rules(dependent_relation, closed)
+    report = compression_report(closed, rules)
+    assert report["closed_cells"] == len(closed)
+    assert report["closed_rules"] == len(rules)
+    assert report["rules_per_cell"] == pytest.approx(len(rules) / len(closed))
+
+
+def test_rule_formatting(dependent_relation):
+    rule = ClosedRule(((0, 1),), ((1, 1),))
+    assert rule.format() == "d0=1 -> d1=1"
+    assert rule.format(dependent_relation) == "A=1 -> B=1"
+    trivial = ClosedRule((), ((1, 1),))
+    assert trivial.format().startswith("(true)")
+
+
+def test_max_condition_arity_limits_search(dependent_relation):
+    closed = reference_closed_cube(dependent_relation, min_sup=1)
+    limited = mine_closed_rules(dependent_relation, closed, max_condition_arity=1)
+    assert all(len(rule.condition) <= 1 for rule in limited)

@@ -1,0 +1,153 @@
+"""Tests for the aggregation-based closedness measure (repro.core.closedness).
+
+These cover the paper's Definitions 6-9 and Lemmas 2-4: the Representative
+Tuple ID behaves like a distributive ``min``, the Closed Mask merges
+algebraically, and the combined closedness measure agrees with a direct
+per-group check, regardless of how the group is split into parts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation
+from repro.core.cell import all_mask
+from repro.core.closedness import (
+    ClosednessState,
+    closed_pruning_applies,
+    closedness_of_tids,
+    full_mask,
+    merge_states,
+    tree_mask_after_collapse,
+)
+
+
+def make_relation(rows):
+    return Relation.from_rows(rows)
+
+
+def brute_force_mask(relation, tids):
+    """Closed Mask computed directly from the definition."""
+    mask = 0
+    for dim in range(relation.num_dimensions):
+        values = {relation.value(tid, dim) for tid in tids}
+        if len(values) == 1:
+            mask |= 1 << dim
+    return mask
+
+
+def test_single_tuple_state_has_full_mask():
+    relation = make_relation([(1, 2, 3)])
+    state = ClosednessState.for_tuple(0, 3)
+    assert state.closed_mask == full_mask(3)
+    assert state.rep_tid == 0
+    assert not state.is_empty
+
+
+def test_empty_state_is_neutral_for_merge():
+    relation = make_relation([(0, 1), (0, 2)])
+    state = ClosednessState.for_tuple(1, 2)
+    empty = ClosednessState.empty(2)
+    state.merge(empty, relation)
+    assert state.rep_tid == 1
+    assert state.closed_mask == full_mask(2)
+    empty.merge(state, relation)
+    assert empty.rep_tid == 1
+    assert empty.closed_mask == state.closed_mask
+
+
+def test_add_tuple_clears_differing_dimensions():
+    relation = make_relation([(0, 1, 2), (0, 9, 2), (0, 1, 7)])
+    state = ClosednessState.for_tuple(0, 3)
+    state.add_tuple(1, relation)
+    assert state.closed_mask == 0b101  # dims 0 and 2 still shared
+    state.add_tuple(2, relation)
+    assert state.closed_mask == 0b001  # only dim 0 shared now
+    assert state.rep_tid == 0
+
+
+def test_representative_tuple_id_is_minimum():
+    relation = make_relation([(0,), (0,), (1,)])
+    state = closedness_of_tids([2, 1], relation)
+    assert state.rep_tid == 1
+    other = closedness_of_tids([0], relation)
+    state.merge(other, relation)
+    assert state.rep_tid == 0
+
+
+def test_closedness_of_tids_matches_brute_force():
+    rows = [(0, 1, 0), (0, 2, 0), (0, 1, 1), (1, 1, 0)]
+    relation = make_relation(rows)
+    for tids in ([0], [0, 1], [0, 1, 2], [0, 3], [0, 1, 2, 3]):
+        state = closedness_of_tids(tids, relation)
+        assert state.closed_mask == brute_force_mask(relation, tids)
+
+
+def test_closedness_measure_definition_9():
+    # Example 3: closed mask (1,0,1,0,0) & all mask of (*,*,2,*,1) -> bit 1 only.
+    # Bit order here is dimension index = bit index.
+    cell = (None, None, 2, None, 1)
+    state = ClosednessState(rep_tid=0, closed_mask=0b00101)
+    assert state.closedness(all_mask(cell)) == 0b00001
+    assert not state.is_closed(all_mask(cell))
+    closed_state = ClosednessState(rep_tid=0, closed_mask=0b10100)
+    assert closed_state.is_closed(all_mask(cell))
+
+
+def test_is_closed_for_uses_cell_all_mask():
+    relation = make_relation([(0, 1), (0, 2)])
+    state = closedness_of_tids([0, 1], relation)
+    assert not state.is_closed_for((None, None))   # dim 0 shared but starred
+    assert state.is_closed_for((0, None))          # the shared dim is fixed
+
+
+def test_merge_order_independence_on_random_groups():
+    rng = random.Random(11)
+    rows = [tuple(rng.randint(0, 2) for _ in range(4)) for _ in range(30)]
+    relation = make_relation(rows)
+    tids = list(range(relation.num_tuples))
+    expected = closedness_of_tids(tids, relation)
+    for trial in range(20):
+        rng.shuffle(tids)
+        cut_a, cut_b = sorted((rng.randint(0, len(tids)), rng.randint(0, len(tids))))
+        parts = [tids[:cut_a], tids[cut_a:cut_b], tids[cut_b:]]
+        states = [closedness_of_tids(part, relation) for part in parts]
+        merged = merge_states(states, relation)
+        assert merged.closed_mask == expected.closed_mask
+        assert merged.rep_tid == expected.rep_tid
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=1,
+        max_size=25,
+    ),
+    split=st.integers(0, 24),
+)
+def test_property_merge_equals_direct_computation(data, split):
+    """Splitting a group arbitrarily and merging gives the direct-group state."""
+    relation = make_relation(data)
+    tids = list(range(relation.num_tuples))
+    split = min(split, len(tids))
+    left = closedness_of_tids(tids[:split], relation)
+    right = closedness_of_tids(tids[split:], relation)
+    left.merge(right, relation)
+    direct = closedness_of_tids(tids, relation)
+    assert left.closed_mask == direct.closed_mask
+    assert left.rep_tid == direct.rep_tid
+
+
+def test_tree_mask_helpers():
+    mask = 0
+    mask = tree_mask_after_collapse(mask, 2)
+    assert mask == 0b100
+    mask = tree_mask_after_collapse(mask, 0)
+    assert mask == 0b101
+    assert closed_pruning_applies(0b110, mask)
+    assert not closed_pruning_applies(0b010, mask)

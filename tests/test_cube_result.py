@@ -1,0 +1,94 @@
+"""Tests for CubeResult (repro.core.cube)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Relation
+from repro.core.cube import BYTES_PER_COUNT, BYTES_PER_DIM, CubeResult, count_matching_tuples
+from repro.core.errors import ValidationError
+
+
+def build_cube():
+    cube = CubeResult(2, name="test")
+    cube.add((None, None), 4)
+    cube.add((0, None), 3)
+    cube.add((0, 1), 2, measures={"sum(m)": 5.0})
+    return cube
+
+
+def test_add_and_lookup():
+    cube = build_cube()
+    assert len(cube) == 3
+    assert (0, 1) in cube
+    assert cube[(0, 1)].count == 2
+    assert cube.count_of((0, None)) == 3
+    assert cube.count_of((1, 1)) is None
+    assert cube.get((9, 9)) is None
+
+
+def test_add_rejects_wrong_arity_and_duplicates():
+    cube = CubeResult(2)
+    with pytest.raises(ValidationError):
+        cube.add((1,), 1)
+    cube.add((1, None), 1)
+    with pytest.raises(ValidationError):
+        cube.add((1, None), 1)
+
+
+def test_same_cells_and_diff():
+    first = build_cube()
+    second = build_cube()
+    assert first.same_cells(second)
+    third = CubeResult(2)
+    third.add((None, None), 4)
+    assert not first.same_cells(third)
+    report = first.diff(third)
+    assert "missing" in report
+    assert first.diff(first) != ""  # always returns some text
+    assert "no differences" in first.diff(second)
+
+
+def test_closure_query_answers_covered_cells():
+    # Closed cube of a table where (0, *) is covered by (0, 1).
+    cube = CubeResult(2)
+    cube.add((None, None), 3)
+    cube.add((0, 1), 2)
+    answer = cube.closure_query((0, None))
+    assert answer is not None and answer.count == 2
+    apex = cube.closure_query((None, None))
+    assert apex is not None and apex.count == 3
+    assert cube.closure_query((5, 5)) is None
+
+
+def test_cells_at_arity_and_ordering():
+    cube = build_cube()
+    assert cube.cells_at_arity(0) == [(None, None)]
+    assert set(cube.cells_at_arity(2)) == {(0, 1)}
+    ordered = cube.cells()
+    assert ordered[0] == (None, None)
+
+
+def test_size_accounting_uses_cost_model():
+    cube = build_cube()
+    per_cell = 2 * BYTES_PER_DIM + BYTES_PER_COUNT
+    assert cube.size_cells() == 3
+    assert cube.size_bytes() == 3 * per_cell
+    assert cube.size_megabytes() == pytest.approx(3 * per_cell / (1024 * 1024))
+
+
+def test_format_with_relation_and_limit():
+    relation = Relation.from_rows([("x", "u"), ("x", "v")], ["A", "B"])
+    cube = CubeResult(2)
+    cube.add((None, None), 2)
+    cube.add((0, None), 2)
+    text = cube.format(relation, limit=1)
+    assert "A=*" in text
+    assert "more cells" in text
+
+
+def test_count_matching_tuples():
+    relation = Relation.from_columns([[0, 0, 1], [1, 2, 1]])
+    assert count_matching_tuples(relation, (0, None)) == 2
+    assert count_matching_tuples(relation, (None, 1)) == 2
+    assert count_matching_tuples(relation, (1, 2)) == 0

@@ -1,0 +1,199 @@
+"""Tests for the data generators (distributions, synthetic, dependence, weather)."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.datagen.dependence import (
+    DependenceRule,
+    apply_rules,
+    dependence_score,
+    measure_functional_dependences,
+    plan_rules,
+    rule_pruning_power,
+)
+from repro.datagen.distributions import ZipfSampler, make_samplers
+from repro.datagen.synthetic import (
+    SyntheticConfig,
+    generate_relation,
+    generate_relation_with_rules,
+    mixed_cardinality_config,
+)
+from repro.datagen.weather import (
+    WEATHER_DIMENSIONS,
+    WeatherConfig,
+    generate_weather_relation,
+    weather_subset,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Distributions                                                            #
+# ---------------------------------------------------------------------- #
+
+def test_zipf_sampler_uniform_covers_domain():
+    sampler = ZipfSampler(5, 0.0, random.Random(1))
+    values = sampler.sample_many(500)
+    assert set(values) == {0, 1, 2, 3, 4}
+
+
+def test_zipf_sampler_skew_prefers_small_values():
+    sampler = ZipfSampler(50, 2.0, random.Random(2))
+    values = sampler.sample_many(2000)
+    counts = Counter(values)
+    assert counts[0] > counts.get(10, 0)
+    assert counts[0] > len(values) * 0.3
+
+
+def test_zipf_sampler_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, random.Random(0))
+    with pytest.raises(ValueError):
+        ZipfSampler(3, -1.0, random.Random(0))
+    assert ZipfSampler(1, 3.0, random.Random(0)).sample() == 0
+
+
+def test_make_samplers_are_independent_per_dimension():
+    first = make_samplers([4, 4], [0.0, 0.0], seed=7)
+    second = make_samplers([4, 9], [0.0, 0.0], seed=7)
+    draws_first = [first[0].sample() for _ in range(20)]
+    draws_second = [second[0].sample() for _ in range(20)]
+    assert draws_first == draws_second
+    with pytest.raises(ValueError):
+        make_samplers([4], [0.0, 1.0], seed=1)
+
+
+# ---------------------------------------------------------------------- #
+# Dependence rules                                                         #
+# ---------------------------------------------------------------------- #
+
+def test_rule_pruning_power_matches_paper_formula():
+    rule = DependenceRule(((0, 0), (1, 0)), target_dim=2, target_value=0)
+    cards = [10, 5, 4]
+    expected = 4 / (10 * 5 * (4 + 1))
+    assert rule_pruning_power(rule, cards) == pytest.approx(expected)
+
+
+def test_dependence_score_accumulates_rules():
+    cards = [10, 10, 10]
+    rules = [
+        DependenceRule(((0, 0),), 1, 0),
+        DependenceRule(((1, 0),), 2, 0),
+    ]
+    power = rule_pruning_power(rules[0], cards)
+    assert dependence_score(rules, cards) == pytest.approx(-2 * math.log(1 - power))
+
+
+def test_apply_rules_enforces_dependences():
+    rows = [[0, 1, 2], [0, 1, 3], [1, 1, 2]]
+    rule = DependenceRule(((0, 0),), target_dim=2, target_value=9)
+    rewrites = apply_rules(rows, [rule])
+    assert rewrites == 2
+    holds = measure_functional_dependences(rows, [rule])
+    assert holds[rule] == 1.0
+
+
+def test_plan_rules_reaches_target_score():
+    cards = (8,) * 6
+    rules = plan_rules(cards, target_score=2.0, seed=3)
+    assert rules
+    assert dependence_score(rules, cards) >= 2.0
+    assert plan_rules(cards, target_score=0.0) == []
+    with pytest.raises(WorkloadError):
+        plan_rules(cards, target_score=-1.0)
+    with pytest.raises(WorkloadError):
+        plan_rules((5,), target_score=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# Synthetic configurations                                                 #
+# ---------------------------------------------------------------------- #
+
+def test_synthetic_config_validation_and_describe():
+    config = SyntheticConfig.uniform(100, 4, 10, skew=1.0, dependence=2.0)
+    assert config.num_dims == 4
+    assert "T=100" in config.describe() and "R=2.0" in config.describe()
+    with pytest.raises(WorkloadError):
+        SyntheticConfig(num_tuples=0, cardinalities=(2,), skews=(0.0,))
+    with pytest.raises(WorkloadError):
+        SyntheticConfig(num_tuples=5, cardinalities=(2,), skews=(0.0, 0.0))
+
+
+def test_generate_relation_respects_shape_and_seed():
+    config = SyntheticConfig.uniform(80, 3, 5, skew=0.0, seed=11)
+    first = generate_relation(config)
+    second = generate_relation(config)
+    assert first.num_tuples == 80
+    assert first.num_dimensions == 3
+    assert all(card <= 5 for card in first.cardinalities())
+    assert [first.row(t) for t in range(80)] == [second.row(t) for t in range(80)]
+
+
+def test_generate_relation_with_rules_reports_dependence():
+    config = SyntheticConfig.uniform(60, 4, 6, dependence=1.0, seed=2)
+    relation, rules, achieved = generate_relation_with_rules(config)
+    assert rules and achieved >= 1.0
+    rows = [list(relation.row(t)) for t in range(relation.num_tuples)]
+    holds = measure_functional_dependences(rows, rules)
+    assert all(value == 1.0 for value in holds.values())
+
+
+def test_generate_relation_with_measures():
+    config = SyntheticConfig.uniform(20, 2, 3, num_measures=2, seed=4)
+    relation = generate_relation(config)
+    assert relation.schema.measure_names == ("m0", "m1")
+    assert len(relation.measure_columns[0]) == 20
+
+
+def test_mixed_cardinality_config_shape():
+    config = mixed_cardinality_config(200, low_cardinality=10, high_cardinality=100)
+    assert config.num_dims == 8
+    assert config.cardinalities[:4] == (10,) * 4
+    assert config.cardinalities[4:] == (100,) * 4
+
+
+# ---------------------------------------------------------------------- #
+# Weather simulator                                                        #
+# ---------------------------------------------------------------------- #
+
+def test_weather_relation_shape_and_determinism():
+    config = WeatherConfig(num_tuples=300, seed=5)
+    first = generate_weather_relation(config)
+    second = generate_weather_relation(config)
+    assert first.num_tuples == 300
+    assert first.schema.dimension_names == WEATHER_DIMENSIONS
+    assert [first.row(t) for t in range(50)] == [second.row(t) for t in range(50)]
+
+
+def test_weather_relation_has_station_dependences():
+    relation = generate_weather_relation(WeatherConfig(num_tuples=400, seed=6))
+    station_dim = WEATHER_DIMENSIONS.index("station")
+    lat_dim = WEATHER_DIMENSIONS.index("latitude")
+    lon_dim = WEATHER_DIMENSIONS.index("longitude")
+    per_station = {}
+    for tid in range(relation.num_tuples):
+        station = relation.value(tid, station_dim)
+        coords = (relation.value(tid, lat_dim), relation.value(tid, lon_dim))
+        per_station.setdefault(station, set()).add(coords)
+    # Station functionally determines latitude and longitude.
+    assert all(len(coords) == 1 for coords in per_station.values())
+
+
+def test_weather_relation_is_skewed():
+    relation = generate_weather_relation(WeatherConfig(num_tuples=500, seed=7))
+    station_dim = WEATHER_DIMENSIONS.index("station")
+    counts = Counter(relation.columns[station_dim])
+    top = counts.most_common(1)[0][1]
+    assert top > 500 / len(counts) * 3  # far above the uniform expectation
+
+
+def test_weather_subset_keeps_prefix_dimensions():
+    relation = generate_weather_relation(WeatherConfig(num_tuples=100, seed=8))
+    subset = weather_subset(relation, 5)
+    assert subset.num_dimensions == 5
+    assert subset.schema.dimension_names == WEATHER_DIMENSIONS[:5]

@@ -1,0 +1,100 @@
+"""Tests for the measure framework (repro.core.measures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Relation
+from repro.core.errors import MeasureError
+from repro.core.measures import (
+    AvgMeasure,
+    CountMeasure,
+    IcebergCondition,
+    MaxMeasure,
+    MeasureSet,
+    MinMeasure,
+    SumMeasure,
+)
+
+
+@pytest.fixture
+def priced_relation():
+    rows = [("a",), ("a",), ("b",)]
+    return Relation.from_rows(rows, ["dim"], measures={"price": [10.0, 30.0, 5.0]})
+
+
+def test_count_measure_is_distributive(priced_relation):
+    spec = CountMeasure()
+    state = spec.create(priced_relation, 0)
+    state.merge(spec.create(priced_relation, 1))
+    state.merge(spec.create(priced_relation, 2))
+    assert state.value() == 3.0
+    assert spec.distributive
+
+
+def test_sum_min_max_measures(priced_relation):
+    total = SumMeasure("price").create(priced_relation, 0)
+    total.merge(SumMeasure("price").create(priced_relation, 1))
+    assert total.value() == 40.0
+
+    low = MinMeasure("price").create(priced_relation, 1)
+    low.merge(MinMeasure("price").create(priced_relation, 2))
+    assert low.value() == 5.0
+
+    high = MaxMeasure("price").create(priced_relation, 0)
+    high.merge(MaxMeasure("price").create(priced_relation, 1))
+    assert high.value() == 30.0
+
+
+def test_avg_measure_is_algebraic(priced_relation):
+    spec = AvgMeasure("price")
+    assert not spec.distributive
+    state = spec.create(priced_relation, 0)
+    state.merge(spec.create(priced_relation, 1))
+    state.merge(spec.create(priced_relation, 2))
+    assert state.value() == pytest.approx(15.0)
+
+
+def test_states_reject_cross_measure_merges(priced_relation):
+    count = CountMeasure().create(priced_relation, 0)
+    total = SumMeasure("price").create(priced_relation, 0)
+    with pytest.raises(MeasureError):
+        count.merge(total)
+
+
+def test_measure_set_aggregation_and_clone(priced_relation):
+    measures = MeasureSet([SumMeasure("price"), AvgMeasure("price")])
+    states = measures.create_states(priced_relation, 0)
+    clone = measures.clone_states(states)
+    measures.merge_states(states, measures.create_states(priced_relation, 1))
+    values = measures.values(states)
+    assert values["sum(price)"] == 40.0
+    assert values["avg(price)"] == pytest.approx(20.0)
+    # The clone must be unaffected by merging into the original states.
+    original = measures.values(clone)
+    assert original["sum(price)"] == 10.0
+
+
+def test_measure_set_rejects_duplicates():
+    with pytest.raises(MeasureError):
+        MeasureSet([SumMeasure("price"), SumMeasure("price")])
+
+
+def test_iceberg_condition_validation_and_checks():
+    with pytest.raises(MeasureError):
+        IcebergCondition(min_sup=0)
+    condition = IcebergCondition(min_sup=2)
+    assert condition.accepts_count(2)
+    assert not condition.accepts_count(1)
+    assert condition.accepts(3, {})
+    rich = IcebergCondition(min_sup=1, payload_predicate=lambda m: m["sum(price)"] > 20)
+    assert rich.accepts(1, {"sum(price)": 30.0})
+    assert not rich.accepts(1, {"sum(price)": 10.0})
+
+
+def test_avg_of_empty_group_is_an_error(priced_relation):
+    spec = AvgMeasure("price")
+    state = spec.create(priced_relation, 0)
+    state.count = 0
+    with pytest.raises(MeasureError):
+        state.value()

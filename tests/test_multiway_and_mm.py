@@ -1,0 +1,137 @@
+"""Tests for the MultiWay dense-subspace engine and the MM-Cubing family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import CubingOptions, get_algorithm
+from repro.algorithms.multiway import OTHER_SLOT, DenseSubspace
+from repro.core.measures import MeasureSet, SumMeasure
+from repro.core.validate import reference_closed_cube, reference_iceberg_cube
+from repro import Relation
+
+from conftest import random_relation
+
+
+@pytest.fixture
+def dense_relation():
+    rows = [
+        (0, 0), (0, 0), (0, 1), (1, 0), (1, 1), (1, 1), (2, 0),
+    ]
+    return Relation.from_rows(rows, ["A", "B"])
+
+
+def test_dense_subspace_base_and_views(dense_relation):
+    subspace = DenseSubspace(
+        dense_relation,
+        tids=list(range(dense_relation.num_tuples)),
+        dims=[0, 1],
+        dense_values={0: [0, 1], 1: [0, 1]},
+        track_closedness=False,
+        measures=MeasureSet(),
+    )
+    views = dict(subspace.views())
+    # The apex view (no axes) must aggregate every tuple exactly once.
+    apex = views[()]
+    assert apex[()].count == dense_relation.num_tuples
+    # The one-axis view on A must reproduce per-value counts for dense values.
+    view_a = views[(0,)]
+    slot_of_zero = 1  # first dense value gets slot 1
+    assert view_a[(slot_of_zero,)].count == 3
+
+
+def test_dense_subspace_skips_other_slot_on_output(dense_relation):
+    subspace = DenseSubspace(
+        dense_relation,
+        tids=list(range(dense_relation.num_tuples)),
+        dims=[0, 1],
+        dense_values={0: [0, 1], 1: [0, 1]},  # value 2 on A is not dense
+        track_closedness=False,
+        measures=MeasureSet(),
+    )
+    assignments = [assignment for assignment, _ in subspace.iter_output_cells()]
+    assert all(2 not in assignment.values() or assignment.get(0) != 2 for assignment in assignments)
+    # No emitted assignment may reference the OTHER slot's fabricated value.
+    for assignment, cell in subspace.iter_output_cells():
+        assert None not in assignment.values()
+        assert cell.count >= 1
+
+
+def test_dense_subspace_carries_measures(dense_relation):
+    relation = Relation.from_rows(
+        [(0, 0), (0, 1), (1, 0)], ["A", "B"], measures={"m": [1.0, 2.0, 4.0]}
+    )
+    measures = MeasureSet([SumMeasure("m")])
+    subspace = DenseSubspace(
+        relation, [0, 1, 2], [0, 1], {0: [0, 1], 1: [0, 1]}, False, measures
+    )
+    views = dict(subspace.views())
+    apex = views[()][()]
+    assert measures.values(apex.measures)["sum(m)"] == 7.0
+
+
+def test_mm_cubing_matches_oracle(small_skewed_relation):
+    for min_sup in (1, 2, 3):
+        expected = reference_iceberg_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm("mm-cubing", CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_c_cubing_mm_matches_oracle(small_skewed_relation):
+    for min_sup in (1, 2, 3):
+        expected = reference_closed_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm("c-cubing-mm", CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_c_cubing_mm_uses_closure_shortcut(small_skewed_relation):
+    algo = get_algorithm("c-cubing-mm", CubingOptions(min_sup=2))
+    algo.run(small_skewed_relation)
+    assert algo.counters.get("closure_shortcuts", 0) > 0
+
+
+def test_mm_cubing_supports_payload_measures():
+    relation = Relation.from_rows(
+        [("a", "x"), ("a", "y"), ("b", "x")],
+        ["d0", "d1"],
+        measures={"amount": [1.0, 2.0, 4.0]},
+    )
+    options = CubingOptions(min_sup=1, measures=MeasureSet([SumMeasure("amount")]))
+    cube = get_algorithm("mm-cubing", options).run(relation).cube
+    assert cube[(0, None)].measures["sum(amount)"] == 3.0
+    assert cube[(None, None)].measures["sum(amount)"] == 7.0
+
+
+def test_mm_dense_array_cap_forces_evictions():
+    relation = random_relation(5, max_dims=4, max_cardinality=4, max_tuples=40)
+    algo = get_algorithm("mm-cubing", CubingOptions(min_sup=1))
+    algo.max_dense_cells = 4
+    cube = algo.run(relation).cube
+    expected = reference_iceberg_cube(relation, 1)
+    assert expected.same_cells(cube)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_mm_family_on_random_relations(seed):
+    relation = random_relation(seed + 300, max_dims=4, max_cardinality=4, max_tuples=35)
+    for min_sup in (1, 2):
+        expected_iceberg = reference_iceberg_cube(relation, min_sup)
+        expected_closed = reference_closed_cube(relation, min_sup)
+        mm = get_algorithm("mm-cubing", CubingOptions(min_sup=min_sup)).run(relation).cube
+        cmm = get_algorithm("c-cubing-mm", CubingOptions(min_sup=min_sup)).run(relation).cube
+        assert expected_iceberg.same_cells(mm)
+        assert expected_closed.same_cells(cmm)
+
+
+def test_mm_initial_collapsed(small_skewed_relation):
+    cube = get_algorithm(
+        "c-cubing-mm", CubingOptions(min_sup=1, initial_collapsed=(1,))
+    ).run(small_skewed_relation).cube
+    expected = get_algorithm(
+        "naive", CubingOptions(min_sup=1, closed=True, initial_collapsed=(1,))
+    ).run(small_skewed_relation).cube
+    assert expected.same_cells(cube)

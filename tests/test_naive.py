@@ -1,0 +1,84 @@
+"""Tests for the oracle algorithm and the paper's running example (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import CubingOptions, get_algorithm
+from repro.core.errors import AlgorithmError
+from repro.core.measures import MeasureSet, SumMeasure
+from repro import Relation
+
+
+def run(relation, min_sup=1, closed=False, **kwargs):
+    options = CubingOptions(min_sup=min_sup, closed=closed, **kwargs)
+    return get_algorithm("naive", options).run(relation).cube
+
+
+def test_table1_closed_iceberg_cells(paper_table1):
+    """Example 1 of the paper, checked cell by cell."""
+    cube = run(paper_table1, min_sup=2, closed=True)
+    # Encoded values: a1 -> 0 on A, b1 -> 0 on B, c1 -> 0 on C.
+    cell1 = (0, 0, 0, None)   # (a1, b1, c1, *) : 2
+    cell2 = (0, None, None, None)  # (a1, *, *, *) : 3
+    assert cube.count_of(cell1) == 2
+    assert cube.count_of(cell2) == 3
+    # cell3 = (a1, *, c1, *) is covered by cell1; cell4 fails the iceberg test.
+    assert (0, None, 0, None) not in cube
+    assert (0, 1, 1, 1) not in cube
+    assert len(cube) == 2
+
+
+def test_table1_full_cube_vs_iceberg(paper_table1):
+    full = run(paper_table1, min_sup=1)
+    iceberg = run(paper_table1, min_sup=2)
+    assert len(full) > len(iceberg)
+    # Every iceberg cell appears in the full cube with the same count.
+    for cell, stats in iceberg.items():
+        assert full.count_of(cell) == stats.count
+
+
+def test_apex_cell_always_present_for_min_sup_one(small_skewed_relation):
+    cube = run(small_skewed_relation)
+    assert cube.count_of((None, None, None)) == small_skewed_relation.num_tuples
+
+
+def test_closed_cube_is_subset_of_iceberg_cube(small_skewed_relation):
+    closed = run(small_skewed_relation, min_sup=2, closed=True)
+    iceberg = run(small_skewed_relation, min_sup=2)
+    for cell, stats in closed.items():
+        assert iceberg.count_of(cell) == stats.count
+    assert len(closed) <= len(iceberg)
+
+
+def test_payload_measures_are_aggregated():
+    relation = Relation.from_rows(
+        [("a", "x"), ("a", "y"), ("b", "x")],
+        ["d0", "d1"],
+        measures={"amount": [1.0, 2.0, 4.0]},
+    )
+    options = CubingOptions(min_sup=1, measures=MeasureSet([SumMeasure("amount")]))
+    cube = get_algorithm("naive", options).run(relation).cube
+    assert cube[(0, None)].measures["sum(amount)"] == 3.0
+    assert cube[(None, None)].measures["sum(amount)"] == 7.0
+
+
+def test_initial_collapsed_dimensions_never_appear(small_skewed_relation):
+    cube = run(small_skewed_relation, initial_collapsed=(0,))
+    assert all(cell[0] is None for cell in cube)
+    # Counts still aggregate over the collapsed dimension.
+    assert cube.count_of((None, None, None)) == small_skewed_relation.num_tuples
+
+
+def test_naive_closed_registration_forces_closed(small_skewed_relation):
+    algo = get_algorithm("naive-closed", CubingOptions(min_sup=1))
+    cube = algo.run(small_skewed_relation).cube
+    direct = run(small_skewed_relation, closed=True)
+    assert direct.same_cells(cube)
+
+
+def test_invalid_options_rejected(small_skewed_relation):
+    with pytest.raises(AlgorithmError):
+        get_algorithm("buc", CubingOptions(closed=True)).run(small_skewed_relation)
+    with pytest.raises(AlgorithmError):
+        get_algorithm("naive", CubingOptions(min_sup=0)).run(small_skewed_relation)

@@ -1,0 +1,110 @@
+"""Unit tests for the fact-table substrate (repro.core.relation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EncodingError, SchemaError
+from repro.core.relation import Relation, Schema
+
+
+def test_schema_rejects_duplicates_and_empty():
+    with pytest.raises(SchemaError):
+        Schema(("a", "a"))
+    with pytest.raises(SchemaError):
+        Schema((), ())
+    schema = Schema(("a", "b"), ("m",))
+    assert schema.num_dimensions == 2
+    assert schema.num_measures == 1
+    assert schema.dimension_index("b") == 1
+    assert schema.measure_index("m") == 0
+    with pytest.raises(SchemaError):
+        schema.dimension_index("zzz")
+
+
+def test_from_rows_encodes_values_and_decodes_back():
+    rows = [("x", 10), ("y", 10), ("x", 20)]
+    relation = Relation.from_rows(rows, ["name", "amount"])
+    assert relation.num_tuples == 3
+    assert relation.num_dimensions == 2
+    assert relation.cardinality(0) == 2
+    assert relation.cardinality(1) == 2
+    assert relation.decode(0, relation.value(0, 0)) == "x"
+    assert relation.decode(1, relation.value(2, 1)) == 20
+
+
+def test_from_rows_rejects_ragged_rows():
+    with pytest.raises(SchemaError):
+        Relation.from_rows([(1, 2), (1,)])
+    with pytest.raises(SchemaError):
+        Relation.from_rows([])
+
+
+def test_from_columns_validates_lengths_and_values():
+    relation = Relation.from_columns([[0, 1, 0], [2, 2, 0]])
+    assert relation.num_tuples == 3
+    with pytest.raises(SchemaError):
+        Relation(Schema(("a", "b")), [[0, 1], [0]])
+    with pytest.raises(EncodingError):
+        Relation.from_columns([[0, -1]])
+
+
+def test_measures_are_carried_and_validated():
+    relation = Relation.from_rows(
+        [("a",), ("b",)], ["dim"], measures={"price": [1.5, 2.5]}
+    )
+    assert relation.schema.measure_names == ("price",)
+    assert relation.measure_value(1, 0) == 2.5
+    with pytest.raises(SchemaError):
+        Relation.from_rows([("a",)], ["dim"], measures={"price": [1.0, 2.0]})
+
+
+def test_row_and_rows_iteration():
+    relation = Relation.from_columns([[0, 1], [1, 0]])
+    assert relation.row(0) == (0, 1)
+    assert list(relation.rows()) == [(0, 1), (1, 0)]
+
+
+def test_reorder_dimensions_permutes_columns_and_names():
+    relation = Relation.from_rows([(1, "a"), (2, "b")], ["num", "letter"])
+    reordered = relation.reorder_dimensions([1, 0])
+    assert reordered.schema.dimension_names == ("letter", "num")
+    assert reordered.row(0) == (relation.value(0, 1), relation.value(0, 0))
+    with pytest.raises(SchemaError):
+        relation.reorder_dimensions([0, 0])
+
+
+def test_select_and_project():
+    relation = Relation.from_columns([[0, 1, 2], [3, 4, 5]])
+    subset = relation.select([2, 0])
+    assert subset.num_tuples == 2
+    assert subset.row(0) == (2, 5)
+    projected = relation.project([1])
+    assert projected.num_dimensions == 1
+    assert projected.row(1) == (4,)
+    with pytest.raises(SchemaError):
+        relation.project([])
+
+
+def test_csv_round_trip(tmp_path):
+    rows = [("x", "u"), ("y", "v"), ("x", "v")]
+    relation = Relation.from_rows(rows, ["a", "b"], measures={"m": [1.0, 2.0, 3.0]})
+    path = tmp_path / "data.csv"
+    relation.to_csv(str(path))
+    loaded = Relation.from_csv(str(path), ["a", "b"], ["m"])
+    assert loaded.num_tuples == 3
+    assert [loaded.decode(0, loaded.value(t, 0)) for t in range(3)] == ["x", "y", "x"]
+    assert loaded.measure_columns[0] == [1.0, 2.0, 3.0]
+
+
+def test_from_csv_missing_column(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(SchemaError):
+        Relation.from_csv(str(path), ["a", "missing"])
+
+
+def test_decode_unknown_code_raises():
+    relation = Relation.from_rows([("x",)], ["a"])
+    with pytest.raises(EncodingError):
+        relation.decode(0, 99)

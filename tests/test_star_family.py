@@ -1,0 +1,163 @@
+"""Tests for the star-tree structures and the Star/StarArray algorithm family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import CubingOptions, get_algorithm
+from repro.algorithms.star_tree import (
+    STAR,
+    build_star_tables,
+    build_tree_from_tids,
+    collect_tids,
+    mapped_value,
+)
+from repro.core.errors import AlgorithmError
+from repro.core.measures import MeasureSet, SumMeasure
+from repro.core.validate import reference_closed_cube, reference_iceberg_cube
+from repro import Relation
+
+from conftest import random_relation
+
+
+@pytest.fixture
+def figure1_relation():
+    """The base table of the paper's Figure 1 (dimensions A-E, 6 tuples)."""
+    rows = [
+        ("a1", "b1", "c1", "d1", "e2"),
+        ("a1", "b1", "c1", "d2", "e2"),
+        ("a1", "b1", "c2", "d2", "e1"),
+        ("a1", "b2", "c1", "d1", "e1"),
+        ("a1", "b2", "c2", "d1", "e1"),
+        ("a2", "b2", "c3", "d1", "e1"),
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C", "D", "E"])
+
+
+def test_star_tables_map_infrequent_values_to_star(figure1_relation):
+    tables = build_star_tables(figure1_relation, min_sup=3, dims=range(5))
+    # a1 appears 5 times (kept), a2 once (starred).
+    assert tables[0][0] == 0
+    assert tables[0][1] == STAR
+    assert mapped_value(tables, 0, 1) == STAR
+    assert mapped_value(None, 0, 1) == 1
+
+
+def test_tree_construction_counts_and_closedness(figure1_relation):
+    tree = build_tree_from_tids(
+        figure1_relation,
+        tids=list(range(6)),
+        dims=[0, 1, 2, 3, 4],
+        fixed={},
+        tree_mask=0,
+        min_sup=1,
+        track_closedness=True,
+    )
+    assert tree.root.count == 6
+    a1 = tree.root.child(0)
+    assert a1 is not None and a1.count == 5
+    b1 = a1.child(0)
+    assert b1 is not None and b1.count == 3
+    # The paper's example: node c1 under a1/b1 groups tuples t1, t2 and its
+    # closed information says they share A, B, C (and here also E).
+    c1 = b1.child(0)
+    assert c1.count == 2
+    assert c1.closed.rep_tid == 0
+    assert c1.closed.closed_mask & 0b00111 == 0b00111
+    assert tree.size() > 6
+
+
+def test_star_array_truncation_keeps_pools(figure1_relation):
+    tree = build_tree_from_tids(
+        figure1_relation,
+        tids=list(range(6)),
+        dims=[0, 1, 2, 3, 4],
+        fixed={},
+        tree_mask=0,
+        min_sup=3,
+        track_closedness=False,
+        truncate=True,
+    )
+    a1 = tree.root.child(0)
+    b1 = a1.child(0)
+    assert b1.count == 3
+    # b1's children all have count < 3, so they are truncated into pools.
+    for child in b1.children.values():
+        assert child.pool is not None
+        assert not child.children
+    assert sorted(collect_tids(a1)) == [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("name", ["star-cubing", "star-array"])
+def test_star_family_iceberg_matches_oracle(name, small_skewed_relation):
+    for min_sup in (1, 2, 3):
+        expected = reference_iceberg_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+@pytest.mark.parametrize("name", ["c-cubing-star", "c-cubing-star-array"])
+def test_star_family_closed_matches_oracle(name, small_skewed_relation):
+    for min_sup in (1, 2, 3):
+        expected = reference_closed_cube(small_skewed_relation, min_sup)
+        cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(
+            small_skewed_relation
+        ).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_closed_pruning_counters_fire(figure1_relation):
+    algo = get_algorithm("c-cubing-star", CubingOptions(min_sup=1))
+    algo.run(figure1_relation)
+    counters = algo.counters
+    assert counters.get("lemma5_pruned", 0) + counters.get("lemma6_pruned", 0) > 0
+
+
+def test_star_family_rejects_payload_measures(small_skewed_relation):
+    options = CubingOptions(min_sup=1, measures=MeasureSet([SumMeasure("missing")]))
+    with pytest.raises(AlgorithmError):
+        get_algorithm("star-cubing", options).run(small_skewed_relation)
+
+
+def test_star_family_dimension_order_does_not_change_result(figure1_relation):
+    base = get_algorithm("c-cubing-star", CubingOptions(min_sup=2)).run(figure1_relation).cube
+    for order in ("cardinality", "entropy", [4, 3, 2, 1, 0]):
+        cube = get_algorithm(
+            "c-cubing-star", CubingOptions(min_sup=2, dimension_order=order)
+        ).run(figure1_relation).cube
+        assert base.same_cells(cube)
+
+
+def test_star_family_initial_collapsed(figure1_relation):
+    expected = get_algorithm(
+        "naive", CubingOptions(min_sup=1, closed=True, initial_collapsed=(0, 2))
+    ).run(figure1_relation).cube
+    for name in ("c-cubing-star", "c-cubing-star-array"):
+        cube = get_algorithm(
+            name, CubingOptions(min_sup=1, initial_collapsed=(0, 2))
+        ).run(figure1_relation).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("name", ["star-cubing", "star-array", "c-cubing-star", "c-cubing-star-array"])
+def test_star_family_on_random_relations(name, seed):
+    relation = random_relation(seed + 500, max_dims=5, max_cardinality=3, max_tuples=30)
+    closed = name.startswith("c-cubing")
+    for min_sup in (1, 2):
+        if closed:
+            expected = reference_closed_cube(relation, min_sup)
+        else:
+            expected = reference_iceberg_cube(relation, min_sup)
+        cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(relation).cube
+        assert expected.same_cells(cube), expected.diff(cube)
+
+
+def test_single_dimension_relation():
+    relation = Relation.from_columns([[0, 0, 1, 2]])
+    for name in ("c-cubing-star", "c-cubing-star-array", "c-cubing-mm", "qc-dfs"):
+        cube = get_algorithm(name, CubingOptions(min_sup=1)).run(relation).cube
+        expected = reference_closed_cube(relation, 1)
+        assert expected.same_cells(cube)
