@@ -8,7 +8,7 @@ set on the scaled weather trace and records the corresponding counts.
 from repro.core.validate import reference_closed_cube
 from repro.rules.closed_rules import compression_report, mine_closed_rules
 
-from conftest import weather_relation
+from bench_helpers import weather_relation
 
 
 def test_e62_closed_rule_mining(benchmark):

@@ -12,7 +12,7 @@ import pytest
 from repro.core.validate import reference_closed_cube
 from repro.storage.partition import PartitionedCubeComputer
 
-from conftest import synthetic_relation
+from bench_helpers import synthetic_relation
 
 
 @pytest.mark.parametrize("budget", [100, None], ids=["spilling", "in-memory"])

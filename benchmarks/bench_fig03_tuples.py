@@ -7,7 +7,7 @@ Scaled setting: D=8, C=20, T swept at two points per algorithm.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
 

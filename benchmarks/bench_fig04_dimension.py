@@ -6,7 +6,7 @@ Scaled setting: T=500, C=20, S=2, D swept at 5 and 7.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
 

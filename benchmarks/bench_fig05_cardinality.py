@@ -8,7 +8,7 @@ C-Cubing(StarArray) at high cardinality, and QC-DFS degrades the most as C grows
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
 

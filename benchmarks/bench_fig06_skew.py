@@ -7,7 +7,7 @@ The paper's observation to check: every algorithm gets faster as skew grows.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
 

@@ -6,7 +6,7 @@ Scaled setting: synthetic weather trace (1200 reports), 5 and 7 dimensions.
 
 import pytest
 
-from conftest import run_cubing, weather_relation
+from bench_helpers import run_cubing, weather_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array", "qc-dfs")
 

@@ -9,7 +9,7 @@ C-Cubing(MM) closes the gap as min_sup grows.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
 

@@ -6,7 +6,7 @@ Scaled setting: T=1200, D=6, C=20, M=8, S swept at 0 and 3.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
 

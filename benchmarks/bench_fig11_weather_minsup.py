@@ -6,7 +6,7 @@ Scaled setting: synthetic weather trace, 1500 reports, D=8, M swept at 2 and 16.
 
 import pytest
 
-from conftest import run_cubing, weather_relation
+from bench_helpers import run_cubing, weather_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star", "c-cubing-star-array")
 

@@ -10,7 +10,7 @@ removes real work.
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star")
 

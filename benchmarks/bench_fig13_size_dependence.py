@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.validate import reference_closed_cube, reference_iceberg_cube
 
-from conftest import synthetic_relation
+from bench_helpers import synthetic_relation
 
 
 @pytest.mark.parametrize("dependence", [0.0, 3.0])

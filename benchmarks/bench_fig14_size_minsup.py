@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.validate import reference_closed_cube, reference_iceberg_cube
 
-from conftest import synthetic_relation
+from bench_helpers import synthetic_relation
 
 
 @pytest.mark.parametrize("min_sup", [1, 16])

@@ -9,7 +9,7 @@ the dependence score).
 
 import pytest
 
-from conftest import run_cubing, synthetic_relation
+from bench_helpers import run_cubing, synthetic_relation
 
 ALGORITHMS = ("c-cubing-mm", "c-cubing-star")
 

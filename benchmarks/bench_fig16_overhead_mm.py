@@ -8,7 +8,7 @@ thanks to the closure short cut on minimum-size subspaces.
 
 import pytest
 
-from conftest import run_cubing, weather_relation
+from bench_helpers import run_cubing, weather_relation
 
 
 @pytest.mark.parametrize("min_sup", [1, 8])

@@ -8,7 +8,7 @@ child trees rather than just suppressing output.
 
 import pytest
 
-from conftest import run_cubing, weather_relation
+from bench_helpers import run_cubing, weather_relation
 
 
 @pytest.mark.parametrize("min_sup", [1, 8])

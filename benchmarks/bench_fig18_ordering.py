@@ -8,7 +8,7 @@ order.  Expected shape: entropy <= cardinality <= original runtime.
 
 import pytest
 
-from conftest import mixed_relation, run_cubing
+from bench_helpers import mixed_relation, run_cubing
 
 
 @pytest.mark.parametrize("min_sup", [4, 16])

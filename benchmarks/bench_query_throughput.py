@@ -1,0 +1,181 @@
+"""Serving-throughput benchmark: indexed closure queries vs naive scans.
+
+Materialises a closed cube over a synthetic relation (100k tuples by
+default), then answers the same point-query workload three ways:
+
+1. ``scan``    — :meth:`CubeResult.closure_query_scan`, the seed repo's
+   linear scan over every materialised cell (the naive per-query cost);
+2. ``index``   — :class:`repro.query.QueryEngine` with the cache disabled,
+   isolating the inverted-index speedup;
+3. ``cached``  — the same engine with its LRU cache enabled, on a skewed
+   (hot-spot) replay of the workload, which is the realistic serving shape.
+
+The script prints a throughput table and exits non-zero when the indexed
+engine fails to beat the scan baseline by ``--min-speedup`` (default 10x),
+so it can act as a regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py --tuples 20000
+
+The scan baseline is timed on a subsample of the workload (``--scan-queries``)
+because it is orders of magnitude slower; its per-query cost is what the
+reported throughput extrapolates from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Sequence, Tuple
+
+from repro import compute_closed_cube, open_query_engine
+from repro.core.cell import Cell
+from repro.core.cube import CubeResult
+from repro.core.relation import Relation
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+
+
+def build_workload(
+    cube: CubeResult, num_queries: int, seed: int
+) -> List[Cell]:
+    """A point-query mix anchored on materialised cells.
+
+    Each query takes a random materialised cell and stars out a random subset
+    of its dimensions — the shape a drill-across dashboard produces.  A tenth
+    of the queries are random value combinations, most of which miss.
+    """
+    rng = random.Random(seed)
+    cells = list(cube)
+    num_dims = cube.num_dims
+    queries: List[Cell] = []
+    for _ in range(num_queries):
+        if cells and rng.random() < 0.9:
+            base = list(cells[rng.randrange(len(cells))])
+            for dim in range(num_dims):
+                if rng.random() < 0.4:
+                    base[dim] = None
+            queries.append(tuple(base))
+        else:
+            queries.append(
+                tuple(
+                    rng.randrange(50) if rng.random() < 0.5 else None
+                    for _ in range(num_dims)
+                )
+            )
+    return queries
+
+
+def skewed_replay(queries: Sequence[Cell], factor: int, seed: int) -> List[Cell]:
+    """Replay the workload ``factor`` times with a hot-spot distribution.
+
+    20% of the distinct queries receive 80% of the traffic — the regime the
+    LRU cache is built for.
+    """
+    rng = random.Random(seed + 1)
+    hot = list(queries[: max(1, len(queries) // 5)])
+    replay: List[Cell] = []
+    for _ in range(len(queries) * factor):
+        source = hot if rng.random() < 0.8 else queries
+        replay.append(source[rng.randrange(len(source))])
+    return replay
+
+
+def time_queries(answer_one, queries: Sequence[Cell]) -> Tuple[float, int]:
+    """Total seconds and number of found answers for one serving mode."""
+    found = 0
+    start = time.perf_counter()
+    for cell in queries:
+        if answer_one(cell) is not None:
+            found += 1
+    return time.perf_counter() - start, found
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000)
+    parser.add_argument("--dims", type=int, default=6)
+    parser.add_argument("--cardinality", type=int, default=10)
+    parser.add_argument("--skew", type=float, default=1.0)
+    parser.add_argument("--min-sup", type=int, default=100)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument("--scan-queries", type=int, default=300,
+                        help="scan-baseline subsample size")
+    parser.add_argument("--replay-factor", type=int, default=5,
+                        help="hot-spot replay length multiplier for the cached run")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="fail unless index beats scan by this factor")
+    args = parser.parse_args(argv)
+
+    print(f"dataset: T={args.tuples} D={args.dims} C={args.cardinality} "
+          f"S={args.skew} min_sup={args.min_sup}")
+    start = time.perf_counter()
+    relation: Relation = generate_relation(SyntheticConfig.uniform(
+        num_tuples=args.tuples, num_dims=args.dims, cardinality=args.cardinality,
+        skew=args.skew, seed=args.seed,
+    ))
+    print(f"generated relation in {time.perf_counter() - start:.2f}s")
+
+    start = time.perf_counter()
+    cube = compute_closed_cube(relation, min_sup=args.min_sup)
+    print(f"materialised closed cube in {time.perf_counter() - start:.2f}s "
+          f"({len(cube)} cells)")
+
+    start = time.perf_counter()
+    engine = open_query_engine(cube, cache_size=0)
+    print(f"built inverted index in {time.perf_counter() - start:.2f}s "
+          f"({engine.index.postings_size()} posting entries)")
+
+    queries = build_workload(cube, args.queries, args.seed)
+
+    scan_sample = queries[: min(args.scan_queries, len(queries))]
+    scan_seconds, scan_found = time_queries(cube.closure_query_scan, scan_sample)
+    scan_qps = len(scan_sample) / scan_seconds if scan_seconds else float("inf")
+
+    def indexed(cell):
+        answer = engine.point(cell)
+        return answer if answer.found else None
+
+    index_seconds, index_found = time_queries(indexed, queries)
+    index_qps = len(queries) / index_seconds if index_seconds else float("inf")
+
+    cached_engine = open_query_engine(cube, cache_size=4096)
+
+    def cached(cell):
+        answer = cached_engine.point(cell)
+        return answer if answer.found else None
+
+    replay = skewed_replay(queries, args.replay_factor, args.seed)
+    cached_seconds, _ = time_queries(cached, replay)
+    cached_qps = len(replay) / cached_seconds if cached_seconds else float("inf")
+
+    speedup = index_qps / scan_qps if scan_qps else float("inf")
+    cached_speedup = cached_qps / scan_qps if scan_qps else float("inf")
+    hit_rate = cached_engine.cache.hit_rate
+
+    print()
+    print(f"{'mode':<22}{'queries':>9}{'seconds':>10}{'qps':>12}{'vs scan':>10}")
+    print("-" * 63)
+    print(f"{'scan (naive)':<22}{len(scan_sample):>9}{scan_seconds:>10.3f}"
+          f"{scan_qps:>12.0f}{1.0:>9.1f}x")
+    print(f"{'index (no cache)':<22}{len(queries):>9}{index_seconds:>10.3f}"
+          f"{index_qps:>12.0f}{speedup:>9.1f}x")
+    print(f"{'index + LRU cache':<22}{len(replay):>9}{cached_seconds:>10.3f}"
+          f"{cached_qps:>12.0f}{cached_speedup:>9.1f}x")
+    print()
+    print(f"answers found: scan {scan_found}/{len(scan_sample)}, "
+          f"index {index_found}/{len(queries)}; cache hit rate {hit_rate:.1%}")
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: indexed serving is only {speedup:.1f}x the scan baseline "
+              f"(required {args.min_speedup:.1f}x)")
+        return 1
+    print(f"OK: indexed serving is {speedup:.1f}x the scan baseline "
+          f"(required {args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Relation, compute_closed_cube, compute_cube
+from repro import Relation, compute_closed_cube, compute_cube, open_query_engine
 
 
 def main() -> None:
@@ -40,10 +40,13 @@ def main() -> None:
     print()
 
     # Quotient-cube semantics: the closed cube still answers every query.
+    # The serving layer (repro.query) resolves the closure through an
+    # inverted index; see examples/query_serving.py for the full tour.
+    engine = open_query_engine(closed)
     query = (0, None, 0, None)  # (a1, *, c1, *) — not materialised, but answerable.
-    answer = closed.closure_query(query)
+    answer = engine.point(query)
     print("Query on the non-materialised cell (a1, *, c1, *):",
-          f"count = {answer.count}")
+          f"count = {answer.count} (carried by closed cell {answer.closure})")
 
 
 if __name__ == "__main__":

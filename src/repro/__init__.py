@@ -12,7 +12,10 @@ The package provides:
   (BUC, QC-DFS, output-index checking, a brute-force oracle),
 * synthetic and weather-like data generators matching the paper's workloads,
 * closed-rule mining (Section 6.2) and partitioned computation (Section 6.3),
-* a benchmark harness regenerating every figure of the evaluation section.
+* a benchmark harness regenerating every figure of the evaluation section,
+* a closure-query serving layer (:mod:`repro.query`) answering point, slice,
+  and roll-up queries on any lattice cell from the closed cube alone, via
+  per-dimension inverted indexes, an LRU cache, and partition-aware routing.
 
 Quick start::
 
@@ -31,6 +34,7 @@ from .core.api import (
     DEFAULT_ICEBERG_ALGORITHM,
     compute_closed_cube,
     compute_cube,
+    open_query_engine,
     run_algorithm,
 )
 from .core.cube import CellStats, CubeResult
@@ -46,6 +50,15 @@ from .core.measures import (
 )
 from .core.relation import Relation, Schema
 from .algorithms.base import available_algorithms, algorithms_supporting_closed
+from .query import (
+    PartitionedQueryEngine,
+    PointQuery,
+    QueryAnswer,
+    QueryEngine,
+    RollupQuery,
+    SliceQuery,
+    open_partitioned_query_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -59,6 +72,14 @@ __all__ = [
     "compute_cube",
     "compute_closed_cube",
     "run_algorithm",
+    "open_query_engine",
+    "open_partitioned_query_engine",
+    "QueryEngine",
+    "PartitionedQueryEngine",
+    "QueryAnswer",
+    "PointQuery",
+    "SliceQuery",
+    "RollupQuery",
     "available_algorithms",
     "algorithms_supporting_closed",
     "DEFAULT_CLOSED_ALGORITHM",

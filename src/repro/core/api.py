@@ -95,6 +95,27 @@ def compute_closed_cube(
     return _base.get_algorithm(algorithm, options).run(relation).cube
 
 
+def open_query_engine(cube: CubeResult, cache_size: int = 1024):
+    """Open a serving :class:`repro.query.engine.QueryEngine` over ``cube``.
+
+    The engine answers point, slice, and roll-up queries on *any* cell of the
+    lattice — materialised or not — from the closed cube alone, using an
+    inverted per-dimension index and an LRU answer cache of ``cache_size``
+    entries (``0`` disables caching).  The engine snapshots the cube: add
+    cells and call this again to serve them.
+
+    >>> from repro import Relation, compute_closed_cube, open_query_engine
+    >>> rows = [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a1", "b2", "c1")]
+    >>> relation = Relation.from_rows(rows, ["A", "B", "C"])
+    >>> engine = open_query_engine(compute_closed_cube(relation, min_sup=2))
+    >>> engine.point((0, None, 0)).count  # (a1, *, c1) is not materialised
+    2
+    """
+    from ..query.engine import QueryEngine
+
+    return QueryEngine(cube, cache_size=cache_size)
+
+
 def run_algorithm(
     relation: Relation,
     algorithm: str,

@@ -65,6 +65,9 @@ class CubeResult:
         self.num_dims = num_dims
         self.name = name
         self._cells: Dict[Cell, CellStats] = {}
+        #: Lazily built closure index (see :meth:`closure_index`); invalidated
+        #: whenever a cell is added so reads never observe a stale snapshot.
+        self._closure_index: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Mutation                                                            #
@@ -90,6 +93,7 @@ class CubeResult:
         if cell in self._cells:
             raise ValidationError(f"cell {cell!r} emitted twice")
         self._cells[cell] = CellStats(count, dict(measures or {}), rep_tid)
+        self._closure_index = None
 
     # ------------------------------------------------------------------ #
     # Container protocol                                                  #
@@ -157,6 +161,21 @@ class CubeResult:
         stats = self._cells.get(cell)
         return stats.count if stats is not None else None
 
+    def closure_index(self):
+        """The lazily built inverted index used by :meth:`closure_query`.
+
+        Returns a :class:`repro.query.index.CubeIndex` snapshot of the current
+        cells, rebuilt on first use after any :meth:`add`.  The import is
+        deferred to keep the package layering one-way at import time
+        (``repro.query`` builds on ``repro.core``; the core only reaches back
+        at call time).
+        """
+        if self._closure_index is None:
+            from ..query.index import CubeIndex
+
+            self._closure_index = CubeIndex.from_cube(self)
+        return self._closure_index
+
     def closure_query(self, cell: Cell) -> Optional[CellStats]:
         """Answer a query on ``cell`` from a *closed* cube (quotient semantics).
 
@@ -167,6 +186,19 @@ class CubeResult:
         that specialises ``cell`` aggregates a subset of its tuples; the
         closure aggregates all of them).  Returns ``None`` when ``cell`` is
         empty or was pruned by the iceberg condition.
+
+        Resolution is backed by the inverted :meth:`closure_index`; see
+        :meth:`closure_query_scan` for the unindexed baseline.
+        """
+        found = self.closure_index().closure(cell)
+        return found[1] if found is not None else None
+
+    def closure_query_scan(self, cell: Cell) -> Optional[CellStats]:
+        """Linear-scan closure resolution (the pre-index baseline).
+
+        Kept as the reference implementation: the correctness tests check the
+        index against it, and ``benchmarks/bench_query_throughput.py`` uses it
+        as the naive per-query cost the serving layer is measured against.
         """
         best: Optional[CellStats] = None
         for other, stats in self._cells.items():

@@ -46,3 +46,12 @@ class WorkloadError(ReproError):
 
 class PartitionError(ReproError):
     """Raised by the external/partitioned computation driver (Section 6.3)."""
+
+
+class QueryError(ReproError):
+    """Raised when a closure query against a served cube is malformed.
+
+    Examples: a query cell whose arity does not match the cube, a slice whose
+    group-by dimensions overlap its fixed dimensions, or a query routed to a
+    partitioned engine built over a different schema.
+    """

@@ -1,0 +1,46 @@
+"""Closure-query serving layer over materialised closed cubes.
+
+The paper proves the closed cube is a *lossless* compression of the iceberg
+cube; this package is the other half of that claim — actually answering
+queries from the compressed form at serving speed:
+
+* :mod:`repro.query.index` — inverted per-dimension index over materialised
+  cells (posting-list intersection instead of full scans),
+* :mod:`repro.query.cache` — LRU answer cache for skewed query traffic,
+* :mod:`repro.query.queries` — the point / slice / roll-up query model,
+* :mod:`repro.query.engine` — :class:`QueryEngine` over one cube and
+  :class:`PartitionedQueryEngine` routing across partition shards.
+
+Most callers go through :func:`repro.core.api.open_query_engine`::
+
+    from repro import Relation, compute_closed_cube, open_query_engine
+
+    cube = compute_closed_cube(relation, min_sup=2)
+    engine = open_query_engine(cube)
+    answer = engine.point((0, None, 0, None))
+"""
+
+from .cache import LRUCache
+from .engine import (
+    DEFAULT_CACHE_SIZE,
+    PartitionedQueryEngine,
+    QueryEngine,
+    open_partitioned_query_engine,
+)
+from .index import CubeIndex
+from .queries import PointQuery, Query, QueryAnswer, RollupQuery, SliceQuery, point
+
+__all__ = [
+    "CubeIndex",
+    "LRUCache",
+    "QueryEngine",
+    "PartitionedQueryEngine",
+    "open_partitioned_query_engine",
+    "DEFAULT_CACHE_SIZE",
+    "PointQuery",
+    "SliceQuery",
+    "RollupQuery",
+    "Query",
+    "QueryAnswer",
+    "point",
+]

@@ -1,0 +1,81 @@
+"""A small LRU result cache for the query engine.
+
+Serving workloads are heavily skewed — a few dashboard cells absorb most of
+the traffic — so even a modest least-recently-used cache in front of closure
+resolution removes the bulk of the index work.  The cache is a plain
+``OrderedDict`` with move-to-front on hit and tail eviction on overflow, plus
+hit/miss/eviction counters the benchmark and the engine's ``stats()`` report.
+
+A capacity of ``0`` disables caching entirely (every ``get`` misses, ``put``
+is a no-op), which the throughput benchmark uses to isolate raw index speed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+V = TypeVar("V")
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+
+class LRUCache(Generic[V]):
+    """Least-recently-used mapping with a fixed capacity and hit counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Optional[V] = None) -> Optional[V]:
+        """Return the cached value for ``key``, refreshing its recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert or refresh ``key``; evict the least-recent entry on overflow."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (``0.0`` before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,353 @@
+"""Closure-query engines: serve point / slice / roll-up queries from a closed cube.
+
+:class:`QueryEngine` fronts one materialised :class:`~repro.core.cube.
+CubeResult` with the inverted :class:`~repro.query.index.CubeIndex` and an
+:class:`~repro.query.cache.LRUCache` of answers, so that any cell of the cube
+lattice — materialised or not — is answered in far less than a full scan:
+
+* point queries resolve the query cell's *closure* (its maximum-count
+  materialised specialisation, which by the quotient-cube property carries
+  exactly the query cell's aggregate);
+* slice queries enumerate the iceberg cells of one cuboid under fixed
+  dimension values, driven entirely by the index (no recomputation);
+* roll-up queries collapse dimensions of a cell to ``*`` and answer the
+  resulting point.
+
+:class:`PartitionedQueryEngine` serves the same queries over a cube computed
+by :class:`repro.storage.partition.PartitionedCubeComputer`: it shards the
+materialised cells by their value on the partitioning dimension and routes
+each query to the shard(s) that can contain its closure, mirroring how the
+partitioned *computation* split the data.
+
+Engines snapshot the cube at construction; mutate the cube and open a new
+engine to serve the new cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.cell import Cell, make_cell, sort_key
+from ..core.cube import CubeResult
+from ..core.errors import QueryError
+from ..core.relation import Relation
+from .cache import LRUCache
+from .index import CubeIndex
+from .queries import PointQuery, Query, QueryAnswer, RollupQuery, SliceQuery
+
+#: What ``execute`` returns: one answer for point/roll-up, a list for a slice.
+ExecuteResult = Union[QueryAnswer, List[QueryAnswer]]
+
+#: Default size of the per-engine answer cache.
+DEFAULT_CACHE_SIZE = 1024
+
+
+class QueryEngine:
+    """Serve closure queries against one materialised (closed) cube."""
+
+    def __init__(
+        self,
+        cube: CubeResult,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        index: Optional[CubeIndex] = None,
+    ) -> None:
+        self.cube = cube
+        self.index = index if index is not None else cube.closure_index()
+        self.cache = LRUCache(cache_size)
+        self.counters: Dict[str, int] = {
+            "point_queries": 0,
+            "slice_queries": 0,
+            "rollup_queries": 0,
+            "closure_lookups": 0,
+        }
+
+    @property
+    def num_dims(self) -> int:
+        return self.cube.num_dims
+
+    # ------------------------------------------------------------------ #
+    # Point / roll-up                                                     #
+    # ------------------------------------------------------------------ #
+
+    def point(self, cell: Sequence[Optional[int]]) -> QueryAnswer:
+        """Answer a query on one cell (``None`` entries mean ``*``).
+
+        ``count is None`` in the answer means the cell is empty or below the
+        iceberg threshold — information the closed iceberg cube deliberately
+        does not carry.
+        """
+        self.counters["point_queries"] += 1
+        return self._answer_cell(PointQuery(tuple(cell)).target_cell(self.num_dims))
+
+    def rollup(self, cell: Sequence[Optional[int]], dims: Sequence[int]) -> QueryAnswer:
+        """Collapse ``dims`` of ``cell`` to ``*`` and answer the result."""
+        self.counters["rollup_queries"] += 1
+        query = RollupQuery(tuple(cell), tuple(dims))
+        return self._answer_cell(query.target_cell(self.num_dims))
+
+    def _answer_cell(self, target: Cell) -> QueryAnswer:
+        cached = self.cache.get(target)
+        if cached is not None:
+            return cached
+        answer = self._resolve_closure(target)
+        self.cache.put(target, answer)
+        return answer
+
+    def _resolve_closure(self, target: Cell) -> QueryAnswer:
+        self.counters["closure_lookups"] += 1
+        found = self.index.closure(target)
+        if found is None:
+            return QueryAnswer(cell=target, count=None)
+        closure_cell, stats = found
+        return QueryAnswer(
+            cell=target,
+            count=stats.count,
+            measures=tuple(sorted(stats.measures.items())),
+            closure=closure_cell,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Slice                                                               #
+    # ------------------------------------------------------------------ #
+
+    def slice(
+        self, fixed: Dict[int, int], group_by: Sequence[int] = ()
+    ) -> List[QueryAnswer]:
+        """Fix some dimensions, group by others; one answer per iceberg cell.
+
+        Returns the cells of the ``fixed + group_by`` cuboid that satisfy the
+        iceberg condition and carry the fixed values, in stable cell order.
+        Every returned answer has ``found == True`` — cells pruned by the
+        iceberg condition simply do not appear, exactly as they would not
+        appear in the materialised iceberg cube.
+        """
+        self.counters["slice_queries"] += 1
+        query = SliceQuery.of(fixed, group_by)
+        targets = self._slice_targets(query)
+        return [self._answer_cell(target) for target in sorted(targets, key=sort_key)]
+
+    def _slice_targets(self, query: SliceQuery) -> Set[Cell]:
+        """The distinct cells of the slice's cuboid present in the iceberg cube.
+
+        Every iceberg cell of the target cuboid has a closure in the closed
+        cube; that closure specialises the slice's fixed part and fixes every
+        group-by dimension with the cell's values.  Projecting the matching
+        materialised cells onto ``fixed + group_by`` therefore enumerates the
+        slice exactly — no false negatives, and no false positives because
+        each projected cell's own closure answer is then resolved by
+        :meth:`point` semantics.
+        """
+        fixed_cell = query.validate(self.num_dims)
+        fixed = query.fixed_mapping()
+        targets: Set[Cell] = set()
+        for slot in self.index.specialisation_slots(fixed_cell):
+            cell = self.index.cell_at(slot)
+            assignment = dict(fixed)
+            complete = True
+            for dim in query.group_by:
+                value = cell[dim]
+                if value is None:
+                    complete = False
+                    break
+                assignment[dim] = value
+            if complete:
+                targets.add(make_cell(self.num_dims, assignment))
+        return targets
+
+    # ------------------------------------------------------------------ #
+    # Generic execution                                                   #
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: Query) -> ExecuteResult:
+        """Dispatch one query object to the matching handler."""
+        if isinstance(query, PointQuery):
+            return self.point(query.cell)
+        if isinstance(query, RollupQuery):
+            return self.rollup(query.cell, query.dims)
+        if isinstance(query, SliceQuery):
+            return self.slice(query.fixed_mapping(), query.group_by)
+        raise QueryError(f"unsupported query object: {query!r}")
+
+    def execute_many(self, queries: Iterable[Query]) -> List[ExecuteResult]:
+        """Answer a batch of queries, preserving input order."""
+        return [self.execute(query) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics: index footprint, cache behaviour, counters."""
+        return {
+            "cells_indexed": len(self.index),
+            "postings_entries": self.index.postings_size(),
+            "cache": self.cache.stats(),
+            **self.counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryEngine(cells={len(self.index)}, dims={self.num_dims}, "
+            f"cache={self.cache.capacity})"
+        )
+
+
+class PartitionedQueryEngine:
+    """Route closure queries across per-partition shards of a closed cube.
+
+    The cube is split by the value each materialised cell fixes on
+    ``partition_dim``; cells with ``*`` there form their own shard.  A query
+    fixing the partitioning dimension can only have its closure inside that
+    value's shard (specialisation preserves fixed values), so it touches one
+    shard; a query with ``*`` on the partitioning dimension is resolved as the
+    best answer across shards.
+    """
+
+    def __init__(
+        self,
+        cube: CubeResult,
+        partition_dim: int,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if not 0 <= partition_dim < cube.num_dims:
+            raise QueryError(
+                f"partition dimension {partition_dim} outside 0..{cube.num_dims - 1}"
+            )
+        self.cube = cube
+        self.partition_dim = partition_dim
+        self.cache = LRUCache(cache_size)
+        #: ``None`` keys the shard of cells with ``*`` on the partition dim.
+        self.shards: Dict[Optional[int], QueryEngine] = {}
+        grouped: Dict[Optional[int], CubeResult] = {}
+        for cell, stats in cube.items():
+            shard_cube = grouped.get(cell[partition_dim])
+            if shard_cube is None:
+                shard_cube = CubeResult(cube.num_dims, name=f"shard-{cell[partition_dim]}")
+                grouped[cell[partition_dim]] = shard_cube
+            shard_cube.add(cell, stats.count, stats.measures, stats.rep_tid)
+        for value, shard_cube in grouped.items():
+            # Shard engines run uncached: answers are cached once, here.
+            self.shards[value] = QueryEngine(shard_cube, cache_size=0)
+
+    @property
+    def num_dims(self) -> int:
+        return self.cube.num_dims
+
+    def shard_sizes(self) -> Dict[Optional[int], int]:
+        """Materialised cells per shard (the ``None`` shard holds ``*`` cells)."""
+        return {value: len(engine.cube) for value, engine in self.shards.items()}
+
+    # ------------------------------------------------------------------ #
+
+    def point(self, cell: Sequence[Optional[int]]) -> QueryAnswer:
+        target = PointQuery(tuple(cell)).target_cell(self.num_dims)
+        cached = self.cache.get(target)
+        if cached is not None:
+            return cached
+        answer = self._route_point(target)
+        self.cache.put(target, answer)
+        return answer
+
+    def _route_point(self, target: Cell) -> QueryAnswer:
+        value = target[self.partition_dim]
+        if value is not None:
+            shard = self.shards.get(value)
+            if shard is None:
+                return QueryAnswer(cell=target, count=None)
+            return shard._answer_cell(target)
+        best: Optional[QueryAnswer] = None
+        for shard in self.shards.values():
+            answer = shard._answer_cell(target)
+            if answer.found and (best is None or answer.count > best.count):
+                best = answer
+        return best if best is not None else QueryAnswer(cell=target, count=None)
+
+    def rollup(self, cell: Sequence[Optional[int]], dims: Sequence[int]) -> QueryAnswer:
+        query = RollupQuery(tuple(cell), tuple(dims))
+        return self.point(query.target_cell(self.num_dims))
+
+    def slice(
+        self, fixed: Dict[int, int], group_by: Sequence[int] = ()
+    ) -> List[QueryAnswer]:
+        """Slice across shards; routing rules match :meth:`point`."""
+        query = SliceQuery.of(fixed, group_by)
+        query.validate(self.num_dims)
+        pinned = query.fixed_mapping().get(self.partition_dim)
+        if pinned is not None:
+            shards: Iterable[QueryEngine] = (
+                [self.shards[pinned]] if pinned in self.shards else []
+            )
+        else:
+            shards = self.shards.values()
+        targets: Set[Cell] = set()
+        for shard in shards:
+            targets |= shard._slice_targets(query)
+        return [self.point(target) for target in sorted(targets, key=sort_key)]
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: Query) -> ExecuteResult:
+        if isinstance(query, PointQuery):
+            return self.point(query.cell)
+        if isinstance(query, RollupQuery):
+            return self.point(query.target_cell(self.num_dims))
+        if isinstance(query, SliceQuery):
+            return self.slice(query.fixed_mapping(), query.group_by)
+        raise QueryError(f"unsupported query object: {query!r}")
+
+    def execute_many(self, queries: Iterable[Query]) -> List[ExecuteResult]:
+        """Answer a batch of queries, preserving input order.
+
+        Each query is routed individually: queries pinning the partitioning
+        dimension touch one shard, the rest fan out and merge.
+        """
+        return [self.execute(query) for query in queries]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "partition_dim": self.partition_dim,
+            "shards": len(self.shards),
+            "shard_sizes": {
+                ("*" if value is None else value): size
+                for value, size in sorted(
+                    self.shard_sizes().items(), key=lambda kv: (kv[0] is None, kv[0])
+                )
+            },
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionedQueryEngine(dim={self.partition_dim}, "
+            f"shards={len(self.shards)}, cells={len(self.cube)})"
+        )
+
+
+def open_partitioned_query_engine(
+    relation: Relation,
+    algorithm: str = "c-cubing-star",
+    min_sup: int = 1,
+    partition_dim: Optional[int] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    memory_budget_tuples: Optional[int] = None,
+) -> Tuple[PartitionedQueryEngine, "object"]:
+    """Materialise a partitioned closed cube and open a routing engine over it.
+
+    Runs :class:`repro.storage.partition.PartitionedCubeComputer` (Section 6.3)
+    on ``relation`` and shards the resulting cube on the same partitioning
+    dimension the computation used, so serving mirrors materialisation.
+    Returns ``(engine, partition_report)``.
+    """
+    from ..storage.partition import PartitionedCubeComputer
+
+    computer = PartitionedCubeComputer(
+        algorithm=algorithm,
+        min_sup=min_sup,
+        closed=True,
+        memory_budget_tuples=memory_budget_tuples,
+    )
+    cube, report = computer.compute(relation, partition_dim=partition_dim)
+    engine = PartitionedQueryEngine(
+        cube, partition_dim=report.partition_dim, cache_size=cache_size
+    )
+    return engine, report

@@ -1,0 +1,155 @@
+"""Inverted per-dimension index over the materialised cells of a cube.
+
+The closed cube answers a query on *any* cell of the lattice through the
+quotient-cube closure property (see :meth:`repro.core.cube.CubeResult.
+closure_query`): the answer is carried by the materialised specialisation with
+the maximum count.  Finding that cell by scanning every materialised cell is
+``O(cells)`` per query, which is what makes a naive serving layer collapse
+under load.
+
+:class:`CubeIndex` turns the lookup into a posting-list intersection.  For
+every dimension ``d`` it keeps a mapping ``value -> {slots}`` of the cells
+that *fix* ``d`` to ``value``.  The materialised specialisations of a query
+cell are exactly the intersection of the posting lists of its fixed
+dimensions, so a point lookup touches only the cells sharing the query's
+rarest fixed value instead of the whole cube.  The all-``*`` (apex) query is
+answered from a precomputed best slot without touching any posting list.
+
+The index is deliberately read-only: it snapshots the cube's cells at
+construction time.  :class:`repro.core.cube.CubeResult` invalidates its lazily
+built index whenever a cell is added, so callers never observe a stale view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..core.cell import Cell
+from ..core.cube import CellStats, CubeResult
+from ..core.errors import QueryError
+
+
+class CubeIndex:
+    """Posting-list index over materialised cells, one list per (dim, value).
+
+    Cells are addressed by *slot* — their position in the snapshot taken at
+    construction.  :meth:`cell_at` / :meth:`stats_at` translate a slot back to
+    the cell and its aggregated statistics.
+    """
+
+    def __init__(self, num_dims: int, items: Iterable[Tuple[Cell, CellStats]]) -> None:
+        self.num_dims = num_dims
+        self._cells: List[Cell] = []
+        self._stats: List[CellStats] = []
+        #: Per dimension: fixed value -> set of slots fixing that value.
+        self._postings: List[Dict[int, Set[int]]] = [{} for _ in range(num_dims)]
+        best_slot: Optional[int] = None
+        for slot, (cell, stats) in enumerate(items):
+            if len(cell) != num_dims:
+                raise QueryError(
+                    f"cell {cell!r} has {len(cell)} entries, expected {num_dims}"
+                )
+            self._cells.append(cell)
+            self._stats.append(stats)
+            for dim, value in enumerate(cell):
+                if value is not None:
+                    self._postings[dim].setdefault(value, set()).add(slot)
+            if best_slot is None or stats.count > self._stats[best_slot].count:
+                best_slot = slot
+        #: Slot of the maximum-count cell: the closure of the apex query.
+        self._best_slot = best_slot
+
+    @classmethod
+    def from_cube(cls, cube: CubeResult) -> "CubeIndex":
+        """Index every materialised cell of ``cube``."""
+        return cls(cube.num_dims, cube.items())
+
+    # ------------------------------------------------------------------ #
+    # Slot translation                                                    #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell_at(self, slot: int) -> Cell:
+        return self._cells[slot]
+
+    def stats_at(self, slot: int) -> CellStats:
+        return self._stats[slot]
+
+    def postings_size(self) -> int:
+        """Total number of slot entries across all posting lists (for reports)."""
+        return sum(
+            len(slots) for postings in self._postings for slots in postings.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookups                                                             #
+    # ------------------------------------------------------------------ #
+
+    def specialisation_slots(self, cell: Cell) -> Set[int]:
+        """Slots of the materialised cells that are specialisations of ``cell``.
+
+        Computed as the intersection of the posting lists of the query's fixed
+        dimensions, starting from the smallest list.  A fixed value never seen
+        by the cube short-circuits to the empty set.  The apex query (no fixed
+        dimension) matches every slot.
+        """
+        if len(cell) != self.num_dims:
+            raise QueryError(
+                f"query cell {cell!r} has {len(cell)} entries, expected {self.num_dims}"
+            )
+        lists: List[Set[int]] = []
+        for dim, value in enumerate(cell):
+            if value is None:
+                continue
+            slots = self._postings[dim].get(value)
+            if slots is None:
+                return set()
+            lists.append(slots)
+        if not lists:
+            return set(range(len(self._cells)))
+        lists.sort(key=len)
+        result = set(lists[0])
+        for slots in lists[1:]:
+            result &= slots
+            if not result:
+                break
+        return result
+
+    def specialisations(self, cell: Cell) -> Iterator[Tuple[Cell, CellStats]]:
+        """The materialised specialisations of ``cell`` with their stats."""
+        for slot in self.specialisation_slots(cell):
+            yield self._cells[slot], self._stats[slot]
+
+    def closure_slot(self, cell: Cell) -> Optional[int]:
+        """Slot of the closure of ``cell``: its maximum-count specialisation.
+
+        ``None`` when no materialised cell specialises ``cell`` — i.e. the
+        query cell is empty or was pruned by the iceberg condition.
+        """
+        fixed_dims = [dim for dim, value in enumerate(cell) if value is not None]
+        if len(cell) != self.num_dims:
+            raise QueryError(
+                f"query cell {cell!r} has {len(cell)} entries, expected {self.num_dims}"
+            )
+        if not fixed_dims:
+            return self._best_slot
+        best: Optional[int] = None
+        for slot in self.specialisation_slots(cell):
+            if best is None or self._stats[slot].count > self._stats[best].count:
+                best = slot
+        return best
+
+    def closure(self, cell: Cell) -> Optional[Tuple[Cell, CellStats]]:
+        """The closure cell and its stats, or ``None`` when unanswerable."""
+        slot = self.closure_slot(cell)
+        if slot is None:
+            return None
+        return self._cells[slot], self._stats[slot]
+
+    def values_on_dimension(self, dim: int) -> Mapping[int, Set[int]]:
+        """The posting map of one dimension (used by slice enumeration)."""
+        if not 0 <= dim < self.num_dims:
+            raise QueryError(f"dimension {dim} outside 0..{self.num_dims - 1}")
+        return self._postings[dim]

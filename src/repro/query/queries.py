@@ -1,0 +1,152 @@
+"""Query and answer model of the serving layer.
+
+Three query shapes cover the OLAP operations the closed cube can answer
+without recomputation:
+
+* :class:`PointQuery` — the aggregate of one cell of the lattice, materialised
+  or not (quotient-cube closure semantics).
+* :class:`SliceQuery` — fix some dimensions, group by others: the iceberg
+  cells of one cuboid restricted to the fixed values.
+* :class:`RollupQuery` — start from a cell and collapse some of its fixed
+  dimensions to ``*`` (the classic roll-up move), then answer the resulting
+  point.
+
+Queries are frozen dataclasses so they are hashable — the engine uses the
+normalised target cell as its cache key.  Answers always come back as
+:class:`QueryAnswer`; ``count is None`` means the cell is empty or was pruned
+by the iceberg condition (the closed iceberg cube cannot answer it, by
+design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.cell import Cell, cell_from_mapping, make_cell
+from ..core.errors import QueryError, SchemaError
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """The answer to one point-shaped query.
+
+    Attributes
+    ----------
+    cell:
+        The (normalised) query cell.
+    count:
+        Its aggregate count, or ``None`` when the cell is empty or below the
+        iceberg threshold.
+    measures:
+        Payload measure values of the closure, keyed by measure name.
+    closure:
+        The materialised closed cell that carried the answer, when any.
+    """
+
+    cell: Cell
+    count: Optional[int]
+    measures: Tuple[Tuple[str, float], ...] = ()
+    closure: Optional[Cell] = None
+
+    @property
+    def found(self) -> bool:
+        """``True`` when the cube could answer the query."""
+        return self.count is not None
+
+    def measure(self, name: str) -> float:
+        for key, value in self.measures:
+            if key == name:
+                return value
+        raise QueryError(f"answer carries no measure named {name!r}")
+
+    def measures_dict(self) -> Dict[str, float]:
+        return dict(self.measures)
+
+
+def _validate_cell(num_dims: int, cell: Sequence[Optional[int]]) -> Cell:
+    try:
+        normalised = cell_from_mapping(num_dims, tuple(cell))
+    except SchemaError as exc:
+        raise QueryError(str(exc)) from exc
+    for dim, value in enumerate(normalised):
+        if value is not None and (not isinstance(value, int) or value < 0):
+            raise QueryError(
+                f"dimension {dim} of query cell {cell!r} must be a "
+                f"non-negative encoded value or None, got {value!r}"
+            )
+    return normalised
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """Aggregate of a single cell; ``cell`` uses ``None`` for ``*``."""
+
+    cell: Cell
+
+    def target_cell(self, num_dims: int) -> Cell:
+        return _validate_cell(num_dims, self.cell)
+
+
+@dataclass(frozen=True)
+class RollupQuery:
+    """Collapse ``dims`` of ``cell`` to ``*`` and answer the resulting cell."""
+
+    cell: Cell
+    dims: Tuple[int, ...]
+
+    def target_cell(self, num_dims: int) -> Cell:
+        base = _validate_cell(num_dims, self.cell)
+        for dim in self.dims:
+            if not 0 <= dim < num_dims:
+                raise QueryError(f"roll-up dimension {dim} outside 0..{num_dims - 1}")
+        rolled = set(self.dims)
+        return tuple(None if dim in rolled else value for dim, value in enumerate(base))
+
+
+@dataclass(frozen=True)
+class SliceQuery:
+    """Fix ``fixed`` dimensions, group by ``group_by`` dimensions.
+
+    The answer is one :class:`QueryAnswer` per iceberg cell of the
+    ``fixed + group_by`` cuboid whose fixed dimensions carry the requested
+    values — exactly the rows a ``GROUP BY`` over the slice would produce
+    under the iceberg condition.
+    """
+
+    fixed: Tuple[Tuple[int, int], ...]
+    group_by: Tuple[int, ...] = ()
+
+    @classmethod
+    def of(cls, fixed: Mapping[int, int], group_by: Sequence[int] = ()) -> "SliceQuery":
+        """Build from a ``{dim: value}`` mapping and a group-by dimension list."""
+        return cls(tuple(sorted(fixed.items())), tuple(group_by))
+
+    def fixed_mapping(self) -> Dict[int, int]:
+        return dict(self.fixed)
+
+    def validate(self, num_dims: int) -> Cell:
+        """Check dimension ranges/overlap; return the fixed-part cell."""
+        fixed = self.fixed_mapping()
+        if len(fixed) != len(self.fixed):
+            raise QueryError(f"slice fixes a dimension twice: {self.fixed!r}")
+        overlap = set(fixed) & set(self.group_by)
+        if overlap:
+            raise QueryError(
+                f"slice group-by dimensions {sorted(overlap)} are already fixed"
+            )
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError(f"duplicate group-by dimensions: {self.group_by!r}")
+        for dim in list(fixed) + list(self.group_by):
+            if not 0 <= dim < num_dims:
+                raise QueryError(f"slice dimension {dim} outside 0..{num_dims - 1}")
+        return make_cell(num_dims, fixed)
+
+
+#: Anything the engine's ``execute`` / ``execute_many`` accepts.
+Query = Union[PointQuery, RollupQuery, SliceQuery]
+
+
+def point(num_dims: int, assignment: Mapping[int, int]) -> PointQuery:
+    """Convenience constructor: a point query from a sparse ``{dim: value}``."""
+    return PointQuery(make_cell(num_dims, dict(assignment)))

@@ -1,0 +1,294 @@
+"""Tests for the closure-query serving layer (:mod:`repro.query`).
+
+The load-bearing property here is losslessness under serving: for *every*
+cell of the lattice — materialised or not — the :class:`QueryEngine` must
+return exactly what direct recomputation with the naive oracle returns
+(the count when the cell satisfies the iceberg condition, "not answerable"
+otherwise).  The property tests below check that exhaustively on random
+relations, for both the flat and the partitioned engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import (
+    PartitionedQueryEngine,
+    PointQuery,
+    Relation,
+    RollupQuery,
+    SliceQuery,
+    compute_closed_cube,
+    open_partitioned_query_engine,
+    open_query_engine,
+)
+from repro.core.cube import count_matching_tuples
+from repro.core.errors import QueryError
+from repro.core.validate import reference_iceberg_cube
+from repro.query.cache import LRUCache
+from repro.query.index import CubeIndex
+
+from conftest import random_relation
+
+
+def lattice_cells(relation: Relation, extra_value: bool = True):
+    """Every cell of the cube lattice, plus never-seen values when asked."""
+    per_dim = []
+    for dim in range(relation.num_dimensions):
+        values = sorted(set(relation.columns[dim]))
+        if extra_value:
+            values = values + [max(values) + 1]
+        per_dim.append([None] + values)
+    return itertools.product(*per_dim)
+
+
+def expected_answer(relation: Relation, cell, min_sup: int):
+    """Direct recomputation: the oracle the engine must agree with."""
+    count = count_matching_tuples(relation, cell)
+    return count if count >= min_sup else None
+
+
+# --------------------------------------------------------------------------- #
+# Losslessness of the served closed cube                                       #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_engine_matches_naive_recomputation_on_every_lattice_cell(seed):
+    relation = random_relation(seed + 300, max_dims=4, max_cardinality=3, max_tuples=25)
+    for min_sup in (1, 2):
+        cube = compute_closed_cube(relation, min_sup=min_sup)
+        engine = open_query_engine(cube)
+        for cell in lattice_cells(relation):
+            answer = engine.point(cell)
+            assert answer.count == expected_answer(relation, cell, min_sup), (
+                f"seed={seed} min_sup={min_sup} cell={cell}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_every_iceberg_cell_is_served_exactly(seed):
+    relation = random_relation(seed + 400, max_dims=4, max_cardinality=3, max_tuples=30)
+    min_sup = 2
+    iceberg = reference_iceberg_cube(relation, min_sup)
+    engine = open_query_engine(compute_closed_cube(relation, min_sup=min_sup))
+    for cell, stats in iceberg.items():
+        answer = engine.point(cell)
+        assert answer.found and answer.count == stats.count
+        assert answer.closure in engine.cube, "closure must be materialised"
+
+
+def test_index_closure_agrees_with_linear_scan(small_skewed_relation):
+    cube = compute_closed_cube(small_skewed_relation, min_sup=1)
+    for cell in lattice_cells(small_skewed_relation):
+        indexed = cube.closure_query(cell)
+        scanned = cube.closure_query_scan(cell)
+        assert (indexed is None) == (scanned is None)
+        if indexed is not None:
+            assert indexed.count == scanned.count
+
+
+def test_closure_index_invalidated_on_add(paper_table1):
+    cube = compute_closed_cube(paper_table1, min_sup=2)
+    first = cube.closure_index()
+    assert cube.closure_index() is first, "index is cached between reads"
+    cube.add((1, 1, 1, 1), 99)
+    assert cube.closure_index() is not first
+    assert cube.closure_query((1, 1, 1, 1)).count == 99
+
+
+# --------------------------------------------------------------------------- #
+# Slice and roll-up semantics                                                  #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_slice_enumerates_exactly_the_iceberg_cuboid(seed):
+    relation = random_relation(seed + 500, max_dims=4, max_cardinality=3, max_tuples=30)
+    if relation.num_dimensions < 2:
+        pytest.skip("slice needs two dimensions")
+    min_sup = 2
+    engine = open_query_engine(compute_closed_cube(relation, min_sup=min_sup))
+    iceberg = reference_iceberg_cube(relation, min_sup)
+    fixed_dim, group_dim = 0, relation.num_dimensions - 1
+    for fixed_value in sorted(set(relation.columns[fixed_dim])):
+        answers = engine.slice({fixed_dim: fixed_value}, group_by=[group_dim])
+        got = {answer.cell: answer.count for answer in answers}
+        expected = {
+            cell: stats.count
+            for cell, stats in iceberg.items()
+            if cell[fixed_dim] == fixed_value
+            and cell[group_dim] is not None
+            and all(
+                value is None
+                for dim, value in enumerate(cell)
+                if dim not in (fixed_dim, group_dim)
+            )
+        }
+        assert got == expected
+
+
+def test_slice_with_empty_group_by_is_a_point(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2))
+    answers = engine.slice({0: 0})
+    assert len(answers) == 1
+    assert answers[0].count == engine.point((0, None, None, None)).count == 3
+
+
+def test_rollup_collapses_dimensions(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2))
+    # (a1, b1, c1, *) rolled up on B and C becomes (a1, *, *, *): count 3.
+    answer = engine.rollup((0, 0, 0, None), dims=(1, 2))
+    assert answer.cell == (0, None, None, None)
+    assert answer.count == 3
+
+
+def test_query_validation_errors(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2))
+    with pytest.raises(QueryError):
+        engine.point((0, None))  # wrong arity
+    with pytest.raises(QueryError):
+        engine.point((0, None, -3, None))  # negative encoded value
+    with pytest.raises(QueryError):
+        engine.slice({0: 0}, group_by=[0])  # group-by overlaps fixed
+    with pytest.raises(QueryError):
+        engine.rollup((0, 0, 0, None), dims=(9,))  # out-of-range dimension
+    with pytest.raises(QueryError):
+        engine.execute("not a query")  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# Batch execution and caching                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def test_execute_many_preserves_order_and_shapes(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2))
+    queries = [
+        PointQuery((0, None, 0, None)),
+        RollupQuery((0, 0, 0, None), (2,)),
+        SliceQuery.of({0: 0}, [1]),
+        PointQuery((1, None, None, None)),  # pruned: below min_sup
+    ]
+    results = engine.execute_many(queries)
+    assert results[0].count == 2
+    assert results[1].count == 2
+    assert isinstance(results[2], list) and results[2][0].count == 2
+    assert results[3].count is None and not results[3].found
+
+
+def test_cache_serves_repeats_without_new_lookups(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2))
+    for _ in range(5):
+        engine.point((0, None, 0, None))
+    assert engine.counters["closure_lookups"] == 1
+    assert engine.cache.hits == 4
+    # Negative answers are cached too.
+    for _ in range(3):
+        engine.point((1, None, None, None))
+    assert engine.counters["closure_lookups"] == 2
+
+
+def test_cache_capacity_zero_disables_caching(paper_table1):
+    engine = open_query_engine(compute_closed_cube(paper_table1, min_sup=2), cache_size=0)
+    for _ in range(3):
+        engine.point((0, None, 0, None))
+    assert engine.counters["closure_lookups"] == 3
+    assert engine.cache.hits == 0
+
+
+def test_lru_cache_eviction_order():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a": now "b" is least recent
+    cache.put("c", 3)
+    assert cache.evictions == 1
+    assert cache.get("b") is None and cache.get("a") == 1 and cache.get("c") == 3
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+# --------------------------------------------------------------------------- #
+# Index structure                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_index_specialisation_slots_match_definition(small_skewed_relation):
+    cube = compute_closed_cube(small_skewed_relation, min_sup=1)
+    index = CubeIndex.from_cube(cube)
+    from repro.core.cell import is_specialisation
+
+    for cell in lattice_cells(small_skewed_relation, extra_value=False):
+        via_index = {index.cell_at(slot) for slot in index.specialisation_slots(cell)}
+        via_scan = {other for other in cube if is_specialisation(cell, other)}
+        assert via_index == via_scan
+
+
+def test_index_rejects_wrong_arity(paper_table1):
+    index = CubeIndex.from_cube(compute_closed_cube(paper_table1, min_sup=2))
+    with pytest.raises(QueryError):
+        index.closure_slot((0, None))
+    with pytest.raises(QueryError):
+        index.values_on_dimension(17)
+
+
+# --------------------------------------------------------------------------- #
+# Partitioned serving                                                          #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_partitioned_engine_matches_flat_engine(seed):
+    relation = random_relation(seed + 600, max_dims=4, max_cardinality=3, max_tuples=30)
+    if relation.num_dimensions < 2:
+        pytest.skip("partitioning needs two dimensions")
+    min_sup = 2
+    flat = open_query_engine(compute_closed_cube(relation, min_sup=min_sup))
+    engine, report = open_partitioned_query_engine(relation, min_sup=min_sup)
+    assert report.num_partitions == len(
+        set(relation.columns[report.partition_dim])
+    )
+    for cell in lattice_cells(relation):
+        assert engine.point(cell).count == flat.point(cell).count, cell
+
+
+def test_partitioned_slice_and_batch_routing(small_skewed_relation):
+    min_sup = 1
+    flat = open_query_engine(compute_closed_cube(small_skewed_relation, min_sup=min_sup))
+    engine, report = open_partitioned_query_engine(small_skewed_relation, min_sup=min_sup)
+    pdim = report.partition_dim
+    values = sorted(set(small_skewed_relation.columns[pdim]))
+    # Slices pinned to one partition value touch only that shard.
+    for value in values:
+        flat_answers = flat.slice({pdim: value}, group_by=[(pdim + 1) % 3])
+        part_answers = engine.slice({pdim: value}, group_by=[(pdim + 1) % 3])
+        assert [(a.cell, a.count) for a in part_answers] == [
+            (a.cell, a.count) for a in flat_answers
+        ]
+    # Batch execution preserves input order across shard-grouped routing.
+    queries = [
+        PointQuery((None, None, None)),
+        SliceQuery.of({pdim: values[0]}, [(pdim + 1) % 3]),
+        PointQuery(tuple(values[0] if dim == pdim else None for dim in range(3))),
+    ]
+    flat_results = flat.execute_many(queries)
+    part_results = engine.execute_many(queries)
+    assert part_results[0].count == flat_results[0].count
+    assert [a.count for a in part_results[1]] == [a.count for a in flat_results[1]]
+    assert part_results[2].count == flat_results[2].count
+
+
+def test_partitioned_engine_shard_layout(small_skewed_relation):
+    engine, report = open_partitioned_query_engine(small_skewed_relation, min_sup=1)
+    sizes = engine.shard_sizes()
+    # Every materialised cell lands in exactly one shard.
+    assert sum(sizes.values()) == len(engine.cube)
+    # Cells fixing the partition dimension live in their value's shard.
+    for cell in engine.cube:
+        value = cell[engine.partition_dim]
+        assert cell in engine.shards[value].cube
+    with pytest.raises(QueryError):
+        PartitionedQueryEngine(engine.cube, partition_dim=99)
