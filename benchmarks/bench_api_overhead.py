@@ -1,0 +1,145 @@
+"""Named-API overhead gate: ServingCube named queries vs positional QueryEngine.
+
+The session layer (:mod:`repro.session`) translates dimension names and raw
+values through the value dictionaries before hitting the same serving engine
+the positional API uses.  That translation must stay cheap — this benchmark
+answers one identical point-query workload twice:
+
+1. ``positional`` — :class:`repro.query.QueryEngine` with encoded cells,
+2. ``named``      — :class:`repro.session.ServingCube` with ``{name: value}``
+   specs over the same cube,
+
+and exits non-zero when the named path costs more than ``--max-overhead``
+(default 25%) over the positional path::
+
+    PYTHONPATH=src python benchmarks/bench_api_overhead.py
+    PYTHONPATH=src python benchmarks/bench_api_overhead.py --tuples 20000
+
+Both paths run with their answer caches enabled on a skewed (hot-spot) replay
+— the realistic serving shape, and the shape where constant per-query
+translation overhead is most visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro import CubeSession, compute_closed_cube, open_query_engine
+from repro.core.cell import Cell
+from repro.core.cube import CubeResult
+from repro.core.relation import Relation
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+
+
+def build_workload(
+    cube: CubeResult, relation: Relation, num_queries: int, seed: int
+) -> Tuple[List[Cell], List[Dict[str, object]]]:
+    """The same skewed point-query mix in both languages.
+
+    Queries are anchored on a hot subset of materialised cells with random
+    dimensions starred out (dashboard traffic); the positional and named
+    workloads address the exact same cells.
+    """
+    rng = random.Random(seed)
+    cells = list(cube)
+    hot = [cells[rng.randrange(len(cells))] for _ in range(min(64, len(cells)))]
+    names = relation.schema.dimension_names
+    positional: List[Cell] = []
+    named: List[Dict[str, object]] = []
+    for _ in range(num_queries):
+        base = list(hot[rng.randrange(len(hot))])
+        for dim in range(len(base)):
+            if rng.random() < 0.4:
+                base[dim] = None
+        target = tuple(base)
+        positional.append(target)
+        named.append(
+            {
+                names[dim]: relation.decode(dim, code)
+                for dim, code in enumerate(target)
+                if code is not None
+            }
+        )
+    return positional, named
+
+
+def time_loop(run, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``run()`` (minimum damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000)
+    parser.add_argument("--dims", type=int, default=6)
+    parser.add_argument("--cardinality", type=int, default=25)
+    parser.add_argument("--min-sup", type=int, default=20)
+    parser.add_argument("--queries", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.25,
+        help="maximum tolerated (named - positional) / positional",
+    )
+    args = parser.parse_args(argv or sys.argv[1:])
+
+    config = SyntheticConfig.uniform(
+        args.tuples, args.dims, args.cardinality, skew=1.0, seed=args.seed
+    )
+    relation = generate_relation(config)
+    print(f"relation: {config.describe()}")
+
+    cube = compute_closed_cube(relation, min_sup=args.min_sup)
+    print(f"closed cube: {len(cube)} cells (min_sup={args.min_sup})")
+    if len(cube) == 0:
+        print(
+            f"no cells survive min_sup={args.min_sup} on {args.tuples} tuples; "
+            "lower --min-sup or raise --tuples",
+            file=sys.stderr,
+        )
+        return 1
+
+    positional_engine = open_query_engine(cube)
+    named_cube = CubeSession.from_relation(relation).closed(args.min_sup).build()
+
+    positional, named = build_workload(cube, relation, args.queries, args.seed)
+
+    # Warm both caches with one full replay, then time steady-state serving.
+    for cell in positional:
+        positional_engine.point(cell)
+    for spec in named:
+        named_cube.point(spec)
+
+    positional_time = time_loop(
+        lambda: [positional_engine.point(cell) for cell in positional]
+    )
+    named_time = time_loop(lambda: [named_cube.point(spec) for spec in named])
+
+    overhead = (named_time - positional_time) / positional_time
+    qps_positional = args.queries / positional_time
+    qps_named = args.queries / named_time
+    print(f"positional: {positional_time * 1e6 / args.queries:8.2f} us/query "
+          f"({qps_positional:,.0f} q/s)")
+    print(f"named:      {named_time * 1e6 / args.queries:8.2f} us/query "
+          f"({qps_named:,.0f} q/s)")
+    print(f"overhead:   {overhead * 100:+.1f}% (gate: < {args.max_overhead * 100:.0f}%)")
+
+    if overhead > args.max_overhead:
+        print("FAIL: named-query overhead exceeds the gate", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,10 @@ contains exactly two cells — ``(a1, b1, c1, *)`` and ``(a1, *, *, *)`` — whi
 the covered cell ``(a1, *, c1, *)`` and the infrequent cell
 ``(a1, b2, c2, d2)`` are not materialised.
 
+This walkthrough uses the *positional* facade (encoded cells); see
+``examples/session_quickstart.py`` for the named-schema session API most
+applications should start from.
+
 Run with::
 
     python examples/quickstart.py

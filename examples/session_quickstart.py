@@ -1,0 +1,88 @@
+"""Session quickstart: from raw string rows to named queries, end to end.
+
+The tour of the named-schema API (:mod:`repro.session`):
+
+1. build a :class:`CubeSession` straight from raw rows (no hand-encoding),
+2. let ``using("auto")`` plan the C-Cubing variant from the relation's shape,
+3. query by dimension *names* and raw values — point, slice, roll-up, batch,
+4. ask ``explain()`` which materialised closed cell covered each answer.
+
+Run with::
+
+    python examples/session_quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Avg, CubeSession, Sum
+
+
+def retail_rows(num_rows: int = 2000, seed: int = 7):
+    """A small retail fact table: (store, product, day, price)."""
+    rng = random.Random(seed)
+    stores = ["nyc", "sfo", "chi"]
+    products = ["shoe", "sock", "hat", "belt"]
+    days = ["mon", "tue", "wed", "thu", "fri"]
+    rows = []
+    for _ in range(num_rows):
+        store = rng.choices(stores, weights=(5, 3, 2))[0]
+        product = rng.choices(products, weights=(4, 3, 2, 1))[0]
+        rows.append((store, product, rng.choice(days), round(rng.uniform(5, 80), 2)))
+    return rows
+
+
+def main() -> None:
+    session = (
+        CubeSession.from_rows(
+            retail_rows(),
+            schema={
+                "dimensions": ["store", "product", "day"],
+                "measures": ["price"],
+            },
+        )
+        .closed(min_sup=5)
+        .measures(Sum("price"), Avg("price"))
+        .using("auto")
+    )
+
+    print("Planner decision:")
+    print(session.plan().explain())
+    print()
+
+    cube = session.build()
+    print(f"Built {cube!r} in {cube.build_seconds:.3f}s")
+    print()
+
+    answer = cube.point({"store": "nyc", "product": "shoe"})
+    print("point(store=nyc, product=shoe):",
+          f"count={answer.count}, sum(price)={answer.measure('sum(price)'):.2f}")
+
+    print("\nrollup to product:")
+    for row in cube.rollup(["product"]):
+        coords = row.coordinates_dict()
+        print(f"  {coords['product']:<5} count={row.count:<5} "
+              f"avg(price)={row.measure('avg(price)'):.2f}")
+
+    print("\nslice day=mon grouped by store:")
+    for row in cube.slice({"day": "mon"}, group_by=["store"]):
+        print(f"  {row.coordinates_dict()['store']:<4} count={row.count}")
+
+    print("\nbatched queries (order-preserving):")
+    results = cube.query_many(
+        [
+            {"store": "sfo"},
+            {"op": "rollup", "dims": ["day"]},
+            {"op": "slice", "fixed": {"product": "hat"}, "group_by": ["store"]},
+        ]
+    )
+    print(f"  sfo count={results[0].count}, "
+          f"{len(results[1])} day cells, {len(results[2])} hat/store cells")
+
+    print("\nexplain(store=chi, product=belt):")
+    print(cube.explain({"store": "chi", "product": "belt"}).describe())
+
+
+if __name__ == "__main__":
+    main()

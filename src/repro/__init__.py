@@ -15,18 +15,30 @@ The package provides:
 * a benchmark harness regenerating every figure of the evaluation section,
 * a closure-query serving layer (:mod:`repro.query`) answering point, slice,
   and roll-up queries on any lattice cell from the closed cube alone, via
-  per-dimension inverted indexes, an LRU cache, and partition-aware routing.
+  per-dimension inverted indexes, an LRU cache, and partition-aware routing,
+* a named-schema session API (:mod:`repro.session`) — the documented entry
+  point: named dimensions and measures, raw values, a fluent build chain, and
+  an algorithm auto-planner.
 
 Quick start::
 
-    from repro import Relation, compute_closed_cube
+    from repro import CubeSession
 
     rows = [("a1", "b1", "c1", "d1"),
             ("a1", "b1", "c1", "d3"),
             ("a1", "b2", "c2", "d2")]
-    relation = Relation.from_rows(rows, ["A", "B", "C", "D"])
-    cube = compute_closed_cube(relation, min_sup=2)
-    print(cube.format(relation))
+    cube = (
+        CubeSession.from_rows(rows, schema=["A", "B", "C", "D"])
+        .closed(min_sup=2)
+        .using("auto")
+        .build()
+    )
+    print(cube.point({"A": "a1", "C": "c1"}).count)   # -> 2
+    print(cube.explain({"A": "a1", "C": "c1"}).describe())
+
+The positional facade (:func:`repro.core.api.compute_closed_cube` and
+friends) remains fully supported as the layer the session delegates to; see
+``docs/MIGRATION.md``.
 """
 
 from .core.api import (
@@ -49,7 +61,26 @@ from .core.measures import (
     SumMeasure,
 )
 from .core.relation import Relation, Schema
-from .algorithms.base import available_algorithms, algorithms_supporting_closed
+from .algorithms.base import (
+    algorithm_capabilities,
+    algorithms_supporting_closed,
+    available_algorithms,
+)
+from .session import (
+    Avg,
+    Count,
+    CubeSchema,
+    CubeSession,
+    Explanation,
+    Max,
+    Min,
+    NamedAnswer,
+    Plan,
+    RelationStats,
+    ServingCube,
+    Sum,
+    plan_algorithm,
+)
 from .query import (
     PartitionedQueryEngine,
     PointQuery,
@@ -64,6 +95,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "CubeSession",
+    "ServingCube",
+    "NamedAnswer",
+    "Explanation",
+    "CubeSchema",
+    "Plan",
+    "RelationStats",
+    "plan_algorithm",
+    "Sum",
+    "Min",
+    "Max",
+    "Avg",
+    "Count",
     "Relation",
     "Schema",
     "CubeResult",
@@ -82,6 +126,7 @@ __all__ = [
     "RollupQuery",
     "available_algorithms",
     "algorithms_supporting_closed",
+    "algorithm_capabilities",
     "DEFAULT_CLOSED_ALGORITHM",
     "DEFAULT_ICEBERG_ALGORITHM",
     "CountMeasure",

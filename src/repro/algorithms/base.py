@@ -10,14 +10,15 @@ by name.
 
 from __future__ import annotations
 
+import difflib
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Type
 
 from ..core.cube import CubeResult
 from ..core.errors import AlgorithmError, UnknownAlgorithmError
-from ..core.measures import EMPTY_MEASURES, IcebergCondition, MeasureSet
+from ..core.measures import IcebergCondition, MeasureSet
 from ..core.ordering import resolve_order
 from ..core.relation import Relation
 
@@ -94,6 +95,9 @@ class CubingAlgorithm(ABC):
     supports_closed: bool = False
     #: ``True`` when the algorithm can emit non-closed (iceberg) cubes.
     supports_non_closed: bool = True
+    #: ``True`` when the algorithm can aggregate payload measures alongside
+    #: ``count`` (the star family aggregates count only).
+    supports_measures: bool = True
     #: ``True`` when the result depends on the dimension order option.
     order_sensitive: bool = False
 
@@ -116,11 +120,36 @@ class CubingAlgorithm(ABC):
             raise AlgorithmError(
                 f"{self.name} only computes closed cubes; set closed=True"
             )
+        if self.options.measures and not self.supports_measures:
+            raise AlgorithmError(
+                f"{self.name} aggregates count only; payload measures are not "
+                "supported (use the MM family, BUC, or the naive oracle)"
+            )
         if self.options.min_sup < 1:
             raise AlgorithmError("min_sup must be at least 1")
         collapsed = list(self.options.initial_collapsed)
         if len(set(collapsed)) != len(collapsed):
             raise AlgorithmError("initial_collapsed contains duplicates")
+
+    def validate_against_relation(self, relation: Relation) -> None:
+        """Reject options that are inconsistent with the input relation.
+
+        Called by :meth:`run` once the relation is known, so that bad indices
+        fail here with a clear message instead of deep inside an algorithm's
+        recursion (typically as an opaque ``IndexError``).
+        """
+        arity = relation.num_dimensions
+        bad = [
+            dim
+            for dim in self.options.initial_collapsed
+            if not isinstance(dim, int) or not 0 <= dim < arity
+        ]
+        if bad:
+            raise AlgorithmError(
+                f"initial_collapsed references dimensions {bad} outside the "
+                f"relation's range 0..{arity - 1} "
+                f"(dimensions: {list(relation.schema.dimension_names)})"
+            )
 
     def resolve_order(self, relation: Relation) -> List[int]:
         """Concrete dimension processing order for this run."""
@@ -135,6 +164,7 @@ class CubingAlgorithm(ABC):
     def run(self, relation: Relation) -> RunResult:
         """Validate options, compute the cube, and time the computation."""
         self.validate_options()
+        self.validate_against_relation(relation)
         self.counters = {}
         start = time.perf_counter()
         cube = self.compute(relation)
@@ -152,6 +182,10 @@ class CubingAlgorithm(ABC):
 
 _REGISTRY: Dict[str, Type[CubingAlgorithm]] = {}
 
+#: Name reserved for planner-resolved algorithm selection (see
+#: :func:`resolve_algorithm`); never a registry key itself.
+AUTO_ALGORITHM = "auto"
+
 
 def register_algorithm(
     cls: Type[CubingAlgorithm], aliases: Iterable[str] = ()
@@ -159,6 +193,10 @@ def register_algorithm(
     """Register an algorithm class under its ``name`` and any aliases."""
     for key in [cls.name, *aliases]:
         normalized = key.lower()
+        if normalized == AUTO_ALGORITHM:
+            raise AlgorithmError(
+                f"{AUTO_ALGORITHM!r} is reserved for planner-based selection"
+            )
         existing = _REGISTRY.get(normalized)
         if existing is not None and existing is not cls:
             raise AlgorithmError(
@@ -172,20 +210,95 @@ def register_algorithm(
 def get_algorithm(
     name: str, options: Optional[CubingOptions] = None
 ) -> CubingAlgorithm:
-    """Instantiate a registered algorithm by name."""
+    """Instantiate a registered algorithm by name (primary name or alias)."""
     cls = _REGISTRY.get(name.lower())
     if cls is None:
+        suggestions = difflib.get_close_matches(
+            name.lower(), sorted(_REGISTRY), n=1, cutoff=0.4
+        )
+        hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
         raise UnknownAlgorithmError(
-            f"unknown algorithm {name!r}; available: {sorted(set(_REGISTRY))}"
+            f"unknown algorithm {name!r}{hint} "
+            f"(available: {available_algorithms()}; pass {AUTO_ALGORITHM!r} "
+            "to let the planner choose)"
         )
     return cls(options)
 
 
-def available_algorithms() -> List[str]:
-    """Primary names of every registered algorithm."""
+def available_algorithms(include_aliases: bool = False) -> List[str]:
+    """Registered algorithm names.
+
+    By default only *primary* names are returned (one per algorithm, the names
+    used in the paper's figures and in error messages); with
+    ``include_aliases=True`` every accepted spelling is included.
+    """
+    if include_aliases:
+        return sorted(_REGISTRY)
     return sorted({cls.name for cls in _REGISTRY.values()})
 
 
 def algorithms_supporting_closed() -> List[str]:
     """Primary names of the algorithms that can emit closed cubes."""
     return sorted({cls.name for cls in _REGISTRY.values() if cls.supports_closed})
+
+
+def algorithm_capabilities() -> Dict[str, Dict[str, object]]:
+    """Capability metadata per primary algorithm name.
+
+    Each entry reports what the planner (and callers) may assume about the
+    algorithm: whether it can emit closed / non-closed cubes, whether its
+    result depends on the dimension order option, and which alias spellings
+    resolve to it.
+    """
+    capabilities: Dict[str, Dict[str, object]] = {}
+    for key, cls in _REGISTRY.items():
+        entry = capabilities.setdefault(
+            cls.name,
+            {
+                "supports_closed": cls.supports_closed,
+                "supports_non_closed": cls.supports_non_closed,
+                "supports_measures": cls.supports_measures,
+                "order_sensitive": cls.order_sensitive,
+                "aliases": [],
+            },
+        )
+        if key != cls.name.lower():
+            entry["aliases"].append(key)  # type: ignore[union-attr]
+    for entry in capabilities.values():
+        entry["aliases"] = sorted(entry["aliases"])  # type: ignore[arg-type]
+    return capabilities
+
+
+# --------------------------------------------------------------------------- #
+# Planner hook                                                                 #
+# --------------------------------------------------------------------------- #
+
+#: Signature of an auto-planner: given the input relation and the run options,
+#: return the registry name of the algorithm to use.
+Planner = Callable[[Relation, CubingOptions], str]
+
+_PLANNER: Optional[Planner] = None
+
+
+def register_planner(planner: Planner) -> Planner:
+    """Install the planner consulted when an algorithm is named ``"auto"``."""
+    global _PLANNER
+    _PLANNER = planner
+    return planner
+
+
+def resolve_algorithm(name: str, relation: Relation, options: CubingOptions) -> str:
+    """Resolve ``name`` to a concrete registry name, planning when ``"auto"``.
+
+    Non-``"auto"`` names pass through unchanged (including unknown ones —
+    :func:`get_algorithm` reports those).  ``"auto"`` consults the planner
+    registered via :func:`register_planner`; the default planner
+    (:mod:`repro.session.planner`) is loaded lazily on first use.
+    """
+    if name.lower() != AUTO_ALGORITHM:
+        return name
+    if _PLANNER is None:
+        from ..session import planner as _default_planner  # noqa: F401  (self-registers)
+    if _PLANNER is None:  # pragma: no cover - defensive
+        raise AlgorithmError("no auto-planner is registered")
+    return _PLANNER(relation, options)

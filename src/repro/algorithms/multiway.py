@@ -23,7 +23,7 @@ obtained by construction.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.closedness import ClosednessState
 from ..core.measures import MeasureSet, MeasureState

@@ -18,7 +18,6 @@ from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cell import Cell
-from ..core.closedness import closedness_of_tids
 from ..core.cube import CubeResult
 from ..core.measures import MeasureState
 from ..core.relation import Relation

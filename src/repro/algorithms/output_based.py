@@ -25,7 +25,7 @@ paper talks about.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.cell import Cell, is_strict_specialisation
 from ..core.cube import CubeResult

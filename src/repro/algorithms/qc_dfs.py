@@ -20,7 +20,7 @@ dimension does share a value the scan must touch the entire partition.  The
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.relation import Relation
 from ..core.cube import CubeResult

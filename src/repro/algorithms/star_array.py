@@ -50,6 +50,7 @@ class StarArrayCubing(CubingAlgorithm):
     name = "star-array"
     supports_closed = False
     supports_non_closed = True
+    supports_measures = False
     order_sensitive = True
 
     #: Whether globally infrequent values are star-reduced (no effect at min_sup=1).

@@ -27,7 +27,7 @@ of this engine:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.cell import Cell, all_mask
 from ..core.closedness import closed_pruning_applies, tree_mask_after_collapse
@@ -50,6 +50,7 @@ class StarCubing(CubingAlgorithm):
     name = "star-cubing"
     supports_closed = False
     supports_non_closed = True
+    supports_measures = False
     order_sensitive = True
 
     #: Whether globally infrequent values are star-reduced (no effect at min_sup=1).

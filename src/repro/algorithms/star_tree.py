@@ -26,7 +26,7 @@ participate in aggregation (their tuples count toward ``*`` cells).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.closedness import ClosednessState, closedness_of_tids
 from ..core.relation import Relation

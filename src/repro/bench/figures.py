@@ -16,13 +16,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
-from ..algorithms.base import CubingOptions, get_algorithm
 from ..core.errors import WorkloadError
-from ..core.ordering import ORDERINGS
 from ..core.validate import reference_closed_cube, reference_iceberg_cube
-from ..datagen.synthetic import SyntheticConfig, generate_relation, mixed_cardinality_config
+from ..datagen.synthetic import SyntheticConfig, generate_relation
 from ..rules.closed_rules import compression_report, mine_closed_rules
 from ..storage.partition import PartitionedCubeComputer
 from .harness import ExperimentRunner

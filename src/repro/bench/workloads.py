@@ -10,7 +10,7 @@ the paper (see DESIGN.md Section 4 and EXPERIMENTS.md for the mapping).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..core.relation import Relation

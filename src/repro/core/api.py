@@ -1,6 +1,12 @@
-"""High-level facade: one-call cube computation.
+"""Positional facade: one-call cube computation on encoded relations.
 
-The functions here are the entry points most users need:
+.. note::
+   Since the named-schema session API landed, :class:`repro.session.CubeSession`
+   is the documented entry point for applications — it speaks dimension *names*
+   and raw values instead of encoded integers, and plans the algorithm
+   automatically.  The functions below remain fully supported as the thin
+   positional layer the session delegates to (and the layer benchmarks and
+   algorithm research should keep using); see ``docs/MIGRATION.md``.
 
 >>> from repro import Relation, compute_closed_cube
 >>> rows = [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a1", "b2", "c1")]
@@ -12,7 +18,9 @@ The functions here are the entry points most users need:
 Algorithms are addressed by their registry name (``"c-cubing-star"``,
 ``"c-cubing-mm"``, ``"c-cubing-star-array"``, ``"qc-dfs"``, ``"mm-cubing"``,
 ``"star-cubing"``, ``"star-array"``, ``"buc"``, ``"naive"``, ...); see
-:func:`repro.algorithms.base.available_algorithms`.
+:func:`repro.algorithms.base.available_algorithms`.  The name ``"auto"``
+defers the choice to the planner (:mod:`repro.session.planner`), which picks a
+C-Cubing variant from the relation's shape (Figure 15 of the paper).
 """
 
 from __future__ import annotations
@@ -73,6 +81,7 @@ def compute_cube(
         Dimensions forced to ``*`` in every output cell.
     """
     options = _build_options(min_sup, False, measures, dimension_order, initial_collapsed)
+    algorithm = _base.resolve_algorithm(algorithm, relation, options)
     return _base.get_algorithm(algorithm, options).run(relation).cube
 
 
@@ -92,6 +101,7 @@ def compute_closed_cube(
     non-materialised cells).
     """
     options = _build_options(min_sup, True, measures, dimension_order, initial_collapsed)
+    algorithm = _base.resolve_algorithm(algorithm, relation, options)
     return _base.get_algorithm(algorithm, options).run(relation).cube
 
 
@@ -131,4 +141,5 @@ def run_algorithm(
     :func:`compute_cube` or :func:`compute_closed_cube` instead.
     """
     options = _build_options(min_sup, closed, measures, dimension_order, initial_collapsed)
+    algorithm = _base.resolve_algorithm(algorithm, relation, options)
     return _base.get_algorithm(algorithm, options).run(relation)

@@ -16,7 +16,7 @@ needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .cell import (
     Cell,
@@ -235,6 +235,24 @@ class CubeResult:
     def to_rows(self) -> List[Tuple[Cell, int]]:
         """(cell, count) pairs in stable order; convenient for tests and demos."""
         return [(cell, self._cells[cell].count) for cell in self.cells()]
+
+    def to_named_rows(self, relation: Relation) -> List[Tuple[Dict[str, object], int]]:
+        """(coordinates, count) pairs with decoded values keyed by dimension name.
+
+        Aggregated (``*``) dimensions are omitted from the coordinate mapping,
+        mirroring how the named session API (:mod:`repro.session`) renders
+        answers.
+        """
+        names = relation.schema.dimension_names
+        rows: List[Tuple[Dict[str, object], int]] = []
+        for cell in self.cells():
+            coords = {
+                names[dim]: relation.decode(dim, code)
+                for dim, code in enumerate(cell)
+                if code is not None
+            }
+            rows.append((coords, self._cells[cell].count))
+        return rows
 
     def format(
         self, relation: Optional[Relation] = None, limit: Optional[int] = None

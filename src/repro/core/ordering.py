@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 from .errors import SchemaError
 from .relation import Relation

@@ -260,6 +260,47 @@ class Relation:
                 f"{self.schema.dimension_names[dim]!r}"
             ) from exc
 
+    def encoder(self, dim: int) -> Dict[object, int]:
+        """The value dictionary of dimension ``dim``: raw value -> code.
+
+        The inverse of :attr:`decoders`; built lazily and cached (the
+        dictionaries are append-only once the relation exists).  This is the
+        encode half of the value-dictionary layer the named session API
+        (:mod:`repro.session`) uses to translate raw query values.
+        """
+        encoders = getattr(self, "_encoders", None)
+        if encoders is None:
+            encoders = [None] * self.num_dimensions
+            object.__setattr__(self, "_encoders", encoders)
+        if encoders[dim] is None:
+            encoders[dim] = {raw: code for code, raw in self.decoders[dim].items()}
+        return encoders[dim]
+
+    def encode(self, dim: int, raw: object) -> int:
+        """Code of raw value ``raw`` on dimension ``dim``.
+
+        Raises :class:`EncodingError` when the value never appears in the
+        relation; use :meth:`try_encode` for the non-raising variant.
+        """
+        code = self.encoder(dim).get(raw)
+        if code is None:
+            raise EncodingError(
+                f"value {raw!r} does not appear in dimension "
+                f"{self.schema.dimension_names[dim]!r}"
+            )
+        return code
+
+    def try_encode(self, dim: int, raw: object) -> Optional[int]:
+        """Code of ``raw`` on dimension ``dim``, or ``None`` if it never appears."""
+        return self.encoder(dim).get(raw)
+
+    def decode_cell(self, cell: Sequence[Optional[int]]) -> Tuple[object, ...]:
+        """Decode a group-by cell to raw values (``None`` entries stay ``None``)."""
+        return tuple(
+            None if code is None else self.decode(dim, code)
+            for dim, code in enumerate(cell)
+        )
+
     # ------------------------------------------------------------------ #
     # Transformations                                                     #
     # ------------------------------------------------------------------ #

@@ -16,7 +16,7 @@ users who want to sanity-check a result on a sample of their data:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 from .cube import CubeResult, count_matching_tuples
 from .errors import ValidationError

@@ -14,8 +14,8 @@ reproduce byte-identical datasets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..core.errors import WorkloadError
 from ..core.relation import Relation

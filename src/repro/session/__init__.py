@@ -1,0 +1,63 @@
+"""Named-schema session API: the documented entry point of the library.
+
+Everything downstream of the raw data speaks *names* here — named dimensions,
+named measures, raw (un-encoded) values — with the positional core
+(:mod:`repro.core`, :mod:`repro.query`) doing the actual work underneath:
+
+>>> from repro.session import CubeSession, Sum
+>>> rows = [("a1", "b1", "c1", 10.0),
+...         ("a1", "b1", "c2", 20.0),
+...         ("a1", "b2", "c1", 30.0)]
+>>> cube = (
+...     CubeSession.from_rows(
+...         rows,
+...         schema={"dimensions": ["A", "B", "C"], "measures": ["price"]},
+...     )
+...     .closed(min_sup=2)
+...     .measures(Sum("price"))
+...     .using("auto")
+...     .build()
+... )
+>>> cube.point({"A": "a1", "C": "c1"}).count
+2
+
+The pieces:
+
+* :class:`CubeSession` (:mod:`repro.session.session`) — fluent builder;
+* :class:`ServingCube` (:mod:`repro.session.serving`) — named point / slice /
+  roll-up queries, batching, and :meth:`~repro.session.serving.ServingCube.
+  explain`;
+* :mod:`repro.session.planner` — the ``"auto"`` algorithm planner (the
+  paper's Figure 15 regions over relation statistics);
+* :mod:`repro.session.schema` — named schemas and raw-row splitting;
+* ``Sum`` / ``Min`` / ``Max`` / ``Avg`` / ``Count`` — measure DSL (aliases of
+  the core measure specs, re-exported under query-friendly names).
+"""
+
+from ..core.measures import (
+    AvgMeasure as Avg,
+    CountMeasure as Count,
+    MaxMeasure as Max,
+    MinMeasure as Min,
+    SumMeasure as Sum,
+)
+from .planner import Plan, RelationStats, plan_algorithm
+from .schema import CubeSchema
+from .serving import Explanation, NamedAnswer, ServingCube
+from .session import CubeSession
+
+__all__ = [
+    "CubeSession",
+    "ServingCube",
+    "NamedAnswer",
+    "Explanation",
+    "CubeSchema",
+    "Plan",
+    "RelationStats",
+    "plan_algorithm",
+    "Sum",
+    "Min",
+    "Max",
+    "Avg",
+    "Count",
+]

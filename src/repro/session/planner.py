@@ -1,0 +1,219 @@
+"""Algorithm auto-planner: pick a C-Cubing variant from relation statistics.
+
+The paper's evaluation ends with a "best algorithm" map (Figure 15): neither
+C-Cubing(MM) nor C-Cubing(Star) dominates — which one wins depends on where
+the workload sits in the (min_sup, data regularity) plane, and the dense/flat
+regime has its own winner in the array-based variant (Figure 16's StarArray
+trade-off).  The planner encodes those regions as explicit, inspectable rules
+over cheap relation statistics:
+
+* **dense region** — few dimensions, small per-dimension cardinality, and a
+  base table that fills a non-trivial fraction of the cell space: array
+  aggregation amortises best, so C-Cubing(StarArray) is chosen;
+* **high-min_sup region** — when ``min_sup`` is large relative to the table,
+  iceberg pruning does most of the work and the simpler MM-Cubing host wins:
+  C-Cubing(MM);
+* **everything else** — star-tree sharing pays off, C-Cubing(Star); and the
+  more *regular* (skewed / value-concentrated) the data, the larger
+  ``min_sup`` has to grow before MM overtakes Star, exactly the drift of the
+  switching point across Figure 15's rows.
+
+The planner is consulted whenever an algorithm is named ``"auto"`` — both by
+:class:`repro.session.CubeSession` and by the positional facade
+(:func:`repro.core.api.compute_closed_cube` and friends) through the hook in
+:mod:`repro.algorithms.base`.  Statistics are computed in one pass over the
+columns; planning never runs the data through a cubing engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..algorithms import base as _base
+from ..core.relation import Relation
+
+# Region boundaries.  The absolute values are calibrated to the paper's
+# synthetic workloads (T up to 1M, C up to 1000); what matters for the planner
+# is the *shape* of the regions: the dense region triggers on cardinality and
+# fill factor, and the MM/Star switching min_sup scales with table size and
+# grows with data regularity (Figure 15).
+DENSE_MAX_DIMS = 12
+DENSE_MAX_CARDINALITY = 64
+DENSE_MIN_FILL = 0.05
+BASE_SWITCH_MIN_SUP = 8
+SWITCH_TUPLES_DIVISOR = 5000
+SKEW_SWITCH_BOOST = 4.0
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cheap shape statistics of a relation, the planner's only input.
+
+    ``skew`` is the mean per-dimension entropy deficit ``1 - H / log(C)`` —
+    ``0.0`` for uniform value distributions, approaching ``1.0`` as each
+    dimension concentrates on few values.  It proxies both the Zipf skew ``S``
+    and the dependence score ``R`` of the paper's generators: either knob
+    lowers value entropy.  ``fill`` is the fraction of the full cell space the
+    base table could cover (``T`` over the cardinality product, capped at 1).
+    """
+
+    num_tuples: int
+    num_dims: int
+    cardinalities: Tuple[int, ...]
+    skew: float
+    fill: float
+
+    @property
+    def max_cardinality(self) -> int:
+        return max(self.cardinalities)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "RelationStats":
+        """Measure a relation in one pass per column."""
+        num_tuples = relation.num_tuples
+        cardinalities = []
+        deficits = []
+        for column in relation.columns:
+            counts = Counter(column)
+            cardinality = len(counts)
+            cardinalities.append(cardinality)
+            if cardinality <= 1 or num_tuples <= 1:
+                deficits.append(1.0 if cardinality == 1 else 0.0)
+                continue
+            entropy = -sum(
+                (count / num_tuples) * math.log(count / num_tuples)
+                for count in counts.values()
+            )
+            deficits.append(max(0.0, 1.0 - entropy / math.log(cardinality)))
+        space = 1.0
+        for cardinality in cardinalities:
+            space *= cardinality
+        return cls(
+            num_tuples=num_tuples,
+            num_dims=relation.num_dimensions,
+            cardinalities=tuple(cardinalities),
+            skew=sum(deficits) / len(deficits),
+            fill=min(1.0, num_tuples / space),
+        )
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's decision plus the evidence behind it."""
+
+    algorithm: str
+    closed: bool
+    min_sup: int
+    stats: RelationStats
+    reasons: Tuple[str, ...]
+
+    def explain(self) -> str:
+        """Human-readable account of the decision."""
+        stats = self.stats
+        header = (
+            f"chose {self.algorithm!r} for "
+            f"{'closed' if self.closed else 'iceberg'} cube, min_sup={self.min_sup} "
+            f"(T={stats.num_tuples}, D={stats.num_dims}, "
+            f"C_max={stats.max_cardinality}, skew={stats.skew:.3f}, "
+            f"fill={stats.fill:.2g})"
+        )
+        return "\n".join([header, *(f"- {reason}" for reason in self.reasons)])
+
+
+def switching_min_sup(stats: RelationStats) -> float:
+    """The MM/Star switching threshold for this data shape.
+
+    Scales with table size and grows with regularity: regular data keeps the
+    star-tree sharing of C-Cubing(Star) profitable deeper into the iceberg,
+    moving the switch point right — the Figure 15 drift.
+    """
+    base = max(BASE_SWITCH_MIN_SUP, stats.num_tuples / SWITCH_TUPLES_DIVISOR)
+    return base * (1.0 + SKEW_SWITCH_BOOST * stats.skew)
+
+
+def plan_algorithm(
+    relation: Relation,
+    min_sup: int = 1,
+    closed: bool = True,
+    with_measures: bool = False,
+) -> Plan:
+    """Pick the best-suited engine for ``relation`` under the given run mode.
+
+    ``with_measures`` declares that payload measures ride along: the star
+    family aggregates count only, so measures restrict the choice to the MM
+    host (the fast engine with full measure support).
+    """
+    stats = RelationStats.from_relation(relation)
+    reasons = []
+    if with_measures:
+        algorithm = "c-cubing-mm" if closed else "mm-cubing"
+        reasons.append(
+            "payload measures requested: the star family aggregates count "
+            "only, so the MM host is the fastest measure-capable engine"
+        )
+    elif (
+        stats.num_dims <= DENSE_MAX_DIMS
+        and stats.max_cardinality <= DENSE_MAX_CARDINALITY
+        and stats.fill >= DENSE_MIN_FILL
+    ):
+        algorithm = "c-cubing-star-array" if closed else "star-array"
+        reasons.append(
+            f"dense region: D={stats.num_dims} <= {DENSE_MAX_DIMS}, "
+            f"C_max={stats.max_cardinality} <= {DENSE_MAX_CARDINALITY}, "
+            f"fill={stats.fill:.2g} >= {DENSE_MIN_FILL} — array aggregation "
+            "amortises best (Fig. 16 regime)"
+        )
+    else:
+        switch = switching_min_sup(stats)
+        if min_sup >= switch:
+            algorithm = "c-cubing-mm" if closed else "mm-cubing"
+            reasons.append(
+                f"high-min_sup region: min_sup={min_sup} >= switching point "
+                f"{switch:.1f} — iceberg pruning dominates, the MM host wins "
+                "(Fig. 15 upper region)"
+            )
+        else:
+            algorithm = "c-cubing-star" if closed else "star-cubing"
+            reasons.append(
+                f"star region: min_sup={min_sup} < switching point {switch:.1f} "
+                "— shared star-tree aggregation wins (Fig. 15 lower region)"
+            )
+        if stats.skew > 0:
+            reasons.append(
+                f"regularity skew={stats.skew:.3f} scaled the switching point by "
+                f"{1.0 + SKEW_SWITCH_BOOST * stats.skew:.2f}x (Fig. 15: the "
+                "MM/Star switch moves right as data grows more regular)"
+            )
+    capabilities = _base.algorithm_capabilities().get(algorithm)
+    if (
+        capabilities is None
+        or (closed and not capabilities["supports_closed"])
+        or (with_measures and not capabilities["supports_measures"])
+    ):
+        # Defensive: a stripped-down registry (e.g. a future plugin build)
+        # may lack the planned variant; fall back to the documented default.
+        from ..core.api import DEFAULT_CLOSED_ALGORITHM, DEFAULT_ICEBERG_ALGORITHM
+
+        algorithm = DEFAULT_CLOSED_ALGORITHM if closed else DEFAULT_ICEBERG_ALGORITHM
+        reasons.append(f"planned variant unavailable; fell back to {algorithm!r}")
+    return Plan(
+        algorithm=algorithm,
+        closed=closed,
+        min_sup=min_sup,
+        stats=stats,
+        reasons=tuple(reasons),
+    )
+
+
+@_base.register_planner
+def _auto_planner(relation: Relation, options: "_base.CubingOptions") -> str:
+    """The hook :func:`repro.algorithms.base.resolve_algorithm` consults."""
+    return plan_algorithm(
+        relation,
+        min_sup=options.min_sup,
+        closed=options.closed,
+        with_measures=bool(options.measures),
+    ).algorithm

@@ -1,0 +1,139 @@
+"""Named cube schemas and the raw-row splitting used by :class:`CubeSession`.
+
+The positional core (:mod:`repro.core.relation`) speaks dictionary-encoded
+integers; applications speak *names* — dimension names, measure-column names,
+raw values.  :class:`CubeSchema` is the declarative bridge: it names the
+dimension and measure columns of the raw input, splits heterogeneous rows
+(tuples or mappings) into the dimension part and the per-measure value
+columns, and hands the result to :meth:`repro.core.relation.Relation.from_rows`
+which owns the actual value dictionaries.
+
+A schema can be declared several ways; :meth:`CubeSchema.coerce` accepts all
+of them::
+
+    CubeSchema(("store", "product"), ("price",))
+    ["store", "product"]                                  # dimensions only
+    {"dimensions": ["store", "product"], "measures": ["price"]}
+    relation.schema                                       # a core Schema
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import SchemaError
+from ..core.relation import Relation, Schema
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """Named description of the raw input: dimension and measure columns."""
+
+    dimensions: Tuple[str, ...]
+    measures: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = list(self.dimensions) + list(self.measures)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in cube schema: {names}")
+        if not self.dimensions:
+            raise SchemaError("a cube schema needs at least one dimension")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def coerce(cls, spec: object) -> "CubeSchema":
+        """Build a :class:`CubeSchema` from any accepted schema declaration."""
+        if isinstance(spec, CubeSchema):
+            return spec
+        if isinstance(spec, Schema):
+            return cls(spec.dimension_names, spec.measure_names)
+        if isinstance(spec, Mapping):
+            unknown = set(spec) - {"dimensions", "measures"}
+            if unknown:
+                raise SchemaError(
+                    f"unknown cube schema keys {sorted(unknown)}; "
+                    "expected 'dimensions' and optionally 'measures'"
+                )
+            if "dimensions" not in spec:
+                raise SchemaError("cube schema mapping needs a 'dimensions' entry")
+            return cls(
+                tuple(spec["dimensions"]), tuple(spec.get("measures", ()))
+            )
+        if isinstance(spec, str):
+            raise SchemaError(
+                f"cube schema must name columns collectively, got the single "
+                f"string {spec!r}"
+            )
+        try:
+            names = tuple(spec)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise SchemaError(f"cannot interpret {spec!r} as a cube schema") from exc
+        if not all(isinstance(name, str) for name in names):
+            raise SchemaError(f"cube schema column names must be strings: {names!r}")
+        return cls(names)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    def dimension_index(self, name: str) -> int:
+        """Index of dimension ``name``; raises with the valid names listed."""
+        try:
+            return self.dimensions.index(name)
+        except ValueError as exc:
+            raise SchemaError(
+                f"unknown dimension {name!r}; dimensions are {list(self.dimensions)}"
+            ) from exc
+
+    def split_rows(
+        self, rows: Sequence[object]
+    ) -> Tuple[List[Tuple[object, ...]], Dict[str, List[float]]]:
+        """Split raw rows into dimension tuples and per-measure value columns.
+
+        Rows may be sequences (dimension values first, measure values after,
+        both in schema order) or mappings keyed by column name.  The two styles
+        may not be mixed within one input.
+        """
+        if not rows:
+            raise SchemaError("cannot build a cube session from zero rows")
+        dim_rows: List[Tuple[object, ...]] = []
+        measure_values: Dict[str, List[float]] = {name: [] for name in self.measures}
+        width = self.num_dimensions + len(self.measures)
+        for position, row in enumerate(rows):
+            if isinstance(row, Mapping):
+                missing = [
+                    name
+                    for name in (*self.dimensions, *self.measures)
+                    if name not in row
+                ]
+                if missing:
+                    raise SchemaError(
+                        f"row {position} is missing columns {missing}"
+                    )
+                dim_rows.append(tuple(row[name] for name in self.dimensions))
+                for name in self.measures:
+                    measure_values[name].append(float(row[name]))
+            else:
+                values = tuple(row)  # type: ignore[arg-type]
+                if len(values) != width:
+                    raise SchemaError(
+                        f"row {position} has {len(values)} columns; the schema "
+                        f"declares {width} "
+                        f"({self.num_dimensions} dimensions + "
+                        f"{len(self.measures)} measures)"
+                    )
+                dim_rows.append(values[: self.num_dimensions])
+                for offset, name in enumerate(self.measures):
+                    measure_values[name].append(
+                        float(values[self.num_dimensions + offset])
+                    )
+        return dim_rows, measure_values
+
+    def build_relation(self, rows: Sequence[object]) -> Relation:
+        """Dictionary-encode raw rows into a :class:`Relation` for this schema."""
+        dim_rows, measure_values = self.split_rows(rows)
+        return Relation.from_rows(dim_rows, self.dimensions, measure_values)

@@ -1,0 +1,358 @@
+"""The named query surface: :class:`ServingCube` and its answer model.
+
+A :class:`ServingCube` is what :meth:`repro.session.CubeSession.build`
+returns: a materialised (closed) cube plus a serving engine, fronted by the
+schema's value dictionaries so that queries are expressed in dimension
+*names* and raw values::
+
+    cube.point({"A": "a1", "C": "c1"})          # one cell, any lattice cell
+    cube.slice({"B": "b2"}, group_by=["A"])     # GROUP BY under fixed values
+    cube.rollup(["A"])                          # aggregate up to one cuboid
+    cube.query_many([...])                      # batched, order-preserving
+    cube.explain({"A": "a1"})                   # which closed cell answered
+
+Answers come back as :class:`NamedAnswer` — decoded coordinates, count, and
+payload measures — never as encoded integers.  Unknown dimension *names* are
+an error (:class:`~repro.core.errors.QueryError`); unknown dimension *values*
+are not: a value that never appears in the base table simply has an empty
+cell, so the answer is a not-found :class:`NamedAnswer`, consistent with how
+the closed iceberg cube treats below-threshold cells.
+
+Decoded answers are memoised per target cell in an LRU cache sized like the
+engine's answer cache, so hot named traffic costs one dictionary encode plus
+two cache hits — the overhead benchmarks/bench_api_overhead.py keeps honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.cell import Cell
+from ..core.cube import CubeResult
+from ..core.errors import QueryError
+from ..core.relation import Relation
+from ..query.cache import LRUCache
+from ..query.engine import PartitionedQueryEngine, QueryEngine
+from ..query.queries import QueryAnswer
+from .planner import Plan
+from .schema import CubeSchema
+
+#: Decoded coordinates: ``(dimension name, raw value)`` pairs in schema order.
+Coordinates = Tuple[Tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class NamedAnswer:
+    """One decoded query answer.
+
+    ``coordinates`` fixes the queried cell in names and raw values
+    (aggregated ``*`` dimensions are omitted); ``count is None`` means the
+    cell is empty or below the iceberg threshold.  ``closure`` names the
+    materialised closed cell that carried the answer, when one did.
+    """
+
+    coordinates: Coordinates
+    count: Optional[int]
+    measures: Tuple[Tuple[str, float], ...] = ()
+    closure: Optional[Coordinates] = None
+
+    @property
+    def found(self) -> bool:
+        return self.count is not None
+
+    def coordinates_dict(self) -> Dict[str, object]:
+        return dict(self.coordinates)
+
+    def measures_dict(self) -> Dict[str, float]:
+        return dict(self.measures)
+
+    def measure(self, name: str) -> float:
+        for key, value in self.measures:
+            if key == name:
+                return value
+        raise QueryError(f"answer carries no measure named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        coords = ", ".join(f"{name}={value!r}" for name, value in self.coordinates)
+        return f"NamedAnswer({coords or '*'}: count={self.count})"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """How one point answer came to be (see :meth:`ServingCube.explain`).
+
+    ``covering_cell`` is the materialised closed cell whose aggregate answered
+    the query — the quotient-cube closure; ``direct_hit`` says whether the
+    queried cell itself was materialised, and ``from_cache`` whether the
+    engine's answer cache already held the answer before this call.
+    """
+
+    question: Coordinates
+    answer: NamedAnswer
+    covering_cell: Optional[Coordinates]
+    direct_hit: bool
+    from_cache: bool
+    algorithm: str
+    plan: Optional[Plan]
+
+    def describe(self) -> str:
+        """Multi-line human-readable account."""
+        question = ", ".join(f"{n}={v!r}" for n, v in self.question) or "(apex)"
+        lines = [f"query point({question})"]
+        if not self.answer.found:
+            lines.append(
+                "-> not answerable: the cell is empty or below the iceberg "
+                "threshold (information the closed iceberg cube discards)"
+            )
+        else:
+            lines.append(f"-> count={self.answer.count}")
+            covering = ", ".join(
+                f"{n}={v!r}" for n, v in (self.covering_cell or ())
+            )
+            if self.direct_hit:
+                lines.append("-> covered by itself (materialised closed cell)")
+            else:
+                lines.append(
+                    f"-> covered by closed cell ({covering}) — the maximum-count "
+                    "materialised specialisation (quotient-cube closure)"
+                )
+        lines.append(f"-> served from cache: {'yes' if self.from_cache else 'no'}")
+        lines.append(f"-> cube computed by {self.algorithm!r}")
+        if self.plan is not None:
+            lines.append("-> planner: " + self.plan.explain().replace("\n", "\n   "))
+        return "\n".join(lines)
+
+
+#: A batched query specification (see :meth:`ServingCube.query_many`).
+QuerySpec = Mapping[str, object]
+#: One batched result: a single answer or, for slices/roll-ups, a list.
+BatchResult = Union[NamedAnswer, List[NamedAnswer]]
+
+
+class ServingCube:
+    """A materialised cube served through the schema's value dictionaries."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        schema: CubeSchema,
+        cube: CubeResult,
+        engine: Union[QueryEngine, PartitionedQueryEngine],
+        algorithm: str,
+        plan: Optional[Plan] = None,
+        build_seconds: Optional[float] = None,
+    ) -> None:
+        self.relation = relation
+        self.schema = schema
+        self.cube = cube
+        self.engine = engine
+        self.algorithm = algorithm
+        self.plan = plan
+        self.build_seconds = build_seconds
+        self._dim_of = {name: dim for dim, name in enumerate(schema.dimensions)}
+        self._num_dims = len(schema.dimensions)
+        self._encoders = [
+            relation.encoder(dim) for dim in range(relation.num_dimensions)
+        ]
+        #: Decoded answers keyed by encoded target cell.  Because engines
+        #: snapshot the cube, a decoded answer never goes stale — the hot
+        #: named path can return from here without re-entering the engine.
+        self._decoded: LRUCache[NamedAnswer] = LRUCache(engine.cache.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Name / value translation                                            #
+    # ------------------------------------------------------------------ #
+
+    def _dim_index(self, name: str) -> int:
+        dim = self._dim_of.get(name)
+        if dim is None:
+            raise QueryError(
+                f"unknown dimension {name!r}; dimensions are "
+                f"{list(self.schema.dimensions)}"
+            )
+        return dim
+
+    def _target_cell(
+        self, spec: Mapping[str, object]
+    ) -> Tuple[Cell, List[Tuple[str, object]]]:
+        """Encode a ``{name: raw value}`` spec; unseen values are reported, not raised."""
+        cell: List[Optional[int]] = [None] * self._num_dims
+        unseen: List[Tuple[str, object]] = []
+        encoders = self._encoders
+        for name, raw in spec.items():
+            dim = self._dim_index(name)
+            code = encoders[dim].get(raw)
+            if code is None:
+                unseen.append((name, raw))
+            else:
+                cell[dim] = code
+        return tuple(cell), unseen
+
+    def _decode_cell(self, cell: Cell) -> Coordinates:
+        relation = self.relation
+        names = self.schema.dimensions
+        return tuple(
+            (names[dim], relation.decode(dim, code))
+            for dim, code in enumerate(cell)
+            if code is not None
+        )
+
+    def _decode_answer(self, answer: QueryAnswer) -> NamedAnswer:
+        cached = self._decoded.get(answer.cell)
+        if cached is not None:
+            return cached
+        named = NamedAnswer(
+            coordinates=self._decode_cell(answer.cell),
+            count=answer.count,
+            measures=answer.measures,
+            closure=(
+                self._decode_cell(answer.closure)
+                if answer.closure is not None
+                else None
+            ),
+        )
+        self._decoded.put(answer.cell, named)
+        return named
+
+    def _spec_coordinates(self, spec: Mapping[str, object]) -> Coordinates:
+        """A spec as schema-ordered coordinates (the documented invariant)."""
+        dim_of = self._dim_of
+        return tuple(sorted(spec.items(), key=lambda item: dim_of[item[0]]))
+
+    def _unseen_answer(self, spec: Mapping[str, object]) -> NamedAnswer:
+        return NamedAnswer(coordinates=self._spec_coordinates(spec), count=None)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def point(self, spec: Mapping[str, object]) -> NamedAnswer:
+        """Aggregate of one cell: ``{dimension name: raw value}``, rest ``*``.
+
+        Any lattice cell is answerable, materialised or not (quotient-cube
+        closure semantics); ``count is None`` means empty or below threshold.
+        """
+        target, unseen = self._target_cell(spec)
+        if unseen:
+            return self._unseen_answer(spec)
+        cached = self._decoded.get(target)
+        if cached is not None:
+            return cached
+        return self._decode_answer(self.engine.point(target))
+
+    def slice(
+        self,
+        fixed: Mapping[str, object],
+        group_by: Sequence[str] = (),
+    ) -> List[NamedAnswer]:
+        """Fix some dimensions by raw value, group by others — one answer per
+        iceberg cell of that cuboid, in stable order."""
+        fixed_encoded: Dict[int, int] = {}
+        for name, raw in fixed.items():
+            dim = self._dim_index(name)
+            code = self.relation.try_encode(dim, raw)
+            if code is None:
+                return []  # a never-seen value matches no cell
+            fixed_encoded[dim] = code
+        group_dims = [self._dim_index(name) for name in group_by]
+        answers = self.engine.slice(fixed_encoded, group_dims)
+        return [self._decode_answer(answer) for answer in answers]
+
+    def rollup(self, dims: Sequence[str]) -> List[NamedAnswer]:
+        """Roll the whole cube up to the cuboid over ``dims``.
+
+        Equivalent to ``slice({}, group_by=dims)``: every other dimension is
+        collapsed to ``*``, one answer per iceberg cell of the target cuboid.
+        """
+        return self.slice({}, group_by=dims)
+
+    def query_many(self, specs: Iterable[QuerySpec]) -> List[BatchResult]:
+        """Answer a batch of query specs, preserving input order.
+
+        Each spec is a mapping with an ``"op"`` key naming the operation
+        (``"point"``, ``"slice"``, or ``"rollup"``) plus that operation's
+        arguments (``"cell"``, ``"fixed"``/``"group_by"``, ``"dims"``).  A
+        mapping without an ``"op"`` entry is shorthand for a point query on
+        itself; so is a mapping whose ``"op"`` entry is not one of the three
+        operation names, provided the schema has a dimension called ``"op"``
+        (on such schemas the operation names win the tie — use the explicit
+        ``{"op": "point", "cell": ...}`` envelope to query those values).
+        """
+        results: List[BatchResult] = []
+        for spec in specs:
+            op = spec.get("op")
+            if op == "point":
+                results.append(self.point(spec.get("cell", {})))  # type: ignore[arg-type]
+            elif op == "slice":
+                results.append(
+                    self.slice(
+                        spec.get("fixed", {}),  # type: ignore[arg-type]
+                        spec.get("group_by", ()),  # type: ignore[arg-type]
+                    )
+                )
+            elif op == "rollup":
+                results.append(self.rollup(spec.get("dims", ())))  # type: ignore[arg-type]
+            elif op is None or "op" in self._dim_of:
+                results.append(self.point(spec))
+            else:
+                raise QueryError(
+                    f"unknown query op {op!r}; expected 'point', 'slice', or "
+                    "'rollup' (or a bare {dimension: value} point spec)"
+                )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def explain(self, spec: Mapping[str, object]) -> Explanation:
+        """Answer a point query and report *how* it was answered.
+
+        The explanation names the materialised closed cell that covered the
+        answer (the closure), whether the queried cell was itself
+        materialised, and whether the engine's cache already held the answer
+        when this call arrived.
+        """
+        target, unseen = self._target_cell(spec)
+        if unseen:
+            return Explanation(
+                question=self._spec_coordinates(spec),
+                answer=self._unseen_answer(spec),
+                covering_cell=None,
+                direct_hit=False,
+                from_cache=False,
+                algorithm=self.algorithm,
+                plan=self.plan,
+            )
+        from_cache = target in self.engine.cache
+        answer = self.engine.point(target)
+        named = self._decode_answer(answer)
+        return Explanation(
+            question=named.coordinates,
+            answer=named,
+            covering_cell=named.closure,
+            direct_hit=answer.closure == answer.cell,
+            from_cache=from_cache,
+            algorithm=self.algorithm,
+            plan=self.plan,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics of the underlying engine, plus build facts."""
+        stats = dict(self.engine.stats())
+        stats["algorithm"] = self.algorithm
+        stats["materialised_cells"] = len(self.cube)
+        if self.build_seconds is not None:
+            stats["build_seconds"] = self.build_seconds
+        return stats
+
+    def __len__(self) -> int:
+        """Number of materialised cells."""
+        return len(self.cube)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingCube(dims={list(self.schema.dimensions)}, "
+            f"cells={len(self.cube)}, algorithm={self.algorithm!r})"
+        )

@@ -1,0 +1,273 @@
+"""The fluent session builder: raw rows in, a :class:`ServingCube` out.
+
+:class:`CubeSession` is the documented entry point of the library.  It owns
+the trip from raw, named data to a queryable cube::
+
+    from repro import CubeSession, Sum
+
+    cube = (
+        CubeSession.from_rows(rows, schema={"dimensions": ["store", "product"],
+                                            "measures": ["price"]})
+        .closed(min_sup=2)
+        .measures(Sum("price"))
+        .using("auto")
+        .build()
+    )
+    cube.point({"store": "nyc"})
+
+The session dictionary-encodes values through :class:`~repro.session.schema.
+CubeSchema` / :class:`~repro.core.relation.Relation`, plans the algorithm when
+asked to (``using("auto")`` — the default — consults
+:mod:`repro.session.planner`), runs the cubing engine, and fronts the result
+with the existing serving layer (:class:`~repro.query.engine.QueryEngine`, or
+:class:`~repro.query.engine.PartitionedQueryEngine` for ``partitioned()``
+sessions).
+
+The builder mutates in place and returns itself from every configuration
+call, so chains read top-to-bottom; call :meth:`CubeSession.build` once per
+configuration (building again after reconfiguring is fine — each build is a
+fresh cube).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Union
+
+from ..algorithms.base import AUTO_ALGORITHM, CubingOptions, get_algorithm
+from ..core.errors import AlgorithmError, SchemaError
+from ..core.measures import MeasureSet, MeasureSpec
+from ..core.relation import Relation
+from ..query.engine import (
+    DEFAULT_CACHE_SIZE,
+    PartitionedQueryEngine,
+    QueryEngine,
+)
+from .planner import Plan, plan_algorithm
+from .schema import CubeSchema
+from .serving import ServingCube
+
+
+class CubeSession:
+    """Fluent builder from raw named data to a served (closed) cube."""
+
+    def __init__(self, relation: Relation, schema: Optional[object] = None) -> None:
+        self.relation = relation
+        self.schema = (
+            CubeSchema.coerce(schema)
+            if schema is not None
+            else CubeSchema.coerce(relation.schema)
+        )
+        if self.schema.dimensions != relation.schema.dimension_names:
+            raise SchemaError(
+                f"schema dimensions {list(self.schema.dimensions)} do not match "
+                f"the relation's {list(relation.schema.dimension_names)}"
+            )
+        self._closed = True
+        self._min_sup = 1
+        self._measures: List[MeasureSpec] = []
+        self._algorithm = AUTO_ALGORITHM
+        self._dimension_order: object = None
+        self._cache_size = DEFAULT_CACHE_SIZE
+        self._partitioned = False
+        self._partition_dim: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[object], schema: Optional[object] = None
+    ) -> "CubeSession":
+        """Start a session from raw rows, dictionary-encoding the values.
+
+        ``rows`` may be tuples (dimension values first, then measure values,
+        in schema order) or mappings keyed by column name.  ``schema`` is
+        anything :meth:`repro.session.schema.CubeSchema.coerce` accepts; when
+        omitted, every column of tuple rows is treated as a dimension named
+        ``d0, d1, ...`` (mapping rows require an explicit schema).
+        """
+        if schema is None:
+            first = rows[0] if rows else None
+            if isinstance(first, Mapping):
+                raise SchemaError(
+                    "mapping rows need an explicit schema (column order is "
+                    "not inferable from a dict)"
+                )
+            cube_schema = CubeSchema(
+                tuple(f"d{index}" for index in range(len(first or ())))
+            )
+        else:
+            cube_schema = CubeSchema.coerce(schema)
+        return cls(cube_schema.build_relation(rows), cube_schema)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "CubeSession":
+        """Start a session over an already-encoded :class:`Relation`."""
+        return cls(relation)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        schema: object,
+        delimiter: str = ",",
+    ) -> "CubeSession":
+        """Start a session from a CSV file with a header row."""
+        cube_schema = CubeSchema.coerce(schema)
+        relation = Relation.from_csv(
+            path,
+            cube_schema.dimensions,
+            cube_schema.measures,
+            delimiter=delimiter,
+        )
+        return cls(relation, cube_schema)
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration                                                 #
+    # ------------------------------------------------------------------ #
+
+    def closed(self, min_sup: int = 1) -> "CubeSession":
+        """Compute a *closed* iceberg cube (the default mode)."""
+        self._closed = True
+        self._min_sup = int(min_sup)
+        return self
+
+    def iceberg(self, min_sup: int = 1) -> "CubeSession":
+        """Compute a plain (non-closed) iceberg cube."""
+        self._closed = False
+        self._min_sup = int(min_sup)
+        return self
+
+    def measures(self, *specs: MeasureSpec) -> "CubeSession":
+        """Aggregate payload measures alongside ``count``.
+
+        Accepts the session DSL (``Sum("price")``, ``Avg("price")``, ...,
+        aliases of the core measure specs); referenced columns must exist in
+        the schema's measures.
+        """
+        for spec in specs:
+            if not isinstance(spec, MeasureSpec):
+                raise SchemaError(
+                    f"{spec!r} is not a measure spec; use Sum/Min/Max/Avg/Count "
+                    "from repro.session"
+                )
+            column = getattr(spec, "column", None)
+            if column is not None and column not in self.schema.measures:
+                raise SchemaError(
+                    f"measure {spec.name!r} references column {column!r}, which "
+                    f"is not in the schema's measures "
+                    f"{list(self.schema.measures)}"
+                )
+            self._measures.append(spec)
+        return self
+
+    def using(self, algorithm: str) -> "CubeSession":
+        """Pick the cubing engine by registry name, or ``"auto"`` to plan it."""
+        self._algorithm = algorithm
+        return self
+
+    def ordered_by(self, strategy: object) -> "CubeSession":
+        """Dimension-ordering strategy for order-sensitive engines
+        (``"original"``, ``"cardinality"``, ``"entropy"``, a permutation, or
+        a callable — see :mod:`repro.core.ordering`)."""
+        self._dimension_order = strategy
+        return self
+
+    def cache(self, size: int) -> "CubeSession":
+        """Size of the serving engine's LRU answer cache (``0`` disables)."""
+        self._cache_size = int(size)
+        return self
+
+    def partitioned(self, dimension: Optional[str] = None) -> "CubeSession":
+        """Compute and serve partition by partition (Section 6.3 + sharded
+        routing).  ``dimension`` names the partitioning dimension; when
+        omitted the computer picks the highest-cardinality one."""
+        self._partitioned = True
+        self._partition_dim = (
+            self.schema.dimension_index(dimension) if dimension is not None else None
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Build                                                               #
+    # ------------------------------------------------------------------ #
+
+    def plan(self) -> Plan:
+        """The plan an ``"auto"`` build would follow right now."""
+        return plan_algorithm(
+            self.relation,
+            min_sup=self._min_sup,
+            closed=self._closed,
+            with_measures=bool(self._measures),
+        )
+
+    def build(self) -> ServingCube:
+        """Plan (if asked), compute the cube, and open the serving engine."""
+        plan: Optional[Plan] = None
+        algorithm = self._algorithm
+        if algorithm.lower() == AUTO_ALGORITHM:
+            plan = self.plan()
+            algorithm = plan.algorithm
+        if self._partitioned:
+            return self._build_partitioned(algorithm, plan)
+        options = CubingOptions(
+            min_sup=self._min_sup,
+            closed=self._closed,
+            measures=MeasureSet(tuple(self._measures)),
+            dimension_order=self._dimension_order,
+        )
+        result = get_algorithm(algorithm, options).run(self.relation)
+        engine: Union[QueryEngine, PartitionedQueryEngine] = QueryEngine(
+            result.cube, cache_size=self._cache_size
+        )
+        return ServingCube(
+            relation=self.relation,
+            schema=self.schema,
+            cube=result.cube,
+            engine=engine,
+            algorithm=result.algorithm,
+            plan=plan,
+            build_seconds=result.elapsed_seconds,
+        )
+
+    def _build_partitioned(
+        self, algorithm: str, plan: Optional[Plan]
+    ) -> ServingCube:
+        from ..storage.partition import PartitionedCubeComputer
+
+        if self._measures:
+            raise AlgorithmError(
+                "partitioned sessions do not carry payload measures yet; "
+                "drop .measures(...) or build unpartitioned"
+            )
+        computer = PartitionedCubeComputer(
+            algorithm=algorithm,
+            min_sup=self._min_sup,
+            closed=self._closed,
+            dimension_order=self._dimension_order,
+        )
+        cube, report = computer.compute(
+            self.relation, partition_dim=self._partition_dim
+        )
+        engine = PartitionedQueryEngine(
+            cube, partition_dim=report.partition_dim, cache_size=self._cache_size
+        )
+        return ServingCube(
+            relation=self.relation,
+            schema=self.schema,
+            cube=cube,
+            engine=engine,
+            algorithm=algorithm,
+            plan=plan,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"closed(min_sup={self._min_sup})" if self._closed else (
+            f"iceberg(min_sup={self._min_sup})"
+        )
+        return (
+            f"CubeSession(dims={list(self.schema.dimensions)}, "
+            f"tuples={self.relation.num_tuples}, {mode}, "
+            f"using={self._algorithm!r})"
+        )

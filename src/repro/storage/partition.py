@@ -63,6 +63,9 @@ class PartitionedCubeComputer:
         models the paper's "compute the partitions one by one" loop — the
         relation itself obviously is in memory in this reproduction, so the
         budget only drives the spill/report behaviour.
+    dimension_order:
+        Ordering strategy forwarded to the per-partition engine (named
+        strategies re-resolve against each partition's data).
     """
 
     def __init__(
@@ -72,12 +75,14 @@ class PartitionedCubeComputer:
         closed: bool = True,
         memory_budget_tuples: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        dimension_order: object = None,
     ) -> None:
         self.algorithm = algorithm
         self.min_sup = min_sup
         self.closed = closed
         self.memory_budget_tuples = memory_budget_tuples
         self.spill_dir = spill_dir
+        self.dimension_order = dimension_order
 
     # ------------------------------------------------------------------ #
 
@@ -142,6 +147,7 @@ class PartitionedCubeComputer:
         options = CubingOptions(
             min_sup=self.min_sup,
             closed=self.closed,
+            dimension_order=self.dimension_order,
             initial_collapsed=tuple(initial_collapsed),
         )
         return get_algorithm(self.algorithm, options).run(relation).cube

@@ -6,9 +6,11 @@ import pytest
 
 from repro.algorithms.base import (
     CubingOptions,
-    available_algorithms,
+    algorithm_capabilities,
     algorithms_supporting_closed,
+    available_algorithms,
     get_algorithm,
+    resolve_algorithm,
 )
 from repro.core.errors import AlgorithmError, UnknownAlgorithmError
 from repro.core.measures import IcebergCondition
@@ -37,6 +39,48 @@ def test_unknown_algorithm_raises():
         get_algorithm("does-not-exist")
 
 
+def test_unknown_algorithm_suggests_closest_name():
+    with pytest.raises(UnknownAlgorithmError, match=r"did you mean 'c-cubing-star'"):
+        get_algorithm("c-cubing-sta")
+
+
+def test_unknown_algorithm_lists_primary_names_only():
+    with pytest.raises(UnknownAlgorithmError) as excinfo:
+        get_algorithm("completely-bogus-name-xyz")
+    message = str(excinfo.value)
+    assert "mm-cubing" in message
+    # Aliases like "mmcubing" / "cc-star" must not leak into the listing.
+    assert "mmcubing" not in message
+    assert "cc-star" not in message
+
+
+def test_available_algorithms_alias_toggle():
+    primary = available_algorithms()
+    with_aliases = available_algorithms(include_aliases=True)
+    assert set(primary) < set(with_aliases)
+    assert "cc-star" in with_aliases and "cc-star" not in primary
+    assert "mm" in with_aliases and "mm" not in primary
+
+
+def test_algorithm_capabilities_metadata():
+    capabilities = algorithm_capabilities()
+    star = capabilities["c-cubing-star"]
+    assert star["supports_closed"] and not star["supports_non_closed"]
+    assert not star["supports_measures"] and star["order_sensitive"]
+    assert "cc-star" in star["aliases"]
+    mm = capabilities["c-cubing-mm"]
+    assert mm["supports_closed"] and mm["supports_measures"]
+    assert set(capabilities) == set(available_algorithms())
+
+
+def test_resolve_algorithm_passes_names_through_and_plans_auto():
+    relation = Relation.from_columns([[0, 1], [1, 0]])
+    options = CubingOptions(closed=True)
+    assert resolve_algorithm("buc", relation, options) == "buc"
+    planned = resolve_algorithm("auto", relation, options)
+    assert planned in algorithms_supporting_closed()
+
+
 def test_options_iceberg_consistency():
     options = CubingOptions(min_sup=2, iceberg=IcebergCondition(min_sup=2))
     assert options.resolved_iceberg().min_sup == 2
@@ -57,6 +101,20 @@ def test_duplicate_initial_collapsed_rejected():
     algo = get_algorithm("naive", CubingOptions(initial_collapsed=(0, 0)))
     with pytest.raises(AlgorithmError):
         algo.run(relation)
+
+
+@pytest.mark.parametrize("collapsed", [(5,), (-1,), (0, 7)])
+def test_out_of_range_initial_collapsed_rejected_at_run(collapsed):
+    relation = Relation.from_columns([[0, 1], [1, 0]])
+    algo = get_algorithm("naive", CubingOptions(initial_collapsed=collapsed))
+    with pytest.raises(AlgorithmError, match=r"initial_collapsed.*0\.\.1"):
+        algo.run(relation)
+
+
+def test_in_range_initial_collapsed_still_accepted():
+    relation = Relation.from_columns([[0, 1], [1, 0]])
+    cube = get_algorithm("naive", CubingOptions(initial_collapsed=(1,))).run(relation).cube
+    assert all(cell[1] is None for cell in cube)
 
 
 def test_run_result_reports_time_and_counters():

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.figures import FigureResult, available_figures, get_figure, run_figure
-from repro.bench.harness import ExperimentRunner, Measurement
+from repro.bench.harness import ExperimentRunner
 from repro.bench.report import render_figure, render_table, rows_to_csv
 from repro.bench.workloads import (
     mixed_cardinality_workload,

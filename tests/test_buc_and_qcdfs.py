@@ -6,8 +6,6 @@ import pytest
 
 from repro.algorithms.base import CubingOptions, get_algorithm
 from repro.core.validate import reference_closed_cube, reference_iceberg_cube
-from repro import Relation
-
 from conftest import random_relation
 
 

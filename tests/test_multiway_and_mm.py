@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms.base import CubingOptions, get_algorithm
-from repro.algorithms.multiway import OTHER_SLOT, DenseSubspace
+from repro.algorithms.multiway import DenseSubspace
 from repro.core.measures import MeasureSet, SumMeasure
 from repro.core.validate import reference_closed_cube, reference_iceberg_cube
 from repro import Relation

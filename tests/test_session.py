@@ -1,0 +1,401 @@
+"""Tests for the named-schema session API (repro.session).
+
+Covers the fluent :class:`CubeSession` chain, named query translation on
+:class:`ServingCube`, the ``"auto"`` algorithm planner (Figure 15 regions),
+``explain()``, batching, and — the load-bearing property — that named-session
+answers equal positional :class:`QueryEngine` answers (and naive
+recomputation) on randomized relations across *every* cell of the lattice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro import (
+    Avg,
+    CubeSchema,
+    CubeSession,
+    Relation,
+    Sum,
+    algorithms_supporting_closed,
+    compute_closed_cube,
+    open_query_engine,
+    plan_algorithm,
+)
+from repro.core.cube import count_matching_tuples
+from repro.core.errors import QueryError, SchemaError
+from repro.core.relation import Schema
+from repro.session.planner import RelationStats
+
+RETAIL_ROWS = [
+    ("nyc", "shoe", "mon", 10.0),
+    ("nyc", "shoe", "tue", 20.0),
+    ("nyc", "sock", "mon", 5.0),
+    ("sfo", "shoe", "mon", 30.0),
+    ("sfo", "sock", "tue", 5.0),
+    ("nyc", "shoe", "mon", 40.0),
+]
+RETAIL_SCHEMA = {"dimensions": ["store", "product", "day"], "measures": ["price"]}
+
+
+def retail_session() -> CubeSession:
+    return CubeSession.from_rows(RETAIL_ROWS, schema=RETAIL_SCHEMA)
+
+
+# --------------------------------------------------------------------------- #
+# Schema handling                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_schema_coercion_accepts_all_declared_forms():
+    expected = CubeSchema(("a", "b"), ("m",))
+    assert CubeSchema.coerce(expected) is expected
+    assert CubeSchema.coerce({"dimensions": ["a", "b"], "measures": ["m"]}) == expected
+    assert CubeSchema.coerce(["a", "b"]) == CubeSchema(("a", "b"))
+    assert CubeSchema.coerce(Schema(("a", "b"), ("m",))) == expected
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "store",                              # a single string is ambiguous
+        {"dims": ["a"]},                      # unknown mapping key
+        {"measures": ["m"]},                  # dimensions missing
+        ["a", "a"],                           # duplicates
+        [],                                   # no dimensions
+        [1, 2],                               # non-string names
+    ],
+)
+def test_schema_coercion_rejects_malformed_specs(bad):
+    with pytest.raises(SchemaError):
+        CubeSchema.coerce(bad)
+
+
+def test_from_rows_accepts_mapping_rows():
+    rows = [dict(zip(("store", "product", "day", "price"), row)) for row in RETAIL_ROWS]
+    cube = CubeSession.from_rows(rows, schema=RETAIL_SCHEMA).closed().build()
+    assert cube.point({"store": "nyc"}).count == 4
+
+
+def test_from_rows_mapping_rows_require_schema():
+    with pytest.raises(SchemaError):
+        CubeSession.from_rows([{"a": 1}])
+
+
+def test_from_rows_rejects_width_mismatch_and_missing_columns():
+    with pytest.raises(SchemaError, match="columns"):
+        CubeSession.from_rows([("nyc", "shoe")], schema=RETAIL_SCHEMA)
+    with pytest.raises(SchemaError, match="missing"):
+        CubeSession.from_rows([{"store": "nyc"}], schema=RETAIL_SCHEMA)
+
+
+def test_measures_validated_against_schema():
+    session = retail_session()
+    with pytest.raises(SchemaError, match="cost"):
+        session.measures(Sum("cost"))
+    with pytest.raises(SchemaError, match="measure spec"):
+        session.measures("sum(price)")
+
+
+# --------------------------------------------------------------------------- #
+# Named queries                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_point_slice_rollup_speak_names_and_raw_values():
+    cube = retail_session().closed(min_sup=1).measures(Sum("price"), Avg("price")).build()
+    answer = cube.point({"store": "nyc", "product": "shoe"})
+    assert answer.count == 3
+    assert answer.measure("sum(price)") == 70.0
+    assert answer.measure("avg(price)") == pytest.approx(70.0 / 3)
+
+    by_store = cube.rollup(["store"])
+    assert {a.coordinates_dict()["store"]: a.count for a in by_store} == {
+        "nyc": 4,
+        "sfo": 2,
+    }
+
+    sliced = cube.slice({"day": "mon"}, group_by=["store"])
+    assert {a.coordinates_dict()["store"]: a.count for a in sliced} == {
+        "nyc": 3,
+        "sfo": 1,
+    }
+    assert cube.rollup(["store"]) == cube.slice({}, group_by=["store"])
+
+
+def test_unknown_dimension_name_raises_with_the_valid_names():
+    cube = retail_session().closed().build()
+    with pytest.raises(QueryError, match="store"):
+        cube.point({"region": "nyc"})
+    with pytest.raises(QueryError, match="store"):
+        cube.slice({}, group_by=["region"])
+
+
+def test_unseen_value_is_a_not_found_answer_not_an_error():
+    cube = retail_session().closed().build()
+    answer = cube.point({"store": "chicago"})
+    assert not answer.found and answer.count is None
+    assert answer.coordinates_dict() == {"store": "chicago"}
+    assert cube.slice({"store": "chicago"}, group_by=["product"]) == []
+
+
+def test_below_threshold_cell_is_not_found():
+    cube = retail_session().closed(min_sup=3).build()
+    assert cube.point({"store": "sfo"}).count is None
+    assert cube.point({"store": "nyc"}).count == 4
+
+
+def test_query_many_preserves_order_and_shapes():
+    cube = retail_session().closed().build()
+    results = cube.query_many(
+        [
+            {"store": "nyc"},                                # bare mapping = point
+            {"op": "point", "cell": {"store": "sfo"}},
+            {"op": "rollup", "dims": ["product"]},
+            {"op": "slice", "fixed": {"day": "mon"}, "group_by": ["store"]},
+        ]
+    )
+    assert results[0].count == 4
+    assert results[1].count == 2
+    assert isinstance(results[2], list) and len(results[2]) == 2
+    assert isinstance(results[3], list)
+    with pytest.raises(QueryError, match="unknown query op"):
+        cube.query_many([{"op": "pivot"}])
+
+
+def test_query_many_on_a_schema_with_a_dimension_named_op():
+    rows = [("read", "alice"), ("read", "bob"), ("write", "alice")]
+    cube = CubeSession.from_rows(rows, schema=["op", "user"]).closed().build()
+    # A bare point spec on the "op" dimension must not be mistaken for an
+    # operation envelope ...
+    results = cube.query_many([{"op": "read"}, {"op": "write", "user": "alice"}])
+    assert results[0].count == 2 and results[1].count == 1
+    # ... while the reserved operation names still select the envelope form.
+    assert cube.query_many([{"op": "rollup", "dims": ["user"]}])[0] == cube.rollup(
+        ["user"]
+    )
+
+
+def test_unseen_answer_coordinates_follow_schema_order():
+    cube = retail_session().closed().build()
+    answer = cube.point({"day": "mon", "store": "chicago"})
+    assert not answer.found
+    assert [name for name, _ in answer.coordinates] == ["store", "day"]
+    question = cube.explain({"day": "mon", "store": "chicago"}).question
+    assert [name for name, _ in question] == ["store", "day"]
+
+
+def test_partitioned_session_forwards_dimension_order():
+    plain = retail_session().closed().ordered_by("cardinality").build()
+    parted = (
+        retail_session()
+        .closed()
+        .ordered_by("cardinality")
+        .partitioned("store")
+        .build()
+    )
+    from repro.storage.partition import PartitionedCubeComputer
+
+    assert PartitionedCubeComputer(dimension_order="entropy").dimension_order == "entropy"
+    for spec in ({"store": "nyc"}, {"product": "shoe"}, {}):
+        assert parted.point(spec).count == plain.point(spec).count
+
+
+def test_explain_names_the_covering_closed_cell():
+    cube = retail_session().closed(min_sup=1).using("auto").build()
+    # (store=sfo, product=sock) has one tuple: its closure fixes day=tue too.
+    explanation = cube.explain({"store": "sfo", "product": "sock"})
+    assert explanation.answer.count == 1
+    assert explanation.covering_cell is not None
+    covering = dict(explanation.covering_cell)
+    assert covering["day"] == "tue" and not explanation.direct_hit
+    assert explanation.plan is not None
+    assert "query point" in explanation.describe()
+
+    # Second ask: the engine cache now holds the answer.
+    assert not explanation.from_cache
+    assert cube.explain({"store": "sfo", "product": "sock"}).from_cache
+
+    missing = cube.explain({"store": "chicago"})
+    assert not missing.answer.found and missing.covering_cell is None
+
+
+def test_serving_stats_and_len():
+    cube = retail_session().closed().build()
+    cube.point({"store": "nyc"})
+    stats = cube.stats()
+    assert stats["materialised_cells"] == len(cube) > 0
+    assert stats["algorithm"] == cube.algorithm
+    assert stats["build_seconds"] >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Planner                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def _dense_relation(seed: int = 7) -> Relation:
+    rng = random.Random(seed)
+    rows = [
+        (f"a{rng.randrange(4)}", f"b{rng.randrange(4)}", f"c{rng.randrange(4)}")
+        for _ in range(60)
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C"])
+
+
+def _sparse_relation(seed: int = 11) -> Relation:
+    rng = random.Random(seed)
+    rows = [
+        tuple(f"v{dim}_{rng.randrange(10)}" for dim in range(4)) for _ in range(40)
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C", "D"])
+
+
+def test_planner_dense_region_picks_star_array():
+    plan = plan_algorithm(_dense_relation(), min_sup=1, closed=True)
+    assert plan.algorithm == "c-cubing-star-array"
+    assert any("dense region" in reason for reason in plan.reasons)
+
+
+def test_planner_star_region_picks_star():
+    plan = plan_algorithm(_sparse_relation(), min_sup=1, closed=True)
+    assert plan.algorithm == "c-cubing-star"
+    assert any("star region" in reason for reason in plan.reasons)
+
+
+def test_planner_high_min_sup_picks_mm():
+    plan = plan_algorithm(_sparse_relation(), min_sup=100, closed=True)
+    assert plan.algorithm == "c-cubing-mm"
+    assert any("high-min_sup region" in reason for reason in plan.reasons)
+
+
+def test_planner_measures_force_the_mm_family():
+    plan = plan_algorithm(_dense_relation(), min_sup=1, closed=True, with_measures=True)
+    assert plan.algorithm == "c-cubing-mm"
+    plan = plan_algorithm(
+        _dense_relation(), min_sup=1, closed=False, with_measures=True
+    )
+    assert plan.algorithm == "mm-cubing"
+
+
+def test_planner_switch_point_grows_with_regularity():
+    uniform = RelationStats(
+        num_tuples=100_000, num_dims=6, cardinalities=(100,) * 6, skew=0.0, fill=0.0
+    )
+    regular = RelationStats(
+        num_tuples=100_000, num_dims=6, cardinalities=(100,) * 6, skew=0.5, fill=0.0
+    )
+    from repro.session.planner import switching_min_sup
+
+    assert switching_min_sup(regular) > switching_min_sup(uniform)
+
+
+def test_relation_stats_measures_shape():
+    stats = RelationStats.from_relation(_dense_relation())
+    assert stats.num_tuples == 60 and stats.num_dims == 3
+    assert stats.max_cardinality <= 4 and 0.0 <= stats.skew <= 1.0
+    assert stats.fill == pytest.approx(
+        min(1.0, 60 / (stats.cardinalities[0] * stats.cardinalities[1] * stats.cardinalities[2]))
+    )
+    skewed = Relation.from_rows([("x",)] * 19 + [("y",)], ["A"])
+    assert RelationStats.from_relation(skewed).skew > RelationStats.from_relation(
+        Relation.from_rows([("x",), ("y",)] * 10, ["A"])
+    ).skew
+
+
+def test_auto_selects_closed_capable_variants_and_answers_match_naive():
+    """Acceptance: auto picks a closed-capable C-Cubing variant on two
+    differently-shaped relations, and the cubes match brute-force recomputation."""
+    shapes = {"dense": _dense_relation(), "sparse": _sparse_relation()}
+    chosen = {}
+    for label, relation in shapes.items():
+        session = CubeSession.from_relation(relation).closed(min_sup=2).using("auto")
+        plan = session.plan()
+        assert plan.algorithm in algorithms_supporting_closed()
+        assert plan.algorithm.startswith("c-cubing-")
+        chosen[label] = plan.algorithm
+        served = session.build()
+        assert served.algorithm == plan.algorithm
+        oracle = compute_closed_cube(relation, min_sup=2, algorithm="naive-closed")
+        assert served.cube.same_cells(oracle), served.cube.diff(oracle)
+    assert chosen["dense"] != chosen["sparse"]
+
+
+# --------------------------------------------------------------------------- #
+# Property: named answers == positional answers, across the whole lattice      #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("min_sup", [1, 2])
+def test_named_answers_equal_positional_answers_everywhere(seed, min_sup):
+    rng = random.Random(seed)
+    num_dims = rng.randint(2, 4)
+    cardinality = rng.randint(2, 3)
+    num_tuples = rng.randint(4, 14)
+    names = [f"dim{d}" for d in range(num_dims)]
+    rows = [
+        tuple(f"val{rng.randrange(cardinality)}" for _ in range(num_dims))
+        for _ in range(num_tuples)
+    ]
+
+    relation = Relation.from_rows(rows, names)
+    positional = open_query_engine(compute_closed_cube(relation, min_sup=min_sup))
+    named = CubeSession.from_rows(rows, schema=names).closed(min_sup=min_sup).build()
+
+    domains = [[None] + sorted({row[dim] for row in rows}) for dim in range(num_dims)]
+    for raw_cell in itertools.product(*domains):
+        spec = {
+            names[dim]: value
+            for dim, value in enumerate(raw_cell)
+            if value is not None
+        }
+        encoded = tuple(
+            None if value is None else relation.encode(dim, value)
+            for dim, value in enumerate(raw_cell)
+        )
+        named_answer = named.point(spec)
+        positional_answer = positional.point(encoded)
+        assert named_answer.count == positional_answer.count, (raw_cell, spec)
+        # And both agree with brute-force recomputation over the base table.
+        true_count = count_matching_tuples(relation, encoded)
+        expected = true_count if true_count >= min_sup else None
+        assert named_answer.count == expected, (raw_cell, true_count)
+        if named_answer.found:
+            assert dict(named_answer.coordinates) == spec
+
+
+# --------------------------------------------------------------------------- #
+# Partitioned sessions                                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_partitioned_session_matches_unpartitioned_answers():
+    plain = retail_session().closed(min_sup=1).build()
+    parted = retail_session().closed(min_sup=1).partitioned("store").build()
+    for spec in (
+        {"store": "nyc"},
+        {"product": "shoe"},
+        {"store": "sfo", "day": "tue"},
+        {},
+    ):
+        assert parted.point(spec).count == plain.point(spec).count
+    assert parted.stats()["shards"] >= 2
+    by_product = {a.coordinates_dict()["product"]: a.count for a in parted.rollup(["product"])}
+    assert by_product == {"shoe": 4, "sock": 2}
+
+
+def test_partitioned_session_rejects_measures():
+    from repro.core.errors import AlgorithmError
+
+    with pytest.raises(AlgorithmError, match="measures"):
+        retail_session().measures(Sum("price")).partitioned("store").build()
+
+
+def test_schema_must_match_relation():
+    relation = Relation.from_rows([("x", "y")], ["A", "B"])
+    with pytest.raises(SchemaError, match="do not match"):
+        CubeSession(relation, schema=["B", "A"])
