@@ -28,6 +28,8 @@ import sys
 import time
 from typing import Dict, List, Sequence, Tuple
 
+from bench_helpers import write_json_report
+
 from repro import CubeSession, compute_closed_cube, open_query_engine
 from repro.core.cell import Cell
 from repro.core.cube import CubeResult
@@ -91,6 +93,8 @@ def main(argv: Sequence[str] = ()) -> int:
         default=0.25,
         help="maximum tolerated (named - positional) / positional",
     )
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
     args = parser.parse_args(argv or sys.argv[1:])
 
     config = SyntheticConfig.uniform(
@@ -133,6 +137,19 @@ def main(argv: Sequence[str] = ()) -> int:
     print(f"named:      {named_time * 1e6 / args.queries:8.2f} us/query "
           f"({qps_named:,.0f} q/s)")
     print(f"overhead:   {overhead * 100:+.1f}% (gate: < {args.max_overhead * 100:.0f}%)")
+
+    if args.json:
+        write_json_report(args.json, {
+            "benchmark": "bench_api_overhead",
+            "config": {"tuples": args.tuples, "dims": args.dims,
+                       "cardinality": args.cardinality, "min_sup": args.min_sup,
+                       "queries": args.queries, "seed": args.seed},
+            "positional_seconds": round(positional_time, 6),
+            "named_seconds": round(named_time, 6),
+            "overhead": round(overhead, 4),
+            "max_overhead": args.max_overhead,
+            "passed": overhead <= args.max_overhead,
+        })
 
     if overhead > args.max_overhead:
         print("FAIL: named-query overhead exceeds the gate", file=sys.stderr)

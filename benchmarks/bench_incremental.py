@@ -1,0 +1,159 @@
+"""Incremental-maintenance benchmark: append + merge vs full recompute.
+
+Builds a served closed cube over a synthetic base relation (100k tuples by
+default) whose first dimension is a chronological ``day`` column — the shape
+of a real fact stream, where appended rows carry the *next* day's value —
+then applies the same 10% batch of new fact rows two ways:
+
+1. ``append``     — :meth:`repro.session.ServingCube.append`: delta cube over
+   only the new tuples, merged in with aggregation-based closedness repair,
+   live index updated in place, caches invalidated selectively;
+2. ``recompute``  — a from-scratch :meth:`CubeSession.build` over the
+   concatenated relation, the cost every append paid before the incremental
+   subsystem existed.
+
+The two results are verified cell-for-cell identical before any timing is
+trusted.  The script prints a comparison table and exits non-zero when the
+incremental path fails to beat the rebuild by ``--min-speedup`` (default 5x),
+so it can act as a regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+    PYTHONPATH=src python benchmarks/bench_incremental.py --tuples 20000
+
+``--json PATH`` additionally writes the measurements as a JSON report (the CI
+workflow uploads these as artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from bench_helpers import write_json_report
+
+from repro import CubeSession
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000,
+                        help="base relation size before the append")
+    parser.add_argument("--dims", type=int, default=5,
+                        help="total dimensions, including the leading day column")
+    parser.add_argument("--cardinality", type=int, default=6)
+    parser.add_argument("--days", type=int, default=10,
+                        help="days in the base window (appends are day+1)")
+    parser.add_argument("--skew", type=float, default=0.5)
+    parser.add_argument("--append-fraction", type=float, default=0.10,
+                        help="appended rows as a fraction of the base size")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail unless append beats recompute by this factor")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    num_append = max(1, int(args.tuples * args.append_fraction))
+    total = args.tuples + num_append
+    print(f"dataset: T={args.tuples} (+{num_append} appended) D={args.dims} "
+          f"C={args.cardinality} S={args.skew} min_sup=1 closed")
+
+    start = time.perf_counter()
+    relation = generate_relation(SyntheticConfig.uniform(
+        num_tuples=total, num_dims=args.dims - 1, cardinality=args.cardinality,
+        skew=args.skew, seed=args.seed,
+    ))
+    # Raw rows with a leading chronological day column: base tuples spread
+    # over --days days, appended tuples all carry the next day's value.  Both
+    # paths dictionary-encode the same row sequence (the served cube encodes
+    # the base prefix then grows append-only; the rebuild encodes it in one
+    # pass), so first-appearance order — and hence every code — matches.
+    def day_of(tid: int) -> str:
+        if tid >= args.tuples:
+            return f"day{args.days}"
+        return f"day{tid * args.days // args.tuples}"
+
+    all_rows = [
+        (day_of(tid),) + tuple(
+            relation.decode(dim, relation.columns[dim][tid])
+            for dim in range(relation.num_dimensions)
+        )
+        for tid in range(total)
+    ]
+    base_rows, tail_rows = all_rows[: args.tuples], all_rows[args.tuples :]
+    print(f"generated relation in {time.perf_counter() - start:.2f}s")
+
+    start = time.perf_counter()
+    serving = CubeSession.from_rows(base_rows).closed(min_sup=1).build()
+    build_seconds = time.perf_counter() - start
+    print(f"built base cube in {build_seconds:.2f}s "
+          f"({len(serving)} cells, algorithm {serving.algorithm!r})")
+
+    start = time.perf_counter()
+    report = serving.append(tail_rows)
+    append_seconds = time.perf_counter() - start
+    print(f"append: {report.mode} via {report.algorithm!r} in "
+          f"{append_seconds:.3f}s -> {len(serving)} cells")
+    if report.merge is not None:
+        print(f"        {report.merge.describe()}")
+
+    start = time.perf_counter()
+    rebuilt = CubeSession.from_rows(all_rows).closed(min_sup=1).build()
+    recompute_seconds = time.perf_counter() - start
+    print(f"full recompute in {recompute_seconds:.3f}s "
+          f"({len(rebuilt)} cells, algorithm {rebuilt.algorithm!r})")
+
+    if not serving.cube.same_cells(rebuilt.cube):
+        print("FAIL: incremental result differs from the full recompute:")
+        print(serving.cube.diff(rebuilt.cube))
+        return 1
+    print("verified: incremental cube == recomputed cube "
+          f"({len(serving)} cells)")
+
+    speedup = (recompute_seconds / append_seconds
+               if append_seconds else float("inf"))
+    print()
+    print(f"{'path':<18}{'seconds':>10}{'cells':>10}{'vs rebuild':>12}")
+    print("-" * 50)
+    print(f"{'append (merge)':<18}{append_seconds:>10.3f}{len(serving):>10}"
+          f"{speedup:>11.1f}x")
+    print(f"{'full recompute':<18}{recompute_seconds:>10.3f}{len(rebuilt):>10}"
+          f"{1.0:>11.1f}x")
+
+    results = {
+        "benchmark": "bench_incremental",
+        "config": {
+            "tuples": args.tuples,
+            "appended": num_append,
+            "dims": args.dims,
+            "cardinality": args.cardinality,
+            "skew": args.skew,
+            "seed": args.seed,
+        },
+        "build_seconds": round(build_seconds, 6),
+        "append_seconds": round(append_seconds, 6),
+        "recompute_seconds": round(recompute_seconds, 6),
+        "append_mode": report.mode,
+        "append_algorithm": report.algorithm,
+        "cells": len(serving),
+        "speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "passed": speedup >= args.min_speedup,
+    }
+    if args.json:
+        write_json_report(args.json, results)
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: incremental append is only {speedup:.1f}x the rebuild "
+              f"(required {args.min_speedup:.1f}x)")
+        return 1
+    print(f"OK: incremental append is {speedup:.1f}x the full rebuild "
+          f"(required {args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

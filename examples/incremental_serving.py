@@ -1,0 +1,89 @@
+"""Incremental serving: build, serve, append, snapshot, reload, serve again.
+
+The lifecycle of a long-lived serving cube:
+
+1. build a closed cube over yesterday's fact stream and answer queries,
+2. ``append()`` today's rows — a delta cube over only the new tuples is
+   merged in with aggregation-based closedness repair (no recomputation),
+3. ``save()`` a versioned snapshot to disk,
+4. ``load()`` it back (as a restarted process would) and keep serving — and
+   keep appending: the reloaded cube retains full maintenance abilities.
+
+Run with::
+
+    python examples/incremental_serving.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+
+from repro import CubeSession, ServingCube, Sum
+
+STORES = ["nyc", "sfo", "chi", "aus"]
+PRODUCTS = ["shoe", "sock", "hat", "belt", "scarf"]
+
+
+def day_rows(day: str, num_rows: int, seed: int):
+    """One day of retail facts: (store, product, day, price)."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(num_rows):
+        store = rng.choices(STORES, weights=(5, 3, 2, 1))[0]
+        product = rng.choices(PRODUCTS, weights=(1, 4, 2, 2, 1))[0]
+        price = round(rng.uniform(3.0, 60.0), 2)
+        rows.append((store, product, day, price))
+    return rows
+
+
+def show(cube, label):
+    nyc = cube.point({"store": "nyc"})
+    shoes = cube.point({"product": "shoe"})
+    print(f"  [{label}] nyc: count={nyc.count} sum={nyc.measure('sum(price)'):.2f}; "
+          f"shoes: count={shoes.count}; cells={len(cube)} "
+          f"rows={cube.relation.num_tuples}")
+
+
+def main() -> None:
+    schema = {"dimensions": ["store", "product", "day"], "measures": ["price"]}
+
+    print("1) build over the first three days and serve")
+    history = [row for day in range(3) for row in day_rows(f"day{day}", 400, day)]
+    cube = (
+        CubeSession.from_rows(history, schema=schema)
+        .closed(min_sup=1)
+        .measures(Sum("price"))
+        .using("auto")
+        .build()
+    )
+    show(cube, "built")
+
+    print("2) append day3 incrementally (delta cube + closedness-repair merge)")
+    report = cube.append(day_rows("day3", 400, seed=3))
+    print("  " + report.describe().replace("\n", "\n  "))
+    show(cube, "appended")
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "retail.cube")
+        print("3) snapshot to disk")
+        size = cube.save(path)
+        print(f"  wrote {size} bytes to {os.path.basename(path)}")
+
+        print("4) reload (simulating a process restart) and serve again")
+        reloaded = ServingCube.load(path)
+        show(reloaded, "reloaded")
+        assert reloaded.point({"store": "nyc"}).count == cube.point({"store": "nyc"}).count
+
+        print("5) the reloaded cube keeps appending")
+        report = reloaded.append(day_rows("day4", 400, seed=4))
+        print(f"  append after reload served by {report.mode} "
+              f"({report.appended_rows} rows)")
+        show(reloaded, "day4")
+
+    print("cache stats:", reloaded.cache_info()["answers"])
+
+
+if __name__ == "__main__":
+    main()

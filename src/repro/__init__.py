@@ -18,7 +18,14 @@ The package provides:
   per-dimension inverted indexes, an LRU cache, and partition-aware routing,
 * a named-schema session API (:mod:`repro.session`) — the documented entry
   point: named dimensions and measures, raw values, a fluent build chain, and
-  an algorithm auto-planner.
+  an algorithm auto-planner,
+* incremental cube maintenance (:mod:`repro.incremental`) — append fact rows
+  to a served cube and merge a delta cube in with aggregation-based
+  closedness repair instead of recomputing, with in-place index maintenance
+  and targeted cache invalidation,
+* snapshot persistence (:mod:`repro.storage.snapshot`) — a versioned on-disk
+  format (``ServingCube.save`` / ``ServingCube.load``) so a cube survives
+  process restarts and keeps appending afterwards.
 
 Quick start::
 
@@ -77,10 +84,13 @@ from .session import (
     NamedAnswer,
     Plan,
     RelationStats,
+    ServingConfig,
     ServingCube,
     Sum,
     plan_algorithm,
 )
+from .incremental import AppendReport, MergeReport, merge_closed_cubes
+from .storage import load_snapshot, save_snapshot
 from .query import (
     PartitionedQueryEngine,
     PointQuery,
@@ -97,9 +107,15 @@ __all__ = [
     "__version__",
     "CubeSession",
     "ServingCube",
+    "ServingConfig",
     "NamedAnswer",
     "Explanation",
     "CubeSchema",
+    "AppendReport",
+    "MergeReport",
+    "merge_closed_cubes",
+    "load_snapshot",
+    "save_snapshot",
     "Plan",
     "RelationStats",
     "plan_algorithm",

@@ -83,6 +83,24 @@ def all_mask(cell: Cell) -> int:
     return mask
 
 
+def fixed_mask(cell: Cell) -> int:
+    """The complement of the :func:`all_mask`: bit ``d`` set iff ``d`` is fixed.
+
+    For a *closed* cell this is exactly its Closed Mask (Definition 7): every
+    tuple of the cell shares the cell's value on each fixed dimension, and —
+    because the cell is closed — no ``*`` dimension has a single shared value.
+    That equality is what makes the closedness state of a closed cell
+    reconstructible after the fact (see :func:`repro.core.closedness.
+    closed_cell_state`) and hence closed cubes mergeable
+    (:mod:`repro.incremental`).
+    """
+    mask = 0
+    for dim, value in enumerate(cell):
+        if value is not None:
+            mask |= 1 << dim
+    return mask
+
+
 def is_specialisation(general: Cell, specific: Cell) -> bool:
     """``True`` iff ``general`` <= ``specific`` in the paper's ``V(c) <= V(c')`` order.
 
@@ -120,6 +138,45 @@ def merge_cells(first: Cell, second: Cell) -> Optional[Cell]:
         else:
             return None
     return tuple(merged)
+
+
+def meet_cells(first: Cell, second: Cell) -> Cell:
+    """Greatest common generalisation of two cells (the lattice *meet*).
+
+    A dimension is fixed in the meet iff both cells fix it to the same value;
+    every other dimension becomes ``*``.  Unlike :func:`merge_cells` (the
+    join, which may not exist) the meet always exists — in the worst case it
+    is the apex cell.  Incremental maintenance builds on the fact that every
+    closed cell of a union of two relations with support on both sides is the
+    meet of a closed cell of each side (see :mod:`repro.incremental.merge`).
+    """
+    if len(first) != len(second):
+        raise SchemaError("cells being met must have the same dimensionality")
+    return tuple(
+        f_value if f_value is not None and f_value == s_value else None
+        for f_value, s_value in zip(first, second)
+    )
+
+
+def generalisations(cell: Cell) -> Iterable[Cell]:
+    """All generalisations of ``cell``: every subset of its fixed dimensions kept.
+
+    Yields ``2^arity`` cells, including ``cell`` itself and the apex.  This is
+    the single-cell reference enumeration (used by tests as an oracle); the
+    incremental merge enumerates generalisations of *many* related cells at
+    once through the deduplicating breadth-first walk in
+    :func:`repro.incremental.merge.support_generalisations`, which visits
+    shared generalisations only once.
+    """
+    from itertools import combinations
+
+    fixed = [dim for dim, value in enumerate(cell) if value is not None]
+    for arity in range(len(fixed) + 1):
+        for kept in combinations(fixed, arity):
+            keep = set(kept)
+            yield tuple(
+                value if dim in keep else None for dim, value in enumerate(cell)
+            )
 
 
 def project_cell(cell: Cell, dims: Iterable[int]) -> Cell:

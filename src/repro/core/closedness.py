@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from .cell import Cell, all_mask
+from .cell import Cell, all_mask, fixed_mask
+from .errors import IncrementalError
 from .relation import Relation
 
 
@@ -163,6 +164,35 @@ def closedness_of_tids(tids: Sequence[int], relation: Relation) -> ClosednessSta
         if all(column[tid] == value for tid in tids):
             mask |= 1 << dim
     return ClosednessState(rep_tid=rep, closed_mask=mask)
+
+
+def closed_cell_state(cell: Cell, rep_tid: Optional[int]) -> ClosednessState:
+    """Reconstruct the closedness state of a *closed* cell after the fact.
+
+    For a closed cell the Closed Mask needs no recomputation: every tuple of
+    the cell shares the cell's value on each fixed dimension (bit set), and
+    closedness means no ``*`` dimension has a single shared value (bit
+    clear) — so ``ClosedMask == fixed_mask(cell)`` exactly.  Together with the
+    representative tuple id the algorithms already record per cell
+    (:attr:`repro.core.cube.CellStats.rep_tid`), the full measure state of
+    Definition 9 is recovered without touching a single tuple list.
+
+    This is what makes a materialised closed cube *mergeable*: the
+    reconstructed states feed straight into :meth:`ClosednessState.merge`
+    (Lemma 3), which is how :mod:`repro.incremental.merge` repairs closedness
+    when folding a delta cube into a base cube.
+
+    Raises :class:`~repro.core.errors.IncrementalError` when ``rep_tid`` is
+    missing — a cube computed without representative-tuple tracking cannot be
+    merged incrementally.
+    """
+    if rep_tid is None:
+        raise IncrementalError(
+            f"cell {cell!r} carries no representative tuple id; only cubes "
+            "computed with rep_tid tracking (the closed algorithms) support "
+            "incremental merge"
+        )
+    return ClosednessState(rep_tid=rep_tid, closed_mask=fixed_mask(cell))
 
 
 def merge_states(

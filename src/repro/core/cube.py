@@ -10,13 +10,17 @@ needs:
 * the *quotient-cube closure query* — answering a query on any (possibly
   non-materialised) cell from the closed cube alone, which is what makes the
   closed cube a lossless compression,
-* cube size accounting in cells and estimated bytes (Figures 13 and 14).
+* cube size accounting in cells and estimated bytes (Figures 13 and 14),
+* incremental maintenance — :meth:`CubeResult.merge` folds a delta cube into
+  this one with aggregation-based closedness repair
+  (:mod:`repro.incremental.merge`), keeping the lazily built closure index
+  up to date in place.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .cell import (
     Cell,
@@ -27,7 +31,11 @@ from .cell import (
     tuple_matches,
 )
 from .errors import ValidationError
+from .measures import MeasureSet
 from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..incremental.merge import MergeReport
 
 
 @dataclass
@@ -65,9 +73,16 @@ class CubeResult:
         self.num_dims = num_dims
         self.name = name
         self._cells: Dict[Cell, CellStats] = {}
-        #: Lazily built closure index (see :meth:`closure_index`); invalidated
-        #: whenever a cell is added so reads never observe a stale snapshot.
+        #: Lazily built closure index (see :meth:`closure_index`); once built
+        #: it is maintained *in place* — every mutation below updates it, so
+        #: reads never observe a stale view and serving engines keep their
+        #: index across incremental merges.
         self._closure_index: Optional[object] = None
+        #: The payload measure set the producing run aggregated, attached by
+        #: :meth:`repro.algorithms.base.CubingAlgorithm.run`.  Incremental
+        #: maintenance uses it to reconstruct mergeable measure states from
+        #: the finalised per-cell values (see :meth:`merge`).
+        self.measure_set: Optional[MeasureSet] = None
 
     # ------------------------------------------------------------------ #
     # Mutation                                                            #
@@ -92,8 +107,94 @@ class CubeResult:
             )
         if cell in self._cells:
             raise ValidationError(f"cell {cell!r} emitted twice")
-        self._cells[cell] = CellStats(count, dict(measures or {}), rep_tid)
-        self._closure_index = None
+        stats = CellStats(count, dict(measures or {}), rep_tid)
+        self._cells[cell] = stats
+        if self._closure_index is not None:
+            self._closure_index.add_cells([(cell, stats)])
+
+    def upsert(
+        self,
+        cell: Cell,
+        count: int,
+        measures: Optional[Dict[str, float]] = None,
+        rep_tid: Optional[int] = None,
+    ) -> bool:
+        """Insert a cell, or replace the stats of an existing one in place.
+
+        The maintenance counterpart of :meth:`add` (which treats duplicates as
+        algorithm bugs): incremental merge legitimately *updates* cells whose
+        groups grew.  Existing :class:`CellStats` objects are mutated rather
+        than replaced, so a live closure index — and any serving engine built
+        over it — observes the new statistics without rebuilding.  Returns
+        ``True`` when the cell was newly added.
+        """
+        stats = self._cells.get(cell)
+        if stats is None:
+            self.add(cell, count, measures, rep_tid)
+            return True
+        stats.count = count
+        stats.measures = dict(measures or {})
+        stats.rep_tid = rep_tid
+        if self._closure_index is not None:
+            self._closure_index.touch_cell(cell)
+        return False
+
+    def shift_rep_tids(self, offset: int) -> None:
+        """Shift every representative tuple id by ``offset`` (in place).
+
+        Used by delta-mode runs: a delta cube is computed over a re-based
+        slice of the grown relation, and its rep_tids must be translated back
+        into the full relation's tid space before merging.  Counts, measures,
+        and the closure index are unaffected.
+        """
+        if offset == 0:
+            return
+        for stats in self._cells.values():
+            if stats.rep_tid is not None:
+                stats.rep_tid += offset
+
+    def remove(self, cell: Cell) -> None:
+        """Drop a materialised cell (and its posting-list entries, if indexed)."""
+        if cell not in self._cells:
+            raise ValidationError(f"cell {cell!r} is not materialised")
+        del self._cells[cell]
+        if self._closure_index is not None:
+            self._closure_index.remove_cells([cell])
+
+    def merge(
+        self,
+        delta: "CubeResult",
+        relation: Relation,
+        measures: Optional[MeasureSet] = None,
+        delta_tid_offset: int = 0,
+    ) -> "MergeReport":
+        """Fold a delta closed cube into this one, repairing closedness.
+
+        Both cubes must be *full closed* cubes (``closed=True, min_sup=1``)
+        over the same schema, computed with representative-tuple tracking;
+        ``relation`` is the combined fact table (base tuples first, delta
+        tuples appended) against which closedness is re-evaluated.
+        ``delta_tid_offset`` shifts the delta cube's representative tuple ids
+        into the combined tid space when the delta was computed over a
+        re-based relation (cubes produced by
+        :meth:`repro.algorithms.base.CubingAlgorithm.run_delta` are already
+        shifted).  ``measures`` overrides the measure set used to merge
+        payload values; by default the cube's own :attr:`measure_set` is used.
+
+        Mutates this cube in place (cells added and updated, never removed —
+        appending tuples can only create or grow closed cells) and keeps the
+        live closure index current.  See :mod:`repro.incremental.merge` for
+        the algorithm and the closedness-repair argument.
+        """
+        from ..incremental.merge import merge_closed_cubes
+
+        return merge_closed_cubes(
+            self,
+            delta,
+            relation,
+            measures=measures,
+            delta_tid_offset=delta_tid_offset,
+        )
 
     # ------------------------------------------------------------------ #
     # Container protocol                                                  #
@@ -164,11 +265,13 @@ class CubeResult:
     def closure_index(self):
         """The lazily built inverted index used by :meth:`closure_query`.
 
-        Returns a :class:`repro.query.index.CubeIndex` snapshot of the current
-        cells, rebuilt on first use after any :meth:`add`.  The import is
-        deferred to keep the package layering one-way at import time
-        (``repro.query`` builds on ``repro.core``; the core only reaches back
-        at call time).
+        Returns a :class:`repro.query.index.CubeIndex` over the current
+        cells, built on first use and thereafter maintained *in place* by
+        :meth:`add` / :meth:`upsert` / :meth:`remove` — the same object stays
+        valid across incremental merges, which is what lets serving engines
+        keep their index warm while the cube grows.  The import is deferred
+        to keep the package layering one-way at import time (``repro.query``
+        builds on ``repro.core``; the core only reaches back at call time).
         """
         if self._closure_index is None:
             from ..query.index import CubeIndex

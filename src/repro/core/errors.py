@@ -48,6 +48,23 @@ class PartitionError(ReproError):
     """Raised by the external/partitioned computation driver (Section 6.3)."""
 
 
+class IncrementalError(ReproError):
+    """Raised when incremental cube maintenance (merge / append) cannot proceed.
+
+    Examples: merging cubes of different dimensionality, a delta cube whose
+    cells lack representative tuple ids, or a merge requested on a cube whose
+    payload measures cannot be reconstructed into mergeable states.
+    """
+
+
+class SnapshotError(ReproError):
+    """Raised when a cube snapshot cannot be written or read back.
+
+    Examples: a file that does not start with the snapshot magic, a snapshot
+    written by an unsupported format version, or a truncated payload.
+    """
+
+
 class QueryError(ReproError):
     """Raised when a closure query against a served cube is malformed.
 

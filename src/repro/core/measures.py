@@ -59,6 +59,24 @@ class MeasureSpec(ABC):
     def create(self, relation: Relation, tid: int) -> MeasureState:
         """State of the measure for the single tuple ``tid``."""
 
+    def reconstruct(self, value: float, count: int) -> MeasureState:
+        """Rebuild a mergeable state from a finalised ``value()`` and group count.
+
+        This is the inverse of :meth:`MeasureState.value` and what keeps
+        measure states *reconstructible post-run*: a materialised cube stores
+        only final measure values, yet incremental maintenance
+        (:mod:`repro.incremental`) must merge those values with a delta
+        cube's.  Every built-in measure is reconstructible — ``count``,
+        ``sum``, ``min``, ``max`` carry their value directly, and ``avg``
+        recovers its bounded ``(sum, count)`` pair from ``value * count``.
+        Custom specs that cannot be inverted should leave this unimplemented;
+        merging such cubes raises.
+        """
+        raise MeasureError(
+            f"measure {self.name!r} does not support state reconstruction; "
+            "implement reconstruct() to make cubes carrying it mergeable"
+        )
+
     def describe(self) -> str:
         """One-line description used in reports and ``repr``."""
         kind = "distributive" if self.distributive else "algebraic"
@@ -99,6 +117,9 @@ class CountMeasure(MeasureSpec):
     def create(self, relation: Relation, tid: int) -> CountState:
         return CountState(1)
 
+    def reconstruct(self, value: float, count: int) -> CountState:
+        return CountState(int(value))
+
 
 # --------------------------------------------------------------------------- #
 # Sum / Min / Max over a measure column                                        #
@@ -133,6 +154,9 @@ class SumMeasure(MeasureSpec):
         index = relation.schema.measure_index(self.column)
         return SumState(relation.measure_value(tid, index))
 
+    def reconstruct(self, value: float, count: int) -> SumState:
+        return SumState(value)
+
 
 class MinState(MeasureState):
     __slots__ = ("minimum",)
@@ -163,6 +187,9 @@ class MinMeasure(MeasureSpec):
         index = relation.schema.measure_index(self.column)
         return MinState(relation.measure_value(tid, index))
 
+    def reconstruct(self, value: float, count: int) -> MinState:
+        return MinState(value)
+
 
 class MaxState(MeasureState):
     __slots__ = ("maximum",)
@@ -192,6 +219,9 @@ class MaxMeasure(MeasureSpec):
     def create(self, relation: Relation, tid: int) -> MaxState:
         index = relation.schema.measure_index(self.column)
         return MaxState(relation.measure_value(tid, index))
+
+    def reconstruct(self, value: float, count: int) -> MaxState:
+        return MaxState(value)
 
 
 # --------------------------------------------------------------------------- #
@@ -232,6 +262,9 @@ class AvgMeasure(MeasureSpec):
     def create(self, relation: Relation, tid: int) -> AvgState:
         index = relation.schema.measure_index(self.column)
         return AvgState(relation.measure_value(tid, index), 1)
+
+    def reconstruct(self, value: float, count: int) -> AvgState:
+        return AvgState(value * count, count)
 
 
 # --------------------------------------------------------------------------- #
@@ -306,6 +339,43 @@ class MeasureSet:
         return {
             spec.name: state.value() for spec, state in zip(self.specs, states)
         }
+
+    def reconstruct_states(
+        self, values: Dict[str, float], count: int
+    ) -> List[MeasureState]:
+        """Rebuild mergeable states from a cell's finalised measure values.
+
+        ``count`` is the cell's group count (the basis algebraic measures such
+        as ``avg`` need to invert their final value).  Raises
+        :class:`MeasureError` when a value is missing or a spec is not
+        reconstructible.
+        """
+        states: List[MeasureState] = []
+        for spec in self.specs:
+            if spec.name not in values:
+                raise MeasureError(
+                    f"cell carries no value for measure {spec.name!r}; cannot "
+                    "reconstruct its state"
+                )
+            states.append(spec.reconstruct(values[spec.name], count))
+        return states
+
+    def merge_values(
+        self,
+        first_values: Dict[str, float],
+        first_count: int,
+        second_values: Dict[str, float],
+        second_count: int,
+    ) -> Dict[str, float]:
+        """Measure values of the union of two disjoint groups.
+
+        Both groups' states are reconstructed, merged pairwise, and
+        re-finalised — the post-run counterpart of the in-run
+        :meth:`merge_states` path, used by incremental cube maintenance.
+        """
+        states = self.reconstruct_states(first_values, first_count)
+        self.merge_states(states, self.reconstruct_states(second_values, second_count))
+        return self.values(states)
 
 
 #: A shared, empty measure set for the common count-only configuration.

@@ -302,6 +302,75 @@ class Relation:
         )
 
     # ------------------------------------------------------------------ #
+    # Append (incremental growth)                                         #
+    # ------------------------------------------------------------------ #
+
+    def append_rows(
+        self,
+        rows: Sequence[Sequence[object]],
+        measures: Optional[Mapping[str, Sequence[float]]] = None,
+    ) -> Tuple[int, int]:
+        """Append raw rows in place, growing the value dictionaries append-only.
+
+        ``rows`` carry raw dimension values (one entry per dimension, schema
+        order); values already in a dimension's dictionary reuse their code,
+        unseen values are assigned the next free code — existing codes are
+        never reassigned, so every previously computed cube, index, and cached
+        answer over this relation stays valid.  ``measures`` maps each measure
+        column name to the per-row values (required exactly when the schema
+        declares measures).
+
+        Returns the ``(start_tid, end_tid)`` half-open tid range of the
+        appended tuples — the delta window incremental maintenance
+        (:mod:`repro.incremental`) computes its delta cube over.
+        """
+        start_tid = self.num_tuples
+        if not rows:
+            return start_tid, start_tid
+        num_dims = self.num_dimensions
+        if any(len(row) != num_dims for row in rows):
+            raise SchemaError(
+                f"appended rows must have {num_dims} dimension values each"
+            )
+        measures = dict(measures or {})
+        if set(measures) != set(self.schema.measure_names):
+            raise SchemaError(
+                f"appended measures {sorted(measures)} do not match the "
+                f"schema's {list(self.schema.measure_names)}"
+            )
+        measure_values: List[List[float]] = []
+        for index, name in enumerate(self.schema.measure_names):
+            values = [float(v) for v in measures[name]]
+            if len(values) != len(rows):
+                raise SchemaError(
+                    f"measure {name!r} has {len(values)} values for "
+                    f"{len(rows)} appended rows"
+                )
+            measure_values.append(values)
+
+        # Encode into staging buffers first: a mid-row failure (e.g. an
+        # unhashable value) must leave the relation untouched, not with
+        # unequal column lengths.  Dictionary growth is safe to apply while
+        # staging — extra codes for rows that never land are harmless, codes
+        # are never reassigned.
+        encoders = [self.encoder(dim) for dim in range(num_dims)]
+        staged: List[List[int]] = [[] for _ in range(num_dims)]
+        for row in rows:
+            for dim, raw in enumerate(row):
+                encoder = encoders[dim]
+                code = encoder.get(raw)
+                if code is None:
+                    code = len(encoder)
+                    encoder[raw] = code
+                    self.decoders[dim][code] = raw
+                staged[dim].append(code)
+        for dim, codes in enumerate(staged):
+            self.columns[dim].extend(codes)
+        for index, values in enumerate(measure_values):
+            self.measure_columns[index].extend(values)
+        return start_tid, self.num_tuples
+
+    # ------------------------------------------------------------------ #
     # Transformations                                                     #
     # ------------------------------------------------------------------ #
 

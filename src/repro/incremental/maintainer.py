@@ -1,0 +1,214 @@
+"""Append orchestration: delta-compute → merge → index update → cache repair.
+
+:class:`CubeMaintainer` is the engine room behind
+:meth:`repro.session.serving.ServingCube.append`.  Given freshly appended raw
+rows it:
+
+1. splits and appends them to the serving relation
+   (:meth:`~repro.core.relation.Relation.append_rows` — value dictionaries
+   grow append-only, so every existing code stays valid),
+2. plans a cubing algorithm for the *delta window* only (the same Figure 15
+   planner the build used, consulted with the delta's shape — a delta is
+   often much denser or smaller than the base, so its best engine differs),
+3. computes the delta closed cube over just the appended tuples
+   (:meth:`~repro.algorithms.base.CubingAlgorithm.run_delta`),
+4. merges it into the served cube with aggregation-based closedness repair
+   (:func:`repro.incremental.merge.merge_closed_cubes`), which keeps the
+   engine's live closure index current in place, and
+5. invalidates exactly the cached answers the changed cells can affect —
+   both the engine's encoded answer cache and the session's decoded cache.
+
+When the incremental path cannot be exact it degrades explicitly rather than
+approximately: iceberg cubes (``min_sup > 1``) and non-closed cubes fall back
+to a full recompute (the cube has discarded information a delta could
+resurrect), partitioned cubes take the per-partition refresh path
+(:meth:`repro.storage.partition.PartitionedCubeComputer.refresh`), and
+relations beyond :data:`MAX_DELTA_DIMS` dimensions recompute because the
+merge's candidate enumeration is exponential in dimensionality in the worst
+case.  The chosen path is reported, never silent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from ..algorithms.base import CubingOptions, get_algorithm
+from ..core.errors import IncrementalError, MeasureError
+from ..core.measures import MeasureSet
+from ..query.engine import QueryEngine, invalidate_answers
+from .merge import MergeReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..session.serving import ServingCube
+
+#: Beyond this many dimensions the merge's candidate enumeration (all cells
+#: with delta support — worst case exponential in D) loses to recomputation;
+#: appends fall back to a full rebuild.
+MAX_DELTA_DIMS = 12
+
+
+@dataclass(frozen=True)
+class AppendReport:
+    """How one :meth:`ServingCube.append` call was served."""
+
+    #: Number of fact rows appended.
+    appended_rows: int
+    #: ``"delta-merge"``, ``"partition-refresh"``, ``"full-recompute"``, or
+    #: ``"no-op"`` (empty input).
+    mode: str
+    #: Algorithm that computed the delta (or the rebuild).
+    algorithm: str
+    #: Wall-clock seconds for the whole append.
+    elapsed_seconds: float
+    #: Cached answers dropped by targeted invalidation (encoded + decoded).
+    invalidated_answers: int = 0
+    #: Merge bookkeeping for the delta-merge path.
+    merge: Optional[MergeReport] = None
+    #: Partition values recomputed by the partition-refresh path.
+    refreshed_partitions: Optional[Tuple[int, ...]] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"append({self.appended_rows} rows) served by {self.mode} "
+            f"in {self.elapsed_seconds:.4f}s (algorithm {self.algorithm!r})"
+        ]
+        if self.merge is not None:
+            lines.append("-> " + self.merge.describe())
+        if self.refreshed_partitions is not None:
+            lines.append(
+                f"-> recomputed partitions {sorted(self.refreshed_partitions)!r}"
+            )
+        lines.append(f"-> invalidated {self.invalidated_answers} cached answers")
+        return "\n".join(lines)
+
+
+class CubeMaintainer:
+    """Applies appends to one :class:`~repro.session.serving.ServingCube`."""
+
+    def __init__(self, serving: "ServingCube") -> None:
+        self.serving = serving
+
+    # ------------------------------------------------------------------ #
+
+    def append(self, rows: Sequence[object]) -> AppendReport:
+        serving = self.serving
+        start = time.perf_counter()
+        if not serving.config_known:
+            # Guessing min_sup / closed / measures and maintaining under the
+            # guess would corrupt the cube silently; refuse before touching
+            # the relation.
+            raise IncrementalError(
+                "this ServingCube was constructed without a ServingConfig, so "
+                "maintenance cannot know how its cube was computed; build it "
+                "through CubeSession (or pass config=...) to enable append()"
+            )
+        if not rows:
+            return AppendReport(0, "no-op", serving.algorithm, 0.0)
+        dim_rows, measure_values = serving.schema.split_rows(rows)
+        start_tid, end_tid = serving.relation.append_rows(dim_rows, measure_values)
+        if end_tid == start_tid:
+            return AppendReport(0, "no-op", serving.algorithm, 0.0)
+        if serving.config.partitioned:
+            return self._refresh_partitions(start_tid, start)
+        if self._delta_eligible():
+            try:
+                return self._delta_merge(start_tid, start)
+            except (IncrementalError, MeasureError):
+                # Exactness over cleverness: anything the merge cannot prove
+                # (missing rep_tids, non-reconstructible measures) recomputes.
+                pass
+        # refresh() clears both answer caches; count them first so the
+        # report's "encoded + decoded" contract holds in every mode.
+        invalidated = len(serving.engine.cache) + len(serving._decoded)
+        serving.refresh()
+        return AppendReport(
+            appended_rows=end_tid - start_tid,
+            mode="full-recompute",
+            algorithm=serving.algorithm,
+            elapsed_seconds=time.perf_counter() - start,
+            invalidated_answers=invalidated,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _delta_eligible(self) -> bool:
+        config = self.serving.config
+        return (
+            config.closed
+            and config.min_sup == 1
+            and isinstance(self.serving.engine, QueryEngine)
+            and self.serving.relation.num_dimensions <= MAX_DELTA_DIMS
+        )
+
+    def _delta_merge(self, start_tid: int, started: float) -> AppendReport:
+        from ..session.planner import plan_algorithm
+
+        serving = self.serving
+        relation = serving.relation
+        config = serving.config
+        measures = MeasureSet(tuple(config.measures))
+        delta_relation = relation.select(range(start_tid, relation.num_tuples))
+        plan = plan_algorithm(
+            delta_relation, min_sup=1, closed=True, with_measures=bool(measures)
+        )
+        options = CubingOptions(
+            min_sup=1,
+            closed=True,
+            measures=measures,
+            dimension_order=config.dimension_order,
+        )
+        delta_result = get_algorithm(plan.algorithm, options).run_delta(
+            relation, start_tid, delta_relation=delta_relation
+        )
+        report = serving.cube.merge(delta_result.cube, relation, measures=measures)
+        # The engine shares the cube's live closure index, so the index is
+        # already current; only derived caches need repair — both at once,
+        # sharing one probe index over the changed cells.
+        invalidated = invalidate_answers(
+            [serving.engine.cache, serving._decoded],
+            relation.num_dimensions,
+            report.changed_cells(),
+        )
+        return AppendReport(
+            appended_rows=relation.num_tuples - start_tid,
+            mode="delta-merge",
+            algorithm=delta_result.algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            invalidated_answers=invalidated,
+            merge=report,
+        )
+
+    def _refresh_partitions(self, start_tid: int, started: float) -> AppendReport:
+        from ..storage.partition import PartitionedCubeComputer
+
+        serving = self.serving
+        relation = serving.relation
+        config = serving.config
+        partition_dim = serving.engine.partition_dim
+        computer = PartitionedCubeComputer(
+            algorithm=serving.algorithm,
+            min_sup=config.min_sup,
+            closed=config.closed,
+            dimension_order=config.dimension_order,
+        )
+        cube, part_report = computer.refresh(
+            relation, serving.cube, partition_dim, start_tid
+        )
+        changed_values = sorted(part_report.refreshed_partitions or ())
+        serving.cube = cube
+        serving.partition_report = part_report
+        # engine.refresh clears the encoded answer cache; count both caches
+        # so the report's "encoded + decoded" contract holds.
+        invalidated = len(serving.engine.cache) + len(serving._decoded)
+        serving.engine.refresh(cube, changed_values)
+        serving._decoded.clear()
+        return AppendReport(
+            appended_rows=relation.num_tuples - start_tid,
+            mode="partition-refresh",
+            algorithm=serving.algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            invalidated_answers=invalidated,
+            refreshed_partitions=tuple(changed_values),
+        )

@@ -32,6 +32,7 @@ class LRUCache(Generic[V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,6 +61,27 @@ class LRUCache(Generic[V]):
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def keys(self) -> "list":
+        """Snapshot of the cached keys, least-recently used first.
+
+        Used by targeted invalidation: the serving layer inspects which cached
+        answers a set of changed cells can affect and discards only those.
+        """
+        return list(self._entries)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present (targeted invalidation, not an eviction).
+
+        Returns ``True`` when the key was cached.  Unlike capacity evictions,
+        discards are counted separately in :meth:`stats` so cache-behaviour
+        dashboards can tell churn from invalidation.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self.invalidations += 1
+        return True
+
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
         self._entries.clear()
@@ -77,5 +99,6 @@ class LRUCache(Generic[V]):
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),
         }

@@ -19,8 +19,11 @@ materialised cells by their value on the partitioning dimension and routes
 each query to the shard(s) that can contain its closure, mirroring how the
 partitioned *computation* split the data.
 
-Engines snapshot the cube at construction; mutate the cube and open a new
-engine to serve the new cells.
+Engines track the cube they front: the :class:`QueryEngine` shares the cube's
+live closure index (kept current in place by incremental merges) and exposes
+:meth:`QueryEngine.invalidate` for the targeted answer-cache invalidation the
+maintenance path needs; :class:`PartitionedQueryEngine.refresh` swaps in only
+the shards a refresh touched.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cell import Cell, make_cell, sort_key
-from ..core.cube import CubeResult
+from ..core.cube import CellStats, CubeResult
 from ..core.errors import QueryError
 from ..core.relation import Relation
 from .cache import LRUCache
@@ -40,6 +43,37 @@ ExecuteResult = Union[QueryAnswer, List[QueryAnswer]]
 
 #: Default size of the per-engine answer cache.
 DEFAULT_CACHE_SIZE = 1024
+
+
+def invalidate_answers(
+    caches: Union[LRUCache, Sequence[LRUCache]],
+    num_dims: int,
+    changed: Sequence[Cell],
+) -> int:
+    """Drop exactly the cached answers a set of changed cells can affect.
+
+    A cached answer for target cell ``t`` is derived from ``t``'s
+    materialised specialisations (the closure is the maximum-count one), so it
+    can only change when some added/updated cell *specialises* ``t``.  The
+    check is the same posting-list intersection a closure lookup uses, run
+    against a throwaway :class:`CubeIndex` over just the changed cells — cost
+    is proportional to the cache sizes times tiny intersections, not to the
+    cube.  Accepts one cache or several keyed by target cell (the probe index
+    is built once and shared — the maintenance path invalidates the engine's
+    encoded cache and the session's decoded cache in one go).  Returns the
+    total number of entries dropped.
+    """
+    if isinstance(caches, LRUCache):
+        caches = [caches]
+    if not changed or not any(len(cache) for cache in caches):
+        return 0
+    probe = CubeIndex(num_dims, [(cell, CellStats(0)) for cell in changed])
+    dropped = 0
+    for cache in caches:
+        for key in cache.keys():
+            if probe.specialisation_slots(key):
+                dropped += cache.discard(key)
+    return dropped
 
 
 class QueryEngine:
@@ -155,6 +189,19 @@ class QueryEngine:
         return targets
 
     # ------------------------------------------------------------------ #
+    # Maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, changed: Sequence[Cell]) -> int:
+        """Targeted cache invalidation after an incremental merge.
+
+        The engine's index is the cube's live closure index, so it is already
+        current when this is called; only cached answers derived from cells
+        that changed need to go.  Returns the number of answers dropped.
+        """
+        return invalidate_answers(self.cache, self.num_dims, changed)
+
+    # ------------------------------------------------------------------ #
     # Generic execution                                                   #
     # ------------------------------------------------------------------ #
 
@@ -218,16 +265,59 @@ class PartitionedQueryEngine:
         self.cache = LRUCache(cache_size)
         #: ``None`` keys the shard of cells with ``*`` on the partition dim.
         self.shards: Dict[Optional[int], QueryEngine] = {}
-        grouped: Dict[Optional[int], CubeResult] = {}
-        for cell, stats in cube.items():
-            shard_cube = grouped.get(cell[partition_dim])
-            if shard_cube is None:
-                shard_cube = CubeResult(cube.num_dims, name=f"shard-{cell[partition_dim]}")
-                grouped[cell[partition_dim]] = shard_cube
-            shard_cube.add(cell, stats.count, stats.measures, stats.rep_tid)
-        for value, shard_cube in grouped.items():
+        for value, shard_cube in self._group(cube).items():
             # Shard engines run uncached: answers are cached once, here.
             self.shards[value] = QueryEngine(shard_cube, cache_size=0)
+
+    def _group(
+        self, cube: CubeResult, only: Optional[Set[Optional[int]]] = None
+    ) -> Dict[Optional[int], CubeResult]:
+        """Split a cube's cells into per-partition-value shard cubes.
+
+        ``only`` restricts the grouping to the given partition values (used by
+        :meth:`refresh` to rebuild just the shards a refresh touched).
+        """
+        grouped: Dict[Optional[int], CubeResult] = {}
+        partition_dim = self.partition_dim
+        for cell, stats in cube.items():
+            value = cell[partition_dim]
+            if only is not None and value not in only:
+                continue
+            shard_cube = grouped.get(value)
+            if shard_cube is None:
+                shard_cube = CubeResult(cube.num_dims, name=f"shard-{value}")
+                grouped[value] = shard_cube
+            shard_cube.add(cell, stats.count, stats.measures, stats.rep_tid)
+        return grouped
+
+    def refresh(
+        self, cube: CubeResult, changed_values: Iterable[Optional[int]]
+    ) -> List[Optional[int]]:
+        """Swap in a refreshed cube, rebuilding only the shards it changed.
+
+        ``changed_values`` are the partition-dimension values whose cells may
+        differ from the previous cube (typically the partitions a
+        :meth:`repro.storage.partition.PartitionedCubeComputer.refresh`
+        recomputed); the ``*`` shard is always rebuilt because cells with
+        ``*`` on the partitioning dimension aggregate across partitions.
+        Untouched shards keep their engines — and their warm indexes.  The
+        answer cache is cleared (any cached answer may have routed through a
+        rebuilt shard).  Returns the shard keys that were rebuilt.
+        """
+        affected: Set[Optional[int]] = set(changed_values)
+        affected.add(None)
+        self.cube = cube
+        grouped = self._group(cube, only=affected)
+        rebuilt: List[Optional[int]] = []
+        for value in affected:
+            shard_cube = grouped.get(value)
+            if shard_cube is None:
+                self.shards.pop(value, None)
+            else:
+                self.shards[value] = QueryEngine(shard_cube, cache_size=0)
+                rebuilt.append(value)
+        self.cache.clear()
+        return rebuilt
 
     @property
     def num_dims(self) -> int:

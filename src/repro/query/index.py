@@ -15,9 +15,14 @@ dimensions, so a point lookup touches only the cells sharing the query's
 rarest fixed value instead of the whole cube.  The all-``*`` (apex) query is
 answered from a precomputed best slot without touching any posting list.
 
-The index is deliberately read-only: it snapshots the cube's cells at
-construction time.  :class:`repro.core.cube.CubeResult` invalidates its lazily
-built index whenever a cell is added, so callers never observe a stale view.
+The index is maintainable in place: it shares :class:`~repro.core.cube.
+CellStats` objects with the owning cube (so in-place stat updates are visible
+immediately) and exposes :meth:`CubeIndex.add_cells` / :meth:`CubeIndex.
+remove_cells` / :meth:`CubeIndex.touch_cell` for the incremental-maintenance
+path (:mod:`repro.incremental`).  :class:`repro.core.cube.CubeResult` keeps
+its lazily built index current through exactly these hooks, so callers never
+observe a stale view — and serving engines keep a warm index across merges
+instead of rebuilding from scratch.
 """
 
 from __future__ import annotations
@@ -32,9 +37,11 @@ from ..core.errors import QueryError
 class CubeIndex:
     """Posting-list index over materialised cells, one list per (dim, value).
 
-    Cells are addressed by *slot* — their position in the snapshot taken at
-    construction.  :meth:`cell_at` / :meth:`stats_at` translate a slot back to
-    the cell and its aggregated statistics.
+    Cells are addressed by *slot* — their insertion position.  :meth:`cell_at`
+    / :meth:`stats_at` translate a slot back to the cell and its aggregated
+    statistics.  Removed cells leave tombstoned slots (cheap, and removals are
+    rare: append-only maintenance never removes); tombstones are excluded from
+    every lookup path.
     """
 
     def __init__(self, num_dims: int, items: Iterable[Tuple[Cell, CellStats]]) -> None:
@@ -43,21 +50,13 @@ class CubeIndex:
         self._stats: List[CellStats] = []
         #: Per dimension: fixed value -> set of slots fixing that value.
         self._postings: List[Dict[int, Set[int]]] = [{} for _ in range(num_dims)]
-        best_slot: Optional[int] = None
-        for slot, (cell, stats) in enumerate(items):
-            if len(cell) != num_dims:
-                raise QueryError(
-                    f"cell {cell!r} has {len(cell)} entries, expected {num_dims}"
-                )
-            self._cells.append(cell)
-            self._stats.append(stats)
-            for dim, value in enumerate(cell):
-                if value is not None:
-                    self._postings[dim].setdefault(value, set()).add(slot)
-            if best_slot is None or stats.count > self._stats[best_slot].count:
-                best_slot = slot
+        #: Cell -> slot, for in-place maintenance.
+        self._slot_of: Dict[Cell, int] = {}
+        #: Tombstoned slots of removed cells.
+        self._dead: Set[int] = set()
         #: Slot of the maximum-count cell: the closure of the apex query.
-        self._best_slot = best_slot
+        self._best_slot: Optional[int] = None
+        self.add_cells(items)
 
     @classmethod
     def from_cube(cls, cube: CubeResult) -> "CubeIndex":
@@ -65,11 +64,85 @@ class CubeIndex:
         return cls(cube.num_dims, cube.items())
 
     # ------------------------------------------------------------------ #
+    # In-place maintenance                                                #
+    # ------------------------------------------------------------------ #
+
+    def add_cells(self, items: Iterable[Tuple[Cell, CellStats]]) -> None:
+        """Index additional cells without rebuilding.
+
+        The stats objects are shared, not copied — a caller that later mutates
+        a cell's :class:`CellStats` in place (the incremental-merge update
+        path) must call :meth:`touch_cell` so the apex closure stays correct.
+        """
+        for cell, stats in items:
+            if len(cell) != self.num_dims:
+                raise QueryError(
+                    f"cell {cell!r} has {len(cell)} entries, expected {self.num_dims}"
+                )
+            if cell in self._slot_of:
+                raise QueryError(f"cell {cell!r} is already indexed")
+            slot = len(self._cells)
+            self._cells.append(cell)
+            self._stats.append(stats)
+            self._slot_of[cell] = slot
+            for dim, value in enumerate(cell):
+                if value is not None:
+                    self._postings[dim].setdefault(value, set()).add(slot)
+            if (
+                self._best_slot is None
+                or stats.count > self._stats[self._best_slot].count
+            ):
+                self._best_slot = slot
+
+    def remove_cells(self, cells: Iterable[Cell]) -> None:
+        """Drop cells from every posting list, tombstoning their slots."""
+        rescore = False
+        for cell in cells:
+            slot = self._slot_of.pop(cell, None)
+            if slot is None:
+                raise QueryError(f"cell {cell!r} is not indexed")
+            self._dead.add(slot)
+            for dim, value in enumerate(cell):
+                if value is not None:
+                    slots = self._postings[dim].get(value)
+                    if slots is not None:
+                        slots.discard(slot)
+                        if not slots:
+                            del self._postings[dim][value]
+            if slot == self._best_slot:
+                rescore = True
+        if rescore:
+            self._best_slot = max(
+                self._slot_of.values(),
+                key=lambda live: self._stats[live].count,
+                default=None,
+            )
+
+    def touch_cell(self, cell: Cell) -> None:
+        """Re-evaluate the apex closure after a cell's count changed in place."""
+        slot = self._slot_of.get(cell)
+        if slot is None:
+            raise QueryError(f"cell {cell!r} is not indexed")
+        if (
+            self._best_slot is None
+            or self._stats[slot].count > self._stats[self._best_slot].count
+        ):
+            self._best_slot = slot
+        elif slot == self._best_slot:
+            # The best cell's own count changed (it can only have grown under
+            # append-only maintenance, but re-scan to stay correct in general).
+            self._best_slot = max(
+                self._slot_of.values(),
+                key=lambda live: self._stats[live].count,
+                default=None,
+            )
+
+    # ------------------------------------------------------------------ #
     # Slot translation                                                    #
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._cells)
+        return len(self._slot_of)
 
     def cell_at(self, slot: int) -> Cell:
         return self._cells[slot]
@@ -108,7 +181,7 @@ class CubeIndex:
                 return set()
             lists.append(slots)
         if not lists:
-            return set(range(len(self._cells)))
+            return set(self._slot_of.values())
         lists.sort(key=len)
         result = set(lists[0])
         for slots in lists[1:]:

@@ -43,12 +43,13 @@ from ..core.measures import (
 )
 from .planner import Plan, RelationStats, plan_algorithm
 from .schema import CubeSchema
-from .serving import Explanation, NamedAnswer, ServingCube
+from .serving import Explanation, NamedAnswer, ServingConfig, ServingCube
 from .session import CubeSession
 
 __all__ = [
     "CubeSession",
     "ServingCube",
+    "ServingConfig",
     "NamedAnswer",
     "Explanation",
     "CubeSchema",

@@ -10,6 +10,8 @@ schema's value dictionaries so that queries are expressed in dimension
     cube.rollup(["A"])                          # aggregate up to one cuboid
     cube.query_many([...])                      # batched, order-preserving
     cube.explain({"A": "a1"})                   # which closed cell answered
+    cube.append(new_rows)                       # incremental maintenance
+    cube.save(path); ServingCube.load(path)     # snapshot persistence
 
 Answers come back as :class:`NamedAnswer` — decoded coordinates, count, and
 payload measures — never as encoded integers.  Unknown dimension *names* are
@@ -26,17 +28,36 @@ two cache hits — the overhead benchmarks/bench_api_overhead.py keeps honest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.cell import Cell
 from ..core.cube import CubeResult
 from ..core.errors import QueryError
+from ..core.measures import MeasureSpec
 from ..core.relation import Relation
 from ..query.cache import LRUCache
-from ..query.engine import PartitionedQueryEngine, QueryEngine
+from ..query.engine import (
+    DEFAULT_CACHE_SIZE,
+    PartitionedQueryEngine,
+    QueryEngine,
+)
 from ..query.queries import QueryAnswer
 from .planner import Plan
 from .schema import CubeSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..incremental.maintainer import AppendReport
+    from ..storage.partition import PartitionReport
 
 #: Decoded coordinates: ``(dimension name, raw value)`` pairs in schema order.
 Coordinates = Tuple[Tuple[str, object], ...]
@@ -130,8 +151,97 @@ QuerySpec = Mapping[str, object]
 BatchResult = Union[NamedAnswer, List[NamedAnswer]]
 
 
+@dataclass(frozen=True)
+class ServingConfig:
+    """How a serving cube was built — everything maintenance needs to rebuild.
+
+    Stored on every :class:`ServingCube` (and in its snapshots) so that
+    :meth:`ServingCube.append` can pick the right maintenance path and
+    :meth:`ServingCube.refresh` can recompute with the original settings
+    after the relation has grown.
+    """
+
+    min_sup: int = 1
+    closed: bool = True
+    measures: Tuple[MeasureSpec, ...] = ()
+    algorithm: str = "auto"
+    cache_size: int = DEFAULT_CACHE_SIZE
+    dimension_order: object = None
+    partitioned: bool = False
+    partition_dim: Optional[int] = None
+
+
+def build_serving_state(relation: Relation, config: ServingConfig) -> Tuple[
+    CubeResult,
+    Union[QueryEngine, PartitionedQueryEngine],
+    str,
+    Optional[Plan],
+    Optional[float],
+    Optional["PartitionReport"],
+]:
+    """Compute a relation's cube and open its engine, per one config.
+
+    The single build path shared by :meth:`CubeSession.build` and
+    :meth:`ServingCube.refresh`, so a refresh (or an append falling back to
+    one) can never drift from how the session originally built the cube.
+    Returns ``(cube, engine, algorithm, plan, build_seconds,
+    partition_report)`` — ``plan`` only when the config asked for ``"auto"``,
+    ``partition_report`` only for partitioned configs.
+    """
+    from ..algorithms.base import AUTO_ALGORITHM, CubingOptions, get_algorithm
+    from ..core.errors import AlgorithmError
+    from ..core.measures import MeasureSet
+    from .planner import plan_algorithm
+
+    plan: Optional[Plan] = None
+    algorithm = config.algorithm
+    if algorithm.lower() == AUTO_ALGORITHM:
+        plan = plan_algorithm(
+            relation,
+            min_sup=config.min_sup,
+            closed=config.closed,
+            with_measures=bool(config.measures),
+        )
+        algorithm = plan.algorithm
+    if config.partitioned:
+        from ..storage.partition import PartitionedCubeComputer
+
+        if config.measures:
+            raise AlgorithmError(
+                "partitioned sessions do not carry payload measures yet; "
+                "drop .measures(...) or build unpartitioned"
+            )
+        computer = PartitionedCubeComputer(
+            algorithm=algorithm,
+            min_sup=config.min_sup,
+            closed=config.closed,
+            dimension_order=config.dimension_order,
+        )
+        cube, report = computer.compute(relation, partition_dim=config.partition_dim)
+        engine: Union[QueryEngine, PartitionedQueryEngine] = PartitionedQueryEngine(
+            cube, partition_dim=report.partition_dim, cache_size=config.cache_size
+        )
+        return cube, engine, algorithm, plan, None, report
+    options = CubingOptions(
+        min_sup=config.min_sup,
+        closed=config.closed,
+        measures=MeasureSet(tuple(config.measures)),
+        dimension_order=config.dimension_order,
+    )
+    result = get_algorithm(algorithm, options).run(relation)
+    engine = QueryEngine(result.cube, cache_size=config.cache_size)
+    return result.cube, engine, result.algorithm, plan, result.elapsed_seconds, None
+
+
 class ServingCube:
-    """A materialised cube served through the schema's value dictionaries."""
+    """A materialised cube served through the schema's value dictionaries.
+
+    Beyond queries, the cube is *maintainable*: :meth:`append` folds new fact
+    rows in (incrementally when exact, recomputing otherwise), :meth:`refresh`
+    rebuilds from the grown relation, and :meth:`save` / :meth:`load`
+    round-trip the whole serving state through the versioned snapshot format
+    (:mod:`repro.storage.snapshot`).
+    """
 
     def __init__(
         self,
@@ -142,6 +252,8 @@ class ServingCube:
         algorithm: str,
         plan: Optional[Plan] = None,
         build_seconds: Optional[float] = None,
+        config: Optional[ServingConfig] = None,
+        partition_report: Optional["PartitionReport"] = None,
     ) -> None:
         self.relation = relation
         self.schema = schema
@@ -150,13 +262,25 @@ class ServingCube:
         self.algorithm = algorithm
         self.plan = plan
         self.build_seconds = build_seconds
+        #: Whether the builder supplied an explicit config.  Maintenance
+        #: refuses to run on a guessed config: assuming min_sup/closed/
+        #: measures that do not match how the cube was really computed would
+        #: corrupt it silently (e.g. delta-merging an iceberg cube).
+        self.config_known = config is not None
+        self.config = config if config is not None else ServingConfig(
+            partitioned=isinstance(engine, PartitionedQueryEngine),
+            cache_size=engine.cache.capacity,
+        )
+        #: The computation report of the partitioned driver, kept so that
+        #: appends can refresh partition by partition.
+        self.partition_report = partition_report
         self._dim_of = {name: dim for dim, name in enumerate(schema.dimensions)}
         self._num_dims = len(schema.dimensions)
         self._encoders = [
             relation.encoder(dim) for dim in range(relation.num_dimensions)
         ]
-        #: Decoded answers keyed by encoded target cell.  Because engines
-        #: snapshot the cube, a decoded answer never goes stale — the hot
+        #: Decoded answers keyed by encoded target cell.  Invalidated by the
+        #: maintenance paths exactly like the engine's answer cache — the hot
         #: named path can return from here without re-entering the engine.
         self._decoded: LRUCache[NamedAnswer] = LRUCache(engine.cache.capacity)
 
@@ -303,6 +427,104 @@ class ServingCube:
         return results
 
     # ------------------------------------------------------------------ #
+    # Maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def append(self, rows: Sequence[object]) -> "AppendReport":
+        """Fold new fact rows into the served cube.
+
+        Rows use the same shapes as :meth:`repro.session.CubeSession.
+        from_rows` (tuples in schema order or mappings by column name); value
+        dictionaries grow append-only, so previously returned answers and
+        encodings stay valid.
+
+        The maintenance path is chosen per the cube's configuration and
+        reported, never silent:
+
+        * full closed cubes (``min_sup == 1``) take the incremental path —
+          a delta cube over only the appended tuples (algorithm chosen by the
+          planner for the delta's shape) is merged in with aggregation-based
+          closedness repair, the live index is updated in place, and exactly
+          the affected cached answers are invalidated;
+        * partitioned cubes refresh partition by partition, recomputing only
+          the partitions the appended tuples touched;
+        * iceberg (``min_sup > 1``) and non-closed cubes recompute — they
+          have discarded information a delta could resurrect, so incremental
+          maintenance cannot be exact.
+
+        Queries answered after ``append`` returns are exactly the queries a
+        from-scratch rebuild over the grown relation would answer.
+        """
+        from ..incremental.maintainer import CubeMaintainer
+
+        return CubeMaintainer(self).append(rows)
+
+    def refresh(self) -> None:
+        """Recompute the cube from the (possibly grown) relation, in place.
+
+        The cold counterpart of :meth:`append`'s incremental path, and the
+        fallback it degrades to: recomputes through the same
+        :func:`build_serving_state` path the session used (re-planning when
+        the build asked for ``"auto"``), reopens the engine, and clears both
+        answer caches.  The cube keeps serving the old state until the
+        recomputation finishes.  Like :meth:`append`, refuses to run on a
+        cube constructed without an explicit config — rebuilding under
+        guessed settings would not match the cube being replaced.
+        """
+        if not self.config_known:
+            from ..core.errors import IncrementalError
+
+            raise IncrementalError(
+                "this ServingCube was constructed without a ServingConfig, so "
+                "refresh() cannot know how to rebuild it; build it through "
+                "CubeSession (or pass config=...) to enable maintenance"
+            )
+        cube, engine, algorithm, plan, build_seconds, report = build_serving_state(
+            self.relation, self.config
+        )
+        self.cube = cube
+        self.engine = engine
+        self.algorithm = algorithm
+        if plan is not None:
+            self.plan = plan
+        if build_seconds is not None:
+            self.build_seconds = build_seconds
+        if report is not None:
+            self.partition_report = report
+        self.clear_cache()
+
+    # ------------------------------------------------------------------ #
+    # Persistence                                                        #
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> int:
+        """Snapshot the full serving state to ``path``.
+
+        Writes the versioned format of :mod:`repro.storage.snapshot` (schema,
+        value dictionaries, closed cells with measure state, configuration);
+        returns the snapshot size in bytes.  Load with :meth:`load`.
+        """
+        from ..storage.snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ServingCube":
+        """Rebuild a serving cube from a :meth:`save` snapshot.
+
+        The returned cube answers every query the saved one answered and
+        keeps its maintenance abilities — appending and re-snapshotting a
+        loaded cube is the intended warm-restart loop.
+
+        Only load trusted files: the snapshot payload is pickle, so loading
+        a crafted file executes arbitrary code (see
+        :mod:`repro.storage.snapshot`).
+        """
+        from ..storage.snapshot import load_snapshot
+
+        return load_snapshot(path)
+
+    # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
 
@@ -343,9 +565,34 @@ class ServingCube:
         stats = dict(self.engine.stats())
         stats["algorithm"] = self.algorithm
         stats["materialised_cells"] = len(self.cube)
+        stats["fact_rows"] = self.relation.num_tuples
+        stats["cache_info"] = self.cache_info()
         if self.build_seconds is not None:
             stats["build_seconds"] = self.build_seconds
         return stats
+
+    def cache_info(self) -> Dict[str, Dict[str, object]]:
+        """Hit/miss/eviction/invalidation counters of both serving caches.
+
+        ``"answers"`` is the engine's encoded answer cache, ``"decoded"`` the
+        named layer's decoded-answer cache — a straight passthrough of
+        :meth:`repro.query.cache.LRUCache.stats` for each, so dashboards can
+        watch hit rates and invalidation churn end to end.
+        """
+        return {
+            "answers": self.engine.cache.stats(),
+            "decoded": self._decoded.stats(),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer (encoded and decoded); counters survive.
+
+        Called by the maintenance fallbacks (:meth:`refresh`, partition
+        refresh) where targeted invalidation has nothing precise to target;
+        also useful for benchmarking cold paths.
+        """
+        self.engine.cache.clear()
+        self._decoded.clear()
 
     def __len__(self) -> int:
         """Number of materialised cells."""

@@ -31,20 +31,16 @@ fresh cube).
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence
 
-from ..algorithms.base import AUTO_ALGORITHM, CubingOptions, get_algorithm
-from ..core.errors import AlgorithmError, SchemaError
-from ..core.measures import MeasureSet, MeasureSpec
+from ..algorithms.base import AUTO_ALGORITHM
+from ..core.errors import SchemaError
+from ..core.measures import MeasureSpec
 from ..core.relation import Relation
-from ..query.engine import (
-    DEFAULT_CACHE_SIZE,
-    PartitionedQueryEngine,
-    QueryEngine,
-)
+from ..query.engine import DEFAULT_CACHE_SIZE
 from .planner import Plan, plan_algorithm
 from .schema import CubeSchema
-from .serving import ServingCube
+from .serving import ServingConfig, ServingCube, build_serving_state
 
 
 class CubeSession:
@@ -203,55 +199,15 @@ class CubeSession:
         )
 
     def build(self) -> ServingCube:
-        """Plan (if asked), compute the cube, and open the serving engine."""
-        plan: Optional[Plan] = None
-        algorithm = self._algorithm
-        if algorithm.lower() == AUTO_ALGORITHM:
-            plan = self.plan()
-            algorithm = plan.algorithm
-        if self._partitioned:
-            return self._build_partitioned(algorithm, plan)
-        options = CubingOptions(
-            min_sup=self._min_sup,
-            closed=self._closed,
-            measures=MeasureSet(tuple(self._measures)),
-            dimension_order=self._dimension_order,
-        )
-        result = get_algorithm(algorithm, options).run(self.relation)
-        engine: Union[QueryEngine, PartitionedQueryEngine] = QueryEngine(
-            result.cube, cache_size=self._cache_size
-        )
-        return ServingCube(
-            relation=self.relation,
-            schema=self.schema,
-            cube=result.cube,
-            engine=engine,
-            algorithm=result.algorithm,
-            plan=plan,
-            build_seconds=result.elapsed_seconds,
-        )
+        """Plan (if asked), compute the cube, and open the serving engine.
 
-    def _build_partitioned(
-        self, algorithm: str, plan: Optional[Plan]
-    ) -> ServingCube:
-        from ..storage.partition import PartitionedCubeComputer
-
-        if self._measures:
-            raise AlgorithmError(
-                "partitioned sessions do not carry payload measures yet; "
-                "drop .measures(...) or build unpartitioned"
-            )
-        computer = PartitionedCubeComputer(
-            algorithm=algorithm,
-            min_sup=self._min_sup,
-            closed=self._closed,
-            dimension_order=self._dimension_order,
-        )
-        cube, report = computer.compute(
-            self.relation, partition_dim=self._partition_dim
-        )
-        engine = PartitionedQueryEngine(
-            cube, partition_dim=report.partition_dim, cache_size=self._cache_size
+        Delegates to :func:`repro.session.serving.build_serving_state` — the
+        same path :meth:`ServingCube.refresh` rebuilds through, so builds and
+        maintenance rebuilds cannot drift.
+        """
+        config = self._serving_config()
+        cube, engine, algorithm, plan, build_seconds, report = build_serving_state(
+            self.relation, config
         )
         return ServingCube(
             relation=self.relation,
@@ -260,6 +216,33 @@ class CubeSession:
             engine=engine,
             algorithm=algorithm,
             plan=plan,
+            build_seconds=build_seconds,
+            config=config,
+            partition_report=report,
+        )
+
+    def refresh(self) -> ServingCube:
+        """Build a fresh serving cube over the session's *current* relation.
+
+        The session and every cube it built share one relation object, so
+        after :meth:`ServingCube.append` has grown the data this returns a
+        from-scratch rebuild over the grown relation — the cold counterpart
+        the incremental path is benchmarked against, and the way to pick up
+        reconfiguration (different ``min_sup``, measures, ...) over data that
+        has already grown in place.
+        """
+        return self.build()
+
+    def _serving_config(self) -> ServingConfig:
+        return ServingConfig(
+            min_sup=self._min_sup,
+            closed=self._closed,
+            measures=tuple(self._measures),
+            algorithm=self._algorithm,
+            cache_size=self._cache_size,
+            dimension_order=self._dimension_order,
+            partitioned=self._partitioned,
+            partition_dim=self._partition_dim,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

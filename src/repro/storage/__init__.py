@@ -1,5 +1,25 @@
-"""External / partitioned computation support (Section 6.3)."""
+"""Storage layer: partitioned computation (Section 6.3) and cube snapshots.
+
+* :mod:`repro.storage.partition` — external-memory style partition-by-
+  partition (re)computation, including per-partition incremental refresh;
+* :mod:`repro.storage.snapshot` — the versioned on-disk snapshot format that
+  lets a serving cube survive process restarts
+  (:meth:`repro.session.serving.ServingCube.save` / ``load``).
+"""
 
 from .partition import PartitionReport, PartitionedCubeComputer
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    save_snapshot,
+)
 
-__all__ = ["PartitionReport", "PartitionedCubeComputer"]
+__all__ = [
+    "PartitionReport",
+    "PartitionedCubeComputer",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "load_snapshot",
+    "save_snapshot",
+]

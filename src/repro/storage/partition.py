@@ -44,6 +44,9 @@ class PartitionReport:
     spilled_files: int
     spill_bytes: int
     partition_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Partition values recomputed by an incremental :meth:`PartitionedCube
+    #: Computer.refresh` (``None`` for a from-scratch :meth:`compute`).
+    refreshed_partitions: Optional[Tuple[int, ...]] = None
 
 
 class PartitionedCubeComputer:
@@ -141,6 +144,76 @@ class PartitionedCubeComputer:
         )
         return merged, report
 
+    def refresh(
+        self,
+        relation: Relation,
+        previous_cube: CubeResult,
+        partition_dim: int,
+        start_tid: int,
+    ) -> Tuple[CubeResult, PartitionReport]:
+        """Recompute only the partitions appended tuples touched.
+
+        ``relation`` is the grown fact table, ``previous_cube`` the cube this
+        computer (with the same configuration) produced before the rows at
+        ``start_tid..`` were appended.  Cells that *fix* the partitioning
+        dimension only depend on their own partition's tuples, so pass 1 is
+        rerun only for the partition values appearing among the appended
+        tuples; cells of untouched partitions are carried over verbatim.
+        Cells with ``*`` on the partitioning dimension aggregate across all
+        partitions and are recomputed by the usual collapsed pass.
+
+        Returns the refreshed cube and a report whose
+        :attr:`PartitionReport.refreshed_partitions` lists the recomputed
+        partition values.
+        """
+        if not 0 <= partition_dim < relation.num_dimensions:
+            raise PartitionError(f"invalid partition dimension {partition_dim}")
+        if not 0 <= start_tid <= relation.num_tuples:
+            raise PartitionError(
+                f"refresh start tid {start_tid} outside 0..{relation.num_tuples}"
+            )
+        column = relation.columns[partition_dim]
+        changed = sorted(
+            {column[tid] for tid in range(start_tid, relation.num_tuples)}
+        )
+        partitions = self._split(relation, partition_dim)
+        # Only the rewritten partitions spill: the others' files would be
+        # byte-identical to the previous run's.
+        spill_files, spill_bytes = self._maybe_spill(
+            relation, {value: partitions[value] for value in changed}
+        )
+
+        merged = CubeResult(
+            relation.num_dimensions, name=f"partitioned-{self.algorithm}"
+        )
+        changed_set = set(changed)
+        for value in changed:
+            part_cube = self._run(relation.select(partitions[value]), ())
+            for cell, stats in part_cube.items():
+                if cell[partition_dim] is None:
+                    continue  # collapsed pass below owns the *-cells
+                merged.add(cell, stats.count, stats.measures, stats.rep_tid)
+        for cell, stats in previous_cube.items():
+            value = cell[partition_dim]
+            if value is None or value in changed_set:
+                continue
+            merged.add(cell, stats.count, stats.measures, stats.rep_tid)
+
+        collapsed_cube = self._run(relation, initial_collapsed=(partition_dim,))
+        for cell, stats in collapsed_cube.items():
+            merged.add(cell, stats.count, stats.measures, stats.rep_tid)
+
+        report = PartitionReport(
+            partition_dim=partition_dim,
+            num_partitions=len(partitions),
+            largest_partition=max((len(t) for t in partitions.values()), default=0),
+            spilled_files=spill_files,
+            spill_bytes=spill_bytes,
+            partition_sizes={value: len(tids) for value, tids in partitions.items()},
+            refreshed_partitions=tuple(changed),
+        )
+        return merged, report
+
     # ------------------------------------------------------------------ #
 
     def _run(self, relation: Relation, initial_collapsed: Sequence[int]) -> CubeResult:
@@ -163,19 +236,33 @@ class PartitionedCubeComputer:
     def _maybe_spill(
         self, relation: Relation, partitions: Dict[int, List[int]]
     ) -> Tuple[int, int]:
-        """Write partitions to temporary files when the memory budget is exceeded."""
+        """Write partitions to temporary files when the memory budget is exceeded.
+
+        Files are context-managed and written with the highest pickle
+        protocol; on any failure every file written so far (including the
+        partially written one) is removed before the error propagates, so an
+        aborted spill never leaks temporary files.
+        """
         budget = self.memory_budget_tuples
         if budget is None or relation.num_tuples <= budget:
             return 0, 0
         spill_dir = self.spill_dir or tempfile.mkdtemp(prefix="repro-partitions-")
         os.makedirs(spill_dir, exist_ok=True)
-        spilled = 0
         total_bytes = 0
-        for value, tids in partitions.items():
-            rows = [relation.row(tid) for tid in tids]
-            path = os.path.join(spill_dir, f"partition-{value}.pkl")
-            with open(path, "wb") as handle:
-                pickle.dump(rows, handle)
-            spilled += 1
-            total_bytes += os.path.getsize(path)
-        return spilled, total_bytes
+        written: List[str] = []
+        try:
+            for value, tids in partitions.items():
+                rows = [relation.row(tid) for tid in tids]
+                path = os.path.join(spill_dir, f"partition-{value}.pkl")
+                written.append(path)
+                with open(path, "wb") as handle:
+                    pickle.dump(rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                total_bytes += os.path.getsize(path)
+        except BaseException:
+            for path in written:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            raise
+        return len(written), total_bytes

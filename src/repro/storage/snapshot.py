@@ -1,0 +1,190 @@
+"""Versioned cube snapshots: a serving cube that survives process restarts.
+
+A snapshot persists everything a :class:`~repro.session.serving.ServingCube`
+needs to answer queries again without recomputing: the named schema, the
+relation's encoded columns *and value dictionaries* (so future appends keep
+growing the same append-only encoding), the materialised closed cells with
+their counts / payload-measure values / representative tuple ids (the state
+incremental merge reconstructs closedness from), and the serving
+configuration (algorithm, iceberg threshold, measure specs, cache size,
+partitioning).  Indexes and caches are deliberately *not* stored — they are
+derived state, rebuilt on load.
+
+On-disk format::
+
+    8 bytes   magic  b"RPROCUBE"
+    4 bytes   format version, big-endian unsigned
+    payload   pickle (highest protocol) of the snapshot dictionary
+
+The magic and the explicit version make failure modes crisp: a non-snapshot
+file or a snapshot from an incompatible future version raises
+:class:`~repro.core.errors.SnapshotError` instead of a pickle stack trace.
+Writes go through a same-directory temporary file followed by an atomic
+rename, so readers never observe a half-written snapshot.
+
+.. warning::
+   The payload is **pickle** (raw dimension values and measure specs are
+   arbitrary Python objects, which pickle is the only stdlib codec for).
+   Unpickling executes code embedded in the stream, and the magic/version
+   header authenticates nothing — only load snapshots you (or a process you
+   trust) wrote.  Treat snapshot files like you treat pickle files, because
+   that is what they are.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+from typing import TYPE_CHECKING, Dict
+
+from ..core.cube import CubeResult
+from ..core.errors import SnapshotError
+from ..core.measures import MeasureSet
+from ..core.relation import Relation, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..session.serving import ServingCube
+
+#: File magic identifying a repro cube snapshot.
+SNAPSHOT_MAGIC = b"RPROCUBE"
+#: Current snapshot format version.  Bump on any incompatible payload change;
+#: readers reject versions they do not know how to interpret.
+SNAPSHOT_VERSION = 1
+
+_HEADER = struct.Struct(">8sI")
+
+
+def save_snapshot(serving: "ServingCube", path: str) -> int:
+    """Write ``serving`` to ``path``; returns the snapshot size in bytes."""
+    from ..query.engine import PartitionedQueryEngine
+
+    relation = serving.relation
+    if not serving.config_known:
+        # Persisting the guessed default config would come back as an
+        # explicit one on load, re-enabling the maintenance paths this cube
+        # refuses — under assumptions (min_sup, closed, measures) that may
+        # not match how the cube was computed.
+        raise SnapshotError(
+            "this ServingCube was constructed without a ServingConfig; "
+            "snapshotting it would persist guessed build settings — build "
+            "it through CubeSession (or pass config=...) before saving"
+        )
+    config = serving.config
+    payload: Dict[str, object] = {
+        "version": SNAPSHOT_VERSION,
+        "schema": {
+            "dimensions": list(relation.schema.dimension_names),
+            "measures": list(relation.schema.measure_names),
+        },
+        "relation": {
+            "columns": [list(column) for column in relation.columns],
+            "measure_columns": [list(column) for column in relation.measure_columns],
+            "decoders": [dict(decoder) for decoder in relation.decoders],
+        },
+        "cube": {
+            "name": serving.cube.name,
+            "cells": [
+                (cell, stats.count, dict(stats.measures), stats.rep_tid)
+                for cell, stats in serving.cube.items()
+            ],
+        },
+        "algorithm": serving.algorithm,
+        "config": config,
+        "build_seconds": serving.build_seconds,
+        "partition_dim": (
+            serving.engine.partition_dim
+            if isinstance(serving.engine, PartitionedQueryEngine)
+            else None
+        ),
+        "partition_report": serving.partition_report,
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle, tmp_path = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION))
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return os.path.getsize(path)
+
+
+def load_snapshot(path: str) -> "ServingCube":
+    """Rebuild a serving cube from a snapshot written by :func:`save_snapshot`.
+
+    The relation, closed cells, and configuration come back verbatim; the
+    inverted index, the serving engine, and the answer caches are rebuilt
+    cold.  The returned cube serves, appends, and snapshots again exactly
+    like the one that was saved.
+
+    Only load trusted files: the payload is pickle, so unpickling a crafted
+    snapshot executes arbitrary code (see the module warning).
+    """
+    from ..query.engine import PartitionedQueryEngine, QueryEngine
+    from ..session.schema import CubeSchema
+    from ..session.serving import ServingCube
+
+    with open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise SnapshotError(f"{path!r} is too short to be a cube snapshot")
+        magic, version = _HEADER.unpack(header)
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(
+                f"{path!r} is not a cube snapshot (bad magic {magic!r})"
+            )
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path!r} uses snapshot format version {version}; this build "
+                f"reads version {SNAPSHOT_VERSION}"
+            )
+        try:
+            payload = pickle.load(stream)
+        except Exception as exc:
+            raise SnapshotError(f"{path!r} has a corrupt payload: {exc}") from exc
+
+    schema_spec = payload["schema"]
+    schema = Schema(
+        tuple(schema_spec["dimensions"]), tuple(schema_spec["measures"])
+    )
+    relation_spec = payload["relation"]
+    relation = Relation(
+        schema,
+        [list(column) for column in relation_spec["columns"]],
+        [list(column) for column in relation_spec["measure_columns"]],
+        [dict(decoder) for decoder in relation_spec["decoders"]],
+    )
+    config = payload["config"]
+    cube_spec = payload["cube"]
+    cube = CubeResult(relation.num_dimensions, name=cube_spec["name"])
+    for cell, count, measures, rep_tid in cube_spec["cells"]:
+        cube.add(tuple(cell), count, measures, rep_tid)
+    cube.measure_set = MeasureSet(tuple(config.measures))
+
+    partition_dim = payload["partition_dim"]
+    if partition_dim is not None:
+        engine = PartitionedQueryEngine(
+            cube, partition_dim=partition_dim, cache_size=config.cache_size
+        )
+    else:
+        engine = QueryEngine(cube, cache_size=config.cache_size)
+    return ServingCube(
+        relation=relation,
+        schema=CubeSchema(schema.dimension_names, schema.measure_names),
+        cube=cube,
+        engine=engine,
+        algorithm=payload["algorithm"],
+        plan=None,
+        build_seconds=payload["build_seconds"],
+        config=config,
+        partition_report=payload["partition_report"],
+    )

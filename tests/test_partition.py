@@ -78,3 +78,93 @@ def test_choose_partition_dimension_prefers_high_cardinality(relation):
     dim = computer.choose_partition_dimension(relation)
     cards = relation.cardinalities()
     assert cards[dim] == max(cards)
+
+
+# --------------------------------------------------------------------------- #
+# Spill-path hygiene                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_spill_files_use_highest_pickle_protocol(relation, tmp_path):
+    import pickle
+    import pickletools
+
+    computer = PartitionedCubeComputer(
+        min_sup=1, memory_budget_tuples=10, spill_dir=str(tmp_path)
+    )
+    computer.compute(relation)
+    spilled = sorted(tmp_path.iterdir())
+    assert spilled, "the small budget must force a spill"
+    for path in spilled:
+        payload = path.read_bytes()
+        # Protocol >= 2 starts with the PROTO opcode carrying the version.
+        opcode, version, _ = next(pickletools.genops(payload))
+        assert opcode.name == "PROTO"
+        assert version == pickle.HIGHEST_PROTOCOL
+        with open(path, "rb") as handle:
+            rows = pickle.load(handle)
+        assert rows, "each spill file holds one partition's rows"
+
+
+def test_spill_cleans_up_files_on_error(relation, tmp_path, monkeypatch):
+    import pickle as pickle_module
+
+    from repro.storage import partition as partition_module
+
+    calls = {"count": 0}
+    real_dump = pickle_module.dump
+
+    def failing_dump(obj, handle, protocol=None):
+        calls["count"] += 1
+        if calls["count"] == 3:
+            raise OSError("disk full")
+        return real_dump(obj, handle, protocol=protocol)
+
+    monkeypatch.setattr(partition_module.pickle, "dump", failing_dump)
+    computer = PartitionedCubeComputer(
+        min_sup=1, memory_budget_tuples=10, spill_dir=str(tmp_path)
+    )
+    with pytest.raises(OSError, match="disk full"):
+        computer.compute(relation)
+    assert list(tmp_path.iterdir()) == [], (
+        "an aborted spill must remove every file it wrote, including the "
+        "partially written one"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Per-partition incremental refresh                                            #
+# --------------------------------------------------------------------------- #
+
+
+def test_refresh_matches_full_recompute(relation):
+    computer = PartitionedCubeComputer(algorithm="c-cubing-star", min_sup=1)
+    partition_dim = 0
+    previous, _ = computer.compute(relation, partition_dim=partition_dim)
+
+    start_tid = relation.num_tuples
+    extra = [relation.row(tid) for tid in range(6)]  # rows reusing seen values
+    relation.append_rows([tuple(relation.decode(d, row[d]) for d in range(len(row)))
+                          for row in extra])
+    refreshed, report = computer.refresh(
+        relation, previous, partition_dim, start_tid
+    )
+    expected, _ = computer.compute(relation, partition_dim=partition_dim)
+    assert refreshed.same_cells(expected), refreshed.diff(expected)
+    assert report.refreshed_partitions is not None
+    touched = {relation.columns[partition_dim][tid]
+               for tid in range(start_tid, relation.num_tuples)}
+    assert set(report.refreshed_partitions) == touched
+
+
+def test_refresh_only_recomputes_touched_partitions(relation):
+    computer = PartitionedCubeComputer(min_sup=1)
+    partition_dim = 0
+    previous, _ = computer.compute(relation, partition_dim=partition_dim)
+    start_tid = relation.num_tuples
+    pinned_value = relation.decode(partition_dim, relation.columns[partition_dim][0])
+    row = tuple(relation.decode(d, relation.columns[d][0])
+                for d in range(relation.num_dimensions))
+    relation.append_rows([(pinned_value,) + row[1:]])
+    _, report = computer.refresh(relation, previous, partition_dim, start_tid)
+    assert len(report.refreshed_partitions) == 1

@@ -115,3 +115,37 @@ def test_engine_eviction_order_drives_closure_lookups():
     assert engine.counters["closure_lookups"] == lookups
     engine.point(second)     # evicted: must resolve again
     assert engine.counters["closure_lookups"] == lookups + 1
+
+
+def test_keys_and_discard_support_targeted_invalidation():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.keys() == ["a", "b"]
+    assert cache.discard("a") is True
+    assert cache.discard("a") is False, "discarding a missing key reports it"
+    assert "a" not in cache
+    stats = cache.stats()
+    assert stats["invalidations"] == 1
+    assert stats["evictions"] == 0, "discards are not evictions"
+
+
+def test_engine_invalidate_drops_only_affected_answers():
+    from repro import Relation, compute_closed_cube, open_query_engine
+
+    relation = Relation.from_rows([("a", "x"), ("a", "y"), ("b", "x")])
+    engine = open_query_engine(compute_closed_cube(relation, min_sup=1))
+    a_cell = (0, None)
+    b_cell = (1, None)
+    engine.point(a_cell)
+    engine.point(b_cell)
+    # A changed cell under (a, *) invalidates it but leaves (b, *) cached.
+    dropped = engine.invalidate([(0, 5)])
+    assert dropped == 1
+    assert a_cell not in engine.cache
+    assert b_cell in engine.cache
+    # The apex answer depends on every cell, so any change would drop it.
+    apex = (None, None)
+    engine.point(apex)
+    assert engine.invalidate([(0, 9)]) >= 1
+    assert apex not in engine.cache

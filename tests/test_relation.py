@@ -108,3 +108,53 @@ def test_decode_unknown_code_raises():
     relation = Relation.from_rows([("x",)], ["a"])
     with pytest.raises(EncodingError):
         relation.decode(0, 99)
+
+
+# --------------------------------------------------------------------------- #
+# Append-only growth                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_append_rows_reuses_codes_and_grows_dictionaries():
+    relation = Relation.from_rows([("a", "x"), ("b", "y")])
+    encoder_before = dict(relation.encoder(0))
+    start, end = relation.append_rows([("a", "z"), ("c", "x")])
+    assert (start, end) == (2, 4)
+    assert relation.num_tuples == 4
+    # Seen values keep their codes; unseen values extend the dictionary.
+    for raw, code in encoder_before.items():
+        assert relation.encoder(0)[raw] == code
+    assert relation.decode(0, relation.columns[0][2]) == "a"
+    assert relation.decode(0, relation.columns[0][3]) == "c"
+    assert relation.decode(1, relation.columns[1][2]) == "z"
+    # Encoder and decoder stay inverse after growth.
+    for dim in range(relation.num_dimensions):
+        for raw, code in relation.encoder(dim).items():
+            assert relation.decoders[dim][code] == raw
+
+
+def test_append_rows_with_measures():
+    relation = Relation.from_rows([("a",), ("b",)], measures={"m": [1.0, 2.0]})
+    relation.append_rows([("c",)], measures={"m": [7]})
+    assert relation.measure_columns[0] == [1.0, 2.0, 7.0]
+    assert relation.num_tuples == 3
+
+
+def test_append_rows_validates_input():
+    relation = Relation.from_rows([("a", "x")], measures={"m": [1.0]})
+    with pytest.raises(SchemaError):
+        relation.append_rows([("only-one-value",)], measures={"m": [1.0]})
+    with pytest.raises(SchemaError):
+        relation.append_rows([("a", "x")])  # missing measure column
+    with pytest.raises(SchemaError):
+        relation.append_rows([("a", "x")], measures={"m": [1.0, 2.0]})
+    with pytest.raises(SchemaError):
+        relation.append_rows([("a", "x")], measures={"wrong": [1.0]})
+    # A failed validation must not have grown the relation.
+    assert relation.num_tuples == 1
+
+
+def test_append_rows_empty_is_noop():
+    relation = Relation.from_rows([("a",)])
+    assert relation.append_rows([]) == (1, 1)
+    assert relation.num_tuples == 1

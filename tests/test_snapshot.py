@@ -1,0 +1,156 @@
+"""Tests for snapshot persistence (:mod:`repro.storage.snapshot`).
+
+The acceptance property: a ``save`` → ``load`` round trip preserves every
+query answer — exhaustively over the lattice — and the loaded cube keeps its
+maintenance abilities (appending, re-snapshotting).  Failure modes must be
+crisp :class:`SnapshotError`\\ s, not pickle stack traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CubeSession, ServingCube, Sum
+from repro.core.errors import SnapshotError
+from repro.storage.snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, save_snapshot
+
+from test_incremental import split_rows
+from test_query_engine import lattice_cells
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_round_trip_preserves_all_query_answers(seed, tmp_path):
+    base_rows, _ = split_rows(seed + 40)
+    cube = CubeSession.from_rows(base_rows).closed(min_sup=1).build()
+    path = str(tmp_path / "cube.snap")
+    size = cube.save(path)
+    assert size > 0
+
+    loaded = ServingCube.load(path)
+    assert loaded.schema.dimensions == cube.schema.dimensions
+    assert loaded.algorithm == cube.algorithm
+    assert loaded.config == cube.config
+    for cell in lattice_cells(cube.relation):
+        assert loaded.engine.point(cell).count == cube.engine.point(cell).count
+
+
+def test_round_trip_preserves_measures_and_named_answers(tmp_path):
+    rows = [("a", "x", 2.0), ("a", "y", 4.0), ("b", "x", 8.0)]
+    schema = {"dimensions": ["L", "R"], "measures": ["m"]}
+    cube = (
+        CubeSession.from_rows(rows, schema=schema)
+        .closed(min_sup=1)
+        .measures(Sum("m"))
+        .build()
+    )
+    path = str(tmp_path / "cube.snap")
+    cube.save(path)
+    loaded = ServingCube.load(path)
+    answer = loaded.point({"L": "a"})
+    assert answer.count == 2
+    assert answer.measure("sum(m)") == pytest.approx(6.0)
+    assert loaded.point({"L": "never-seen"}).count is None
+
+
+def test_loaded_cube_keeps_appending_incrementally(tmp_path):
+    base_rows, delta_rows = split_rows(99)
+    cube = CubeSession.from_rows(base_rows).closed(min_sup=1).build()
+    path = str(tmp_path / "cube.snap")
+    cube.save(path)
+
+    loaded = ServingCube.load(path)
+    report = loaded.append(delta_rows)
+    assert report.mode == "delta-merge"
+    rebuilt = CubeSession.from_rows(base_rows + delta_rows).closed(min_sup=1).build()
+    for cell in lattice_cells(loaded.relation):
+        assert loaded.engine.point(cell).count == rebuilt.engine.point(cell).count
+    # ... and re-snapshots.
+    second = str(tmp_path / "cube2.snap")
+    loaded.save(second)
+    assert ServingCube.load(second).relation.num_tuples == loaded.relation.num_tuples
+
+
+def test_partitioned_round_trip(tmp_path):
+    rows = [("s1", "a"), ("s1", "b"), ("s2", "a"), ("s2", "a"), ("s3", "b")]
+    cube = (
+        CubeSession.from_rows(rows, schema=["store", "product"])
+        .closed()
+        .partitioned("store")
+        .build()
+    )
+    path = str(tmp_path / "part.snap")
+    cube.save(path)
+    loaded = ServingCube.load(path)
+    assert loaded.config.partitioned
+    assert loaded.engine.partition_dim == cube.engine.partition_dim
+    for cell in lattice_cells(cube.relation):
+        assert loaded.engine.point(cell).count == cube.engine.point(cell).count
+    assert loaded.append([("s1", "c")]).mode == "partition-refresh"
+    assert loaded.point({"store": "s1"}).count == 3
+
+
+def test_save_overwrites_atomically(tmp_path):
+    cube = CubeSession.from_rows([("a",), ("b",)]).closed().build()
+    path = str(tmp_path / "cube.snap")
+    cube.save(path)
+    cube.append([("c",)])
+    cube.save(path)
+    assert ServingCube.load(path).relation.num_tuples == 3
+    assert list(tmp_path.iterdir()) == [tmp_path / "cube.snap"], (
+        "no temporary files may be left behind"
+    )
+
+
+def test_not_a_snapshot_raises(tmp_path):
+    path = tmp_path / "noise.bin"
+    path.write_bytes(b"definitely not a snapshot")
+    with pytest.raises(SnapshotError, match="magic"):
+        ServingCube.load(str(path))
+
+
+def test_truncated_snapshot_raises(tmp_path):
+    path = tmp_path / "short.snap"
+    path.write_bytes(SNAPSHOT_MAGIC[:4])
+    with pytest.raises(SnapshotError, match="too short"):
+        ServingCube.load(str(path))
+
+
+def test_unsupported_version_raises(tmp_path):
+    cube = CubeSession.from_rows([("a",)]).closed().build()
+    path = tmp_path / "future.snap"
+    save_snapshot(cube, str(path))
+    data = bytearray(path.read_bytes())
+    data[8:12] = (SNAPSHOT_VERSION + 1).to_bytes(4, "big")
+    path.write_bytes(bytes(data))
+    with pytest.raises(SnapshotError, match="version"):
+        ServingCube.load(str(path))
+
+
+def test_corrupt_payload_raises(tmp_path):
+    cube = CubeSession.from_rows([("a",)]).closed().build()
+    path = tmp_path / "corrupt.snap"
+    save_snapshot(cube, str(path))
+    data = path.read_bytes()
+    path.write_bytes(data[:16])  # header intact, payload chopped
+    with pytest.raises(SnapshotError, match="corrupt"):
+        ServingCube.load(str(path))
+
+
+def test_save_refuses_guessed_config(tmp_path):
+    """Snapshotting a config-less cube would launder guessed build settings
+    into an explicit config on load, re-enabling maintenance the original
+    cube refuses — it must raise instead."""
+    from repro import compute_closed_cube
+    from repro.core.relation import Relation
+    from repro.query.engine import QueryEngine
+    from repro.session.schema import CubeSchema
+
+    relation = Relation.from_rows([("a",), ("b",)])
+    iceberg = compute_closed_cube(relation, min_sup=2)
+    serving = ServingCube(
+        relation, CubeSchema(("d0",)), iceberg, QueryEngine(iceberg), "c-cubing-star"
+    )
+    path = str(tmp_path / "guessed.snap")
+    with pytest.raises(SnapshotError, match="ServingConfig"):
+        serving.save(path)
+    assert list(tmp_path.iterdir()) == [], "the refused save must write nothing"
