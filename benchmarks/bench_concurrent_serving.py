@@ -1,0 +1,289 @@
+"""Concurrent-serving benchmark: interleaved append+query vs serialized.
+
+Builds a catalog cube over a synthetic fact stream (100k tuples by default,
+leading chronological ``day`` column as in bench_incremental) and pushes the
+same workload — A append batches plus Q queries — through two regimes:
+
+1. ``serialized`` — the pre-server reality: appends and queries share one
+   thread, so every query stream stalls for the append in front of it
+   (append batch, then its share of queries, repeat);
+2. ``concurrent`` — :class:`repro.server.AsyncCubeServer` over the same
+   catalog: appends run copy-on-publish on the maintenance pool (cubing in a
+   process pool), queries keep flowing through the batched read path and
+   never wait for a merge.
+
+Both regimes answer the *same* queries over the *same* appends, and both
+final cubes are verified cell-for-cell against a from-scratch rebuild before
+any timing is trusted.  The reported metric is query throughput (answers per
+second of wall-clock until the query stream completes); the script exits
+non-zero when the concurrent regime fails to beat the serialized one by
+``--min-speedup`` (default 3x), making it a CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent_serving.py
+    PYTHONPATH=src python benchmarks/bench_concurrent_serving.py --tuples 20000
+
+``--json PATH`` additionally writes the measurements as a JSON report (the
+CI workflow uploads these as artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import List, Sequence
+
+from bench_helpers import write_json_report
+
+from repro import CubeCatalog, CubeSession
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+from repro.incremental.parallel import create_refresh_pool
+from repro.server import AsyncCubeServer
+
+CUBE = "stream"
+
+
+def build_workload(args):
+    """Raw day-stamped rows: a base window plus ``--append-batches`` days."""
+    num_append = max(args.append_batches,
+                     int(args.tuples * args.append_fraction))
+    per_batch = num_append // args.append_batches
+    num_append = per_batch * args.append_batches
+    total = args.tuples + num_append
+    relation = generate_relation(SyntheticConfig.uniform(
+        num_tuples=total, num_dims=args.dims - 1, cardinality=args.cardinality,
+        skew=args.skew, seed=args.seed,
+    ))
+
+    def day_of(tid: int) -> str:
+        if tid >= args.tuples:
+            return f"day{args.days + (tid - args.tuples) // per_batch}"
+        return f"day{tid * args.days // args.tuples}"
+
+    all_rows = [
+        (day_of(tid),) + tuple(
+            relation.decode(dim, relation.columns[dim][tid])
+            for dim in range(relation.num_dimensions)
+        )
+        for tid in range(total)
+    ]
+    base_rows = all_rows[: args.tuples]
+    batches = [
+        all_rows[args.tuples + index * per_batch:
+                 args.tuples + (index + 1) * per_batch]
+        for index in range(args.append_batches)
+    ]
+    return base_rows, batches, all_rows
+
+
+def build_queries(base_rows, num_queries: int, seed: int,
+                  distinct: int = 100) -> List[dict]:
+    """A skewed dashboard workload: hot specs repeat, like real serving.
+
+    Draws every query from a pool of ``distinct`` specs (points over seen
+    values plus a few roll-ups) with a heavy-headed repetition pattern, the
+    shape the serving caches are built for — and the shape under which an
+    append stall hurts most, since thousands of cheap answers queue behind
+    one merge.
+    """
+    rng = random.Random(seed)
+    num_dims = len(base_rows[0])
+    dim_names = [f"d{index}" for index in range(num_dims)]
+    values = [sorted({row[dim] for row in base_rows}) for dim in range(num_dims)]
+    pool: List[dict] = []
+    for index in range(distinct):
+        if index % 20 == 19:
+            pool.append({"op": "rollup", "dims": [rng.choice(dim_names[1:])]})
+            continue
+        picked = rng.sample(range(num_dims), rng.randint(1, min(3, num_dims)))
+        pool.append({
+            dim_names[dim]: rng.choice(values[dim]) for dim in picked
+        })
+    # Zipf-ish skew: spec i drawn proportionally to 1 / (i + 1).
+    weights = [1.0 / (index + 1) for index in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=num_queries)
+
+
+def run_serialized(catalog, batches, query_chunks) -> float:
+    """Appends and queries on one thread: every chunk waits for its append.
+
+    The query workload is run once untimed first, so both regimes measure
+    steady-state serving (warm caches) rather than first-touch resolution.
+    """
+    cube = catalog.load(CUBE)
+    for chunk in query_chunks:
+        cube.query_many(chunk)
+    start = time.perf_counter()
+    for index, batch in enumerate(batches):
+        cube.append(batch)
+        for chunk in query_chunks[index::len(batches)]:
+            cube.query_many(chunk)
+    return time.perf_counter() - start
+
+
+def run_concurrent(catalog, batches, query_chunks, refresh_pool) -> float:
+    """Appends in flight while the query stream completes on the server."""
+    cube = catalog.load(CUBE)  # fresh instance, same snapshot
+
+    async def scenario() -> float:
+        async with AsyncCubeServer(
+            catalog,
+            query_workers=4,
+            maintenance_workers=2,
+            refresh_executor=refresh_pool,
+        ) as server:
+            # Same untimed warm-up as the serialized regime: the gate
+            # measures steady-state serving, not first-touch resolution.
+            await asyncio.gather(
+                *(server.execute_many(CUBE, chunk) for chunk in query_chunks)
+            )
+            start = time.perf_counter()
+            append_tasks = [
+                asyncio.get_running_loop().create_task(
+                    server.append(CUBE, batch)
+                )
+                for batch in batches
+            ]
+            await asyncio.gather(
+                *(server.execute_many(CUBE, chunk) for chunk in query_chunks)
+            )
+            elapsed = time.perf_counter() - start
+            reports = await asyncio.gather(*append_tasks)
+            assert sum(r.appended_rows for r in reports) == sum(
+                len(batch) for batch in batches
+            )
+            return elapsed
+
+    elapsed = asyncio.run(scenario())
+    assert cube.version == len(batches)
+    return elapsed
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000,
+                        help="base relation size before the appends")
+    parser.add_argument("--dims", type=int, default=5,
+                        help="total dimensions, including the leading day column")
+    parser.add_argument("--cardinality", type=int, default=6)
+    parser.add_argument("--days", type=int, default=10,
+                        help="days in the base window (appends are later days)")
+    parser.add_argument("--skew", type=float, default=0.5)
+    parser.add_argument("--append-batches", type=int, default=4)
+    parser.add_argument("--append-fraction", type=float, default=0.10,
+                        help="total appended rows as a fraction of the base")
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument("--chunk", type=int, default=25,
+                        help="queries per execute_many batch")
+    parser.add_argument("--refresh-processes", type=int, default=2,
+                        help="process-pool workers for the concurrent regime "
+                        "(0: compute appends in the maintenance threads)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail unless concurrent query throughput beats "
+                        "serialized by this factor")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    base_rows, batches, all_rows = build_workload(args)
+    appended = sum(len(batch) for batch in batches)
+    print(f"dataset: T={args.tuples} (+{appended} appended over "
+          f"{args.append_batches} batches) D={args.dims} C={args.cardinality} "
+          f"S={args.skew} min_sup=1 closed")
+    queries = build_queries(base_rows, args.queries, args.seed)
+    query_chunks = [queries[i:i + args.chunk]
+                    for i in range(0, len(queries), args.chunk)]
+
+    with tempfile.TemporaryDirectory() as directory:
+        catalog = CubeCatalog(os.path.join(directory, "catalog"))
+        start = time.perf_counter()
+        serving = catalog.create(CUBE, base_rows)
+        print(f"built base cube in {time.perf_counter() - start:.2f}s "
+              f"({len(serving)} cells, algorithm {serving.algorithm!r})")
+
+        refresh_pool = None
+        if args.refresh_processes > 0:
+            refresh_pool = create_refresh_pool(args.refresh_processes)
+            # Warm the spawn workers so process startup is not billed to the
+            # concurrent regime's timing.
+            refresh_pool.submit(int).result()
+
+        try:
+            serialized_seconds = run_serialized(catalog, batches, query_chunks)
+            serialized_qps = len(queries) / serialized_seconds
+            serialized_cube = catalog.open(CUBE)
+            print(f"serialized: {serialized_seconds:.3f}s for {len(queries)} "
+                  f"queries + {args.append_batches} appends "
+                  f"({serialized_qps:,.0f} q/s)")
+
+            concurrent_seconds = run_concurrent(
+                catalog, batches, query_chunks, refresh_pool
+            )
+            concurrent_qps = len(queries) / concurrent_seconds
+            concurrent_cube = catalog.open(CUBE)
+            print(f"concurrent: query stream done in {concurrent_seconds:.3f}s "
+                  f"with all appends in flight ({concurrent_qps:,.0f} q/s)")
+        finally:
+            if refresh_pool is not None:
+                refresh_pool.shutdown()
+
+        rebuilt = CubeSession.from_rows(all_rows).closed(min_sup=1).build()
+        for label, cube in (("serialized", serialized_cube),
+                            ("concurrent", concurrent_cube)):
+            if not cube.cube.same_cells(rebuilt.cube):
+                print(f"FAIL: {label} cube differs from the full recompute:")
+                print(cube.cube.diff(rebuilt.cube))
+                return 1
+        print(f"verified: both final cubes == recomputed cube "
+              f"({len(rebuilt)} cells)")
+
+    speedup = concurrent_qps / serialized_qps
+    print()
+    print(f"{'regime':<14}{'seconds':>10}{'queries/s':>14}{'vs serialized':>16}")
+    print("-" * 54)
+    print(f"{'serialized':<14}{serialized_seconds:>10.3f}"
+          f"{serialized_qps:>14,.0f}{1.0:>15.1f}x")
+    print(f"{'concurrent':<14}{concurrent_seconds:>10.3f}"
+          f"{concurrent_qps:>14,.0f}{speedup:>15.1f}x")
+
+    results = {
+        "benchmark": "bench_concurrent_serving",
+        "config": {
+            "tuples": args.tuples,
+            "appended": appended,
+            "append_batches": args.append_batches,
+            "dims": args.dims,
+            "cardinality": args.cardinality,
+            "skew": args.skew,
+            "queries": len(queries),
+            "chunk": args.chunk,
+            "refresh_processes": args.refresh_processes,
+            "seed": args.seed,
+        },
+        "serialized_seconds": round(serialized_seconds, 6),
+        "concurrent_seconds": round(concurrent_seconds, 6),
+        "serialized_qps": round(serialized_qps, 1),
+        "concurrent_qps": round(concurrent_qps, 1),
+        "speedup": round(speedup, 3),
+        "min_speedup": args.min_speedup,
+        "passed": speedup >= args.min_speedup,
+    }
+    if args.json:
+        write_json_report(args.json, results)
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: concurrent serving is only {speedup:.1f}x the "
+              f"serialized baseline (required {args.min_speedup:.1f}x)")
+        return 1
+    print(f"OK: concurrent serving sustains {speedup:.1f}x the serialized "
+          f"query throughput (required {args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,13 @@ The package provides:
   and targeted cache invalidation,
 * snapshot persistence (:mod:`repro.storage.snapshot`) — a versioned on-disk
   format (``ServingCube.save`` / ``ServingCube.load``) so a cube survives
-  process restarts and keeps appending afterwards.
+  process restarts and keeps appending afterwards,
+* a multi-cube catalog (:mod:`repro.catalog`) — named serving cubes over one
+  durable directory (per-cube snapshots + replayable append streams),
+* concurrent serving (:mod:`repro.server`) — an asyncio front end with query
+  batching, back-pressure, and copy-on-publish appends (optionally computed
+  in a process pool) that never block the read hot path; ``python -m
+  repro.server`` exposes it over a line-JSON TCP protocol.
 
 Quick start::
 
@@ -78,6 +84,7 @@ from .session import (
     Count,
     CubeSchema,
     CubeSession,
+    CubeView,
     Explanation,
     Max,
     Min,
@@ -89,7 +96,15 @@ from .session import (
     Sum,
     plan_algorithm,
 )
-from .incremental import AppendReport, MergeReport, merge_closed_cubes
+from .catalog import CubeCatalog
+from .concurrency import RWLock
+from .incremental import (
+    AppendReport,
+    MergeReport,
+    create_refresh_pool,
+    merge_closed_cubes,
+)
+from .server import AsyncCubeServer, serve_tcp
 from .storage import load_snapshot, save_snapshot
 from .query import (
     PartitionedQueryEngine,
@@ -108,6 +123,12 @@ __all__ = [
     "CubeSession",
     "ServingCube",
     "ServingConfig",
+    "CubeView",
+    "CubeCatalog",
+    "AsyncCubeServer",
+    "serve_tcp",
+    "RWLock",
+    "create_refresh_pool",
     "NamedAnswer",
     "Explanation",
     "CubeSchema",

@@ -1,0 +1,12 @@
+"""Multi-cube catalog: named serving cubes over one durable directory.
+
+:class:`CubeCatalog` turns the single-cube session API into a small OLAP
+server's registry — create/open/load/drop/list cubes by name, with per-cube
+snapshots and append streams in a shared directory (see
+:mod:`repro.catalog.catalog` for the durability story).  The asyncio front
+end (:mod:`repro.server`) serves one of these.
+"""
+
+from .catalog import CubeCatalog, CubeSource
+
+__all__ = ["CubeCatalog", "CubeSource"]

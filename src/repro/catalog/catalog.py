@@ -1,0 +1,401 @@
+"""The cube catalog: a named, durable registry of serving cubes.
+
+One :class:`CubeCatalog` owns one directory.  Inside it live a JSON manifest
+(:mod:`repro.storage.manifest`), one snapshot per cube (the v1 atomic-rename
+format of :mod:`repro.storage.snapshot`), and one *append stream* per cube —
+a line-JSON journal of the row batches appended since the cube's snapshot
+was last written.  Together they make the catalog crash-consistent without
+ever rewriting a snapshot per append: a reopened catalog loads each cube's
+snapshot and replays its stream, landing exactly where the process died.
+
+    catalog = CubeCatalog("/var/lib/cubes")
+    catalog.create("sales", rows, schema={"dimensions": ["store", "product"]})
+    catalog.append("sales", more_rows)          # journaled + merged
+    catalog.save("sales")                       # snapshot, stream truncated
+    ...
+    catalog = CubeCatalog("/var/lib/cubes")     # later / elsewhere
+    catalog.open("sales").point({"store": "nyc"})
+
+``create`` accepts raw rows (with an optional schema), a configured
+:class:`~repro.session.session.CubeSession` (build settings travel with it),
+or an already-built :class:`~repro.session.serving.ServingCube`.  ``open``
+returns the live in-memory cube, loading it on first use; ``load`` forces a
+fresh load from disk.  All catalog state (manifest, instance table, journal
+offsets) is guarded by one reentrant lock, while the cubes themselves rely
+on their own serving locks — so appends to *different* cubes overlap, which
+is the point of a multi-cube server.
+
+The snapshot payloads are pickle (see :mod:`repro.storage.snapshot`): only
+open catalog directories you trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from ..core.errors import CatalogError
+from ..session.serving import ServingCube
+from ..session.session import CubeSession
+from ..storage.manifest import (
+    CatalogManifest,
+    CubeEntry,
+    appends_filename,
+    snapshot_filename,
+    validate_cube_name,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
+    from ..incremental.maintainer import AppendReport
+
+#: What :meth:`CubeCatalog.create` accepts as a cube source.
+CubeSource = Union[ServingCube, CubeSession, Sequence[object]]
+
+
+class CubeCatalog:
+    """A directory of named serving cubes with durable append streams."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.RLock()
+        self._manifest = CatalogManifest.load(self.directory)
+        #: Live cubes by name (loaded lazily by :meth:`open`).
+        self._cubes: Dict[str, ServingCube] = {}
+        #: Per-name guards so a slow snapshot load never runs under (and so
+        #: never blocks) the catalog-wide lock — appends and opens on *other*
+        #: cubes proceed while one cube loads.
+        self._load_guards: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registry operations                                                 #
+    # ------------------------------------------------------------------ #
+
+    def create(
+        self,
+        name: str,
+        source: CubeSource,
+        schema: Optional[object] = None,
+    ) -> ServingCube:
+        """Register a new cube under ``name`` and persist its first snapshot.
+
+        ``source`` is raw rows (``schema`` as for :meth:`CubeSession.
+        from_rows`), a configured :class:`CubeSession` (built here with its
+        own settings), or an existing :class:`ServingCube`.  The snapshot is
+        written immediately — a created cube survives a crash without any
+        explicit ``save``.
+        """
+        validate_cube_name(name)
+        if isinstance(source, ServingCube):
+            if schema is not None:
+                raise CatalogError(
+                    "schema cannot be overridden when registering a built "
+                    "ServingCube"
+                )
+            cube = source
+        elif isinstance(source, CubeSession):
+            if schema is not None:
+                raise CatalogError(
+                    "schema cannot be overridden when building from a "
+                    "CubeSession (the session already has one)"
+                )
+            cube = source.build()
+        else:
+            cube = CubeSession.from_rows(source, schema=schema).build()
+        with self._lock:
+            if name in self._manifest.entries:
+                raise CatalogError(
+                    f"cube {name!r} already exists in catalog "
+                    f"{self.directory!r}; drop() it first or pick another name"
+                )
+            entry = CubeEntry(
+                snapshot=snapshot_filename(name),
+                appends=appends_filename(name),
+                created_at=time.time(),
+            )
+            self._manifest.entries[name] = entry
+            self._cubes[name] = cube
+            self._write_snapshot(name, cube, entry)
+        return cube
+
+    def open(self, name: str) -> ServingCube:
+        """The live cube called ``name``, loading (and replaying) on first use."""
+        with self._lock:
+            cube = self._cubes.get(name)
+            if cube is not None:
+                return cube
+        return self._load(name)
+
+    def get_loaded(self, name: str) -> Optional[ServingCube]:
+        """The live cube if (and only if) it is already in memory.
+
+        Never touches disk — the probe introspection paths (e.g.
+        :meth:`repro.server.AsyncCubeServer.stats`) use so they cannot stall
+        on a snapshot load.
+        """
+        with self._lock:
+            return self._cubes.get(name)
+
+    def load(self, name: str) -> ServingCube:
+        """Force a fresh load of ``name`` from its snapshot + append stream.
+
+        Discards the in-memory instance (unsaved *in-memory only* state of a
+        cube appended outside the catalog is lost — catalog appends are
+        journaled and therefore replayed).
+        """
+        with self._lock:
+            self._cubes.pop(name, None)
+        return self._load(name)
+
+    def drop(self, name: str) -> None:
+        """Unregister ``name`` and delete its snapshot and append stream."""
+        with self._lock:
+            entry = self._entry(name)
+            del self._manifest.entries[name]
+            self._cubes.pop(name, None)
+            self._manifest.save(self.directory)
+            for filename in (entry.snapshot, entry.appends):
+                try:
+                    os.unlink(os.path.join(self.directory, filename))
+                except FileNotFoundError:
+                    pass
+
+    def list(self) -> List[str]:
+        """Registered cube names, sorted."""
+        with self._lock:
+            return sorted(self._manifest.entries)
+
+    def describe(self, name: str) -> Dict[str, object]:
+        """Manifest metadata for one cube (no snapshot is opened)."""
+        with self._lock:
+            entry = self._entry(name)
+            return {
+                "name": name,
+                "snapshot": entry.snapshot,
+                "appends": entry.appends,
+                "created_at": entry.created_at,
+                "saved_at": entry.saved_at,
+                "rows": entry.rows,
+                "cells": entry.cells,
+                "algorithm": entry.algorithm,
+                "dimensions": list(entry.dimensions),
+                "loaded": name in self._cubes,
+                "pending_appends": self._journal_batches(entry),
+            }
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._manifest.entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._manifest.entries)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def append(
+        self,
+        name: str,
+        rows: Sequence[object],
+        copy_on_publish: bool = False,
+        executor: Optional["Executor"] = None,
+    ) -> "AppendReport":
+        """Append rows to ``name`` durably: journal first, then merge.
+
+        The batch is written to the cube's append stream before the merge
+        runs, so a crash at any later point replays it on the next load; a
+        merge *failure* (bad rows) rolls the journal entry back.  Rows must
+        be JSON-serialisable (they are for every protocol-fed workload); for
+        non-JSON values append on the cube directly and :meth:`save` to
+        persist.  ``copy_on_publish`` / ``executor`` pass through to
+        :meth:`repro.session.serving.ServingCube.append`.
+        """
+        cube = self.open(name)
+        if not rows:
+            return cube.append(rows)
+        with self._lock:
+            entry = self._entry(name)
+            path = os.path.join(self.directory, entry.appends)
+        try:
+            line = json.dumps({"rows": [self._jsonable_row(row) for row in rows]})
+        except (TypeError, ValueError) as exc:
+            raise CatalogError(
+                f"rows appended through the catalog must be JSON-serialisable "
+                f"({exc}); append on the ServingCube directly and save() to "
+                "persist non-JSON values"
+            ) from exc
+        record = line + "\n"
+        with self._lock:
+            with open(path, "a") as stream:
+                offset = stream.tell()
+                stream.write(record)
+        try:
+            return cube.append(
+                rows, copy_on_publish=copy_on_publish, executor=executor
+            )
+        except BaseException:
+            # The journal must not replay a batch the cube rejected — but
+            # other threads may have journaled *after* this line while the
+            # failed merge ran, so a blind truncate(offset) would erase
+            # their durably-committed batches.  Truncate only when the file
+            # still ends with exactly our record; otherwise rewrite it with
+            # one occurrence of the record removed.
+            with self._lock:
+                self._remove_journal_record(path, offset, record)
+            raise
+
+    def save(self, name: Optional[str] = None) -> None:
+        """Snapshot one cube (or every loaded cube) and truncate its stream.
+
+        Only *loaded* cubes are written on a catalog-wide save: an unloaded
+        cube's snapshot + stream on disk are already its durable state.
+        """
+        with self._lock:
+            names = [name] if name is not None else sorted(self._cubes)
+            for cube_name in names:
+                entry = self._entry(cube_name)
+                cube = self._cubes.get(cube_name)
+                if cube is None:
+                    if name is not None:
+                        raise CatalogError(
+                            f"cube {cube_name!r} is not loaded; open() it "
+                            "before save(), or rely on its on-disk state"
+                        )
+                    continue
+                self._write_snapshot(cube_name, cube, entry)
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _entry(self, name: str) -> CubeEntry:
+        entry = self._manifest.entries.get(name)
+        if entry is None:
+            raise CatalogError(
+                f"no cube named {name!r} in catalog {self.directory!r}; "
+                f"known cubes: {sorted(self._manifest.entries)}"
+            )
+        return entry
+
+    @staticmethod
+    def _jsonable_row(row: object) -> object:
+        """A JSON-shaped copy of one raw row (tuples become lists)."""
+        if isinstance(row, dict):
+            return dict(row)
+        return list(row)  # type: ignore[call-overload]
+
+    @staticmethod
+    def _remove_journal_record(path: str, offset: int, record: str) -> None:
+        """Undo one journal write without touching later writers' records.
+
+        Fast path: the file still ends with our record at our offset —
+        truncate it away.  Slow path (another thread appended while our
+        merge was failing): rewrite the stream with a single occurrence of
+        the record dropped.  Caller holds the catalog lock, so no journal
+        write can interleave with the rewrite.
+        """
+        with open(path, "r+") as stream:
+            stream.seek(offset)
+            tail = stream.read()
+            if tail == record:
+                stream.truncate(offset)
+                return
+        with open(path, "r") as stream:
+            lines = stream.readlines()
+        try:
+            lines.reverse()
+            lines.remove(record)
+            lines.reverse()
+        except ValueError:  # pragma: no cover - record already gone
+            return
+        with open(path, "w") as stream:
+            stream.writelines(lines)
+
+    def _write_snapshot(self, name: str, cube: ServingCube, entry: CubeEntry) -> None:
+        """Snapshot + truncate the stream + rewrite the manifest (lock held)."""
+        cube.save(os.path.join(self.directory, entry.snapshot))
+        open(os.path.join(self.directory, entry.appends), "w").close()
+        entry.saved_at = time.time()
+        entry.rows = cube.relation.num_tuples
+        entry.cells = len(cube)
+        entry.algorithm = cube.algorithm
+        entry.dimensions = tuple(cube.schema.dimensions)
+        self._manifest.save(self.directory)
+
+    def _journal_batches(self, entry: CubeEntry) -> int:
+        """Number of journaled batches pending replay for one entry."""
+        path = os.path.join(self.directory, entry.appends)
+        if not os.path.exists(path):
+            return 0
+        with open(path, "r") as stream:
+            return sum(1 for line in stream if line.strip())
+
+    def _load(self, name: str) -> ServingCube:
+        """Load snapshot + replay stream, off the catalog-wide lock.
+
+        The heavy part (unpickling the snapshot, replaying journaled
+        batches) runs under a per-name guard only, so appends and opens on
+        other cubes — the whole point of a multi-cube catalog — proceed
+        while this cube loads.  Duplicate concurrent loads of one name
+        serialise on the guard, and the first finished instance wins.
+        """
+        with self._lock:
+            guard = self._load_guards.setdefault(name, threading.Lock())
+        with guard:
+            with self._lock:
+                cube = self._cubes.get(name)
+                if cube is not None:
+                    return cube
+                entry = self._entry(name)
+                snapshot_path = os.path.join(self.directory, entry.snapshot)
+                batches = self._read_journal(entry)
+            cube = ServingCube.load(snapshot_path)
+            for batch in batches:
+                rows = [
+                    tuple(row) if isinstance(row, list) else row for row in batch
+                ]
+                cube.append(rows)
+            with self._lock:
+                existing = self._cubes.get(name)
+                if existing is not None:
+                    return existing
+                self._cubes[name] = cube
+                return cube
+
+    def _read_journal(self, entry: CubeEntry) -> List[List[object]]:
+        """The journaled batches of one cube, tolerating one torn tail line."""
+        path = os.path.join(self.directory, entry.appends)
+        if not os.path.exists(path):
+            return []
+        with open(path, "r") as stream:
+            lines = stream.readlines()
+        batches: List[List[object]] = []
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                batches.append(record["rows"])
+            except (ValueError, KeyError, TypeError) as exc:
+                if position == len(lines) - 1:
+                    # A torn final line is the expected crash artefact of an
+                    # interrupted append; everything before it is intact.
+                    break
+                raise CatalogError(
+                    f"corrupt append stream {path!r} at line "
+                    f"{position + 1}: {exc}"
+                ) from exc
+        return batches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CubeCatalog({self.directory!r}, cubes={self.list()!r}, "
+            f"loaded={sorted(self._cubes)!r})"
+        )

@@ -1,0 +1,104 @@
+"""A reader-writer lock for the serving hot path.
+
+The serving layers (:mod:`repro.query`, :mod:`repro.session`,
+:mod:`repro.server`) follow one concurrency discipline: *many* readers answer
+queries against a published cube version while *one* writer prepares the next
+version off to the side and publishes it in a short critical section (a few
+reference swaps plus cache repair).  :class:`RWLock` is the primitive behind
+that discipline — any number of concurrent readers, writers exclusive.
+
+The implementation is a classic condition-variable lock with **writer
+preference**: once a writer is waiting, new readers queue behind it.  Without
+preference, a steady query stream would starve publishes forever, which is
+exactly the wrong failure mode for a serving system (appends would never
+land).  Readers hold the lock for one query; writers hold it for one publish
+(reference swaps), so writer preference costs readers at most one publish of
+latency.
+
+The lock is not reentrant in either mode: a reader acquiring the write side
+(or vice versa) deadlocks, as does recursive write acquisition.  Callers
+layer locks in one consistent order instead (serving state above engine,
+engine above caches) — the layering the serving stack already follows.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Many concurrent readers, one exclusive writer, writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+    # Read side                                                           #
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read() without a matching acquire_read()")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read():`` — shared access for one query."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------ #
+    # Write side                                                          #
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError(
+                    "release_write() without a matching acquire_write()"
+                )
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write():`` — exclusive access for one publish."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer}, "
+            f"waiting={self._writers_waiting})"
+        )

@@ -196,6 +196,27 @@ class CubeResult:
             delta_tid_offset=delta_tid_offset,
         )
 
+    def clone(self) -> "CubeResult":
+        """An independent deep copy of the cells (fresh :class:`CellStats`).
+
+        The substrate of copy-on-publish maintenance: the concurrent serving
+        path merges a delta into a *clone* while queries keep reading the
+        original, then publishes the clone with one reference swap
+        (:meth:`repro.query.engine.QueryEngine.publish`).  Cloning a closed
+        cube is cheap by design — closedness collapses every equivalence
+        class of the quotient lattice to one materialised cell, so the copy
+        is proportional to the closed cube, not to the full cube lattice.
+        The clone shares nothing mutable with the original (its closure index
+        is rebuilt lazily on first use) and carries the same
+        :attr:`measure_set`.
+        """
+        other = CubeResult(self.num_dims, name=self.name)
+        cells = other._cells
+        for cell, stats in self._cells.items():
+            cells[cell] = CellStats(stats.count, dict(stats.measures), stats.rep_tid)
+        other.measure_set = self.measure_set
+        return other
+
     # ------------------------------------------------------------------ #
     # Container protocol                                                  #
     # ------------------------------------------------------------------ #

@@ -65,6 +65,23 @@ class SnapshotError(ReproError):
     """
 
 
+class CatalogError(ReproError):
+    """Raised when a cube catalog operation cannot proceed.
+
+    Examples: creating a cube under a name already registered, opening a name
+    the manifest does not know, an invalid cube name, or a corrupt manifest
+    file.
+    """
+
+
+class ServerError(ReproError):
+    """Raised by the concurrent serving layer (:mod:`repro.server`).
+
+    Examples: querying a cube the server's catalog does not hold, submitting
+    to a server that is shutting down, or a malformed protocol request.
+    """
+
+
 class QueryError(ReproError):
     """Raised when a closure query against a served cube is malformed.
 

@@ -326,6 +326,9 @@ class Relation:
         """
         start_tid = self.num_tuples
         if not rows:
+            # Explicit no-op: an empty append returns the empty tid window
+            # without validating measures or touching any column, mirroring
+            # the no-op AppendReport of ServingCube.append([]).
             return start_tid, start_tid
         num_dims = self.num_dimensions
         if any(len(row) != num_dims for row in rows):

@@ -15,7 +15,12 @@ that cube *maintainable* under appended fact rows:
   uses: append rows to the relation (growing dictionaries append-only), plan
   and run a delta cube over only the new tuples, merge it in, update the
   live closure index, and invalidate exactly the cached answers the changed
-  cells can affect.
+  cells can affect.  Two switches adapt it to concurrent serving:
+  ``copy_on_publish`` (merge into a clone, land atomically) and ``executor``
+  (offload the cubing compute).
+* :mod:`repro.incremental.parallel` — the picklable work units and the
+  ``spawn`` process pool (:func:`create_refresh_pool`) that let delta cubes
+  and partition recomputes run outside the serving process's GIL.
 
 See ``docs/PAPER_NOTES.md`` ("Closed-cube merge needs closedness repair")
 for why the merge is correct and why aggregation-based checking makes it
@@ -24,6 +29,12 @@ cheap.
 
 from .maintainer import MAX_DELTA_DIMS, AppendReport, CubeMaintainer
 from .merge import MergeReport, merge_closed_cubes, support_generalisations
+from .parallel import (
+    CubingTask,
+    CubingTaskResult,
+    create_refresh_pool,
+    run_cubing_task,
+)
 
 __all__ = [
     "AppendReport",
@@ -32,4 +43,8 @@ __all__ = [
     "MergeReport",
     "merge_closed_cubes",
     "support_generalisations",
+    "CubingTask",
+    "CubingTaskResult",
+    "create_refresh_pool",
+    "run_cubing_task",
 ]

@@ -26,19 +26,40 @@ resurrect), partitioned cubes take the per-partition refresh path
 relations beyond :data:`MAX_DELTA_DIMS` dimensions recompute because the
 merge's candidate enumeration is exponential in dimensionality in the worst
 case.  The chosen path is reported, never silent.
+
+Two orthogonal switches adapt the maintainer to concurrent serving
+(:mod:`repro.server`):
+
+* ``copy_on_publish`` merges into a private clone of the served cube and
+  makes the result visible with one atomic
+  :meth:`~repro.query.engine.QueryEngine.publish`, so queries running in
+  other threads never observe a half-applied merge (the default in-place
+  merge mutates shared cells and is only safe single-threaded);
+* ``executor`` ships the cubing work (the delta cube, the per-partition
+  recomputes) to a :mod:`concurrent.futures` executor — with the process
+  pool from :func:`repro.incremental.parallel.create_refresh_pool`, an
+  append's CPU burn escapes the GIL and the serving threads entirely.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from ..algorithms.base import CubingOptions, get_algorithm
+from ..core.cube import CubeResult
 from ..core.errors import IncrementalError, MeasureError
 from ..core.measures import MeasureSet
-from ..query.engine import QueryEngine, invalidate_answers
+from ..query.engine import PartitionedQueryEngine, QueryEngine, invalidate_answers
 from .merge import MergeReport
+from .parallel import (
+    MergeTask,
+    compute_delta_cube,
+    picklable_order,
+    run_merge_task,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..session.serving import ServingCube
@@ -47,6 +68,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: with delta support — worst case exponential in D) loses to recomputation;
 #: appends fall back to a full rebuild.
 MAX_DELTA_DIMS = 12
+
+#: Beyond this many materialised cells the remote-merge offload stops paying:
+#: its task pickles the whole base cube plus the grown relation to the
+#: worker, an O(total data) per-append cost that would silently grow with
+#: the cube.  Larger cubes still offload the delta *compute* (O(delta)
+#: payload) and merge in process.  See ROADMAP "worker-resident merge state"
+#: for the path to lifting this.
+REMOTE_MERGE_MAX_CELLS = 200_000
 
 
 @dataclass(frozen=True)
@@ -62,7 +91,8 @@ class AppendReport:
     algorithm: str
     #: Wall-clock seconds for the whole append.
     elapsed_seconds: float
-    #: Cached answers dropped by targeted invalidation (encoded + decoded).
+    #: Cached answers dropped by targeted invalidation (encoded answers,
+    #: cached slices, and decoded answers combined).
     invalidated_answers: int = 0
     #: Merge bookkeeping for the delta-merge path.
     merge: Optional[MergeReport] = None
@@ -87,8 +117,15 @@ class AppendReport:
 class CubeMaintainer:
     """Applies appends to one :class:`~repro.session.serving.ServingCube`."""
 
-    def __init__(self, serving: "ServingCube") -> None:
+    def __init__(
+        self,
+        serving: "ServingCube",
+        copy_on_publish: bool = False,
+        executor: Optional[Executor] = None,
+    ) -> None:
         self.serving = serving
+        self.copy_on_publish = copy_on_publish
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
 
@@ -121,7 +158,8 @@ class CubeMaintainer:
                 pass
         # refresh() clears both answer caches; count them first so the
         # report's "encoded + decoded" contract holds in every mode.
-        invalidated = len(serving.engine.cache) + len(serving._decoded)
+        invalidated = (len(serving.engine.cache) + len(serving.engine.slice_cache)
+                       + len(serving._decoded))
         serving.refresh()
         return AppendReport(
             appended_rows=end_tid - start_tid,
@@ -153,32 +191,148 @@ class CubeMaintainer:
         plan = plan_algorithm(
             delta_relation, min_sup=1, closed=True, with_measures=bool(measures)
         )
+        if (
+            self.copy_on_publish
+            and self.executor is not None
+            and picklable_order(config.dimension_order)
+            and len(serving.cube) <= REMOTE_MERGE_MAX_CELLS
+        ):
+            prepared = self._remote_merge(
+                relation, start_tid, plan.algorithm, started
+            )
+            if prepared is not None:
+                return prepared
+        delta_cube, delta_algorithm = self._compute_delta(
+            relation, delta_relation, start_tid, plan.algorithm, measures
+        )
+        if self.copy_on_publish:
+            # Merge into a private clone; queries keep reading the published
+            # version until the atomic swap below.  Closedness makes the
+            # clone cheap: it is proportional to the closed cube.
+            new_cube = serving.cube.clone()
+            report = new_cube.merge(delta_cube, relation, measures=measures)
+            new_index = new_cube.closure_index()
+            invalidated = serving.engine.publish(
+                new_cube,
+                new_index,
+                changed=report.changed_cells(),
+                extra_caches=[serving._decoded],
+            )
+            serving.cube = new_cube
+        else:
+            report = serving.cube.merge(delta_cube, relation, measures=measures)
+            # The engine shares the cube's live closure index, so the index
+            # is already current; only derived caches need repair — both at
+            # once, sharing one probe index over the changed cells.
+            invalidated = invalidate_answers(
+                [serving.engine.cache, serving._decoded],
+                relation.num_dimensions,
+                report.changed_cells(),
+            )
+            serving.engine.version += 1
+        return AppendReport(
+            appended_rows=relation.num_tuples - start_tid,
+            mode="delta-merge",
+            algorithm=delta_algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            invalidated_answers=invalidated,
+            merge=report,
+        )
+
+    def _remote_merge(
+        self,
+        relation,
+        start_tid: int,
+        algorithm: str,
+        started: float,
+    ) -> Optional[AppendReport]:
+        """Prepare the whole merge in the executor, publish a clone here.
+
+        The worker computes the delta cube *and* runs closedness repair — the
+        two CPU-heavy phases — so the serving process only replays the
+        returned changed cells onto a clone and swaps it in (tens of
+        milliseconds that do not contend with query threads for long).
+        Returns ``None`` on executor infrastructure failure (broken pool,
+        pickling), sending the caller down the in-process paths; exactness
+        errors raised by the merge itself propagate so the usual
+        full-recompute fallback fires.
+        """
+        serving = self.serving
+        config = serving.config
+        task = MergeTask(
+            base_cells=[
+                (cell, stats.count, dict(stats.measures), stats.rep_tid)
+                for cell, stats in serving.cube.items()
+            ],
+            relation=relation,
+            start_tid=start_tid,
+            algorithm=algorithm,
+            measures=tuple(config.measures),
+            dimension_order=config.dimension_order,
+        )
+        try:
+            outcome = self.executor.submit(run_merge_task, task).result()
+        except (IncrementalError, MeasureError):
+            raise
+        except Exception:
+            return None
+        new_cube = serving.cube.clone()
+        for cell, count, cell_measures, rep_tid in outcome.changed:
+            new_cube.upsert(cell, count, cell_measures, rep_tid)
+        new_index = new_cube.closure_index()
+        invalidated = serving.engine.publish(
+            new_cube,
+            new_index,
+            changed=outcome.report.changed_cells(),
+            extra_caches=[serving._decoded],
+        )
+        serving.cube = new_cube
+        return AppendReport(
+            appended_rows=relation.num_tuples - start_tid,
+            mode="delta-merge",
+            algorithm=outcome.algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            invalidated_answers=invalidated,
+            merge=outcome.report,
+        )
+
+    def _compute_delta(
+        self,
+        relation,
+        delta_relation,
+        start_tid: int,
+        algorithm: str,
+        measures: MeasureSet,
+    ) -> Tuple[CubeResult, str]:
+        """The delta closed cube, offloaded to the executor when possible."""
+        config = self.serving.config
+        if self.executor is not None and picklable_order(config.dimension_order):
+            try:
+                cube = compute_delta_cube(
+                    self.executor,
+                    delta_relation,
+                    start_tid,
+                    algorithm,
+                    measures=tuple(config.measures),
+                    dimension_order=config.dimension_order,
+                )
+                return cube, algorithm
+            except (IncrementalError, MeasureError):
+                raise
+            except Exception:
+                # A broken pool or an unpicklable payload must not lose the
+                # append: the in-process path below is always available.
+                pass
         options = CubingOptions(
             min_sup=1,
             closed=True,
             measures=measures,
             dimension_order=config.dimension_order,
         )
-        delta_result = get_algorithm(plan.algorithm, options).run_delta(
+        delta_result = get_algorithm(algorithm, options).run_delta(
             relation, start_tid, delta_relation=delta_relation
         )
-        report = serving.cube.merge(delta_result.cube, relation, measures=measures)
-        # The engine shares the cube's live closure index, so the index is
-        # already current; only derived caches need repair — both at once,
-        # sharing one probe index over the changed cells.
-        invalidated = invalidate_answers(
-            [serving.engine.cache, serving._decoded],
-            relation.num_dimensions,
-            report.changed_cells(),
-        )
-        return AppendReport(
-            appended_rows=relation.num_tuples - start_tid,
-            mode="delta-merge",
-            algorithm=delta_result.algorithm,
-            elapsed_seconds=time.perf_counter() - started,
-            invalidated_answers=invalidated,
-            merge=report,
-        )
+        return delta_result.cube, delta_result.algorithm
 
     def _refresh_partitions(self, start_tid: int, started: float) -> AppendReport:
         from ..storage.partition import PartitionedCubeComputer
@@ -187,6 +341,11 @@ class CubeMaintainer:
         relation = serving.relation
         config = serving.config
         partition_dim = serving.engine.partition_dim
+        executor = (
+            self.executor
+            if self.executor is not None and picklable_order(config.dimension_order)
+            else None
+        )
         computer = PartitionedCubeComputer(
             algorithm=serving.algorithm,
             min_sup=config.min_sup,
@@ -194,16 +353,33 @@ class CubeMaintainer:
             dimension_order=config.dimension_order,
         )
         cube, part_report = computer.refresh(
-            relation, serving.cube, partition_dim, start_tid
+            relation, serving.cube, partition_dim, start_tid, executor=executor
         )
         changed_values = sorted(part_report.refreshed_partitions or ())
-        serving.cube = cube
-        serving.partition_report = part_report
-        # engine.refresh clears the encoded answer cache; count both caches
-        # so the report's "encoded + decoded" contract holds.
-        invalidated = len(serving.engine.cache) + len(serving._decoded)
-        serving.engine.refresh(cube, changed_values)
-        serving._decoded.clear()
+        # Count both caches up front so the report's "encoded + decoded"
+        # contract holds whichever publish path clears them.
+        invalidated = (len(serving.engine.cache) + len(serving.engine.slice_cache)
+                       + len(serving._decoded))
+        if self.copy_on_publish:
+            # A whole replacement engine (shards and indexes built here, off
+            # the hot path) published by reference swap; readers finish on
+            # the old engine or start on the new one, never in between.
+            new_engine = PartitionedQueryEngine(
+                cube,
+                partition_dim=partition_dim,
+                cache_size=config.cache_size,
+            )
+            new_engine.version = serving.engine.version + 1
+            serving.cube = cube
+            serving.partition_report = part_report
+            serving.engine = new_engine
+            serving._decoded.clear()
+        else:
+            serving.cube = cube
+            serving.partition_report = part_report
+            serving.engine.refresh(
+                cube, changed_values, extra_caches=[serving._decoded]
+            )
         return AppendReport(
             appended_rows=relation.num_tuples - start_tid,
             mode="partition-refresh",

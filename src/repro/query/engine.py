@@ -24,12 +24,26 @@ live closure index (kept current in place by incremental merges) and exposes
 :meth:`QueryEngine.invalidate` for the targeted answer-cache invalidation the
 maintenance path needs; :class:`PartitionedQueryEngine.refresh` swaps in only
 the shards a refresh touched.
+
+Both engines are safe under concurrent readers and a single publisher: every
+query runs under the shared side of an :class:`~repro.concurrency.RWLock`
+(:attr:`QueryEngine.lock`), and the maintenance entry points
+(:meth:`QueryEngine.publish`, :meth:`QueryEngine.invalidate`,
+:meth:`PartitionedQueryEngine.refresh`) take the exclusive side for a short
+critical section of reference swaps and cache repair.  The expensive work —
+cloning the cube, merging the delta, building the next index — happens
+*before* the exclusive section on a private copy (copy-on-publish), so the
+read hot path never waits on a merge; in-flight queries always see one
+consistent published cube version.  :attr:`QueryEngine.version` counts
+publishes, giving callers (and the interleaving tests) an exact version to
+attribute each answer to.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..concurrency import RWLock
 from ..core.cell import Cell, make_cell, sort_key
 from ..core.cube import CellStats, CubeResult
 from ..core.errors import QueryError
@@ -45,10 +59,16 @@ ExecuteResult = Union[QueryAnswer, List[QueryAnswer]]
 DEFAULT_CACHE_SIZE = 1024
 
 
+def _slice_key_cell(key: object) -> Cell:
+    """The probe cell of a slice-cache key: its fixed cell."""
+    return key[0]  # type: ignore[index]
+
+
 def invalidate_answers(
     caches: Union[LRUCache, Sequence[LRUCache]],
     num_dims: int,
     changed: Sequence[Cell],
+    key_cell: Optional[object] = None,
 ) -> int:
     """Drop exactly the cached answers a set of changed cells can affect.
 
@@ -60,8 +80,10 @@ def invalidate_answers(
     is proportional to the cache sizes times tiny intersections, not to the
     cube.  Accepts one cache or several keyed by target cell (the probe index
     is built once and shared — the maintenance path invalidates the engine's
-    encoded cache and the session's decoded cache in one go).  Returns the
-    total number of entries dropped.
+    encoded cache and the session's decoded cache in one go).  ``key_cell``
+    optionally maps a cache key to the cell the probe should test (the slice
+    cache keys on ``(fixed cell, group dims)``).  Returns the total number of
+    entries dropped.
     """
     if isinstance(caches, LRUCache):
         caches = [caches]
@@ -71,7 +93,8 @@ def invalidate_answers(
     dropped = 0
     for cache in caches:
         for key in cache.keys():
-            if probe.specialisation_slots(key):
+            cell = key if key_cell is None else key_cell(key)
+            if probe.specialisation_slots(cell):
                 dropped += cache.discard(key)
     return dropped
 
@@ -88,6 +111,25 @@ class QueryEngine:
         self.cube = cube
         self.index = index if index is not None else cube.closure_index()
         self.cache = LRUCache(cache_size)
+        #: Whole slice results keyed by ``(fixed cell, group dims)``.  A
+        #: slice enumeration is O(matching cells) even when every member
+        #: answer is cached, so dashboard-style repeated roll-ups earn their
+        #: own cache.  Invalidation is exact and keys on the *fixed* cell: a
+        #: changed cell can alter the slice (grow it, or change a member's
+        #: count) only by specialising some target of the slice — and every
+        #: target specialises the fixed cell, so by transitivity probing the
+        #: fixed cell suffices.
+        self.slice_cache: LRUCache[List[QueryAnswer]] = LRUCache(cache_size)
+        #: Readers (queries) share this lock; :meth:`publish` /
+        #: :meth:`invalidate` take it exclusively for their short critical
+        #: sections.  Queries resolve *and* cache their answer inside one
+        #: read-held region, so a publish can never interleave between a
+        #: stale resolution and its cache write.
+        self.lock = RWLock()
+        #: Number of publishes this engine has served (see :meth:`publish`).
+        self.version = 0
+        #: Best-effort query counters: bumped without extra locking, so a
+        #: heavily concurrent workload may undercount slightly.
         self.counters: Dict[str, int] = {
             "point_queries": 0,
             "slice_queries": 0,
@@ -110,14 +152,22 @@ class QueryEngine:
         iceberg threshold — information the closed iceberg cube deliberately
         does not carry.
         """
+        target = PointQuery(tuple(cell)).target_cell(self.num_dims)
+        with self.lock.read():
+            return self._point_nolock(target)
+
+    def _point_nolock(self, target: Cell) -> QueryAnswer:
+        """Point resolution body; caller must hold the read lock."""
         self.counters["point_queries"] += 1
-        return self._answer_cell(PointQuery(tuple(cell)).target_cell(self.num_dims))
+        return self._answer_cell(target)
 
     def rollup(self, cell: Sequence[Optional[int]], dims: Sequence[int]) -> QueryAnswer:
         """Collapse ``dims`` of ``cell`` to ``*`` and answer the result."""
-        self.counters["rollup_queries"] += 1
         query = RollupQuery(tuple(cell), tuple(dims))
-        return self._answer_cell(query.target_cell(self.num_dims))
+        target = query.target_cell(self.num_dims)
+        with self.lock.read():
+            self.counters["rollup_queries"] += 1
+            return self._answer_cell(target)
 
     def _answer_cell(self, target: Cell) -> QueryAnswer:
         cached = self.cache.get(target)
@@ -155,10 +205,23 @@ class QueryEngine:
         iceberg condition simply do not appear, exactly as they would not
         appear in the materialised iceberg cube.
         """
-        self.counters["slice_queries"] += 1
         query = SliceQuery.of(fixed, group_by)
+        with self.lock.read():
+            return self._slice_nolock(query)
+
+    def _slice_nolock(self, query: SliceQuery) -> List[QueryAnswer]:
+        """Slice body (enumeration + answers); caller must hold the read lock."""
+        self.counters["slice_queries"] += 1
+        key = (query.validate(self.num_dims), tuple(query.group_by))
+        cached = self.slice_cache.get(key)
+        if cached is not None:
+            return cached
         targets = self._slice_targets(query)
-        return [self._answer_cell(target) for target in sorted(targets, key=sort_key)]
+        answers = [
+            self._answer_cell(target) for target in sorted(targets, key=sort_key)
+        ]
+        self.slice_cache.put(key, answers)
+        return answers
 
     def _slice_targets(self, query: SliceQuery) -> Set[Cell]:
         """The distinct cells of the slice's cuboid present in the iceberg cube.
@@ -193,13 +256,75 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
 
     def invalidate(self, changed: Sequence[Cell]) -> int:
-        """Targeted cache invalidation after an incremental merge.
+        """Targeted cache invalidation after an in-place incremental merge.
 
         The engine's index is the cube's live closure index, so it is already
         current when this is called; only cached answers derived from cells
         that changed need to go.  Returns the number of answers dropped.
         """
-        return invalidate_answers(self.cache, self.num_dims, changed)
+        with self.lock.write():
+            dropped = invalidate_answers(self.cache, self.num_dims, changed)
+            dropped += invalidate_answers(
+                self.slice_cache, self.num_dims, changed, key_cell=_slice_key_cell
+            )
+            return dropped
+
+    def clear_caches(self) -> None:
+        """Drop every cached answer and slice; counters survive."""
+        self.cache.clear()
+        self.slice_cache.clear()
+
+    def publish(
+        self,
+        cube: CubeResult,
+        index: Optional[CubeIndex] = None,
+        changed: Optional[Sequence[Cell]] = None,
+        extra_caches: Sequence[LRUCache] = (),
+    ) -> int:
+        """Swap in the next cube version atomically (copy-on-publish).
+
+        The concurrent maintenance path prepares ``cube`` (a merged clone of
+        the serving cube) and ``index`` *off* the hot path, then calls this to
+        make them visible: under the write lock the engine's cube and index
+        references are swapped, cached answers the ``changed`` cells can
+        affect are discarded (all of them when ``changed`` is ``None``) from
+        the engine's cache and any ``extra_caches`` (e.g. the named layer's
+        decoded-answer cache), and :attr:`version` is incremented.  Readers
+        either complete entirely before the swap (seeing the previous
+        version) or start after it (seeing the new one) — never a mixture.
+
+        When ``index`` is omitted it is taken from ``cube.closure_index()``;
+        note that *building* that index then happens inside the exclusive
+        section, so callers on the concurrent path should pass a pre-built
+        index.  Returns the number of cached answers dropped.
+        """
+        if index is None:
+            index = cube.closure_index()
+        caches: List[LRUCache] = [self.cache, *extra_caches]
+        with self.lock.write():
+            self.cube = cube
+            self.index = index
+            if changed is None:
+                dropped = sum(len(cache) for cache in caches)
+                dropped += len(self.slice_cache)
+                for cache in caches:
+                    cache.clear()
+                self.slice_cache.clear()
+            else:
+                dropped = invalidate_answers(caches, self.num_dims, changed)
+                dropped += invalidate_answers(
+                    self.slice_cache,
+                    self.num_dims,
+                    changed,
+                    key_cell=_slice_key_cell,
+                )
+                for cache in caches:
+                    # Even a zero-drop publish must fence out readers holding
+                    # answers resolved against the superseded version (see
+                    # LRUCache.put_if_generation).
+                    cache.bump_generation()
+            self.version += 1
+            return dropped
 
     # ------------------------------------------------------------------ #
     # Generic execution                                                   #
@@ -229,6 +354,8 @@ class QueryEngine:
             "cells_indexed": len(self.index),
             "postings_entries": self.index.postings_size(),
             "cache": self.cache.stats(),
+            "slice_cache": self.slice_cache.stats(),
+            "version": self.version,
             **self.counters,
         }
 
@@ -263,6 +390,14 @@ class PartitionedQueryEngine:
         self.cube = cube
         self.partition_dim = partition_dim
         self.cache = LRUCache(cache_size)
+        #: Whole slice results, as on :class:`QueryEngine` (cleared wholesale
+        #: on refresh, like the answer cache).
+        self.slice_cache: LRUCache[List[QueryAnswer]] = LRUCache(cache_size)
+        #: Same reader/publisher discipline as :class:`QueryEngine`: queries
+        #: share, :meth:`refresh` is exclusive for its swap section.
+        self.lock = RWLock()
+        #: Number of refreshes published through this engine.
+        self.version = 0
         #: ``None`` keys the shard of cells with ``*`` on the partition dim.
         self.shards: Dict[Optional[int], QueryEngine] = {}
         for value, shard_cube in self._group(cube).items():
@@ -291,7 +426,10 @@ class PartitionedQueryEngine:
         return grouped
 
     def refresh(
-        self, cube: CubeResult, changed_values: Iterable[Optional[int]]
+        self,
+        cube: CubeResult,
+        changed_values: Iterable[Optional[int]],
+        extra_caches: Sequence[LRUCache] = (),
     ) -> List[Optional[int]]:
         """Swap in a refreshed cube, rebuilding only the shards it changed.
 
@@ -301,23 +439,47 @@ class PartitionedQueryEngine:
         recomputed); the ``*`` shard is always rebuilt because cells with
         ``*`` on the partitioning dimension aggregate across partitions.
         Untouched shards keep their engines — and their warm indexes.  The
-        answer cache is cleared (any cached answer may have routed through a
-        rebuilt shard).  Returns the shard keys that were rebuilt.
+        answer cache (and any ``extra_caches`` derived from it, e.g. the
+        named layer's decoded answers) is cleared: any cached answer may
+        have routed through a rebuilt shard.  Returns the shard keys that
+        were rebuilt.
+
+        The replacement shards are grouped and indexed *before* the write
+        lock is taken, so in-flight queries only wait for the reference swaps
+        (copy-on-publish, same discipline as :meth:`QueryEngine.publish`).
         """
         affected: Set[Optional[int]] = set(changed_values)
         affected.add(None)
-        self.cube = cube
         grouped = self._group(cube, only=affected)
+        replacements: Dict[Optional[int], Optional[QueryEngine]] = {}
         rebuilt: List[Optional[int]] = []
         for value in affected:
             shard_cube = grouped.get(value)
             if shard_cube is None:
-                self.shards.pop(value, None)
+                replacements[value] = None
             else:
-                self.shards[value] = QueryEngine(shard_cube, cache_size=0)
+                # QueryEngine builds its index eagerly, so the expensive part
+                # of each replacement shard happens here, outside the lock.
+                replacements[value] = QueryEngine(shard_cube, cache_size=0)
                 rebuilt.append(value)
-        self.cache.clear()
+        with self.lock.write():
+            self.cube = cube
+            for value, engine in replacements.items():
+                if engine is None:
+                    self.shards.pop(value, None)
+                else:
+                    self.shards[value] = engine
+            self.cache.clear()
+            self.slice_cache.clear()
+            for cache in extra_caches:
+                cache.clear()
+            self.version += 1
         return rebuilt
+
+    def clear_caches(self) -> None:
+        """Drop every cached answer and slice; counters survive."""
+        self.cache.clear()
+        self.slice_cache.clear()
 
     @property
     def num_dims(self) -> int:
@@ -331,6 +493,11 @@ class PartitionedQueryEngine:
 
     def point(self, cell: Sequence[Optional[int]]) -> QueryAnswer:
         target = PointQuery(tuple(cell)).target_cell(self.num_dims)
+        with self.lock.read():
+            return self._point_nolock(target)
+
+    def _point_nolock(self, target: Cell) -> QueryAnswer:
+        """Routed point resolution body; caller must hold the read lock."""
         cached = self.cache.get(target)
         if cached is not None:
             return cached
@@ -354,7 +521,9 @@ class PartitionedQueryEngine:
 
     def rollup(self, cell: Sequence[Optional[int]], dims: Sequence[int]) -> QueryAnswer:
         query = RollupQuery(tuple(cell), tuple(dims))
-        return self.point(query.target_cell(self.num_dims))
+        target = query.target_cell(self.num_dims)
+        with self.lock.read():
+            return self._point_nolock(target)
 
     def slice(
         self, fixed: Dict[int, int], group_by: Sequence[int] = ()
@@ -362,17 +531,33 @@ class PartitionedQueryEngine:
         """Slice across shards; routing rules match :meth:`point`."""
         query = SliceQuery.of(fixed, group_by)
         query.validate(self.num_dims)
+        with self.lock.read():
+            return self._slice_nolock(query)
+
+    def _slice_nolock(self, query: SliceQuery) -> List[QueryAnswer]:
+        """Slice body (routing + answers); caller must hold the read lock."""
+        key = (query.validate(self.num_dims), tuple(query.group_by))
+        cached = self.slice_cache.get(key)
+        if cached is not None:
+            return cached
+        answers = self._route_slice(query)
+        self.slice_cache.put(key, answers)
+        return answers
+
+    def _route_slice(self, query: SliceQuery) -> List[QueryAnswer]:
         pinned = query.fixed_mapping().get(self.partition_dim)
         if pinned is not None:
             shards: Iterable[QueryEngine] = (
                 [self.shards[pinned]] if pinned in self.shards else []
             )
         else:
-            shards = self.shards.values()
+            shards = list(self.shards.values())
         targets: Set[Cell] = set()
         for shard in shards:
             targets |= shard._slice_targets(query)
-        return [self.point(target) for target in sorted(targets, key=sort_key)]
+        return [
+            self._point_nolock(target) for target in sorted(targets, key=sort_key)
+        ]
 
     # ------------------------------------------------------------------ #
 
@@ -380,7 +565,7 @@ class PartitionedQueryEngine:
         if isinstance(query, PointQuery):
             return self.point(query.cell)
         if isinstance(query, RollupQuery):
-            return self.point(query.target_cell(self.num_dims))
+            return self.rollup(query.cell, query.dims)
         if isinstance(query, SliceQuery):
             return self.slice(query.fixed_mapping(), query.group_by)
         raise QueryError(f"unsupported query object: {query!r}")
@@ -404,6 +589,8 @@ class PartitionedQueryEngine:
                 )
             },
             "cache": self.cache.stats(),
+            "slice_cache": self.slice_cache.stats(),
+            "version": self.version,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

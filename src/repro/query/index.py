@@ -27,6 +27,7 @@ instead of rebuilding from scratch.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..core.cell import Cell
@@ -42,6 +43,16 @@ class CubeIndex:
     statistics.  Removed cells leave tombstoned slots (cheap, and removals are
     rare: append-only maintenance never removes); tombstones are excluded from
     every lookup path.
+
+    Mutations (:meth:`add_cells` / :meth:`remove_cells` / :meth:`touch_cell`)
+    run under an internal mutex and bump :attr:`generation`, so two
+    maintenance callers can never interleave half-applied posting updates and
+    observers can detect that the index moved under them.  Lookups stay
+    lock-free: the concurrent serving layer (:mod:`repro.server`) only ever
+    queries *published* indexes, which are immutable by construction
+    (copy-on-publish — see :meth:`repro.query.engine.QueryEngine.publish`);
+    the in-place mutation hooks exist for the single-writer synchronous
+    maintenance path.
     """
 
     def __init__(self, num_dims: int, items: Iterable[Tuple[Cell, CellStats]]) -> None:
@@ -56,6 +67,10 @@ class CubeIndex:
         self._dead: Set[int] = set()
         #: Slot of the maximum-count cell: the closure of the apex query.
         self._best_slot: Optional[int] = None
+        #: Serialises the mutation hooks against each other.
+        self._mutate_lock = threading.Lock()
+        #: Bumped once per mutation call that changed the index.
+        self.generation = 0
         self.add_cells(items)
 
     @classmethod
@@ -74,68 +89,82 @@ class CubeIndex:
         a cell's :class:`CellStats` in place (the incremental-merge update
         path) must call :meth:`touch_cell` so the apex closure stays correct.
         """
-        for cell, stats in items:
-            if len(cell) != self.num_dims:
-                raise QueryError(
-                    f"cell {cell!r} has {len(cell)} entries, expected {self.num_dims}"
-                )
-            if cell in self._slot_of:
-                raise QueryError(f"cell {cell!r} is already indexed")
-            slot = len(self._cells)
-            self._cells.append(cell)
-            self._stats.append(stats)
-            self._slot_of[cell] = slot
-            for dim, value in enumerate(cell):
-                if value is not None:
-                    self._postings[dim].setdefault(value, set()).add(slot)
-            if (
-                self._best_slot is None
-                or stats.count > self._stats[self._best_slot].count
-            ):
-                self._best_slot = slot
+        with self._mutate_lock:
+            added = False
+            for cell, stats in items:
+                if len(cell) != self.num_dims:
+                    raise QueryError(
+                        f"cell {cell!r} has {len(cell)} entries, "
+                        f"expected {self.num_dims}"
+                    )
+                if cell in self._slot_of:
+                    raise QueryError(f"cell {cell!r} is already indexed")
+                slot = len(self._cells)
+                self._cells.append(cell)
+                self._stats.append(stats)
+                self._slot_of[cell] = slot
+                for dim, value in enumerate(cell):
+                    if value is not None:
+                        self._postings[dim].setdefault(value, set()).add(slot)
+                if (
+                    self._best_slot is None
+                    or stats.count > self._stats[self._best_slot].count
+                ):
+                    self._best_slot = slot
+                added = True
+            if added:
+                self.generation += 1
 
     def remove_cells(self, cells: Iterable[Cell]) -> None:
         """Drop cells from every posting list, tombstoning their slots."""
-        rescore = False
-        for cell in cells:
-            slot = self._slot_of.pop(cell, None)
-            if slot is None:
-                raise QueryError(f"cell {cell!r} is not indexed")
-            self._dead.add(slot)
-            for dim, value in enumerate(cell):
-                if value is not None:
-                    slots = self._postings[dim].get(value)
-                    if slots is not None:
-                        slots.discard(slot)
-                        if not slots:
-                            del self._postings[dim][value]
-            if slot == self._best_slot:
-                rescore = True
-        if rescore:
-            self._best_slot = max(
-                self._slot_of.values(),
-                key=lambda live: self._stats[live].count,
-                default=None,
-            )
+        with self._mutate_lock:
+            rescore = False
+            removed = False
+            for cell in cells:
+                slot = self._slot_of.pop(cell, None)
+                if slot is None:
+                    raise QueryError(f"cell {cell!r} is not indexed")
+                self._dead.add(slot)
+                removed = True
+                for dim, value in enumerate(cell):
+                    if value is not None:
+                        slots = self._postings[dim].get(value)
+                        if slots is not None:
+                            slots.discard(slot)
+                            if not slots:
+                                del self._postings[dim][value]
+                if slot == self._best_slot:
+                    rescore = True
+            if rescore:
+                self._best_slot = max(
+                    self._slot_of.values(),
+                    key=lambda live: self._stats[live].count,
+                    default=None,
+                )
+            if removed:
+                self.generation += 1
 
     def touch_cell(self, cell: Cell) -> None:
         """Re-evaluate the apex closure after a cell's count changed in place."""
-        slot = self._slot_of.get(cell)
-        if slot is None:
-            raise QueryError(f"cell {cell!r} is not indexed")
-        if (
-            self._best_slot is None
-            or self._stats[slot].count > self._stats[self._best_slot].count
-        ):
-            self._best_slot = slot
-        elif slot == self._best_slot:
-            # The best cell's own count changed (it can only have grown under
-            # append-only maintenance, but re-scan to stay correct in general).
-            self._best_slot = max(
-                self._slot_of.values(),
-                key=lambda live: self._stats[live].count,
-                default=None,
-            )
+        with self._mutate_lock:
+            slot = self._slot_of.get(cell)
+            if slot is None:
+                raise QueryError(f"cell {cell!r} is not indexed")
+            if (
+                self._best_slot is None
+                or self._stats[slot].count > self._stats[self._best_slot].count
+            ):
+                self._best_slot = slot
+            elif slot == self._best_slot:
+                # The best cell's own count changed (it can only have grown
+                # under append-only maintenance, but re-scan to stay correct
+                # in general).
+                self._best_slot = max(
+                    self._slot_of.values(),
+                    key=lambda live: self._stats[live].count,
+                    default=None,
+                )
+            self.generation += 1
 
     # ------------------------------------------------------------------ #
     # Slot translation                                                    #

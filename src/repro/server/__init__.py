@@ -1,0 +1,13 @@
+"""Concurrent serving: the asyncio front end over a cube catalog.
+
+* :class:`AsyncCubeServer` (:mod:`repro.server.server`) — batched queries,
+  back-pressure, copy-on-publish appends that never block the read hot path;
+* :mod:`repro.server.tcp` — the line-JSON TCP protocol
+  (``python -m repro.server CATALOG_DIR`` serves it; see
+  :mod:`repro.server.__main__`).
+"""
+
+from .server import AsyncCubeServer
+from .tcp import serve_tcp
+
+__all__ = ["AsyncCubeServer", "serve_tcp"]

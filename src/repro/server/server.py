@@ -1,0 +1,425 @@
+"""The asyncio serving layer: concurrent queries and appends over a catalog.
+
+:class:`AsyncCubeServer` fronts a :class:`~repro.catalog.CubeCatalog` with
+one event loop and three execution domains, chosen so the read hot path
+never waits on maintenance:
+
+* **queries** flow through one bounded :class:`asyncio.Queue` per cube
+  (back-pressure: a full queue makes ``await query(...)`` wait its turn
+  instead of letting an unbounded backlog eat the process).  A per-cube
+  dispatcher coalesces whatever is queued — up to ``max_batch`` specs — into
+  a single :meth:`~repro.session.serving.ServingCube.query_many` call on the
+  query thread pool, so a bursty client costs one executor hop per batch,
+  not per query;
+* **appends** serialise per cube (an :class:`asyncio.Lock` each) and run on
+  the maintenance thread pool in copy-on-publish mode: the merge happens on
+  a private clone and lands with one atomic publish, so queries interleave
+  with the append and only ever see a fully published cube version;
+* **cubing compute** (the delta cube, partition recomputes) optionally runs
+  in a process pool (``refresh_processes``), taking an append's CPU burn out
+  of the GIL the query threads share.
+
+Appends to one cube apply in submission order; appends to different cubes
+overlap.  Queries against cube A proceed while cube B (or A!) is mid-append
+— zero torn reads is the contract the interleaving tests enforce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence
+
+from ..catalog import CubeCatalog
+from ..core.errors import ServerError
+from ..incremental.maintainer import AppendReport
+from ..incremental.parallel import create_refresh_pool
+from ..session.serving import BatchResult, NamedAnswer, QuerySpec
+
+#: Queue sentinel that tells a dispatcher to shut down.
+_SHUTDOWN = object()
+
+
+@dataclass
+class _QueryItem:
+    """One queued unit of query work: a batch of specs and its future."""
+
+    specs: List[QuerySpec]
+    future: "asyncio.Future[List[BatchResult]]"
+
+
+@dataclass
+class _Channel:
+    """Per-cube serving state: the queue, its dispatcher, the append lock."""
+
+    queue: "asyncio.Queue[object]"
+    dispatcher: "asyncio.Task[None]"
+    append_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class AsyncCubeServer:
+    """Serve many cubes concurrently: batched queries, non-blocking appends.
+
+    Use as an async context manager (or call :meth:`start` / :meth:`stop`)::
+
+        catalog = CubeCatalog(directory)
+        async with AsyncCubeServer(catalog, refresh_processes=2) as server:
+            answer = await server.query("sales", {"store": "nyc"})
+            await server.append("sales", new_rows)   # queries keep flowing
+
+    Parameters
+    ----------
+    catalog:
+        The cube registry to serve.  Cubes are loaded lazily on first touch.
+    max_pending:
+        Bound of each per-cube query queue — the back-pressure knob.
+    max_batch:
+        Most query specs coalesced into one ``query_many`` executor call.
+    query_workers:
+        Threads answering queries.  Queries are index lookups (microseconds);
+        a handful of threads saturates them.
+    maintenance_workers:
+        Threads driving appends and catalog I/O.  One append occupies a
+        worker for its whole merge, so this bounds *concurrent* appends
+        (appends to one cube serialise regardless).
+    refresh_processes:
+        When set, a ``spawn`` process pool of this size computes delta cubes
+        and partition recomputes, freeing the GIL for query threads.
+    refresh_executor:
+        Alternatively, bring your own executor for the cubing compute (the
+        tests inject a thread pool); mutually exclusive with
+        ``refresh_processes``.
+    """
+
+    def __init__(
+        self,
+        catalog: CubeCatalog,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+        query_workers: int = 4,
+        maintenance_workers: int = 2,
+        refresh_processes: Optional[int] = None,
+        refresh_executor: Optional[Executor] = None,
+    ) -> None:
+        if refresh_processes is not None and refresh_executor is not None:
+            raise ServerError(
+                "pass refresh_processes (server-owned pool) or "
+                "refresh_executor (caller-owned), not both"
+            )
+        self.catalog = catalog
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self._query_workers = query_workers
+        self._maintenance_workers = maintenance_workers
+        self._refresh_processes = refresh_processes
+        self._refresh_executor = refresh_executor
+        self._owns_refresh_pool = False
+        self._query_pool: Optional[ThreadPoolExecutor] = None
+        self._maintenance_pool: Optional[ThreadPoolExecutor] = None
+        self._channels: Dict[str, _Channel] = {}
+        self._started = False
+        self._closing = False
+        self._counters: Dict[str, int] = {
+            "queries": 0,
+            "batches": 0,
+            "appends": 0,
+            "appended_rows": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "AsyncCubeServer":
+        """Create the execution pools; idempotent."""
+        if self._started:
+            return self
+        self._query_pool = ThreadPoolExecutor(
+            max_workers=self._query_workers, thread_name_prefix="repro-query"
+        )
+        self._maintenance_pool = ThreadPoolExecutor(
+            max_workers=self._maintenance_workers,
+            thread_name_prefix="repro-maint",
+        )
+        if self._refresh_processes is not None:
+            self._refresh_executor = create_refresh_pool(self._refresh_processes)
+            self._owns_refresh_pool = True
+        self._started = True
+        self._closing = False
+        return self
+
+    async def stop(self) -> None:
+        """Drain dispatchers, fail queued work, and shut the pools down."""
+        if not self._started:
+            return
+        self._closing = True
+        for channel in list(self._channels.values()):
+            await channel.queue.put(_SHUTDOWN)
+        for channel in list(self._channels.values()):
+            await channel.dispatcher
+        self._channels.clear()
+        if self._query_pool is not None:
+            self._query_pool.shutdown(wait=True)
+            self._query_pool = None
+        if self._maintenance_pool is not None:
+            self._maintenance_pool.shutdown(wait=True)
+            self._maintenance_pool = None
+        if self._owns_refresh_pool and self._refresh_executor is not None:
+            self._refresh_executor.shutdown(wait=True)
+            self._refresh_executor = None
+            self._owns_refresh_pool = False
+        self._started = False
+
+    async def __aenter__(self) -> "AsyncCubeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    def _require_running(self) -> None:
+        if not self._started or self._closing:
+            raise ServerError("the server is not running (start() it first)")
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    async def query(self, cube: str, spec: QuerySpec) -> NamedAnswer:
+        """Answer one point spec (``{dimension: value}``) on ``cube``.
+
+        Enqueued behind the cube's earlier queries; a full queue makes this
+        await (back-pressure).  The answer reflects some published cube
+        version current while the query was in flight — never a torn state.
+        """
+        results = await self.execute_many(cube, [spec])
+        answer = results[0]
+        if not isinstance(answer, NamedAnswer):  # pragma: no cover - guarded by spec
+            raise ServerError("point spec produced a non-point result")
+        return answer
+
+    async def execute(self, cube: str, spec: QuerySpec) -> BatchResult:
+        """Answer one op-spec (``{"op": "slice"/"rollup"/"point", ...}``)."""
+        results = await self.execute_many(cube, [spec])
+        return results[0]
+
+    async def execute_many(
+        self, cube: str, specs: Sequence[QuerySpec]
+    ) -> List[BatchResult]:
+        """Answer a batch of specs in order — the server's native unit.
+
+        The whole batch enters the cube's queue as one item and is answered
+        by (at most a few) ``query_many`` calls, so callers that naturally
+        batch pay one round trip.
+        """
+        self._require_running()
+        if not specs:
+            return []
+        loop = asyncio.get_running_loop()
+        item = _QueryItem(specs=list(specs), future=loop.create_future())
+        channel = self._channel(cube)
+        await channel.queue.put(item)
+        return await item.future
+
+    def _channel(self, cube: str) -> _Channel:
+        channel = self._channels.get(cube)
+        if channel is None:
+            queue: "asyncio.Queue[object]" = asyncio.Queue(maxsize=self.max_pending)
+            dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch(cube, queue)
+            )
+            channel = _Channel(queue=queue, dispatcher=dispatcher)
+            self._channels[cube] = channel
+        return channel
+
+    async def _dispatch(self, cube: str, queue: "asyncio.Queue[object]") -> None:
+        """Per-cube dispatcher: coalesce queued items, answer them batched."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await queue.get()
+            if first is _SHUTDOWN:
+                self._fail_pending(queue)
+                return
+            batch: List[_QueryItem] = [first]  # type: ignore[list-item]
+            total = len(batch[0].specs)
+            while total < self.max_batch:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _SHUTDOWN:
+                    # Serve what we already took, then shut down.
+                    await queue.put(_SHUTDOWN)
+                    break
+                batch.append(item)  # type: ignore[arg-type]
+                total += len(item.specs)  # type: ignore[union-attr]
+            await self._answer_batch(loop, cube, batch)
+
+    async def _answer_batch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        cube: str,
+        batch: List[_QueryItem],
+    ) -> None:
+        specs: List[QuerySpec] = []
+        for item in batch:
+            specs.extend(item.specs)
+        try:
+            results = await loop.run_in_executor(
+                self._query_pool, partial(self._run_batch, cube, specs)
+            )
+        except Exception:
+            # One bad spec must not fail its queue-mates: isolate per item.
+            await self._answer_items_individually(loop, cube, batch)
+            return
+        self._counters["queries"] += len(specs)
+        self._counters["batches"] += 1
+        cursor = 0
+        for item in batch:
+            share = results[cursor : cursor + len(item.specs)]
+            cursor += len(item.specs)
+            if not item.future.cancelled():
+                item.future.set_result(share)
+
+    async def _answer_items_individually(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        cube: str,
+        batch: List[_QueryItem],
+    ) -> None:
+        for item in batch:
+            try:
+                results = await loop.run_in_executor(
+                    self._query_pool, partial(self._run_batch, cube, item.specs)
+                )
+            except Exception as exc:
+                self._counters["errors"] += 1
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            else:
+                self._counters["queries"] += len(item.specs)
+                self._counters["batches"] += 1
+                if not item.future.cancelled():
+                    item.future.set_result(results)
+
+    def _run_batch(self, cube: str, specs: List[QuerySpec]) -> List[BatchResult]:
+        """Executed on a query worker thread: resolve the cube, answer all."""
+        return self.catalog.open(cube).query_many(specs)
+
+    def _fail_pending(self, queue: "asyncio.Queue[object]") -> None:
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is not _SHUTDOWN and not item.future.cancelled():  # type: ignore[union-attr]
+                item.future.set_exception(  # type: ignore[union-attr]
+                    ServerError("the server stopped before answering")
+                )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    async def append(self, cube: str, rows: Sequence[object]) -> AppendReport:
+        """Append rows to ``cube`` without stalling anyone's queries.
+
+        Per-cube appends serialise (submission order); the merge runs
+        copy-on-publish on the maintenance pool — and its cubing compute in
+        the refresh process pool when one is configured — so concurrent
+        queries, including queries on this very cube, keep answering against
+        the published version until the atomic swap.
+        """
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        channel = self._channel(cube)
+        async with channel.append_lock:
+            report = await loop.run_in_executor(
+                self._maintenance_pool,
+                partial(
+                    self.catalog.append,
+                    cube,
+                    rows,
+                    copy_on_publish=True,
+                    executor=self._refresh_executor,
+                ),
+            )
+        self._counters["appends"] += 1
+        self._counters["appended_rows"] += report.appended_rows
+        return report
+
+    async def create(
+        self,
+        name: str,
+        rows: Sequence[object],
+        schema: Optional[object] = None,
+    ) -> Dict[str, object]:
+        """Build and register a new cube from raw rows; returns its metadata."""
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._maintenance_pool,
+            partial(self.catalog.create, name, rows, schema=schema),
+        )
+        return self.catalog.describe(name)
+
+    async def drop(self, name: str) -> None:
+        """Unregister a cube and delete its files; its queue drains first."""
+        self._require_running()
+        channel = self._channels.pop(name, None)
+        if channel is not None:
+            await channel.queue.put(_SHUTDOWN)
+            await channel.dispatcher
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._maintenance_pool, partial(self.catalog.drop, name)
+        )
+
+    async def save(self, name: Optional[str] = None) -> None:
+        """Snapshot one cube (or all loaded cubes) through the catalog."""
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._maintenance_pool, partial(self.catalog.save, name)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def list_cubes(self) -> List[str]:
+        return self.catalog.list()
+
+    def stats(self) -> Dict[str, object]:
+        """Server-level counters plus per-cube queue depth and version.
+
+        Runs on the event loop, so it must never touch disk: versions are
+        reported only for cubes already in memory
+        (:meth:`CubeCatalog.get_loaded`), never by triggering a snapshot
+        load.
+        """
+        cubes: Dict[str, Dict[str, object]] = {}
+        for name, channel in self._channels.items():
+            entry: Dict[str, object] = {
+                "pending": channel.queue.qsize(),
+                "appending": channel.append_lock.locked(),
+            }
+            loaded = self.catalog.get_loaded(name)
+            if loaded is not None:
+                entry["version"] = loaded.version
+            cubes[name] = entry
+        return {
+            "running": self._started and not self._closing,
+            "max_pending": self.max_pending,
+            "max_batch": self.max_batch,
+            "counters": dict(self._counters),
+            "cubes": cubes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncCubeServer(cubes={self.list_cubes()!r}, "
+            f"running={self._started})"
+        )

@@ -43,13 +43,14 @@ from ..core.measures import (
 )
 from .planner import Plan, RelationStats, plan_algorithm
 from .schema import CubeSchema
-from .serving import Explanation, NamedAnswer, ServingConfig, ServingCube
+from .serving import CubeView, Explanation, NamedAnswer, ServingConfig, ServingCube
 from .session import CubeSession
 
 __all__ = [
     "CubeSession",
     "ServingCube",
     "ServingConfig",
+    "CubeView",
     "NamedAnswer",
     "Explanation",
     "CubeSchema",

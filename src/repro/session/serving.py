@@ -23,11 +23,25 @@ the closed iceberg cube treats below-threshold cells.
 Decoded answers are memoised per target cell in an LRU cache sized like the
 engine's answer cache, so hot named traffic costs one dictionary encode plus
 two cache hits — the overhead benchmarks/bench_api_overhead.py keeps honest.
+
+Concurrency: queries may run from any number of threads at once.  Each query
+resolves against one *published* cube version (the engine's read/write lock
+plus the decoded cache's generation counter guarantee no torn or stale
+state), and maintenance is serialised by an internal lock.  ``append(...,
+copy_on_publish=True)`` — what :meth:`ServingCube.append_async` and the
+concurrent server (:mod:`repro.server`) use — merges into a private clone and
+publishes by reference swap, so the read hot path never waits on a merge;
+the default in-place append remains the fastest option for single-threaded
+use.  :meth:`ServingCube.read_snapshot` pins one published version for
+repeated reads; :attr:`ServingCube.version` counts publishes.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -282,7 +296,16 @@ class ServingCube:
         #: Decoded answers keyed by encoded target cell.  Invalidated by the
         #: maintenance paths exactly like the engine's answer cache — the hot
         #: named path can return from here without re-entering the engine.
+        #: Writes go through ``put_if_generation`` so an answer resolved
+        #: against a superseded cube version is never cached after a publish.
         self._decoded: LRUCache[NamedAnswer] = LRUCache(engine.cache.capacity)
+        #: Serialises maintenance (append / refresh / save) against itself;
+        #: queries never take it.  Reentrant because append's fallback path
+        #: calls :meth:`refresh`.
+        self._maintenance_lock = threading.RLock()
+        #: Lazily created single worker thread behind :meth:`append_async`
+        #: (one per cube, so async appends to one cube stay ordered).
+        self._append_pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
     # Name / value translation                                            #
@@ -322,10 +345,31 @@ class ServingCube:
             if code is not None
         )
 
-    def _decode_answer(self, answer: QueryAnswer) -> NamedAnswer:
-        cached = self._decoded.get(answer.cell)
-        if cached is not None:
-            return cached
+    def _decode_answer(
+        self,
+        answer: QueryAnswer,
+        generation: Optional[int] = None,
+        reuse_cached: bool = True,
+    ) -> NamedAnswer:
+        """Decode one engine answer, memoising through the decoded cache.
+
+        ``generation`` is the decoded cache's generation *captured before the
+        engine resolved the answer*; the write-back is dropped when a publish
+        invalidated the cache in between (the answer belongs to a superseded
+        cube version).  ``None`` means "current" — only safe when no publish
+        can be concurrent (the single-threaded fast path never passes it).
+
+        ``reuse_cached=False`` skips the cache *read*: a slice resolves all
+        its answers atomically at one version, and substituting a cached
+        decode from a newer publish would tear the result set.  (A point
+        query is a single answer, so any published version's decode is a
+        consistent reply there.)
+        """
+        decoded = self._decoded
+        if reuse_cached:
+            cached = decoded.get(answer.cell)
+            if cached is not None:
+                return cached
         named = NamedAnswer(
             coordinates=self._decode_cell(answer.cell),
             count=answer.count,
@@ -336,7 +380,11 @@ class ServingCube:
                 else None
             ),
         )
-        self._decoded.put(answer.cell, named)
+        decoded.put_if_generation(
+            answer.cell,
+            named,
+            decoded.generation if generation is None else generation,
+        )
         return named
 
     def _spec_coordinates(self, spec: Mapping[str, object]) -> Coordinates:
@@ -360,10 +408,14 @@ class ServingCube:
         target, unseen = self._target_cell(spec)
         if unseen:
             return self._unseen_answer(spec)
+        # Capture the decoded cache's generation before resolving: if a
+        # publish lands in between, the write-back below is dropped instead
+        # of caching an answer from the superseded cube version.
+        generation = self._decoded.generation
         cached = self._decoded.get(target)
         if cached is not None:
             return cached
-        return self._decode_answer(self.engine.point(target))
+        return self._decode_answer(self.engine.point(target), generation)
 
     def slice(
         self,
@@ -380,8 +432,15 @@ class ServingCube:
                 return []  # a never-seen value matches no cell
             fixed_encoded[dim] = code
         group_dims = [self._dim_index(name) for name in group_by]
+        generation = self._decoded.generation
         answers = self.engine.slice(fixed_encoded, group_dims)
-        return [self._decode_answer(answer) for answer in answers]
+        # reuse_cached=False: the engine resolved the whole slice at one
+        # published version; mixing in decoded-cache entries from a newer
+        # publish would tear the result set (see _decode_answer).
+        return [
+            self._decode_answer(answer, generation, reuse_cached=False)
+            for answer in answers
+        ]
 
     def rollup(self, dims: Sequence[str]) -> List[NamedAnswer]:
         """Roll the whole cube up to the cuboid over ``dims``.
@@ -430,13 +489,19 @@ class ServingCube:
     # Maintenance                                                         #
     # ------------------------------------------------------------------ #
 
-    def append(self, rows: Sequence[object]) -> "AppendReport":
+    def append(
+        self,
+        rows: Sequence[object],
+        copy_on_publish: bool = False,
+        executor: Optional[Executor] = None,
+    ) -> "AppendReport":
         """Fold new fact rows into the served cube.
 
         Rows use the same shapes as :meth:`repro.session.CubeSession.
         from_rows` (tuples in schema order or mappings by column name); value
         dictionaries grow append-only, so previously returned answers and
-        encodings stay valid.
+        encodings stay valid.  An empty ``rows`` is an explicit no-op: the
+        returned report says so and no maintenance path is even consulted.
 
         The maintenance path is chosen per the cube's configuration and
         reported, never silent:
@@ -452,12 +517,56 @@ class ServingCube:
           have discarded information a delta could resurrect, so incremental
           maintenance cannot be exact.
 
+        ``copy_on_publish`` trades a little merge-side work for lock-free
+        reads: the merge happens on a private clone of the cube and is made
+        visible with one atomic publish, so concurrent queries keep flowing
+        against the previous version instead of racing in-place mutation.
+        This is the mode the concurrent server uses; the default in-place
+        merge is faster when nothing reads concurrently.  ``executor``
+        optionally offloads the delta / partition cubing to a
+        :class:`concurrent.futures` executor — with a process pool
+        (:func:`repro.incremental.parallel.create_refresh_pool`) the compute
+        escapes the GIL entirely.
+
         Queries answered after ``append`` returns are exactly the queries a
         from-scratch rebuild over the grown relation would answer.
         """
-        from ..incremental.maintainer import CubeMaintainer
+        from ..incremental.maintainer import AppendReport, CubeMaintainer
 
-        return CubeMaintainer(self).append(rows)
+        if not rows:
+            return AppendReport(0, "no-op", self.algorithm, 0.0)
+        with self._maintenance_lock:
+            maintainer = CubeMaintainer(
+                self, copy_on_publish=copy_on_publish, executor=executor
+            )
+            return maintainer.append(rows)
+
+    def append_async(
+        self,
+        rows: Sequence[object],
+        executor: Optional[Executor] = None,
+    ) -> "Future[AppendReport]":
+        """Apply :meth:`append` in the background; queries keep flowing.
+
+        Runs ``append(rows, copy_on_publish=True, executor=executor)`` on a
+        per-cube single worker thread and returns the
+        :class:`concurrent.futures.Future` of its
+        :class:`~repro.incremental.maintainer.AppendReport`.  Because the
+        worker is singular, async appends to one cube apply in submission
+        order; because the merge is copy-on-publish, concurrent queries never
+        block on it — they serve the previous published version until the
+        swap.  This is the synchronous-world sibling of
+        :meth:`repro.server.AsyncCubeServer.append`.
+        """
+        if self._append_pool is None:
+            with self._maintenance_lock:
+                if self._append_pool is None:
+                    self._append_pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="repro-append"
+                    )
+        return self._append_pool.submit(
+            partial(self.append, rows, copy_on_publish=True, executor=executor)
+        )
 
     def refresh(self) -> None:
         """Recompute the cube from the (possibly grown) relation, in place.
@@ -479,19 +588,26 @@ class ServingCube:
                 "refresh() cannot know how to rebuild it; build it through "
                 "CubeSession (or pass config=...) to enable maintenance"
             )
-        cube, engine, algorithm, plan, build_seconds, report = build_serving_state(
-            self.relation, self.config
-        )
-        self.cube = cube
-        self.engine = engine
-        self.algorithm = algorithm
-        if plan is not None:
-            self.plan = plan
-        if build_seconds is not None:
-            self.build_seconds = build_seconds
-        if report is not None:
-            self.partition_report = report
-        self.clear_cache()
+        with self._maintenance_lock:
+            cube, engine, algorithm, plan, build_seconds, report = (
+                build_serving_state(self.relation, self.config)
+            )
+            # Publish ordering for concurrent readers: the rebuilt engine is
+            # complete before it becomes reachable, it carries the next
+            # version, and the decoded cache's generation advances only after
+            # the swap (so readers that resolved against the old engine
+            # cannot write back afterwards — see LRUCache.put_if_generation).
+            engine.version = self.engine.version + 1
+            self.cube = cube
+            self.engine = engine
+            self.algorithm = algorithm
+            if plan is not None:
+                self.plan = plan
+            if build_seconds is not None:
+                self.build_seconds = build_seconds
+            if report is not None:
+                self.partition_report = report
+            self.clear_cache()
 
     # ------------------------------------------------------------------ #
     # Persistence                                                        #
@@ -503,10 +619,14 @@ class ServingCube:
         Writes the versioned format of :mod:`repro.storage.snapshot` (schema,
         value dictionaries, closed cells with measure state, configuration);
         returns the snapshot size in bytes.  Load with :meth:`load`.
+
+        Serialised against maintenance: a snapshot taken while an append is
+        in flight waits for it, so it always captures a published version.
         """
         from ..storage.snapshot import save_snapshot
 
-        return save_snapshot(self, path)
+        with self._maintenance_lock:
+            return save_snapshot(self, path)
 
     @classmethod
     def load(cls, path: str) -> "ServingCube":
@@ -523,6 +643,50 @@ class ServingCube:
         from ..storage.snapshot import load_snapshot
 
         return load_snapshot(path)
+
+    # ------------------------------------------------------------------ #
+    # Versioned reads                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Number of cube versions published so far (0 for the initial build).
+
+        Incremented by every append / refresh publish; under copy-on-publish
+        maintenance each answer is attributable to exactly one version (the
+        interleaving tests lean on this).
+        """
+        return self.engine.version
+
+    def read_snapshot(self) -> "CubeView":
+        """Pin the currently published cube version for repeated reads.
+
+        Returns a :class:`CubeView` whose queries all answer against the one
+        version that was published when this was called, regardless of
+        appends landing afterwards — the "repeatable read" the concurrent
+        server offers alongside the always-latest :meth:`point` path.
+
+        The pin is only complete under copy-on-publish maintenance (the mode
+        every concurrent path uses), where superseded versions are never
+        mutated again.  A later *in-place* ``append()`` mutates the shared
+        cells under the view, as documented on :class:`CubeView`.
+        """
+        engine = self.engine
+        with engine.lock.read():
+            version = engine.version
+            if isinstance(engine, QueryEngine):
+                frozen: Union[QueryEngine, PartitionedQueryEngine] = QueryEngine(
+                    engine.cube, cache_size=0, index=engine.index
+                )
+            else:
+                # Shards are regrouped from the pinned cube: O(cells) per
+                # snapshot, the price of repeatable reads on a sharded cube.
+                frozen = PartitionedQueryEngine(
+                    engine.cube,
+                    partition_dim=engine.partition_dim,
+                    cache_size=0,
+                )
+        return CubeView(self, version, frozen)
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
@@ -547,9 +711,10 @@ class ServingCube:
                 algorithm=self.algorithm,
                 plan=self.plan,
             )
+        generation = self._decoded.generation
         from_cache = target in self.engine.cache
         answer = self.engine.point(target)
-        named = self._decode_answer(answer)
+        named = self._decode_answer(answer, generation)
         return Explanation(
             question=named.coordinates,
             answer=named,
@@ -585,13 +750,14 @@ class ServingCube:
         }
 
     def clear_cache(self) -> None:
-        """Drop every cached answer (encoded and decoded); counters survive.
+        """Drop every cached answer (encoded, slices, and decoded); counters
+        survive.
 
         Called by the maintenance fallbacks (:meth:`refresh`, partition
         refresh) where targeted invalidation has nothing precise to target;
         also useful for benchmarking cold paths.
         """
-        self.engine.cache.clear()
+        self.engine.clear_caches()
         self._decoded.clear()
 
     def __len__(self) -> int:
@@ -603,3 +769,80 @@ class ServingCube:
             f"ServingCube(dims={list(self.schema.dimensions)}, "
             f"cells={len(self.cube)}, algorithm={self.algorithm!r})"
         )
+
+
+class CubeView:
+    """A pinned read view of one published cube version (repeatable reads).
+
+    Produced by :meth:`ServingCube.read_snapshot`.  Every query on the view
+    answers against the cube version that was published at snapshot time:
+    under copy-on-publish maintenance superseded versions are immutable, so
+    two identical queries on one view always agree, no matter how many
+    appends publish in between.  (Under the default *in-place* maintenance
+    the view shares live cells with the serving cube and will see them grow —
+    pin before switching a cube to concurrent use, not across in-place
+    appends.)
+
+    Views are deliberately cache-free: they exist for consistency, not
+    throughput, and must not write stale answers into the live caches.
+    """
+
+    def __init__(
+        self,
+        serving: ServingCube,
+        version: int,
+        engine: Union[QueryEngine, PartitionedQueryEngine],
+    ) -> None:
+        self._serving = serving
+        #: The published version this view pins.
+        self.version = version
+        self._engine = engine
+
+    def _decode(self, answer: QueryAnswer) -> NamedAnswer:
+        serving = self._serving
+        return NamedAnswer(
+            coordinates=serving._decode_cell(answer.cell),
+            count=answer.count,
+            measures=answer.measures,
+            closure=(
+                serving._decode_cell(answer.closure)
+                if answer.closure is not None
+                else None
+            ),
+        )
+
+    def point(self, spec: Mapping[str, object]) -> NamedAnswer:
+        """:meth:`ServingCube.point`, answered at the pinned version."""
+        target, unseen = self._serving._target_cell(spec)
+        if unseen:
+            return self._serving._unseen_answer(spec)
+        return self._decode(self._engine.point(target))
+
+    def slice(
+        self,
+        fixed: Mapping[str, object],
+        group_by: Sequence[str] = (),
+    ) -> List[NamedAnswer]:
+        """:meth:`ServingCube.slice`, answered at the pinned version."""
+        serving = self._serving
+        fixed_encoded: Dict[int, int] = {}
+        for name, raw in fixed.items():
+            dim = serving._dim_index(name)
+            code = serving.relation.try_encode(dim, raw)
+            if code is None:
+                return []
+            fixed_encoded[dim] = code
+        group_dims = [serving._dim_index(name) for name in group_by]
+        answers = self._engine.slice(fixed_encoded, group_dims)
+        return [self._decode(answer) for answer in answers]
+
+    def rollup(self, dims: Sequence[str]) -> List[NamedAnswer]:
+        """:meth:`ServingCube.rollup`, answered at the pinned version."""
+        return self.slice({}, group_by=dims)
+
+    def __len__(self) -> int:
+        """Materialised cells at the pinned version."""
+        return len(self._engine.cube)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CubeView(version={self.version}, cells={len(self)})"

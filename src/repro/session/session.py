@@ -221,6 +221,17 @@ class CubeSession:
             partition_report=report,
         )
 
+    def build_into(self, catalog: object, name: str) -> ServingCube:
+        """Build and register the cube in a :class:`~repro.catalog.CubeCatalog`.
+
+        The attachment point between the fluent builder and the multi-cube
+        serving layer: equivalent to ``catalog.create(name, self)``, so the
+        session's full configuration (min_sup, measures, algorithm choice,
+        partitioning) travels into the catalog and the first snapshot is
+        written immediately.  Returns the registered :class:`ServingCube`.
+        """
+        return catalog.create(name, self)  # type: ignore[attr-defined]
+
     def refresh(self) -> ServingCube:
         """Build a fresh serving cube over the session's *current* relation.
 

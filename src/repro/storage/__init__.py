@@ -1,12 +1,26 @@
-"""Storage layer: partitioned computation (Section 6.3) and cube snapshots.
+"""Storage layer: partitioned computation, cube snapshots, catalog manifests.
 
 * :mod:`repro.storage.partition` — external-memory style partition-by-
-  partition (re)computation, including per-partition incremental refresh;
+  partition (re)computation, including per-partition incremental refresh
+  (optionally fanned out over a process pool);
 * :mod:`repro.storage.snapshot` — the versioned on-disk snapshot format that
   lets a serving cube survive process restarts
-  (:meth:`repro.session.serving.ServingCube.save` / ``load``).
+  (:meth:`repro.session.serving.ServingCube.save` / ``load``);
+* :mod:`repro.storage.manifest` — the JSON table of contents of a
+  :class:`~repro.catalog.CubeCatalog` directory (per-cube snapshot and
+  append-stream naming, atomic rewrite).
 """
 
+from .manifest import (
+    CUBE_NAME_PATTERN,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    CatalogManifest,
+    CubeEntry,
+    appends_filename,
+    snapshot_filename,
+    validate_cube_name,
+)
 from .partition import PartitionReport, PartitionedCubeComputer
 from .snapshot import (
     SNAPSHOT_MAGIC,
@@ -22,4 +36,12 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "load_snapshot",
     "save_snapshot",
+    "CatalogManifest",
+    "CubeEntry",
+    "CUBE_NAME_PATTERN",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "appends_filename",
+    "snapshot_filename",
+    "validate_cube_name",
 ]

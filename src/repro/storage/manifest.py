@@ -1,0 +1,147 @@
+"""The catalog manifest: the on-disk table of contents of a cube catalog.
+
+A :class:`~repro.catalog.CubeCatalog` directory holds one ``catalog.json``
+manifest plus, per registered cube, a snapshot file (the v1 format of
+:mod:`repro.storage.snapshot`) and an optional append-stream file (a
+line-JSON journal of the batches appended since the snapshot was written —
+replayed on load, truncated on save).  The manifest maps cube names to those
+files and carries light metadata (row/cell counts, algorithm, timestamps) so
+``list``-style operations never have to open a snapshot.
+
+The manifest is JSON, not pickle: it must be inspectable with one ``cat``
+and writable by other tooling.  Writes go through the same same-directory
+temporary file + atomic rename protocol as snapshots, so a catalog directory
+never holds a half-written manifest.  File names are derived from validated
+cube names (see :data:`CUBE_NAME_PATTERN`), never from arbitrary input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from ..core.errors import CatalogError
+
+#: Manifest file name inside a catalog directory.
+MANIFEST_NAME = "catalog.json"
+#: Current manifest format version (independent of the snapshot version).
+MANIFEST_VERSION = 1
+#: Legal cube names: path-safe, no leading dot/dash, at most 128 chars.
+CUBE_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9._-]{0,127}\Z")
+
+
+def validate_cube_name(name: str) -> str:
+    """Return ``name`` if it is a legal cube name, raise otherwise."""
+    if not isinstance(name, str) or not CUBE_NAME_PATTERN.match(name):
+        raise CatalogError(
+            f"invalid cube name {name!r}: use letters, digits, '.', '_' or "
+            "'-' (not starting with '.' or '-'), at most 128 characters"
+        )
+    return name
+
+
+def snapshot_filename(name: str) -> str:
+    """Per-cube snapshot file name inside the catalog directory."""
+    return f"{validate_cube_name(name)}.cube"
+
+
+def appends_filename(name: str) -> str:
+    """Per-cube append-stream file name inside the catalog directory."""
+    return f"{validate_cube_name(name)}.appends.jsonl"
+
+
+@dataclass
+class CubeEntry:
+    """One cube's row in the manifest."""
+
+    snapshot: str
+    appends: str
+    created_at: float
+    saved_at: Optional[float] = None
+    rows: int = 0
+    cells: int = 0
+    algorithm: str = ""
+    dimensions: tuple = ()
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "CubeEntry":
+        try:
+            return cls(
+                snapshot=str(raw["snapshot"]),
+                appends=str(raw["appends"]),
+                created_at=float(raw["created_at"]),  # type: ignore[arg-type]
+                saved_at=(
+                    None if raw.get("saved_at") is None
+                    else float(raw["saved_at"])  # type: ignore[arg-type]
+                ),
+                rows=int(raw.get("rows", 0)),  # type: ignore[arg-type]
+                cells=int(raw.get("cells", 0)),  # type: ignore[arg-type]
+                algorithm=str(raw.get("algorithm", "")),
+                dimensions=tuple(raw.get("dimensions", ())),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CatalogError(f"corrupt manifest entry: {raw!r} ({exc})") from exc
+
+
+@dataclass
+class CatalogManifest:
+    """In-memory form of ``catalog.json``; load/save are atomic."""
+
+    entries: Dict[str, CubeEntry] = field(default_factory=dict)
+
+    @classmethod
+    def path_in(cls, directory: str) -> str:
+        return os.path.join(directory, MANIFEST_NAME)
+
+    @classmethod
+    def load(cls, directory: str) -> "CatalogManifest":
+        """Read a directory's manifest; a missing file is an empty catalog."""
+        path = cls.path_in(directory)
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CatalogError(f"cannot read catalog manifest {path!r}: {exc}") from exc
+        if not isinstance(raw, dict) or "cubes" not in raw:
+            raise CatalogError(f"{path!r} is not a catalog manifest")
+        version = raw.get("version")
+        if version != MANIFEST_VERSION:
+            raise CatalogError(
+                f"{path!r} uses manifest version {version!r}; this build "
+                f"reads version {MANIFEST_VERSION}"
+            )
+        entries = {
+            validate_cube_name(name): CubeEntry.from_dict(entry)
+            for name, entry in raw["cubes"].items()
+        }
+        return cls(entries)
+
+    def save(self, directory: str) -> None:
+        """Atomically (re)write the manifest into ``directory``."""
+        payload = {
+            "version": MANIFEST_VERSION,
+            "cubes": {name: asdict(entry) for name, entry in self.entries.items()},
+        }
+        for entry in payload["cubes"].values():
+            entry["dimensions"] = list(entry["dimensions"])
+        path = self.path_in(directory)
+        handle, tmp_path = tempfile.mkstemp(
+            prefix=".catalog-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise

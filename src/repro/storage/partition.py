@@ -26,12 +26,15 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import CubingOptions, get_algorithm
 from ..core.cube import CubeResult
 from ..core.errors import PartitionError
 from ..core.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
 
 
 @dataclass
@@ -150,6 +153,7 @@ class PartitionedCubeComputer:
         previous_cube: CubeResult,
         partition_dim: int,
         start_tid: int,
+        executor: Optional["Executor"] = None,
     ) -> Tuple[CubeResult, PartitionReport]:
         """Recompute only the partitions appended tuples touched.
 
@@ -161,6 +165,14 @@ class PartitionedCubeComputer:
         tuples; cells of untouched partitions are carried over verbatim.
         Cells with ``*`` on the partitioning dimension aggregate across all
         partitions and are recomputed by the usual collapsed pass.
+
+        ``executor`` fans the recomputes out as one
+        :class:`~repro.incremental.parallel.CubingTask` per touched partition
+        plus one for the collapsed pass — the partition boundaries are the
+        natural work units — and merges the results back on the calling
+        thread.  With a process pool the refresh runs genuinely in parallel
+        with serving; the ``dimension_order`` must then be plain data (see
+        :func:`repro.incremental.parallel.picklable_order`).
 
         Returns the refreshed cube and a report whose
         :attr:`PartitionReport.refreshed_partitions` lists the recomputed
@@ -187,8 +199,10 @@ class PartitionedCubeComputer:
             relation.num_dimensions, name=f"partitioned-{self.algorithm}"
         )
         changed_set = set(changed)
-        for value in changed:
-            part_cube = self._run(relation.select(partitions[value]), ())
+        partition_cubes, collapsed_cube = self._run_refresh_passes(
+            relation, partitions, changed, partition_dim, executor
+        )
+        for part_cube in partition_cubes:
             for cell, stats in part_cube.items():
                 if cell[partition_dim] is None:
                     continue  # collapsed pass below owns the *-cells
@@ -199,7 +213,6 @@ class PartitionedCubeComputer:
                 continue
             merged.add(cell, stats.count, stats.measures, stats.rep_tid)
 
-        collapsed_cube = self._run(relation, initial_collapsed=(partition_dim,))
         for cell, stats in collapsed_cube.items():
             merged.add(cell, stats.count, stats.measures, stats.rep_tid)
 
@@ -215,6 +228,62 @@ class PartitionedCubeComputer:
         return merged, report
 
     # ------------------------------------------------------------------ #
+
+    def _run_refresh_passes(
+        self,
+        relation: Relation,
+        partitions: Dict[int, List[int]],
+        changed: List[int],
+        partition_dim: int,
+        executor: Optional["Executor"],
+    ) -> Tuple[List[CubeResult], CubeResult]:
+        """Run the touched-partition passes and the collapsed pass.
+
+        Sequential in process by default; with ``executor``, every pass is a
+        separate picklable task and the calling thread only gathers.
+        """
+        if executor is None:
+            partition_cubes = [
+                self._run(relation.select(partitions[value]), ())
+                for value in changed
+            ]
+            return partition_cubes, self._run(
+                relation, initial_collapsed=(partition_dim,)
+            )
+
+        from ..incremental.parallel import (
+            CubingTask,
+            rebuild_cube,
+            run_cubing_task,
+        )
+
+        def task_for(sub_relation: Relation, collapsed: Tuple[int, ...]) -> CubingTask:
+            return CubingTask(
+                relation=sub_relation,
+                algorithm=self.algorithm,
+                min_sup=self.min_sup,
+                closed=self.closed,
+                dimension_order=self.dimension_order,
+                initial_collapsed=collapsed,
+            )
+
+        futures = [
+            executor.submit(
+                run_cubing_task, task_for(relation.select(partitions[value]), ())
+            )
+            for value in changed
+        ]
+        collapsed_future = executor.submit(
+            run_cubing_task, task_for(relation, (partition_dim,))
+        )
+        partition_cubes = [
+            rebuild_cube(future.result().cells, relation.num_dimensions)
+            for future in futures
+        ]
+        collapsed_cube = rebuild_cube(
+            collapsed_future.result().cells, relation.num_dimensions
+        )
+        return partition_cubes, collapsed_cube
 
     def _run(self, relation: Relation, initial_collapsed: Sequence[int]) -> CubeResult:
         options = CubingOptions(

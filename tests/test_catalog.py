@@ -1,0 +1,339 @@
+"""Tests for the multi-cube catalog (:mod:`repro.catalog`).
+
+The load-bearing property is durability of the registry round trip: create →
+save → reopen in a fresh catalog → append must land exactly where the
+original process stood, including the appends that only ever hit the journal
+(the per-cube append stream) and never a snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import CubeCatalog, CubeSession, Sum
+from repro.core.errors import CatalogError
+from repro.storage.manifest import (
+    CatalogManifest,
+    appends_filename,
+    snapshot_filename,
+    validate_cube_name,
+)
+
+ROWS = [
+    ("s1", "p1"),
+    ("s1", "p2"),
+    ("s2", "p1"),
+    ("s2", "p2"),
+    ("s1", "p1"),
+]
+SCHEMA = ["store", "product"]
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return CubeCatalog(str(tmp_path / "cubes"))
+
+
+# --------------------------------------------------------------------------- #
+# Registry operations                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def test_create_open_list_drop(catalog):
+    cube = catalog.create("sales", ROWS, schema=SCHEMA)
+    assert catalog.list() == ["sales"]
+    assert "sales" in catalog and len(catalog) == 1
+    assert catalog.open("sales") is cube  # the live instance, not a reload
+    catalog.drop("sales")
+    assert catalog.list() == [] and "sales" not in catalog
+    with pytest.raises(CatalogError):
+        catalog.open("sales")
+
+
+def test_create_writes_snapshot_immediately(catalog, tmp_path):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    assert os.path.exists(os.path.join(catalog.directory, "sales.cube"))
+    # A fresh catalog over the same directory can serve without any save().
+    reopened = CubeCatalog(catalog.directory)
+    assert reopened.open("sales").point({"store": "s1"}).count == 3
+
+
+def test_create_duplicate_name_rejected(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    with pytest.raises(CatalogError, match="already exists"):
+        catalog.create("sales", ROWS, schema=SCHEMA)
+
+
+@pytest.mark.parametrize("name", ["", ".hidden", "-flag", "a/b", "a b", "a\n"])
+def test_invalid_cube_names_rejected(catalog, name):
+    with pytest.raises(CatalogError, match="invalid cube name"):
+        catalog.create(name, ROWS, schema=SCHEMA)
+
+
+def test_validate_cube_name_accepts_sensible_names():
+    for name in ("sales", "sales_2026", "a.b-c", "X"):
+        assert validate_cube_name(name) == name
+    assert snapshot_filename("sales") == "sales.cube"
+    assert appends_filename("sales") == "sales.appends.jsonl"
+
+
+def test_create_from_session_carries_configuration(catalog):
+    rows = [("s1", "p1", 10.0), ("s1", "p2", 20.0), ("s2", "p1", 30.0)]
+    session = (
+        CubeSession.from_rows(
+            rows, schema={"dimensions": SCHEMA, "measures": ["price"]}
+        )
+        .closed(min_sup=1)
+        .measures(Sum("price"))
+    )
+    cube = catalog.create("priced", session)
+    assert cube.point({"store": "s1"}).measure("sum(price)") == 30.0
+    # The configuration survives the snapshot round trip.
+    reloaded = CubeCatalog(catalog.directory).open("priced")
+    assert reloaded.point({"store": "s1"}).measure("sum(price)") == 30.0
+
+
+def test_build_into_registers_in_catalog(catalog):
+    session = CubeSession.from_rows(ROWS, schema=SCHEMA).closed()
+    cube = session.build_into(catalog, "sales")
+    assert catalog.open("sales") is cube
+
+
+def test_create_rejects_schema_override_for_built_sources(catalog):
+    cube = CubeSession.from_rows(ROWS, schema=SCHEMA).build()
+    with pytest.raises(CatalogError, match="schema cannot be overridden"):
+        catalog.create("sales", cube, schema=["x", "y"])
+
+
+def test_describe_reports_metadata(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    info = catalog.describe("sales")
+    assert info["rows"] == len(ROWS)
+    assert info["dimensions"] == SCHEMA
+    assert info["loaded"] is True
+    assert info["pending_appends"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# The durability round trip                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def test_round_trip_create_save_reopen_append(catalog):
+    """The ISSUE's acceptance loop: create → save → reopen → append."""
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.append("sales", [("s3", "p1")])
+    catalog.save("sales")
+
+    reopened = CubeCatalog(catalog.directory)
+    cube = reopened.open("sales")
+    assert cube.point({"store": "s3"}).count == 1
+    report = reopened.append("sales", [("s3", "p2"), ("s1", "p1")])
+    assert report.appended_rows == 2
+    assert cube.point({"store": "s3"}).count == 2
+    assert cube.point({"store": "s1", "product": "p1"}).count == 3
+
+    # Every answer matches a from-scratch rebuild over all the rows.
+    all_rows = ROWS + [("s3", "p1"), ("s3", "p2"), ("s1", "p1")]
+    rebuilt = CubeSession.from_rows(all_rows, schema=SCHEMA).build()
+    assert cube.cube.same_cells(rebuilt.cube)
+
+
+def test_unsaved_appends_replay_from_the_journal(catalog):
+    """An append that never made it into a snapshot still survives reopen."""
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.append("sales", [("s9", "p9")])
+    # No save(): the snapshot on disk predates the append.
+    reopened = CubeCatalog(catalog.directory)
+    assert reopened.describe("sales")["pending_appends"] == 1
+    assert reopened.open("sales").point({"store": "s9"}).count == 1
+
+
+def test_save_truncates_the_journal(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.append("sales", [("s9", "p9")])
+    path = os.path.join(catalog.directory, "sales.appends.jsonl")
+    assert os.path.getsize(path) > 0
+    catalog.save("sales")
+    assert os.path.getsize(path) == 0
+    assert catalog.describe("sales")["pending_appends"] == 0
+
+
+def test_torn_journal_tail_is_tolerated(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.append("sales", [("s9", "p9")])
+    path = os.path.join(catalog.directory, "sales.appends.jsonl")
+    with open(path, "a") as stream:
+        stream.write('{"rows": [["s8",')  # a crash mid-write
+    cube = CubeCatalog(catalog.directory).open("sales")
+    assert cube.point({"store": "s9"}).count == 1  # intact batch replayed
+    assert cube.point({"store": "s8"}).count is None  # torn batch dropped
+
+
+def test_corrupt_journal_middle_line_raises(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    path = os.path.join(catalog.directory, "sales.appends.jsonl")
+    with open(path, "w") as stream:
+        stream.write("not json\n")
+        stream.write(json.dumps({"rows": [["s9", "p9"]]}) + "\n")
+    with pytest.raises(CatalogError, match="corrupt append stream"):
+        CubeCatalog(catalog.directory).open("sales")
+
+
+def test_failed_append_rolls_the_journal_back(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    with pytest.raises(Exception):
+        catalog.append("sales", [("only-one-column",)])
+    assert catalog.describe("sales")["pending_appends"] == 0
+    # The journal stays replayable.
+    assert CubeCatalog(catalog.directory).open("sales").point(
+        {"store": "s1"}
+    ).count == 3
+
+
+def test_journal_rollback_preserves_later_records(catalog):
+    """Undoing a failed append must not erase records journaled after it."""
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    path = os.path.join(catalog.directory, "sales.appends.jsonl")
+    mine = json.dumps({"rows": [["bad", "row"]]}) + "\n"
+    theirs = json.dumps({"rows": [["s7", "p7"]]}) + "\n"
+    with open(path, "w") as stream:
+        stream.write(mine)
+        stream.write(theirs)  # another thread landed after our journal write
+    catalog._remove_journal_record(path, 0, mine)
+    with open(path) as stream:
+        assert stream.read() == theirs
+    # Fast path: our record is still the tail -> plain truncate.
+    with open(path, "a") as stream:
+        offset = stream.tell()
+        stream.write(mine)
+    catalog._remove_journal_record(path, offset, mine)
+    with open(path) as stream:
+        assert stream.read() == theirs
+
+
+def test_concurrent_good_and_bad_appends_keep_the_journal_exact(catalog):
+    """Failed appends roll back without losing concurrent good batches."""
+    import threading
+
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    good_rows = [[(f"s{worker}", f"p{batch}")] for worker in range(3)
+                 for batch in range(5)]
+    failures = []
+
+    def good_worker(batches):
+        for batch in batches:
+            catalog.append("sales", batch)
+
+    def bad_worker():
+        for _ in range(10):
+            try:
+                catalog.append("sales", [("only-one-column",)])
+            except Exception:
+                failures.append(1)
+
+    threads = [
+        threading.Thread(target=good_worker, args=(good_rows[i::3],))
+        for i in range(3)
+    ] + [threading.Thread(target=bad_worker) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(failures) == 20
+    # Every good batch survived in the journal and replays on reopen.
+    reopened = CubeCatalog(catalog.directory)
+    assert reopened.describe("sales")["pending_appends"] == len(good_rows)
+    cube = reopened.open("sales")
+    all_rows = ROWS + [tuple(row) for batch in good_rows for row in batch]
+    rebuilt = CubeSession.from_rows(all_rows, schema=SCHEMA).build()
+    assert cube.cube.same_cells(rebuilt.cube)
+
+
+def test_get_loaded_never_loads(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    reopened = CubeCatalog(catalog.directory)
+    assert reopened.get_loaded("sales") is None  # on disk, not in memory
+    cube = reopened.open("sales")
+    assert reopened.get_loaded("sales") is cube
+    assert reopened.get_loaded("ghost") is None
+
+
+def test_non_json_rows_rejected_with_guidance(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    with pytest.raises(CatalogError, match="JSON-serialisable"):
+        catalog.append("sales", [(object(), "p1")])
+
+
+def test_load_discards_the_in_memory_instance(catalog):
+    cube = catalog.create("sales", ROWS, schema=SCHEMA)
+    fresh = catalog.load("sales")
+    assert fresh is not cube
+    assert catalog.open("sales") is fresh
+
+
+def test_mapping_rows_round_trip_through_the_journal(catalog):
+    rows = [{"store": "s1", "product": "p1"}, {"store": "s2", "product": "p2"}]
+    catalog.create("sales", rows, schema=SCHEMA)
+    catalog.append("sales", [{"store": "s3", "product": "p3"}])
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    assert reopened.point({"store": "s3"}).count == 1
+
+
+def test_empty_append_is_a_noop_and_not_journaled(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    report = catalog.append("sales", [])
+    assert report.mode == "no-op" and report.appended_rows == 0
+    assert catalog.describe("sales")["pending_appends"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Manifest format                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_manifest_is_inspectable_json(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    with open(os.path.join(catalog.directory, "catalog.json")) as handle:
+        manifest = json.load(handle)
+    assert manifest["version"] == 1
+    assert "sales" in manifest["cubes"]
+    assert manifest["cubes"]["sales"]["snapshot"] == "sales.cube"
+
+
+def test_manifest_rejects_unknown_versions(tmp_path):
+    directory = str(tmp_path)
+    with open(os.path.join(directory, "catalog.json"), "w") as handle:
+        json.dump({"version": 99, "cubes": {}}, handle)
+    with pytest.raises(CatalogError, match="version 99"):
+        CatalogManifest.load(directory)
+
+
+def test_manifest_rejects_non_manifest_files(tmp_path):
+    directory = str(tmp_path)
+    with open(os.path.join(directory, "catalog.json"), "w") as handle:
+        handle.write('{"some": "json"}')
+    with pytest.raises(CatalogError, match="not a catalog manifest"):
+        CatalogManifest.load(directory)
+
+
+def test_drop_deletes_the_cube_files(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    snapshot = os.path.join(catalog.directory, "sales.cube")
+    appends = os.path.join(catalog.directory, "sales.appends.jsonl")
+    assert os.path.exists(snapshot) and os.path.exists(appends)
+    catalog.drop("sales")
+    assert not os.path.exists(snapshot) and not os.path.exists(appends)
+
+
+def test_two_cubes_are_independent(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.create("web", [("u1", "/a"), ("u2", "/b")], schema=["user", "path"])
+    catalog.append("sales", [("s9", "p9")])
+    assert catalog.open("web").point({"user": "u1"}).count == 1
+    assert catalog.open("sales").point({"store": "s9"}).count == 1
+    catalog.drop("web")
+    assert catalog.list() == ["sales"]

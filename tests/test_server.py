@@ -1,0 +1,404 @@
+"""Tests for the asyncio serving layer (:mod:`repro.server`) and its TCP face.
+
+The acceptance criterion from the ISSUE: one :class:`AsyncCubeServer`
+sustains concurrent appends and queries on two catalog cubes with zero torn
+reads — every answer matches some published version of its cube, and the
+final cubes equal from-scratch rebuilds.  The rest covers the serving
+mechanics: batching, back-pressure, per-item error isolation, lifecycle,
+and the line-JSON TCP protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import CubeCatalog, CubeSession
+from repro.core.errors import CatalogError, ServerError
+from repro.server import AsyncCubeServer, serve_tcp
+
+DIMS = ["A", "B", "C"]
+
+
+def _rows(rng: random.Random, count: int):
+    return [
+        tuple(f"{dim.lower()}{rng.randrange(4)}" for dim in DIMS)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return CubeCatalog(str(tmp_path / "cubes"))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# --------------------------------------------------------------------------- #
+# Basic serving                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_query_execute_and_append(catalog):
+    catalog.create("sales", [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
+                   schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, query_workers=2) as server:
+            answer = await server.query("sales", {"store": "s1"})
+            assert answer.count == 2
+            rollup = await server.execute(
+                "sales", {"op": "rollup", "dims": ["product"]}
+            )
+            assert {a.coordinates_dict()["product"] for a in rollup} == {"p1", "p2"}
+            report = await server.append("sales", [("s3", "p3")])
+            assert report.appended_rows == 1
+            assert (await server.query("sales", {"store": "s3"})).count == 1
+            stats = server.stats()
+            assert stats["counters"]["appends"] == 1
+            assert stats["counters"]["queries"] >= 3
+            assert "sales" in stats["cubes"]
+
+    run(scenario())
+
+
+def test_execute_many_preserves_order_and_batches(catalog):
+    catalog.create("sales", [("s1", "p1"), ("s2", "p2")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, max_batch=4) as server:
+            specs = [{"store": "s1"}, {"store": "s2"}, {"store": "nope"},
+                     {"op": "rollup", "dims": ["store"]}]
+            results = await server.execute_many("sales", specs)
+            assert results[0].count == 1
+            assert results[1].count == 1
+            assert results[2].count is None
+            assert len(results[3]) == 2
+            assert await server.execute_many("sales", []) == []
+
+    run(scenario())
+
+
+def test_bad_specs_fail_their_item_not_the_batch(catalog):
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            good, bad = await asyncio.gather(
+                server.query("sales", {"store": "s1"}),
+                server.query("sales", {"nope": "x"}),
+                return_exceptions=True,
+            )
+            assert not isinstance(good, Exception) and good.count == 1
+            assert isinstance(bad, Exception)
+
+    run(scenario())
+
+
+def test_unknown_cube_raises_catalog_error(catalog):
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            with pytest.raises(CatalogError):
+                await server.query("ghost", {"x": 1})
+
+    run(scenario())
+
+
+def test_server_requires_start(catalog):
+    server = AsyncCubeServer(catalog)
+
+    async def scenario():
+        with pytest.raises(ServerError, match="not running"):
+            await server.query("sales", {})
+
+    run(scenario())
+
+
+def test_refresh_pool_arguments_are_exclusive(catalog):
+    with pytest.raises(ServerError, match="not both"):
+        AsyncCubeServer(
+            catalog, refresh_processes=1, refresh_executor=ThreadPoolExecutor(1)
+        )
+
+
+def test_create_drop_save_through_the_server(catalog):
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            info = await server.create(
+                "web", [("u1", "/a"), ("u2", "/b")], schema=["user", "path"]
+            )
+            assert info["rows"] == 2
+            assert server.list_cubes() == ["web"]
+            await server.append("web", [("u3", "/c")])
+            await server.save("web")
+            await server.drop("web")
+            assert server.list_cubes() == []
+
+    run(scenario())
+    assert catalog.list() == []
+
+
+def test_back_pressure_bounds_the_queue(catalog):
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, max_pending=2, max_batch=1) as server:
+            # Flooding more work than the bound: everything completes (the
+            # queue blocks producers instead of growing without limit).
+            answers = await asyncio.gather(
+                *(server.query("sales", {"store": "s1"}) for _ in range(32))
+            )
+            assert all(answer.count == 1 for answer in answers)
+            assert server.stats()["cubes"]["sales"]["pending"] == 0
+
+    run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance criterion: two cubes, concurrent appends + queries           #
+# --------------------------------------------------------------------------- #
+
+
+def test_interleaved_appends_and_queries_on_two_cubes(catalog):
+    rng = random.Random(17)
+    bases = {"north": _rows(rng, 40), "south": _rows(rng, 40)}
+    batches = {
+        name: [_rows(rng, 6) for _ in range(4)] for name in bases
+    }
+    for name, rows in bases.items():
+        catalog.create(name, rows, schema=DIMS)
+
+    # Ground truth per cube per version.
+    specs = [{}] + [
+        {dim: f"{dim.lower()}{i}"} for dim in DIMS for i in range(4)
+    ]
+    expected = {}
+    finals = {}
+    for name in bases:
+        prefix = list(bases[name])
+        versions = [CubeSession.from_rows(list(prefix), schema=DIMS).build()]
+        for batch in batches[name]:
+            prefix.extend(batch)
+            versions.append(CubeSession.from_rows(list(prefix), schema=DIMS).build())
+        expected[name] = [
+            {tuple(sorted(s.items())): cube.point(s).count for s in specs}
+            for cube in versions
+        ]
+        finals[name] = versions[-1]
+
+    errors = []
+
+    async def appender(server, name):
+        for batch in batches[name]:
+            report = await server.append(name, batch)
+            assert report.appended_rows == len(batch)
+
+    async def querier(server, name, seed):
+        worker_rng = random.Random(seed)
+        for _ in range(120):
+            spec = worker_rng.choice(specs)
+            key = tuple(sorted(spec.items()))
+            answer = await server.query(name, spec)
+            allowed = {table[key] for table in expected[name]}
+            if answer.count not in allowed:
+                errors.append((name, spec, answer.count))
+
+    async def scenario():
+        pool = ThreadPoolExecutor(2)
+        try:
+            async with AsyncCubeServer(
+                catalog, query_workers=3, refresh_executor=pool
+            ) as server:
+                tasks = [appender(server, name) for name in bases]
+                for index, name in enumerate(("north", "south", "north", "south")):
+                    tasks.append(querier(server, name, 1000 + index))
+                await asyncio.gather(*tasks)
+                counters = server.stats()["counters"]
+                assert counters["appends"] == 8
+                assert counters["queries"] >= 480
+        finally:
+            pool.shutdown()
+
+    run(scenario())
+    assert not errors, f"torn reads: {errors[:5]}"
+    for name in bases:
+        served = catalog.open(name)
+        assert served.version == len(batches[name])
+        assert served.cube.same_cells(finals[name].cube), name
+
+
+# --------------------------------------------------------------------------- #
+# TCP protocol                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+async def _rpc(reader, writer, request):
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def test_tcp_protocol_round_trip(catalog):
+    catalog.create("sales", [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
+                   schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            tcp = await serve_tcp(server, port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                pong = await _rpc(reader, writer, {"op": "ping", "id": 7})
+                assert pong == {"id": 7, "ok": True, "result": "pong"}
+
+                listed = await _rpc(reader, writer, {"op": "list"})
+                assert listed["result"] == ["sales"]
+
+                answer = await _rpc(
+                    reader, writer,
+                    {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                )
+                assert answer["ok"] and answer["result"]["count"] == 2
+                assert answer["result"]["coordinates"] == {"store": "s1"}
+
+                report = await _rpc(
+                    reader, writer,
+                    {"op": "append", "cube": "sales", "rows": [["s9", "p9"]]},
+                )
+                assert report["ok"] and report["result"]["appended_rows"] == 1
+
+                many = await _rpc(
+                    reader, writer,
+                    {"op": "query_many", "cube": "sales",
+                     "q": [{"store": "s9"},
+                           {"op": "rollup", "dims": ["store"]}]},
+                )
+                assert many["result"][0]["count"] == 1
+                assert {entry["coordinates"]["store"]
+                        for entry in many["result"][1]} == {"s1", "s2", "s9"}
+
+                described = await _rpc(
+                    reader, writer, {"op": "describe", "cube": "sales"}
+                )
+                assert described["result"]["pending_appends"] == 1
+
+                saved = await _rpc(reader, writer, {"op": "save", "cube": "sales"})
+                assert saved["ok"]
+
+                missing = await _rpc(
+                    reader, writer, {"op": "query", "cube": "ghost", "q": {}}
+                )
+                assert not missing["ok"]
+                assert missing["error"]["type"] == "CatalogError"
+
+                bogus = await _rpc(reader, writer, {"op": "bogus"})
+                assert not bogus["ok"] and "unknown op" in bogus["error"]["message"]
+
+                not_json = await _rpc(reader, writer, {"op": None})
+                assert not not_json["ok"]
+
+                stats = await _rpc(reader, writer, {"op": "stats"})
+                assert stats["result"]["counters"]["appends"] == 1
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+    run(scenario())
+    # The save over TCP persisted the append for a fresh process.
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    assert reopened.point({"store": "s9"}).count == 1
+
+
+def test_tcp_unhashable_spec_value_keeps_the_connection(catalog):
+    """Valid JSON that breaks encoding (a list value) must answer, not EOF."""
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            tcp = await serve_tcp(server, port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                broken = await _rpc(
+                    reader, writer,
+                    {"op": "query", "cube": "sales", "q": {"store": ["x"]}},
+                )
+                assert not broken["ok"]
+                assert "TypeError" in broken["error"]["message"]
+                # Non-dict specs inside query_many must not kill it either.
+                broken = await _rpc(
+                    reader, writer,
+                    {"op": "query_many", "cube": "sales", "q": ["nope"]},
+                )
+                assert not broken["ok"]
+                # The connection survives and keeps answering.
+                alive = await _rpc(
+                    reader, writer,
+                    {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                )
+                assert alive["ok"] and alive["result"]["count"] == 1
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+    run(scenario())
+
+
+def test_tcp_malformed_json_reports_an_error(catalog):
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            tcp = await serve_tcp(server, port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert not response["ok"]
+                # The connection survives a bad line.
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["result"] == "pong"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+    run(scenario())
+
+
+def test_cli_entrypoint_parses_and_serves(tmp_path):
+    """The __main__ module wires argparse → catalog → server → TCP."""
+    from repro.server.__main__ import build_parser, run_server
+
+    directory = str(tmp_path / "cubes")
+    CubeCatalog(directory).create(
+        "sales", [("s1", "p1")], schema=["store", "product"]
+    )
+    args = build_parser().parse_args([directory, "--port", "0", "--max-batch", "8"])
+    assert args.catalog == directory and args.max_batch == 8
+
+    async def scenario():
+        task = asyncio.get_running_loop().create_task(run_server(args))
+        try:
+            # The server prints its bound socket; give it a moment to bind,
+            # then tear it down the way Ctrl-C would.
+            await asyncio.sleep(0.3)
+            assert not task.done()
+        finally:
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+    run(scenario())
