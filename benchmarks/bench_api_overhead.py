@@ -28,7 +28,7 @@ import sys
 import time
 from typing import Dict, List, Sequence, Tuple
 
-from bench_helpers import write_json_report
+from bench_helpers import write_report
 
 from repro import CubeSession, compute_closed_cube, open_query_engine
 from repro.core.cell import Cell
@@ -138,18 +138,18 @@ def main(argv: Sequence[str] = ()) -> int:
           f"({qps_named:,.0f} q/s)")
     print(f"overhead:   {overhead * 100:+.1f}% (gate: < {args.max_overhead * 100:.0f}%)")
 
-    if args.json:
-        write_json_report(args.json, {
-            "benchmark": "bench_api_overhead",
-            "config": {"tuples": args.tuples, "dims": args.dims,
-                       "cardinality": args.cardinality, "min_sup": args.min_sup,
-                       "queries": args.queries, "seed": args.seed},
-            "positional_seconds": round(positional_time, 6),
-            "named_seconds": round(named_time, 6),
-            "overhead": round(overhead, 4),
-            "max_overhead": args.max_overhead,
-            "passed": overhead <= args.max_overhead,
-        })
+    write_report(
+        args.json,
+        "bench_api_overhead",
+        {"tuples": args.tuples, "dims": args.dims,
+         "cardinality": args.cardinality, "min_sup": args.min_sup,
+         "queries": args.queries, "seed": args.seed},
+        passed=overhead <= args.max_overhead,
+        positional_seconds=round(positional_time, 6),
+        named_seconds=round(named_time, 6),
+        overhead=round(overhead, 4),
+        max_overhead=args.max_overhead,
+    )
 
     if overhead > args.max_overhead:
         print("FAIL: named-query overhead exceeds the gate", file=sys.stderr)

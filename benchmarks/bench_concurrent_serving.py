@@ -37,7 +37,7 @@ import tempfile
 import time
 from typing import List, Sequence
 
-from bench_helpers import write_json_report
+from bench_helpers import write_report
 
 from repro import CubeCatalog, CubeSession
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
@@ -251,9 +251,10 @@ def main(argv: Sequence[str] = None) -> int:
     print(f"{'concurrent':<14}{concurrent_seconds:>10.3f}"
           f"{concurrent_qps:>14,.0f}{speedup:>15.1f}x")
 
-    results = {
-        "benchmark": "bench_concurrent_serving",
-        "config": {
+    write_report(
+        args.json,
+        "bench_concurrent_serving",
+        {
             "tuples": args.tuples,
             "appended": appended,
             "append_batches": args.append_batches,
@@ -265,16 +266,14 @@ def main(argv: Sequence[str] = None) -> int:
             "refresh_processes": args.refresh_processes,
             "seed": args.seed,
         },
-        "serialized_seconds": round(serialized_seconds, 6),
-        "concurrent_seconds": round(concurrent_seconds, 6),
-        "serialized_qps": round(serialized_qps, 1),
-        "concurrent_qps": round(concurrent_qps, 1),
-        "speedup": round(speedup, 3),
-        "min_speedup": args.min_speedup,
-        "passed": speedup >= args.min_speedup,
-    }
-    if args.json:
-        write_json_report(args.json, results)
+        passed=speedup >= args.min_speedup,
+        serialized_seconds=round(serialized_seconds, 6),
+        concurrent_seconds=round(concurrent_seconds, 6),
+        serialized_qps=round(serialized_qps, 1),
+        concurrent_qps=round(concurrent_qps, 1),
+        speedup=round(speedup, 3),
+        min_speedup=args.min_speedup,
+    )
 
     if speedup < args.min_speedup:
         print(f"FAIL: concurrent serving is only {speedup:.1f}x the "

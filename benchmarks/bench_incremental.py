@@ -31,7 +31,7 @@ import sys
 import time
 from typing import Sequence
 
-from bench_helpers import write_json_report
+from bench_helpers import write_report
 
 from repro import CubeSession
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
@@ -123,9 +123,10 @@ def main(argv: Sequence[str] = None) -> int:
     print(f"{'full recompute':<18}{recompute_seconds:>10.3f}{len(rebuilt):>10}"
           f"{1.0:>11.1f}x")
 
-    results = {
-        "benchmark": "bench_incremental",
-        "config": {
+    write_report(
+        args.json,
+        "bench_incremental",
+        {
             "tuples": args.tuples,
             "appended": num_append,
             "dims": args.dims,
@@ -133,18 +134,16 @@ def main(argv: Sequence[str] = None) -> int:
             "skew": args.skew,
             "seed": args.seed,
         },
-        "build_seconds": round(build_seconds, 6),
-        "append_seconds": round(append_seconds, 6),
-        "recompute_seconds": round(recompute_seconds, 6),
-        "append_mode": report.mode,
-        "append_algorithm": report.algorithm,
-        "cells": len(serving),
-        "speedup": round(speedup, 3),
-        "min_speedup": args.min_speedup,
-        "passed": speedup >= args.min_speedup,
-    }
-    if args.json:
-        write_json_report(args.json, results)
+        passed=speedup >= args.min_speedup,
+        build_seconds=round(build_seconds, 6),
+        append_seconds=round(append_seconds, 6),
+        recompute_seconds=round(recompute_seconds, 6),
+        append_mode=report.mode,
+        append_algorithm=report.algorithm,
+        cells=len(serving),
+        speedup=round(speedup, 3),
+        min_speedup=args.min_speedup,
+    )
 
     if speedup < args.min_speedup:
         print(f"FAIL: incremental append is only {speedup:.1f}x the rebuild "

@@ -30,7 +30,7 @@ import sys
 import time
 from typing import List, Sequence, Tuple
 
-from bench_helpers import write_json_report
+from bench_helpers import write_report
 
 from repro import compute_closed_cube, open_query_engine
 from repro.core.cell import Cell
@@ -172,21 +172,21 @@ def main(argv: Sequence[str] = None) -> int:
     print(f"answers found: scan {scan_found}/{len(scan_sample)}, "
           f"index {index_found}/{len(queries)}; cache hit rate {hit_rate:.1%}")
 
-    if args.json:
-        write_json_report(args.json, {
-            "benchmark": "bench_query_throughput",
-            "config": {"tuples": args.tuples, "dims": args.dims,
-                       "cardinality": args.cardinality, "min_sup": args.min_sup,
-                       "queries": args.queries, "seed": args.seed},
-            "scan_qps": round(scan_qps, 2),
-            "index_qps": round(index_qps, 2),
-            "cached_qps": round(cached_qps, 2),
-            "speedup": round(speedup, 3),
-            "cached_speedup": round(cached_speedup, 3),
-            "cache_hit_rate": round(hit_rate, 4),
-            "min_speedup": args.min_speedup,
-            "passed": speedup >= args.min_speedup,
-        })
+    write_report(
+        args.json,
+        "bench_query_throughput",
+        {"tuples": args.tuples, "dims": args.dims,
+         "cardinality": args.cardinality, "min_sup": args.min_sup,
+         "queries": args.queries, "seed": args.seed},
+        passed=speedup >= args.min_speedup,
+        scan_qps=round(scan_qps, 2),
+        index_qps=round(index_qps, 2),
+        cached_qps=round(cached_qps, 2),
+        speedup=round(speedup, 3),
+        cached_speedup=round(cached_speedup, 3),
+        cache_hit_rate=round(hit_rate, 4),
+        min_speedup=args.min_speedup,
+    )
 
     if speedup < args.min_speedup:
         print(f"FAIL: indexed serving is only {speedup:.1f}x the scan baseline "

@@ -1,0 +1,233 @@
+"""Snapshot-format benchmark: v2 streaming load vs v1 monolithic pickle.
+
+Builds a served closed cube over a synthetic relation (100k tuples by
+default), snapshots it in both on-disk formats
+(:mod:`repro.storage.snapshot`), and measures the restart path both ways:
+
+1. ``v1`` — the original monolithic-pickle snapshot: one ``pickle.load`` of
+   the whole payload, relation columns copied out of it, the inverted index
+   rebuilt cell by cell;
+2. ``v2`` — the chunked streaming format: framed, checksummed chunks
+   consumed one at a time, columns preallocated at exact size, and the
+   persisted posting lists reinstated instead of re-deriving the index.
+
+Load time is best-of-``--loads`` wall clock for a full
+:meth:`~repro.session.serving.ServingCube.load` (serving-ready, engine
+open); peak memory is ``tracemalloc``'s traced-allocation peak over one load.
+Both loaded cubes are verified cell-for-cell identical before any timing is
+trusted.  The script exits non-zero when v2 fails to load at least
+``--min-speedup`` times faster than v1 (default 1.5x) or its peak exceeds
+``--max-peak-ratio`` times v1's (default 1.15).
+
+The second half exercises the catalog compaction path end to end: a catalog
+cube receives ``--compact-batches`` journaled appends, is compacted
+(``CubeCatalog.compact``), and reopened from a fresh catalog — the reopened
+cube must answer exactly like a from-scratch rebuild over every row.  The
+reopen times before and after compaction are reported (the fold replaces
+per-batch journal replay with one segment merge)::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --tuples 20000
+
+``--json PATH`` additionally writes the measurements as a JSON report
+(validated against the documented thresholds by ``check_gates.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+import tracemalloc
+from typing import Sequence
+
+from bench_helpers import write_report
+
+from repro import CubeCatalog, CubeSession, ServingCube
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+
+CUBE = "snapstream"
+
+
+def decoded_rows(args) -> list:
+    relation = generate_relation(SyntheticConfig.uniform(
+        num_tuples=args.tuples, num_dims=args.dims,
+        cardinality=args.cardinality, skew=args.skew, seed=args.seed,
+    ))
+    return [
+        tuple(
+            relation.decode(dim, relation.columns[dim][tid])
+            for dim in range(relation.num_dimensions)
+        )
+        for tid in range(relation.num_tuples)
+    ]
+
+
+def best_load(path: str, loads: int) -> float:
+    best = float("inf")
+    for _ in range(loads):
+        start = time.perf_counter()
+        ServingCube.load(path)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def peak_load_mb(path: str) -> float:
+    tracemalloc.start()
+    ServingCube.load(path)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / 1e6
+
+
+def check_compaction(args, rows, directory) -> dict:
+    """Journal → compact → reopen must equal a from-scratch rebuild."""
+    base_count = max(1, int(len(rows) * 0.6))
+    base_rows, tail = rows[:base_count], rows[base_count:]
+    per_batch = max(1, len(tail) // args.compact_batches)
+    catalog = CubeCatalog(os.path.join(directory, "catalog"),
+                          auto_compact_ratio=None)
+    catalog.create(CUBE, base_rows)
+    appended = 0
+    for index in range(args.compact_batches):
+        batch = tail[index * per_batch: (index + 1) * per_batch]
+        if not batch:
+            break
+        catalog.append(CUBE, batch)
+        appended += len(batch)
+    all_rows = base_rows + tail[: appended]
+    pending = catalog.describe(CUBE)["pending_appends"]
+
+    start = time.perf_counter()
+    replayed = CubeCatalog(catalog.directory, auto_compact_ratio=None).open(CUBE)
+    reopen_journal_seconds = time.perf_counter() - start
+
+    report = catalog.compact(CUBE)
+    start = time.perf_counter()
+    compacted = CubeCatalog(catalog.directory, auto_compact_ratio=None).open(CUBE)
+    reopen_compacted_seconds = time.perf_counter() - start
+
+    rebuilt = CubeSession.from_rows(all_rows).closed(min_sup=1).build()
+    for label, cube in (("journal-replayed", replayed),
+                        ("compacted", compacted)):
+        if not cube.cube.same_cells(rebuilt.cube):
+            print(f"FAIL: {label} reopen differs from the full rebuild:")
+            print(cube.cube.diff(rebuilt.cube))
+            raise SystemExit(1)
+    print(f"compaction: {pending} journaled batches folded by "
+          f"{report['mode']} compact; reopen {reopen_journal_seconds:.3f}s "
+          f"(journal replay) -> {reopen_compacted_seconds:.3f}s (folded); "
+          "both reopens == rebuild")
+    return {
+        "mode": report["mode"],
+        "folded_batches": pending,
+        "reopen_journal_seconds": round(reopen_journal_seconds, 6),
+        "reopen_compacted_seconds": round(reopen_compacted_seconds, 6),
+    }
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000)
+    parser.add_argument("--dims", type=int, default=5)
+    parser.add_argument("--cardinality", type=int, default=6)
+    parser.add_argument("--skew", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--loads", type=int, default=3,
+                        help="timed load repetitions (best-of)")
+    parser.add_argument("--compact-batches", type=int, default=8,
+                        help="journaled append batches before compact()")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail unless v2 loads this much faster than v1")
+    parser.add_argument("--max-peak-ratio", type=float, default=1.15,
+                        help="fail if v2's load peak exceeds v1's by this factor")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    print(f"dataset: T={args.tuples} D={args.dims} C={args.cardinality} "
+          f"S={args.skew} min_sup=1 closed")
+    start = time.perf_counter()
+    rows = decoded_rows(args)
+    cube = CubeSession.from_rows(rows).closed(min_sup=1).build()
+    print(f"built cube in {time.perf_counter() - start:.2f}s "
+          f"({len(cube)} cells, algorithm {cube.algorithm!r})")
+
+    with tempfile.TemporaryDirectory() as directory:
+        v1_path = os.path.join(directory, "cube.v1")
+        v2_path = os.path.join(directory, "cube.v2")
+        start = time.perf_counter()
+        v1_bytes = cube.save(v1_path, format="v1")
+        v1_save = time.perf_counter() - start
+        start = time.perf_counter()
+        v2_bytes = cube.save(v2_path, format="v2")
+        v2_save = time.perf_counter() - start
+
+        loaded_v1 = ServingCube.load(v1_path)
+        loaded_v2 = ServingCube.load(v2_path)
+        if not loaded_v1.cube.same_cells(loaded_v2.cube):
+            print("FAIL: v1 and v2 loads disagree:")
+            print(loaded_v1.cube.diff(loaded_v2.cube))
+            return 1
+        print(f"verified: v1 and v2 loads agree ({len(loaded_v1)} cells)")
+        del loaded_v1, loaded_v2
+
+        v1_load = best_load(v1_path, args.loads)
+        v2_load = best_load(v2_path, args.loads)
+        v1_peak = peak_load_mb(v1_path)
+        v2_peak = peak_load_mb(v2_path)
+        compaction = check_compaction(args, rows, directory)
+
+    speedup = v1_load / v2_load if v2_load else float("inf")
+    peak_ratio = v2_peak / v1_peak if v1_peak else 0.0
+    print()
+    print(f"{'format':<8}{'save s':>9}{'size MB':>10}{'load s':>9}"
+          f"{'peak MB':>10}{'vs v1':>8}")
+    print("-" * 54)
+    print(f"{'v1':<8}{v1_save:>9.3f}{v1_bytes / 1e6:>10.2f}{v1_load:>9.3f}"
+          f"{v1_peak:>10.1f}{1.0:>7.1f}x")
+    print(f"{'v2':<8}{v2_save:>9.3f}{v2_bytes / 1e6:>10.2f}{v2_load:>9.3f}"
+          f"{v2_peak:>10.1f}{speedup:>7.1f}x")
+
+    passed = speedup >= args.min_speedup and peak_ratio <= args.max_peak_ratio
+    write_report(
+        args.json,
+        "bench_snapshot",
+        {"tuples": args.tuples, "dims": args.dims,
+         "cardinality": args.cardinality, "skew": args.skew,
+         "seed": args.seed, "loads": args.loads,
+         "compact_batches": args.compact_batches},
+        passed=passed,
+        v1_save_seconds=round(v1_save, 6),
+        v2_save_seconds=round(v2_save, 6),
+        v1_bytes=v1_bytes,
+        v2_bytes=v2_bytes,
+        v1_load_seconds=round(v1_load, 6),
+        v2_load_seconds=round(v2_load, 6),
+        v1_peak_mb=round(v1_peak, 3),
+        v2_peak_mb=round(v2_peak, 3),
+        speedup=round(speedup, 3),
+        peak_ratio=round(peak_ratio, 4),
+        min_speedup=args.min_speedup,
+        max_peak_ratio=args.max_peak_ratio,
+        compaction=compaction,
+    )
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: v2 streaming load is only {speedup:.2f}x the v1 load "
+              f"(required {args.min_speedup:.1f}x)")
+        return 1
+    if peak_ratio > args.max_peak_ratio:
+        print(f"FAIL: v2 load peak is {peak_ratio:.2f}x the v1 peak "
+              f"(allowed {args.max_peak_ratio:.2f}x)")
+        return 1
+    print(f"OK: v2 loads {speedup:.2f}x faster than v1 at {peak_ratio:.2f}x "
+          f"its peak memory (required >={args.min_speedup:.1f}x, "
+          f"<={args.max_peak_ratio:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

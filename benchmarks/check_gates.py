@@ -1,0 +1,154 @@
+"""Validate benchmark-gate JSON reports against their documented thresholds.
+
+Every ``bench_*.py`` gate writes one JSON report (``--json``, assembled by
+:func:`bench_helpers.write_report`).  This checker re-derives each gate's
+verdict from the numbers in the file — it does not trust the ``passed`` flag,
+it cross-checks it — so a gate script whose pass logic drifts from its
+recorded thresholds fails loudly here.  Both CI jobs run it: the PR-size
+``tests`` job over the reduced-size artifacts, and the scheduled
+``bench-full`` job over the documented full-size runs.
+
+Usage::
+
+    python benchmarks/check_gates.py bench-artifacts/
+    python benchmarks/check_gates.py a.json b.json --merge bench-trajectory.json
+
+``--merge`` additionally writes every validated report into one merged
+trajectory file (keyed by benchmark name, stamped with the run time) — the
+single artifact the scheduled job uploads, so the perf trajectory across
+runs is one download per run instead of five.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: Per-gate validation: report -> (ok, human-readable detail).
+#: Thresholds ride inside each report (the gate's CLI defaults are the
+#: documented values; reduced-size CI runs record their adjusted bars).
+GateRule = Callable[[Dict], Tuple[bool, str]]
+
+
+def _speedup_rule(report: Dict) -> Tuple[bool, str]:
+    speedup = float(report["speedup"])
+    floor = float(report["min_speedup"])
+    return speedup >= floor, f"speedup {speedup:.2f}x (needs >= {floor:.2f}x)"
+
+
+def _overhead_rule(report: Dict) -> Tuple[bool, str]:
+    overhead = float(report["overhead"])
+    ceiling = float(report["max_overhead"])
+    return (
+        overhead <= ceiling,
+        f"overhead {overhead * 100:+.1f}% (allows <= {ceiling * 100:.0f}%)",
+    )
+
+
+def _snapshot_rule(report: Dict) -> Tuple[bool, str]:
+    ok, detail = _speedup_rule(report)
+    peak_ratio = float(report["peak_ratio"])
+    peak_ceiling = float(report["max_peak_ratio"])
+    peak_ok = peak_ratio <= peak_ceiling
+    detail += f", peak {peak_ratio:.2f}x (allows <= {peak_ceiling:.2f}x)"
+    return ok and peak_ok, detail
+
+
+GATES: Dict[str, GateRule] = {
+    "bench_query_throughput": _speedup_rule,
+    "bench_api_overhead": _overhead_rule,
+    "bench_incremental": _speedup_rule,
+    "bench_concurrent_serving": _speedup_rule,
+    "bench_snapshot": _snapshot_rule,
+}
+
+
+def collect_reports(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into gate-report JSON paths."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json") and name != "bench-trajectory.json"
+            )
+        else:
+            found.append(path)
+    return found
+
+
+def check_report(path: str) -> Tuple[str, bool, str]:
+    """Validate one report file; returns (benchmark, ok, detail)."""
+    with open(path) as handle:
+        report = json.load(handle)
+    benchmark = report.get("benchmark", "?")
+    rule = GATES.get(benchmark)
+    if rule is None:
+        return benchmark, False, f"unknown gate {benchmark!r} in {path}"
+    try:
+        ok, detail = rule(report)
+    except (KeyError, TypeError, ValueError) as exc:
+        return benchmark, False, f"malformed report {path}: {exc!r}"
+    recorded = report.get("passed")
+    if recorded is not None and bool(recorded) != ok:
+        return benchmark, False, (
+            f"{detail}; recorded passed={recorded} disagrees with the "
+            "thresholds in the same file"
+        )
+    return benchmark, ok, detail
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="gate report files and/or directories of them")
+    parser.add_argument("--merge", type=str, default=None,
+                        help="write all validated reports into one "
+                        "trajectory JSON file")
+    args = parser.parse_args(argv)
+
+    files = collect_reports(args.paths)
+    if not files:
+        print("no gate reports found", file=sys.stderr)
+        return 1
+    results: List[Tuple[str, bool, str]] = []
+    merged: Dict[str, Dict] = {}
+    for path in files:
+        benchmark, ok, detail = check_report(path)
+        results.append((benchmark, ok, detail))
+        if benchmark in GATES:
+            with open(path) as handle:
+                merged[benchmark] = json.load(handle)
+
+    width = max(len(name) for name, _, _ in results)
+    for benchmark, ok, detail in results:
+        print(f"{'PASS' if ok else 'FAIL'}  {benchmark:<{width}}  {detail}")
+    all_ok = all(ok for _, ok, _ in results)
+
+    if args.merge:
+        trajectory = {
+            "schema": 1,
+            "generated_at": time.time(),
+            "passed": all_ok,
+            "gates": merged,
+        }
+        directory = os.path.dirname(os.path.abspath(args.merge))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.merge, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.merge} ({len(merged)} gates)")
+
+    if not all_ok:
+        print("gate validation failed", file=sys.stderr)
+        return 1
+    print(f"all {len(results)} gates within their thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

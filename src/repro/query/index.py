@@ -78,6 +78,64 @@ class CubeIndex:
         """Index every materialised cell of ``cube``."""
         return cls(cube.num_dims, cube.items())
 
+    @classmethod
+    def from_snapshot_state(
+        cls,
+        num_dims: int,
+        cells: List[Cell],
+        stats: List[CellStats],
+        postings: Iterable[Mapping[int, Iterable[int]]],
+        best_slot: Optional[int],
+        slot_ints: Optional[List[int]] = None,
+    ) -> "CubeIndex":
+        """Reconstruct an index from persisted state, skipping the re-index.
+
+        The v2 snapshot format (:mod:`repro.storage.snapshot`) persists the
+        posting lists and the pre-scored apex slot it derived while writing
+        the cells in slot order; this constructor reinstates them wholesale —
+        set construction and one slot-map comprehension, all C-speed — instead
+        of replaying the per-cell :meth:`add_cells` loop.  ``stats`` must be
+        the same :class:`CellStats` objects the owning cube holds (shared, as
+        :meth:`add_cells` would share them), in slot order matching ``cells``.
+
+        Takes ownership of the ``cells`` / ``stats`` lists and of any posting
+        map whose slot collections are already ``set``\\ s (callers that
+        interned their slot ints keep that sharing; plain iterables are
+        copied into fresh sets).
+        """
+        if len(cells) != len(stats):
+            raise QueryError(
+                f"{len(cells)} cells with {len(stats)} stats entries"
+            )
+        index = cls.__new__(cls)
+        index.num_dims = num_dims
+        index._cells = cells
+        index._stats = stats
+        index._postings = [
+            {
+                value: slots if isinstance(slots, set) else set(slots)
+                for value, slots in dim_postings.items()
+            }
+            for dim_postings in postings
+        ]
+        if len(index._postings) != num_dims:
+            raise QueryError(
+                f"{len(index._postings)} posting maps for {num_dims} dimensions"
+            )
+        # ``slot_ints`` lets the caller share one canonical int object per
+        # slot between the slot map and its (pre-interned) posting sets.
+        if slot_ints is not None and len(slot_ints) == len(cells):
+            index._slot_of = dict(zip(cells, slot_ints))
+        else:
+            index._slot_of = {cell: slot for slot, cell in enumerate(cells)}
+        if len(index._slot_of) != len(cells):
+            raise QueryError("duplicate cells in persisted index state")
+        index._dead = set()
+        index._best_slot = best_slot
+        index._mutate_lock = threading.Lock()
+        index.generation = 0
+        return index
+
     # ------------------------------------------------------------------ #
     # In-place maintenance                                                #
     # ------------------------------------------------------------------ #

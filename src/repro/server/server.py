@@ -126,6 +126,7 @@ class AsyncCubeServer:
             "batches": 0,
             "appends": 0,
             "appended_rows": 0,
+            "compactions": 0,
             "errors": 0,
         }
 
@@ -385,6 +386,26 @@ class AsyncCubeServer:
             self._maintenance_pool, partial(self.catalog.save, name)
         )
 
+    async def compact(self, name: str, mode: str = "auto") -> Dict[str, object]:
+        """Fold a cube's append journal into durable snapshot state.
+
+        Runs :meth:`repro.catalog.CubeCatalog.compact` on the maintenance
+        pool, serialised against that cube's appends (the catalog's per-name
+        gate); queries on every cube — including this one — keep flowing
+        meanwhile.  Returns the catalog's compaction report.
+        """
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        channel = self._channel(name)
+        async with channel.append_lock:
+            report = await loop.run_in_executor(
+                self._maintenance_pool,
+                partial(self.catalog.compact, name, mode),
+            )
+        if report.get("mode") != "none":
+            self._counters["compactions"] += 1
+        return report
+
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
@@ -415,6 +436,7 @@ class AsyncCubeServer:
             "max_pending": self.max_pending,
             "max_batch": self.max_batch,
             "counters": dict(self._counters),
+            "compaction": self.catalog.compaction_stats(),
             "cubes": cubes,
         }
 

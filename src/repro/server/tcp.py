@@ -14,6 +14,7 @@ the catalog's append streams use.  Requests::
     {"op": "create",     "cube": "sales", "rows": [...], "schema": {...}}
     {"op": "drop",       "cube": "sales"}
     {"op": "save",       "cube": "sales"}
+    {"op": "compact",    "cube": "sales", "mode": "auto"}
 
 An optional ``"id"`` is echoed back verbatim.  Responses are
 ``{"id": ..., "ok": true, "result": ...}`` or ``{"id": ..., "ok": false,
@@ -80,11 +81,12 @@ async def _dispatch_request(
     if op == "stats":
         return server.stats()
     if op not in (
-        "describe", "query", "query_many", "append", "create", "drop", "save"
+        "describe", "query", "query_many", "append", "create", "drop", "save",
+        "compact",
     ):
         raise ServerError(
             f"unknown op {op!r}; expected ping/list/stats/describe/query/"
-            "query_many/append/create/drop/save"
+            "query_many/append/create/drop/save/compact"
         )
     cube = request.get("cube")
     if not isinstance(cube, str):
@@ -117,6 +119,11 @@ async def _dispatch_request(
     if op == "drop":
         await server.drop(cube)
         return {"dropped": cube}
+    if op == "compact":
+        mode = request.get("mode", "auto")
+        if not isinstance(mode, str):
+            raise ServerError("'compact' takes an optional string 'mode'")
+        return await server.compact(cube, mode)
     await server.save(cube)
     return {"saved": cube}
 

@@ -613,12 +613,16 @@ class ServingCube:
     # Persistence                                                        #
     # ------------------------------------------------------------------ #
 
-    def save(self, path: str) -> int:
+    def save(self, path: str, format: str = "v2") -> int:
         """Snapshot the full serving state to ``path``.
 
         Writes the versioned format of :mod:`repro.storage.snapshot` (schema,
         value dictionaries, closed cells with measure state, configuration);
-        returns the snapshot size in bytes.  Load with :meth:`load`.
+        returns the snapshot size in bytes.  ``format`` picks the layout:
+        ``"v2"`` (default) streams chunked, checksummed frames and persists
+        the closure index's posting lists for fast reloads; ``"v1"`` writes
+        the original monolithic pickle.  Load with :meth:`load` — both
+        formats round-trip.
 
         Serialised against maintenance: a snapshot taken while an append is
         in flight waits for it, so it always captures a published version.
@@ -626,15 +630,35 @@ class ServingCube:
         from ..storage.snapshot import save_snapshot
 
         with self._maintenance_lock:
-            return save_snapshot(self, path)
+            return save_snapshot(self, path, format=format)
+
+    def save_delta(self, path: str, start_tid: int) -> int:
+        """Write the rows appended since ``start_tid`` as a delta segment.
+
+        The incremental counterpart of :meth:`save`: instead of rewriting the
+        whole snapshot, persist only the appended column tails plus the
+        closed delta cube over them (see
+        :func:`repro.storage.snapshot.save_delta_segment`).  Reload with
+        ``ServingCube.load(base_path, segments=[...])``.  Only
+        exact-maintenance configurations (full closed cubes) can be
+        segmented; others raise :class:`~repro.core.errors.SnapshotError`.
+        Returns the segment size in bytes.
+        """
+        from ..storage.snapshot import save_delta_segment
+
+        with self._maintenance_lock:
+            return save_delta_segment(self, path, start_tid)
 
     @classmethod
-    def load(cls, path: str) -> "ServingCube":
+    def load(cls, path: str, segments: Sequence[str] = ()) -> "ServingCube":
         """Rebuild a serving cube from a :meth:`save` snapshot.
 
         The returned cube answers every query the saved one answered and
         keeps its maintenance abilities — appending and re-snapshotting a
-        loaded cube is the intended warm-restart loop.
+        loaded cube is the intended warm-restart loop.  The snapshot's format
+        version is auto-detected; ``segments`` optionally folds
+        :meth:`save_delta` segments (in write order) into the base before the
+        engine opens.
 
         Only load trusted files: the snapshot payload is pickle, so loading
         a crafted file executes arbitrary code (see
@@ -642,7 +666,7 @@ class ServingCube:
         """
         from ..storage.snapshot import load_snapshot
 
-        return load_snapshot(path)
+        return load_snapshot(path, segments=segments)
 
     # ------------------------------------------------------------------ #
     # Versioned reads                                                     #

@@ -18,30 +18,40 @@ from .manifest import (
     CatalogManifest,
     CubeEntry,
     appends_filename,
+    segment_filename,
     snapshot_filename,
     validate_cube_name,
 )
 from .partition import PartitionReport, PartitionedCubeComputer
 from .snapshot import (
     SNAPSHOT_MAGIC,
+    SNAPSHOT_V1,
+    SNAPSHOT_V2,
     SNAPSHOT_VERSION,
     load_snapshot,
+    save_delta_segment,
     save_snapshot,
+    snapshot_version,
 )
 
 __all__ = [
     "PartitionReport",
     "PartitionedCubeComputer",
     "SNAPSHOT_MAGIC",
+    "SNAPSHOT_V1",
+    "SNAPSHOT_V2",
     "SNAPSHOT_VERSION",
     "load_snapshot",
+    "save_delta_segment",
     "save_snapshot",
+    "snapshot_version",
     "CatalogManifest",
     "CubeEntry",
     "CUBE_NAME_PATTERN",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "appends_filename",
+    "segment_filename",
     "snapshot_filename",
     "validate_cube_name",
 ]

@@ -44,9 +44,26 @@ def validate_cube_name(name: str) -> str:
     return name
 
 
-def snapshot_filename(name: str) -> str:
-    """Per-cube snapshot file name inside the catalog directory."""
-    return f"{validate_cube_name(name)}.cube"
+def snapshot_filename(name: str, generation: int = 0) -> str:
+    """Per-cube snapshot file name inside the catalog directory.
+
+    Generation 0 keeps the original flat name; later generations carry a
+    ``.g<N>`` infix.  A new generation is minted whenever a full rewrite must
+    supersede a base that still has delta segments or journal bytes stacked
+    on it: the fresh file lands under a name the manifest does not reference
+    yet, so the switch is a single atomic manifest flip and a crash in
+    between leaves the old chain fully intact (see
+    :meth:`repro.catalog.CubeCatalog.compact`).
+    """
+    validate_cube_name(name)
+    if generation:
+        return f"{name}.g{int(generation)}.cube"
+    return f"{name}.cube"
+
+
+def segment_filename(name: str, generation: int, index: int) -> str:
+    """Delta-segment file name: tied to its base snapshot's generation."""
+    return f"{validate_cube_name(name)}.g{int(generation)}.seg{int(index)}.cube"
 
 
 def appends_filename(name: str) -> str:
@@ -56,7 +73,17 @@ def appends_filename(name: str) -> str:
 
 @dataclass
 class CubeEntry:
-    """One cube's row in the manifest."""
+    """One cube's row in the manifest.
+
+    ``rows`` / ``cells`` describe the *durable* state — what the snapshot
+    plus its delta ``segments`` cover, not counting journaled-but-unfolded
+    appends.  ``journal_offset`` is the byte position in the append stream up
+    to which batches are already folded into that durable state; a loader
+    replays only the bytes past it.  ``generation`` numbers full-snapshot
+    rewrites (see :func:`snapshot_filename`), and ``format`` records the
+    snapshot's on-disk format version name (``"v1"`` for entries written
+    before the streaming format existed).
+    """
 
     snapshot: str
     appends: str
@@ -66,6 +93,10 @@ class CubeEntry:
     cells: int = 0
     algorithm: str = ""
     dimensions: tuple = ()
+    format: str = "v1"
+    generation: int = 0
+    segments: tuple = ()
+    journal_offset: int = 0
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "CubeEntry":
@@ -82,6 +113,10 @@ class CubeEntry:
                 cells=int(raw.get("cells", 0)),  # type: ignore[arg-type]
                 algorithm=str(raw.get("algorithm", "")),
                 dimensions=tuple(raw.get("dimensions", ())),  # type: ignore[arg-type]
+                format=str(raw.get("format", "v1")),
+                generation=int(raw.get("generation", 0)),  # type: ignore[arg-type]
+                segments=tuple(raw.get("segments", ())),  # type: ignore[arg-type]
+                journal_offset=int(raw.get("journal_offset", 0)),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CatalogError(f"corrupt manifest entry: {raw!r} ({exc})") from exc
@@ -130,6 +165,7 @@ class CatalogManifest:
         }
         for entry in payload["cubes"].values():
             entry["dimensions"] = list(entry["dimensions"])
+            entry["segments"] = list(entry["segments"])
         path = self.path_in(directory)
         handle, tmp_path = tempfile.mkstemp(
             prefix=".catalog-", suffix=".tmp", dir=directory

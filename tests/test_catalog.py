@@ -291,6 +291,176 @@ def test_empty_append_is_a_noop_and_not_journaled(catalog):
 
 
 # --------------------------------------------------------------------------- #
+# Compaction                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def _append_batches(catalog, name, count, prefix="n"):
+    rows = []
+    for index in range(count):
+        batch = [(f"{prefix}{index}", f"p{index % 3}")]
+        catalog.append(name, batch)
+        rows.extend(batch)
+    return rows
+
+
+def test_compact_incremental_reopens_identically(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    extra = _append_batches(catalog, "sales", 6)
+    assert catalog.describe("sales")["pending_appends"] == 6
+
+    report = catalog.compact("sales")
+    assert report["mode"] == "incremental"
+    assert report["folded_journal_bytes"] > 0
+    info = catalog.describe("sales")
+    assert info["segments"] == [report["segment"]]
+    assert info["pending_appends"] == 0
+    # The folded journal bytes are reclaimed, not just skipped.
+    assert info["journal_bytes"] == 0 and info["journal_offset"] == 0
+    assert info["rows"] == len(ROWS) + len(extra)
+
+    # Appends after the fold land in the journal tail and replay on top.
+    tail = _append_batches(catalog, "sales", 2, prefix="t")
+    assert catalog.describe("sales")["pending_appends"] == 2
+
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    rebuilt = CubeSession.from_rows(ROWS + extra + tail, schema=SCHEMA).build()
+    assert reopened.cube.same_cells(rebuilt.cube), reopened.cube.diff(rebuilt.cube)
+
+
+def test_compact_full_flips_the_generation(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    extra = _append_batches(catalog, "sales", 4)
+    catalog.compact("sales")  # stack one segment first
+    more = _append_batches(catalog, "sales", 3, prefix="m")
+    old_files = [catalog.describe("sales")["snapshot"],
+                 *catalog.describe("sales")["segments"]]
+
+    report = catalog.compact("sales", mode="full")
+    assert report["mode"] == "full"
+    info = catalog.describe("sales")
+    assert info["generation"] == 1
+    assert info["snapshot"] == "sales.g1.cube"
+    assert info["segments"] == [] and info["journal_offset"] == 0
+    assert info["journal_bytes"] == 0 and info["format"] == "v2"
+    for stale in old_files:
+        assert not os.path.exists(os.path.join(catalog.directory, stale))
+
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    rebuilt = CubeSession.from_rows(ROWS + extra + more, schema=SCHEMA).build()
+    assert reopened.cube.same_cells(rebuilt.cube)
+
+
+def test_compact_noop_when_nothing_pending(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    assert catalog.compact("sales")["mode"] == "none"
+    assert catalog.compaction_stats() == {"incremental": 0, "full": 0}
+
+
+def test_compact_incremental_refused_for_iceberg_cubes(catalog):
+    session = CubeSession.from_rows(ROWS + ROWS, schema=SCHEMA).closed(min_sup=2)
+    catalog.create("berg", session)
+    catalog.append("berg", [("s1", "p1")])
+    with pytest.raises(CatalogError, match="cannot compact incrementally"):
+        catalog.compact("berg", mode="incremental")
+    # mode="auto" falls back to a full rewrite instead.
+    report = catalog.compact("berg")
+    assert report["mode"] == "full"
+    reopened = CubeCatalog(catalog.directory).open("berg")
+    rebuilt = (
+        CubeSession.from_rows(ROWS + ROWS + [("s1", "p1")], schema=SCHEMA)
+        .closed(min_sup=2)
+        .build()
+    )
+    assert reopened.cube.same_cells(rebuilt.cube)
+
+
+def test_auto_compaction_escalates_to_full_past_the_segment_bound(tmp_path):
+    """mode='auto' must not stack segments forever: past the bound it
+    rewrites the base, resetting the chain."""
+    catalog = CubeCatalog(str(tmp_path / "cubes"), auto_compact_ratio=None,
+                          auto_compact_max_segments=2)
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    rows = list(ROWS)
+    for round_index in range(3):
+        rows += _append_batches(catalog, "sales", 2, prefix=f"r{round_index}")
+        report = catalog.compact("sales")
+        expected = "incremental" if round_index < 2 else "full"
+        assert report["mode"] == expected, (round_index, report)
+    info = catalog.describe("sales")
+    assert info["segments"] == [] and info["generation"] == 1
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    rebuilt = CubeSession.from_rows(rows, schema=SCHEMA).build()
+    assert reopened.cube.same_cells(rebuilt.cube)
+
+
+def test_compact_unknown_mode_rejected(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    with pytest.raises(CatalogError, match="unknown compaction mode"):
+        catalog.compact("sales", mode="sideways")
+
+
+def test_auto_compaction_triggers_on_journal_growth(tmp_path):
+    catalog = CubeCatalog(
+        str(tmp_path / "cubes"),
+        auto_compact_ratio=0.0001,
+        auto_compact_min_bytes=1,
+    )
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    rows = _append_batches(catalog, "sales", 3)
+    stats = catalog.compaction_stats()
+    assert stats["incremental"] >= 1
+    assert catalog.describe("sales")["pending_appends"] == 0
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    rebuilt = CubeSession.from_rows(ROWS + rows, schema=SCHEMA).build()
+    assert reopened.cube.same_cells(rebuilt.cube)
+
+
+def test_auto_compaction_disabled_by_default_thresholds(catalog):
+    """Tiny journals stay below auto_compact_min_bytes — no churn."""
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    _append_batches(catalog, "sales", 3)
+    assert catalog.compaction_stats() == {"incremental": 0, "full": 0}
+    assert catalog.describe("sales")["pending_appends"] == 3
+
+
+def test_failed_compaction_rolls_the_manifest_back(catalog, monkeypatch):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    _append_batches(catalog, "sales", 2)
+    before = catalog.describe("sales")
+
+    from repro.storage.manifest import CatalogManifest
+
+    def boom(self, directory):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(CatalogManifest, "save", boom)
+    with pytest.raises(OSError):
+        catalog.compact("sales")
+    monkeypatch.undo()
+
+    after = catalog.describe("sales")
+    assert after["segments"] == before["segments"] == []
+    assert after["journal_offset"] == before["journal_offset"] == 0
+    assert after["pending_appends"] == 2
+    # The orphaned segment file was removed and the chain still replays.
+    assert not any(".seg" in name for name in os.listdir(catalog.directory))
+    reopened = CubeCatalog(catalog.directory).open("sales")
+    assert reopened.relation.num_tuples == len(ROWS) + 2
+
+
+def test_describe_reports_chain_metadata(catalog):
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    info = catalog.describe("sales")
+    assert info["format"] == "v2"
+    assert info["generation"] == 0
+    assert info["segments"] == []
+    assert info["journal_offset"] == 0
+    assert info["durable_bytes"] > 0
+    assert info["journal_bytes"] == 0
+
+
+# --------------------------------------------------------------------------- #
 # Manifest format                                                              #
 # --------------------------------------------------------------------------- #
 
@@ -302,6 +472,25 @@ def test_manifest_is_inspectable_json(catalog):
     assert manifest["version"] == 1
     assert "sales" in manifest["cubes"]
     assert manifest["cubes"]["sales"]["snapshot"] == "sales.cube"
+
+
+def test_legacy_manifest_entries_still_load(catalog):
+    """Manifests written before the v2/compaction fields existed default to
+    the legacy meaning (format v1, no segments, whole journal pending)."""
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    catalog.append("sales", [("s9", "p9")])
+    path = os.path.join(catalog.directory, "catalog.json")
+    with open(path) as handle:
+        manifest = json.load(handle)
+    for key in ("format", "generation", "segments", "journal_offset"):
+        manifest["cubes"]["sales"].pop(key, None)
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    reopened = CubeCatalog(catalog.directory)
+    info = reopened.describe("sales")
+    assert info["format"] == "v1" and info["segments"] == []
+    assert info["pending_appends"] == 1  # offset defaults to 0: full replay
+    assert reopened.open("sales").point({"store": "s9"}).count == 1
 
 
 def test_manifest_rejects_unknown_versions(tmp_path):

@@ -144,6 +144,35 @@ def test_create_drop_save_through_the_server(catalog):
     assert catalog.list() == []
 
 
+def test_compact_through_the_server(catalog):
+    catalog.create("sales", [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
+                   schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            for index in range(3):
+                await server.append("sales", [(f"s{index + 3}", "p1")])
+            assert catalog.describe("sales")["pending_appends"] == 3
+            report = await server.compact("sales")
+            assert report["mode"] == "incremental"
+            assert catalog.describe("sales")["pending_appends"] == 0
+            # Queries keep answering the folded state.
+            assert (await server.query("sales", {"store": "s3"})).count == 1
+            stats = server.stats()
+            assert stats["counters"]["compactions"] == 1
+            assert stats["compaction"]["incremental"] == 1
+            # Nothing pending: the second fold is an explicit no-op.
+            second = await server.compact("sales")
+            assert second["mode"] == "none"
+            assert server.stats()["counters"]["compactions"] == 1
+
+    run(scenario())
+    # The fold is durable: a fresh catalog replays segments, not journals.
+    reopened = CubeCatalog(catalog.directory)
+    assert reopened.describe("sales")["segments"]
+    assert reopened.open("sales").point({"store": "s4"}).count == 1
+
+
 def test_back_pressure_bounds_the_queue(catalog):
     catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
 
@@ -287,6 +316,19 @@ def test_tcp_protocol_round_trip(catalog):
                     reader, writer, {"op": "describe", "cube": "sales"}
                 )
                 assert described["result"]["pending_appends"] == 1
+
+                compacted = await _rpc(
+                    reader, writer, {"op": "compact", "cube": "sales"}
+                )
+                assert compacted["ok"]
+                assert compacted["result"]["mode"] == "incremental"
+                assert compacted["result"]["folded_rows"] == 1
+
+                bad_mode = await _rpc(
+                    reader, writer,
+                    {"op": "compact", "cube": "sales", "mode": 7},
+                )
+                assert not bad_mode["ok"]
 
                 saved = await _rpc(reader, writer, {"op": "save", "cube": "sales"})
                 assert saved["ok"]

@@ -1,29 +1,57 @@
 """Tests for snapshot persistence (:mod:`repro.storage.snapshot`).
 
 The acceptance property: a ``save`` → ``load`` round trip preserves every
-query answer — exhaustively over the lattice — and the loaded cube keeps its
-maintenance abilities (appending, re-snapshotting).  Failure modes must be
-crisp :class:`SnapshotError`\\ s, not pickle stack traces.
+query answer — exhaustively over the lattice, in both the v1 monolithic and
+the v2 streaming format — and the loaded cube keeps its maintenance
+abilities (appending, re-snapshotting).  Failure modes must be crisp
+:class:`SnapshotError`\\ s, not pickle stack traces: a truncated chunk, a
+checksum mismatch, and an unknown version byte each name their problem.
 """
 
 from __future__ import annotations
+
+import struct
 
 import pytest
 
 from repro import CubeSession, ServingCube, Sum
 from repro.core.errors import SnapshotError
-from repro.storage.snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, save_snapshot
+from repro.storage.snapshot import (
+    FRAME_CELLS,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_V1,
+    SNAPSHOT_V2,
+    save_snapshot,
+    snapshot_version,
+)
 
 from test_incremental import split_rows
 from test_query_engine import lattice_cells
 
+FORMATS = ["v1", "v2"]
 
+_HEADER_SIZE = struct.calcsize(">8sI")
+_FRAME = struct.Struct(">BII")
+
+
+def frame_spans(data: bytes):
+    """(kind, payload_start, payload_length) for every v2 frame in ``data``."""
+    spans = []
+    offset = _HEADER_SIZE
+    while offset < len(data):
+        kind, length, _crc = _FRAME.unpack_from(data, offset)
+        spans.append((kind, offset + _FRAME.size, length))
+        offset += _FRAME.size + length
+    return spans
+
+
+@pytest.mark.parametrize("format", FORMATS)
 @pytest.mark.parametrize("seed", range(6))
-def test_round_trip_preserves_all_query_answers(seed, tmp_path):
+def test_round_trip_preserves_all_query_answers(seed, format, tmp_path):
     base_rows, _ = split_rows(seed + 40)
     cube = CubeSession.from_rows(base_rows).closed(min_sup=1).build()
     path = str(tmp_path / "cube.snap")
-    size = cube.save(path)
+    size = cube.save(path, format=format)
     assert size > 0
 
     loaded = ServingCube.load(path)
@@ -34,7 +62,8 @@ def test_round_trip_preserves_all_query_answers(seed, tmp_path):
         assert loaded.engine.point(cell).count == cube.engine.point(cell).count
 
 
-def test_round_trip_preserves_measures_and_named_answers(tmp_path):
+@pytest.mark.parametrize("format", FORMATS)
+def test_round_trip_preserves_measures_and_named_answers(format, tmp_path):
     rows = [("a", "x", 2.0), ("a", "y", 4.0), ("b", "x", 8.0)]
     schema = {"dimensions": ["L", "R"], "measures": ["m"]}
     cube = (
@@ -44,12 +73,60 @@ def test_round_trip_preserves_measures_and_named_answers(tmp_path):
         .build()
     )
     path = str(tmp_path / "cube.snap")
-    cube.save(path)
+    cube.save(path, format=format)
     loaded = ServingCube.load(path)
     answer = loaded.point({"L": "a"})
     assert answer.count == 2
     assert answer.measure("sum(m)") == pytest.approx(6.0)
     assert loaded.point({"L": "never-seen"}).count is None
+
+
+def test_format_versions_land_in_the_header(tmp_path):
+    cube = CubeSession.from_rows([("a",), ("b",)]).closed().build()
+    v1 = str(tmp_path / "cube.v1")
+    v2 = str(tmp_path / "cube.v2")
+    cube.save(v1, format="v1")
+    cube.save(v2)  # v2 is the default
+    assert snapshot_version(v1) == SNAPSHOT_V1
+    assert snapshot_version(v2) == SNAPSHOT_V2
+    with pytest.raises(SnapshotError, match="unknown snapshot format"):
+        cube.save(str(tmp_path / "cube.v3"), format="v3")
+
+
+def test_v1_v2_v1_round_trip_equality(tmp_path):
+    """Converting v1 → v2 → v1 must preserve cells, measures, and min_sup,
+    checked over the exhaustive lattice of a small cube."""
+    rows = [("a", "x", 1.0), ("a", "y", 2.0), ("b", "x", 4.0),
+            ("b", "x", 8.0), ("c", "z", 16.0)]
+    schema = {"dimensions": ["L", "R"], "measures": ["m"]}
+    original = (
+        CubeSession.from_rows(rows, schema=schema)
+        .closed(min_sup=1)
+        .measures(Sum("m"))
+        .build()
+    )
+    paths = [str(tmp_path / name) for name in ("a.v1", "b.v2", "c.v1")]
+    original.save(paths[0], format="v1")
+    middle = ServingCube.load(paths[0])
+    middle.save(paths[1], format="v2")
+    back = ServingCube.load(paths[1])
+    back.save(paths[2], format="v1")
+    final = ServingCube.load(paths[2])
+    assert snapshot_version(paths[0]) == snapshot_version(paths[2]) == SNAPSHOT_V1
+    assert snapshot_version(paths[1]) == SNAPSHOT_V2
+    for cube in (middle, back, final):
+        assert cube.config.min_sup == original.config.min_sup
+        assert cube.config.closed == original.config.closed
+        # Measure specs pickle as equivalent-but-distinct objects; compare
+        # their identity by name.
+        assert [spec.name for spec in cube.config.measures] == [
+            spec.name for spec in original.config.measures
+        ]
+        assert cube.cube.same_cells(original.cube)
+        for cell, stats in original.cube.items():
+            assert cube.cube[cell].measures == pytest.approx(stats.measures)
+    for cell in lattice_cells(original.relation):
+        assert final.engine.point(cell).count == original.engine.point(cell).count
 
 
 def test_loaded_cube_keeps_appending_incrementally(tmp_path):
@@ -89,12 +166,13 @@ def test_partitioned_round_trip(tmp_path):
     assert loaded.point({"store": "s1"}).count == 3
 
 
-def test_save_overwrites_atomically(tmp_path):
+@pytest.mark.parametrize("format", FORMATS)
+def test_save_overwrites_atomically(format, tmp_path):
     cube = CubeSession.from_rows([("a",), ("b",)]).closed().build()
     path = str(tmp_path / "cube.snap")
-    cube.save(path)
+    cube.save(path, format=format)
     cube.append([("c",)])
-    cube.save(path)
+    cube.save(path, format=format)
     assert ServingCube.load(path).relation.num_tuples == 3
     assert list(tmp_path.iterdir()) == [tmp_path / "cube.snap"], (
         "no temporary files may be left behind"
@@ -115,25 +193,141 @@ def test_truncated_snapshot_raises(tmp_path):
         ServingCube.load(str(path))
 
 
-def test_unsupported_version_raises(tmp_path):
+def test_unknown_version_byte_raises(tmp_path):
     cube = CubeSession.from_rows([("a",)]).closed().build()
     path = tmp_path / "future.snap"
     save_snapshot(cube, str(path))
     data = bytearray(path.read_bytes())
-    data[8:12] = (SNAPSHOT_VERSION + 1).to_bytes(4, "big")
+    data[8:12] = (99).to_bytes(4, "big")
     path.write_bytes(bytes(data))
-    with pytest.raises(SnapshotError, match="version"):
+    with pytest.raises(SnapshotError, match="version 99"):
         ServingCube.load(str(path))
 
 
-def test_corrupt_payload_raises(tmp_path):
+def test_v1_corrupt_payload_raises(tmp_path):
     cube = CubeSession.from_rows([("a",)]).closed().build()
-    path = tmp_path / "corrupt.snap"
-    save_snapshot(cube, str(path))
+    path = tmp_path / "cube.snap"
+    save_snapshot(cube, str(path), format="v1")
     data = path.read_bytes()
     path.write_bytes(data[:16])  # header intact, payload chopped
-    with pytest.raises(SnapshotError, match="corrupt"):
+    with pytest.raises(SnapshotError, match="corrupt payload"):
         ServingCube.load(str(path))
+
+
+def test_v2_truncated_chunk_raises(tmp_path):
+    """A file that stops mid-chunk — the torn-write crash artefact — must
+    name the truncation, not raise a pickle stack trace."""
+    cube = CubeSession.from_rows([("a", "x"), ("b", "y")]).closed().build()
+    path = tmp_path / "cube.snap"
+    save_snapshot(cube, str(path))
+    data = path.read_bytes()
+    kind, start, length = next(
+        span for span in frame_spans(data) if span[0] == FRAME_CELLS
+    )
+    path.write_bytes(data[: start + max(1, length // 2)])
+    with pytest.raises(SnapshotError, match="truncated"):
+        ServingCube.load(str(path))
+
+
+def test_v2_torn_frame_header_raises(tmp_path):
+    cube = CubeSession.from_rows([("a",)]).closed().build()
+    path = tmp_path / "cube.snap"
+    save_snapshot(cube, str(path))
+    data = path.read_bytes()
+    path.write_bytes(data[: _HEADER_SIZE + 4])  # half a frame header
+    with pytest.raises(SnapshotError, match="truncated mid-frame-header"):
+        ServingCube.load(str(path))
+
+
+def test_v2_missing_end_frame_raises(tmp_path):
+    cube = CubeSession.from_rows([("a",)]).closed().build()
+    path = tmp_path / "cube.snap"
+    save_snapshot(cube, str(path))
+    data = path.read_bytes()
+    kind, start, length = frame_spans(data)[-1]
+    header_start = start - _FRAME.size
+    path.write_bytes(data[:header_start])  # every frame intact, END dropped
+    with pytest.raises(SnapshotError, match="END frame"):
+        ServingCube.load(str(path))
+
+
+def test_v2_checksum_mismatch_raises(tmp_path):
+    cube = CubeSession.from_rows([("a", "x"), ("b", "y")]).closed().build()
+    path = tmp_path / "cube.snap"
+    save_snapshot(cube, str(path))
+    data = bytearray(path.read_bytes())
+    kind, start, length = next(
+        span for span in frame_spans(bytes(data)) if span[0] == FRAME_CELLS
+    )
+    data[start + length // 2] ^= 0xFF  # flip one payload byte
+    path.write_bytes(bytes(data))
+    with pytest.raises(SnapshotError, match="checksum"):
+        ServingCube.load(str(path))
+
+
+# --------------------------------------------------------------------------- #
+# Delta segments (v2 incremental mode)                                          #
+# --------------------------------------------------------------------------- #
+
+
+def test_delta_segments_fold_to_the_live_state(tmp_path):
+    """base + segments must equal the cube that kept appending in memory."""
+    base_rows, delta_rows = split_rows(7)
+    cube = CubeSession.from_rows(base_rows).closed(min_sup=1).build()
+    base = str(tmp_path / "base.snap")
+    cube.save(base)
+    segments = []
+    for index in range(2):
+        start = cube.relation.num_tuples
+        half = delta_rows[index::2]
+        cube.append(half)
+        segment = str(tmp_path / f"seg{index}")
+        assert cube.save_delta(segment, start) > 0
+        segments.append(segment)
+
+    loaded = ServingCube.load(base, segments=segments)
+    assert loaded.cube.same_cells(cube.cube), loaded.cube.diff(cube.cube)
+    for cell in lattice_cells(cube.relation):
+        assert loaded.engine.point(cell).count == cube.engine.point(cell).count
+    # The folded cube keeps maintaining and re-snapshotting itself.
+    loaded.append(base_rows[:1])
+    cube.append(base_rows[:1])
+    assert loaded.cube.same_cells(cube.cube)
+    resaved = str(tmp_path / "resaved.snap")
+    loaded.save(resaved)
+    assert ServingCube.load(resaved).cube.same_cells(cube.cube)
+
+
+def test_delta_segments_must_stack_in_order(tmp_path):
+    cube = CubeSession.from_rows([("a", "x"), ("b", "y")]).closed().build()
+    base = str(tmp_path / "base.snap")
+    cube.save(base)
+    start = cube.relation.num_tuples
+    cube.append([("c", "z")])
+    first = str(tmp_path / "seg1")
+    cube.save_delta(first, start)
+    start = cube.relation.num_tuples
+    cube.append([("d", "w")])
+    second = str(tmp_path / "seg2")
+    cube.save_delta(second, start)
+    with pytest.raises(SnapshotError, match="write order"):
+        ServingCube.load(base, segments=[second, first])
+    with pytest.raises(SnapshotError, match="not a delta segment|segment"):
+        ServingCube.load(base, segments=[base])  # a base is not a segment
+
+
+def test_delta_segment_refused_for_iceberg_cubes(tmp_path):
+    rows = [("a", "x"), ("a", "x"), ("b", "y"), ("b", "y")]
+    cube = CubeSession.from_rows(rows).closed(min_sup=2).build()
+    cube.append(rows)
+    with pytest.raises(SnapshotError, match="full closed cubes"):
+        cube.save_delta(str(tmp_path / "seg"), 4)
+
+
+def test_delta_segment_with_no_new_rows_refused(tmp_path):
+    cube = CubeSession.from_rows([("a", "x")]).closed().build()
+    with pytest.raises(SnapshotError, match="nothing to fold"):
+        cube.save_delta(str(tmp_path / "seg"), cube.relation.num_tuples)
 
 
 def test_save_refuses_guessed_config(tmp_path):
