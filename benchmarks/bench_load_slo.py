@@ -1,0 +1,342 @@
+"""Tail-latency SLO gate: open-loop load against the TCP serving stack.
+
+Every earlier gate measures closed-loop throughput ratios — how fast a fixed
+workload drains.  This one measures what a serving system is actually judged
+on: **latency at a controlled offered load**.  It builds a catalog cube,
+starts the full production path (:class:`repro.server.AsyncCubeServer`
+behind :func:`repro.server.tcp.serve_tcp`), and drives it with the
+:mod:`repro.loadgen` open-loop replayer: mixed traffic at independently
+controlled Poisson rates — queries at ``--rate``, appends and compactions
+as slow fixed trickles (``--append-rate`` / ``--compact-rate``, since a
+copy-on-publish merge is a heavyweight batch operation whose sane arrival
+rate does not scale with query traffic).  Per-request latency is recorded
+from each request's *scheduled* arrival into log-bucketed histograms — so
+a server stall inflates the recorded tail instead of silently suppressing
+offered load (no coordinated omission).
+
+The gate: at the pinned sub-saturation rate, the query class's client-side
+p99 must stay within ``--slo-p99-ms`` and the run must complete with zero
+errors of any class (protocol, transport, timeout).  The SLO has to absorb
+append interference: a copy-on-publish merge runs ~1–2 s at the full size
+and queries arriving during it queue behind the GIL, so the honest p99 of
+the mixed stream is hundreds of milliseconds even though the query-only
+median is ~2 ms.  Defaults are the documented full-size configuration;
+CI's PR job runs a reduced size (shorter window, proportionally denser
+maintenance trickle so the window still contains an append)::
+
+    PYTHONPATH=src python benchmarks/bench_load_slo.py
+    PYTHONPATH=src python benchmarks/bench_load_slo.py \\
+        --tuples 20000 --rate 150 --duration 4 \\
+        --append-rate 0.25 --compact-rate 0.1 --slo-p99-ms 250
+
+``--sweep 100,200,400,800`` additionally walks the rate axis after the
+gated run and prints the saturation-knee table (never gated — it exists to
+tell you whether the pinned rate still sits comfortably below the knee).
+``--json PATH`` writes the :func:`bench_helpers.write_report` envelope that
+``check_gates.py`` validates and merges into ``bench-trajectory.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Sequence
+
+from bench_helpers import write_report
+
+from repro import CubeCatalog
+from repro.datagen.synthetic import SyntheticConfig, generate_relation
+from repro.loadgen import (
+    LineConnection,
+    LoadResult,
+    OpenLoopReplayer,
+    find_knee,
+    render_sweep,
+    serving_mix,
+    sweep_rates,
+)
+from repro.server import AsyncCubeServer, serve_tcp
+
+CUBE = "traffic"
+
+
+def build_rows(args) -> List[tuple]:
+    """Raw rows for the served cube (decoded values, catalog-ready)."""
+    relation = generate_relation(SyntheticConfig.uniform(
+        num_tuples=args.tuples, num_dims=args.dims,
+        cardinality=args.cardinality, skew=args.skew, seed=args.seed,
+    ))
+    return [
+        tuple(
+            relation.decode(dim, relation.columns[dim][tid])
+            for dim in range(relation.num_dimensions)
+        )
+        for tid in range(relation.num_tuples)
+    ]
+
+
+def distinct_values(rows: Sequence[tuple]) -> Dict[str, List[object]]:
+    num_dims = len(rows[0])
+    return {
+        f"d{dim}": sorted({row[dim] for row in rows})
+        for dim in range(num_dims)
+    }
+
+
+async def open_connections(
+    port: int, args
+) -> Dict[str, List[LineConnection]]:
+    """Per-class connection pools: queries never share a pipelined socket
+    with a multi-hundred-ms append, so append service time cannot leak
+    into query latency as head-of-line blocking."""
+    async def pool(count: int) -> List[LineConnection]:
+        return [
+            await LineConnection.open("127.0.0.1", port) for _ in range(count)
+        ]
+
+    return {
+        "query": await pool(args.connections),
+        "append": await pool(2),
+        "compact": await pool(1),
+    }
+
+
+async def close_connections(pools: Dict[str, List[LineConnection]]) -> None:
+    for connections in pools.values():
+        for connection in connections:
+            await connection.close()
+
+
+def class_mix(values, args, *, klass: str, seed: int):
+    """A single-class workload (so each class runs at its own rate)."""
+    weights = {"query": 0.0, "append": 0.0, "compact": 0.0}
+    weights[klass] = 1.0
+    return serving_mix(
+        CUBE, values,
+        query_weight=weights["query"],
+        append_weight=weights["append"],
+        compact_weight=weights["compact"],
+        seed=seed,
+    )
+
+
+async def run_load(args, values) -> Dict[str, object]:
+    """Serve + replay inside one event loop; returns the collected views."""
+    catalog = CubeCatalog(args.catalog_dir)
+    async with AsyncCubeServer(
+        catalog,
+        query_workers=4,
+        maintenance_workers=2,
+        request_timeout=args.request_timeout,
+    ) as server:
+        tcp = await serve_tcp(server, port=0)
+        port = tcp.sockets[0].getsockname()[1]
+        pools = await open_connections(port, args)
+        try:
+            def replayer(klass: str, rate: float, duration: float,
+                         seed_shift: int = 0) -> OpenLoopReplayer:
+                seed = args.seed + seed_shift
+                return OpenLoopReplayer(
+                    pools,
+                    class_mix(values, args, klass=klass, seed=seed),
+                    rate=rate,
+                    duration=duration,
+                    seed=seed,
+                    request_timeout=args.request_timeout,
+                )
+
+            async def offer(query_rate: float, duration: float,
+                            seed_shift: int = 0) -> LoadResult:
+                """One mixed offering: each class at its own Poisson rate."""
+                replayers = [
+                    replayer("query", query_rate, duration, seed_shift)
+                ]
+                if args.append_rate > 0:
+                    replayers.append(replayer(
+                        "append", args.append_rate, duration, seed_shift + 1
+                    ))
+                if args.compact_rate > 0:
+                    replayers.append(replayer(
+                        "compact", args.compact_rate, duration, seed_shift + 2
+                    ))
+                results = await asyncio.gather(
+                    *(each.run() for each in replayers)
+                )
+                return LoadResult.combine(list(results))
+
+            # Warm-up at half rate: connection setup, thread-pool spin-up,
+            # and first-touch cache resolution are not what the SLO judges.
+            await replayer(
+                "query", max(1.0, args.rate / 2), min(2.0, args.duration), 99
+            ).run()
+
+            measured = await offer(args.rate, args.duration)
+            stats = server.stats()
+
+            knee = None
+            if args.sweep:
+                rates = [float(rate) for rate in args.sweep.split(",")]
+                points = await sweep_rates(
+                    lambda rate: OpenLoopReplayer(
+                        pools,
+                        class_mix(values, args, klass="query",
+                                  seed=args.seed + 7),
+                        rate=rate,
+                        duration=args.duration,
+                        seed=args.seed + 7,
+                        request_timeout=args.request_timeout,
+                    ),
+                    rates,
+                    settle=lambda: asyncio.sleep(0.5),
+                )
+                knee = find_knee(
+                    points, slo_seconds=args.slo_p99_ms / 1000.0
+                )
+        finally:
+            await close_connections(pools)
+            tcp.close()
+            await tcp.wait_closed()
+    return {"result": measured, "server_stats": stats, "knee": knee}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000,
+                        help="base relation size the cube serves")
+    parser.add_argument("--dims", type=int, default=5)
+    parser.add_argument("--cardinality", type=int, default=8)
+    parser.add_argument("--skew", type=float, default=0.5)
+    parser.add_argument("--rate", type=float, default=150.0,
+                        help="offered query load in requests/second (Poisson)")
+    parser.add_argument("--append-rate", type=float, default=0.1,
+                        help="offered append trickle in appends/second "
+                        "(each append is a heavyweight copy-on-publish merge)")
+    parser.add_argument("--compact-rate", type=float, default=0.05,
+                        help="offered auto-compaction checks per second")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of offered load in the measured run")
+    parser.add_argument("--connections", type=int, default=8,
+                        help="query-class TCP connections")
+    parser.add_argument("--request-timeout", type=float, default=15.0,
+                        help="per-request deadline, client and server side")
+    parser.add_argument("--slo-p99-ms", type=float, default=750.0,
+                        help="the gate: query-class p99 must stay within this")
+    parser.add_argument("--sweep", type=str, default=None,
+                        help="comma-separated extra rates to sweep for the "
+                        "saturation-knee table (informational, never gated)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    rows = build_rows(args)
+    values = distinct_values(rows)
+    print(f"dataset: T={args.tuples} D={args.dims} C={args.cardinality} "
+          f"S={args.skew} min_sup=1 closed")
+
+    with tempfile.TemporaryDirectory() as directory:
+        args.catalog_dir = os.path.join(directory, "catalog")
+        catalog = CubeCatalog(args.catalog_dir)
+        start = time.perf_counter()
+        serving = catalog.create(CUBE, rows)
+        print(f"built base cube in {time.perf_counter() - start:.2f}s "
+              f"({len(serving)} cells, algorithm {serving.algorithm!r})")
+        del catalog, serving
+
+        views = asyncio.run(run_load(args, values))
+
+    result = views["result"]
+    stats = views["server_stats"]
+    report_body = result.to_report()
+    print(f"\noffered {result.offered_rate:.0f}/s for {args.duration:.0f}s: "
+          f"sent {result.sent}, completed {result.completed}, "
+          f"errors {result.errors} "
+          f"(achieved {result.achieved_rate:.0f}/s)")
+    print(f"{'class':<10}{'sent':>7}{'p50':>10}{'p99':>10}{'p999':>10}"
+          f"{'max':>10}{'errors':>8}")
+    print("-" * 65)
+    for name, class_report in report_body["classes"].items():
+        errors = (class_report["protocol_errors"]
+                  + class_report["transport_errors"]
+                  + class_report["timeouts"])
+        print(f"{name:<10}{class_report['sent']:>7}"
+              f"{class_report['p50_ms']:>9.1f}m{class_report['p99_ms']:>9.1f}m"
+              f"{class_report['p999_ms']:>9.1f}m{class_report['max_ms']:>9.1f}m"
+              f"{errors:>8}")
+
+    server_query = stats["latency"]["query"]
+    server_append = stats["latency"]["append"]
+    hwm = max(
+        (cube.get("pending_hwm", 0) for cube in stats["cubes"].values()),
+        default=0,
+    )
+    print(f"\nserver-side view: query p99 {server_query['p99_ms']:.1f}ms "
+          f"(client-side includes the network + loop on top), append p99 "
+          f"{server_append['p99_ms']:.1f}ms, queue-depth high-water {hwm}, "
+          f"timeouts {stats['counters']['timeouts']}")
+
+    if views["knee"] is not None:
+        print("\noffered-load sweep:")
+        print(render_sweep(views["knee"]))
+
+    def class_p99_ms(name: str) -> float:
+        stats_for = result.classes.get(name)
+        if stats_for is None or len(stats_for.histogram) == 0:
+            return 0.0
+        return round(stats_for.histogram.percentile(99) * 1000.0, 3)
+
+    query = result.classes["query"]
+    query_p99_ms = query.histogram.percentile(99) * 1000.0
+    passed = query_p99_ms <= args.slo_p99_ms and result.errors == 0
+
+    write_report(
+        args.json,
+        "bench_load_slo",
+        {
+            "tuples": args.tuples,
+            "dims": args.dims,
+            "cardinality": args.cardinality,
+            "skew": args.skew,
+            "rate": args.rate,
+            "append_rate": args.append_rate,
+            "compact_rate": args.compact_rate,
+            "duration": args.duration,
+            "connections": args.connections,
+            "request_timeout": args.request_timeout,
+            "seed": args.seed,
+        },
+        passed=passed,
+        slo_p99_ms=args.slo_p99_ms,
+        offered_rate=round(result.offered_rate, 1),
+        achieved_rate=round(result.achieved_rate, 1),
+        sent=result.sent,
+        completed=result.completed,
+        errors=result.errors,
+        query_p50_ms=round(query.histogram.percentile(50) * 1000.0, 3),
+        query_p99_ms=round(query_p99_ms, 3),
+        query_p999_ms=round(query.histogram.percentile(99.9) * 1000.0, 3),
+        append_p99_ms=class_p99_ms("append"),
+        compact_p99_ms=class_p99_ms("compact"),
+        server_query_p99_ms=server_query["p99_ms"],
+        server_append_p99_ms=server_append["p99_ms"],
+        queue_depth_hwm=hwm,
+        server_timeouts=stats["counters"]["timeouts"],
+    )
+
+    if not passed:
+        print(f"\nFAIL: query p99 {query_p99_ms:.1f}ms vs SLO "
+              f"{args.slo_p99_ms:.0f}ms with {result.errors} errors at "
+              f"{args.rate:.0f}/s offered")
+        return 1
+    print(f"\nOK: query p99 {query_p99_ms:.1f}ms within the "
+          f"{args.slo_p99_ms:.0f}ms SLO at {args.rate:.0f}/s offered, "
+          "zero errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,16 @@ Usage::
 
     python benchmarks/check_gates.py bench-artifacts/
     python benchmarks/check_gates.py a.json b.json --merge bench-trajectory.json
+    python benchmarks/check_gates.py bench-artifacts/ \\
+        --diff benchmarks/baselines/bench-trajectory.json --max-regression 0.4
 
 ``--merge`` additionally writes every validated report into one merged
 trajectory file (keyed by benchmark name, stamped with the run time) — the
 single artifact the scheduled job uploads, so the perf trajectory across
-runs is one download per run instead of five.
+runs is one download per run instead of five.  ``--diff`` compares this
+run's reports against a committed baseline trajectory and fails on any
+gate that regressed past its allowance (see ``TRAJECTORY``) — absolute
+thresholds catch falling off a cliff, the diff catches sliding downhill.
 """
 
 from __future__ import annotations
@@ -58,13 +63,97 @@ def _snapshot_rule(report: Dict) -> Tuple[bool, str]:
     return ok and peak_ok, detail
 
 
+def _load_slo_rule(report: Dict) -> Tuple[bool, str]:
+    p99_ms = float(report["query_p99_ms"])
+    slo_ms = float(report["slo_p99_ms"])
+    errors = int(report["errors"])
+    return (
+        p99_ms <= slo_ms and errors == 0,
+        f"query p99 {p99_ms:.1f}ms (SLO <= {slo_ms:.0f}ms), "
+        f"{errors} errors (allows 0)",
+    )
+
+
 GATES: Dict[str, GateRule] = {
     "bench_query_throughput": _speedup_rule,
     "bench_api_overhead": _overhead_rule,
     "bench_incremental": _speedup_rule,
     "bench_concurrent_serving": _speedup_rule,
     "bench_snapshot": _snapshot_rule,
+    "bench_load_slo": _load_slo_rule,
 }
+
+
+#: What ``--diff`` compares per gate: ``(metric, direction, allowance)``.
+#: ``higher`` — regression when current < baseline * (1 - allowance);
+#: ``lower``  — regression when current > baseline * (1 + allowance);
+#: ``delta``  — absolute points: regression when current > baseline + allowance.
+#: ``allowance=None`` means use the CLI ``--max-regression``.  Latency gets a
+#: generous fixed multiple (absolute milliseconds swing with runner hardware
+#: and with where the append merge lands inside the window); API overhead is
+#: a percentage near zero, so it compares in absolute points.
+TRAJECTORY: Dict[str, Tuple[str, str, object]] = {
+    "bench_query_throughput": ("speedup", "higher", None),
+    "bench_api_overhead": ("overhead", "delta", 0.05),
+    "bench_incremental": ("speedup", "higher", None),
+    "bench_concurrent_serving": ("speedup", "higher", None),
+    "bench_snapshot": ("speedup", "higher", None),
+    "bench_load_slo": ("query_p99_ms", "lower", 3.0),
+}
+
+
+def diff_trajectories(
+    baseline: Dict, current: Dict, max_regression: float
+) -> List[Tuple[str, bool, str]]:
+    """Compare two ``bench-trajectory.json`` payloads gate by gate.
+
+    A gate present in the baseline must still be present and must not have
+    regressed past its allowance.  A gate the baseline has never seen passes
+    with a note (the next baseline refresh adopts it).  Runs whose recorded
+    ``config`` differs from the baseline's are skipped, not compared — a
+    reduced-size PR run must not be judged against full-size numbers.
+    """
+    results: List[Tuple[str, bool, str]] = []
+    baseline_gates = baseline.get("gates", {})
+    current_gates = current.get("gates", {})
+    for name, (metric, direction, allowance) in sorted(TRAJECTORY.items()):
+        base = baseline_gates.get(name)
+        now = current_gates.get(name)
+        if base is None and now is None:
+            continue
+        if base is None:
+            results.append((name, True, "new gate, no baseline yet"))
+            continue
+        if now is None:
+            results.append((name, False, "gate present in baseline but "
+                            "missing from this run"))
+            continue
+        if base.get("config") != now.get("config"):
+            results.append((name, True, "config differs from baseline; "
+                            "trajectory not comparable, skipped"))
+            continue
+        try:
+            base_value = float(base[metric])
+            now_value = float(now[metric])
+        except (KeyError, TypeError, ValueError) as exc:
+            results.append((name, False, f"malformed trajectory entry: "
+                            f"{exc!r}"))
+            continue
+        slack = max_regression if allowance is None else float(allowance)
+        if direction == "higher":
+            ok = now_value >= base_value * (1.0 - slack)
+            bound = f">= {base_value * (1.0 - slack):.3g}"
+        elif direction == "lower":
+            ok = now_value <= base_value * (1.0 + slack)
+            bound = f"<= {base_value * (1.0 + slack):.3g}"
+        else:
+            ok = now_value <= base_value + slack
+            bound = f"<= {base_value + slack:.3g}"
+        results.append((name, ok, (
+            f"{metric} {now_value:.3g} vs baseline {base_value:.3g} "
+            f"(allows {bound})"
+        )))
+    return results
 
 
 def collect_reports(paths: Sequence[str]) -> List[str]:
@@ -110,6 +199,12 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument("--merge", type=str, default=None,
                         help="write all validated reports into one "
                         "trajectory JSON file")
+    parser.add_argument("--diff", type=str, default=None,
+                        help="compare this run against a committed baseline "
+                        "bench-trajectory.json and fail on regression")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="default fractional regression allowance for "
+                        "--diff (per-gate overrides in TRAJECTORY)")
     args = parser.parse_args(argv)
 
     files = collect_reports(args.paths)
@@ -142,6 +237,17 @@ def main(argv: Sequence[str] = None) -> int:
         with open(args.merge, "w") as handle:
             json.dump(trajectory, handle, indent=2, sort_keys=True)
         print(f"wrote {args.merge} ({len(merged)} gates)")
+
+    if args.diff:
+        with open(args.diff) as handle:
+            baseline = json.load(handle)
+        current = {"gates": merged}
+        print(f"\ntrajectory vs baseline {args.diff}:")
+        diffs = diff_trajectories(baseline, current, args.max_regression)
+        width = max((len(name) for name, _, _ in diffs), default=1)
+        for name, ok, detail in diffs:
+            print(f"{'PASS' if ok else 'FAIL'}  {name:<{width}}  {detail}")
+        all_ok = all_ok and all(ok for _, ok, _ in diffs)
 
     if not all_ok:
         print("gate validation failed", file=sys.stderr)

@@ -82,6 +82,17 @@ class ServerError(ReproError):
     """
 
 
+class ServerTimeout(ServerError):
+    """Raised when a served request exceeds the server's per-request timeout.
+
+    The timeout covers the whole request — queueing, any per-cube lock
+    wait, and execution — so a wedged maintenance task surfaces as a
+    counted, answerable error instead of a connection hung forever.  Note
+    that a timed-out *append* may still land: the merge thread cannot be
+    interrupted, only abandoned.
+    """
+
+
 class QueryError(ReproError):
     """Raised when a closure query against a served cube is malformed.
 

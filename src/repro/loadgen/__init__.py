@@ -1,0 +1,60 @@
+"""repro.loadgen: an open-loop load harness with honest tail latencies.
+
+The serving stack's earlier benchmark gates all measure *closed-loop
+throughput ratios* — how fast a fixed workload drains.  The metric that
+matters for a serving system is different: latency at a controlled
+**offered** load.  This package provides that measurement, pure python,
+no dependencies:
+
+* :class:`~repro.loadgen.histogram.LatencyHistogram` — HDR-style
+  log-bucketed histogram (bounded relative error, O(1) record);
+* :func:`~repro.loadgen.schedule.poisson_arrivals` — deterministic
+  open-loop arrival schedules;
+* :class:`~repro.loadgen.workload.MixedWorkload` /
+  :func:`~repro.loadgen.workload.serving_mix` — weighted
+  query/append/compact traffic classes speaking the TCP line-JSON
+  protocol;
+* :class:`~repro.loadgen.client.LineConnection` — a pipelined TCP client
+  with per-request timeouts;
+* :class:`~repro.loadgen.replayer.OpenLoopReplayer` — fires each request
+  at its pre-scheduled instant regardless of response progress and
+  measures latency from the scheduled arrival, so server stalls inflate
+  the recorded tail instead of silently suppressing load (no coordinated
+  omission);
+* :func:`~repro.loadgen.sweep.sweep_rates` /
+  :func:`~repro.loadgen.sweep.find_knee` — offered-load sweeps locating
+  the saturation knee;
+* :class:`~repro.loadgen.faults.FaultyProxy` — a fault-injection TCP
+  proxy (torn lines, mid-response aborts, slow-loris) for the protocol
+  hardening tests.
+
+``benchmarks/bench_load_slo.py`` assembles these into the CI tail-latency
+SLO gate; ``docs/LOAD_TESTING.md`` is the operator's guide.
+"""
+
+from .client import LineConnection
+from .faults import FAULT_MODES, FaultyProxy
+from .histogram import LatencyHistogram
+from .replayer import ClassStats, LoadResult, OpenLoopReplayer
+from .schedule import arrival_times, poisson_arrivals
+from .sweep import SweepPoint, find_knee, render_sweep, sweep_rates
+from .workload import MixedWorkload, TrafficClass, serving_mix
+
+__all__ = [
+    "LatencyHistogram",
+    "poisson_arrivals",
+    "arrival_times",
+    "MixedWorkload",
+    "TrafficClass",
+    "serving_mix",
+    "LineConnection",
+    "OpenLoopReplayer",
+    "ClassStats",
+    "LoadResult",
+    "SweepPoint",
+    "sweep_rates",
+    "find_knee",
+    "render_sweep",
+    "FaultyProxy",
+    "FAULT_MODES",
+]

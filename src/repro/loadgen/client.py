@@ -1,0 +1,106 @@
+"""A pipelined line-JSON TCP client with per-request timeouts.
+
+:class:`LineConnection` speaks the :mod:`repro.server.tcp` protocol: one
+JSON object per line each way, responses in request order per connection.
+It pipelines — ``request()`` writes immediately and never waits for earlier
+responses to come back — which is exactly what the open-loop replayer
+needs: a slow response must delay the *recording* of the requests queued
+behind it (that queueing is real latency), not their *sending*.
+
+A background reader task matches response lines to pending futures FIFO.
+Per-request timeouts make a wedged server surface as
+:class:`asyncio.TimeoutError` at the caller instead of hanging it forever;
+a timed-out request's slot stays in the FIFO so later responses still pair
+with the right requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["LineConnection"]
+
+
+class LineConnection:
+    """One pipelined connection to a ``repro.server`` TCP endpoint."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Deque["asyncio.Future[Dict[str, object]]"] = deque()
+        self._write_lock = asyncio.Lock()
+        self._broken: Optional[BaseException] = None
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "LineConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(line)
+                if self._pending:
+                    future = self._pending.popleft()
+                    if not future.done():
+                        future.set_result(response)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("connection closed"))
+            raise
+        except Exception as exc:
+            self._broken = exc
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"connection failed: {exc}")
+                )
+
+    async def request(
+        self, payload: Dict[str, object], timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Send one request line; await (up to ``timeout`` s) its response."""
+        if self._broken is not None:
+            raise ConnectionError(f"connection failed: {self._broken}")
+        future: "asyncio.Future[Dict[str, object]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        async with self._write_lock:
+            if self._broken is not None:
+                raise ConnectionError(f"connection failed: {self._broken}")
+            self._pending.append(future)
+            self._writer.write(data)
+            try:
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"connection failed: {exc}")
+                    )
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

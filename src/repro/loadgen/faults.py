@@ -1,0 +1,194 @@
+"""A test-only TCP fault-injection proxy for protocol-hardening tests.
+
+:class:`FaultyProxy` sits between a client and a ``repro.server`` TCP
+endpoint and misbehaves on purpose, so the tests can hand the server the
+exact network pathologies production will: connections torn mid-request
+(partial JSON with no newline), corrupted lines, connections aborted while
+a response is in flight, and slow-loris writers that dribble one byte at a
+time.  The server's contract under all of them: answer ``{"ok": false}``
+where a response is still possible, otherwise drop the one connection
+cleanly — never poison other connections, never leak per-cube queue slots.
+
+This lives in :mod:`repro.loadgen` (not ``tests/``) because it is part of
+the load-harness toolkit: fault schedules compose with the replayer for
+soak-style runs, and keeping it importable means the docs' examples run.
+Fault modes (fixed per proxy instance; run one proxy per scenario):
+
+``none``
+    Transparent passthrough (the control case).
+``torn_request``
+    Forward only the first ``fault_bytes`` of the client's bytes upstream,
+    then abort the upstream half — the server sees a torn line + EOF.
+``corrupt_line``
+    Truncate the client's line to ``fault_bytes`` bytes but still deliver
+    a newline — the server sees syntactically broken JSON and must answer.
+``abort_mid_response``
+    Forward the request intact, relay ``fault_bytes`` bytes of the
+    response downstream, then RST both halves — the server's remaining
+    writes hit a dead socket.
+``slow_loris``
+    Dribble the client's bytes upstream one at a time, ``delay`` seconds
+    apart — the classic head-of-line attack; other connections must keep
+    being served meanwhile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Set
+
+__all__ = ["FaultyProxy", "FAULT_MODES"]
+
+FAULT_MODES = (
+    "none", "torn_request", "corrupt_line", "abort_mid_response", "slow_loris"
+)
+
+
+def _abort(writer: asyncio.StreamWriter) -> None:
+    """Hard-close (RST, no FIN handshake) — the rudest realistic failure."""
+    transport = writer.transport
+    if transport is not None:
+        transport.abort()
+
+
+class FaultyProxy:
+    """Forward 127.0.0.1 TCP traffic to ``(upstream_host, upstream_port)``,
+    injecting the configured fault on every connection it accepts."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        fault: str = "none",
+        fault_bytes: int = 8,
+        delay: float = 0.05,
+    ) -> None:
+        if fault not in FAULT_MODES:
+            raise ValueError(f"unknown fault {fault!r}; pick from {FAULT_MODES}")
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.fault = fault
+        self.fault_bytes = fault_bytes
+        self.delay = delay
+        self.port: Optional[int] = None
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set["asyncio.Task[None]"] = set()
+
+    async def start(self) -> "FaultyProxy":
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "FaultyProxy":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Per-connection fault logic                                         #
+    # ------------------------------------------------------------------ #
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.connections += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            _abort(client_writer)
+            return
+        loop = asyncio.get_running_loop()
+        up_task = loop.create_task(
+            self._pump_upstream(client_reader, up_writer, client_writer)
+        )
+        down_task = loop.create_task(
+            self._pump_downstream(up_reader, client_writer, up_writer)
+        )
+        for task in (up_task, down_task):
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _pump_upstream(
+        self, client_reader: asyncio.StreamReader,
+        up_writer: asyncio.StreamWriter,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Client → server direction; carries the request-side faults."""
+        try:
+            while True:
+                chunk = await client_reader.read(65536)
+                if not chunk:
+                    break
+                if self.fault == "torn_request":
+                    up_writer.write(chunk[: self.fault_bytes])
+                    await up_writer.drain()
+                    _abort(up_writer)
+                    return
+                if self.fault == "corrupt_line":
+                    up_writer.write(chunk[: self.fault_bytes] + b"\n")
+                    await up_writer.drain()
+                    continue
+                if self.fault == "slow_loris":
+                    for index in range(len(chunk)):
+                        up_writer.write(chunk[index : index + 1])
+                        await up_writer.drain()
+                        await asyncio.sleep(self.delay)
+                    continue
+                up_writer.write(chunk)
+                await up_writer.drain()
+            try:
+                up_writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+        except (ConnectionError, OSError):
+            _abort(up_writer)
+            _abort(client_writer)
+
+    async def _pump_downstream(
+        self, up_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        up_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Server → client direction; carries the mid-response abort."""
+        relayed = 0
+        try:
+            while True:
+                chunk = await up_reader.read(65536)
+                if not chunk:
+                    break
+                if self.fault == "abort_mid_response":
+                    client_writer.write(chunk[: self.fault_bytes])
+                    await client_writer.drain()
+                    relayed += len(chunk)
+                    # Tear both halves down while the response is mid-air.
+                    _abort(up_writer)
+                    _abort(client_writer)
+                    return
+                client_writer.write(chunk)
+                await client_writer.drain()
+                relayed += len(chunk)
+            client_writer.close()
+        except (ConnectionError, OSError):
+            _abort(client_writer)

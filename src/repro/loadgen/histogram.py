@@ -1,0 +1,173 @@
+"""An HDR-style log-bucketed latency histogram, pure python, no deps.
+
+Latency distributions span four-plus orders of magnitude (microsecond index
+hits to multi-second merges), so fixed-width buckets either waste memory or
+destroy tail resolution.  :class:`LatencyHistogram` buckets geometrically —
+every bucket is ``growth`` times wider than the previous one — which bounds
+the *relative* quantile error by a constant (``max_relative_error``)
+independent of where in the range a sample lands.  That is the property HDR
+histograms are built around; this is the dependency-free core of it.
+
+Recording is O(1) (one ``log``), memory is O(buckets touched) (a dict), and
+percentile queries walk the touched buckets in order.  Exact minimum and
+maximum are tracked on the side so the extreme quantiles (p0, p100) are
+reported exactly rather than at bucket resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram of non-negative values (typically seconds).
+
+    Parameters
+    ----------
+    lowest:
+        Smallest distinguishable value; everything below it (including 0)
+        lands in the first bucket.  Default 1 microsecond.
+    max_relative_error:
+        Worst-case relative error of a reported percentile, which fixes the
+        bucket growth factor.  The default 1% keeps a 1µs–300s range in
+        under ~2000 touched buckets.
+    """
+
+    __slots__ = ("lowest", "max_relative_error", "_growth", "_log_growth",
+                 "_counts", "_total", "_sum", "_min", "_max")
+
+    def __init__(self, lowest: float = 1e-6,
+                 max_relative_error: float = 0.01) -> None:
+        if lowest <= 0:
+            raise ValueError("lowest must be positive")
+        if not 0 < max_relative_error < 1:
+            raise ValueError("max_relative_error must be in (0, 1)")
+        self.lowest = lowest
+        self.max_relative_error = max_relative_error
+        # A value is reported as its bucket's geometric midpoint, so the
+        # worst case sits half a bucket away: growth = (1 + e)^2 keeps
+        # midpoint-to-edge distance within e of the true value.
+        self._growth = (1.0 + max_relative_error) ** 2
+        self._log_growth = math.log(self._growth)
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _index(self, value: float) -> int:
+        if value <= self.lowest:
+            return 0
+        return int(math.log(value / self.lowest) / self._log_growth) + 1
+
+    def _value_at(self, index: int) -> float:
+        if index == 0:
+            return self.lowest
+        # Geometric midpoint of the bucket's [low, high) edge pair.
+        return self.lowest * self._growth ** (index - 0.5)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` (``count`` times, for batch observations)."""
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        if count <= 0:
+            return
+        index = self._index(value)
+        self._counts[index] = self._counts.get(index, 0) + count
+        self._total += count
+        self._sum += value * count
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same bucketing) into this one."""
+        if (other.lowest != self.lowest
+                or other.max_relative_error != self.max_relative_error):
+            raise ValueError("cannot merge histograms with different bucketing")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        for bound in (other._min, other._max):
+            if bound is None:
+                continue
+            if self._min is None or bound < self._min:
+                self._min = bound
+            if self._max is None or bound > self._max:
+                self._max = bound
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def min(self) -> float:
+        return 0.0 if self._min is None else self._min
+
+    @property
+    def max(self) -> float:
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The value at percentile ``p`` (0–100), within the error bound."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._total:
+            return 0.0
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
+        # The nearest-rank quantile over bucket representatives.
+        rank = max(1, math.ceil(self._total * p / 100.0))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                value = self._value_at(index)
+                # Never report outside the observed range: the first and
+                # last buckets may be wider than the data they hold.
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= total always hits
+
+    def percentiles(self, ps: Iterable[float]) -> Dict[float, float]:
+        return {p: self.percentile(p) for p in ps}
+
+    def summary(self, unit_scale: float = 1000.0, digits: int = 3) -> Dict[str, float]:
+        """The standard reporting envelope, scaled (seconds → ms by default)."""
+        return {
+            "count": self._total,
+            "mean_ms": round(self.mean * unit_scale, digits),
+            "p50_ms": round(self.percentile(50) * unit_scale, digits),
+            "p90_ms": round(self.percentile(90) * unit_scale, digits),
+            "p99_ms": round(self.percentile(99) * unit_scale, digits),
+            "p999_ms": round(self.percentile(99.9) * unit_scale, digits),
+            "max_ms": round(self.max * unit_scale, digits),
+        }
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._total:
+            return "LatencyHistogram(empty)"
+        return (f"LatencyHistogram(count={self._total}, "
+                f"p50={self.percentile(50):.6f}, p99={self.percentile(99):.6f}, "
+                f"max={self.max:.6f})")

@@ -1,0 +1,253 @@
+"""The open-loop workload replayer: controlled offered load, honest tails.
+
+:class:`OpenLoopReplayer` fires requests at the instants a pre-computed
+Poisson schedule dictates, **independently of response times**: nothing in
+the dispatch loop ever awaits a response.  Each request's latency is
+measured from its *scheduled arrival time* to its completion, so when the
+server (or the client's own connection) stalls, the requests that pile up
+behind the stall record the queueing delay they actually suffered.  A
+closed-loop generator would have simply not sent them and reported a clean
+p99 — the coordinated-omission lie this replayer exists to avoid (and that
+``tests/test_loadgen.py`` pins with a regression test).
+
+Targets are anything with ``async request(payload, timeout) -> response``
+(the pipelined :class:`~repro.loadgen.client.LineConnection` in production,
+fakes in the tests).  Pass a list to share targets round-robin across all
+traffic, or a ``{class_name: [targets]}`` mapping to give each traffic
+class its own connections — recommended, since a pipelined connection
+answers in order and a multi-hundred-ms append would otherwise inflate the
+latency of every query queued behind it on the same socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .histogram import LatencyHistogram
+from .schedule import poisson_arrivals
+from .workload import MixedWorkload
+
+__all__ = ["ClassStats", "LoadResult", "OpenLoopReplayer"]
+
+
+@dataclass
+class ClassStats:
+    """Per-traffic-class outcome counters and the latency histogram."""
+
+    name: str
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    sent: int = 0
+    completed: int = 0
+    protocol_errors: int = 0
+    transport_errors: int = 0
+    timeouts: int = 0
+
+    @property
+    def errors(self) -> int:
+        return self.protocol_errors + self.transport_errors + self.timeouts
+
+    def to_dict(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "sent": self.sent,
+            "completed": self.completed,
+            "protocol_errors": self.protocol_errors,
+            "transport_errors": self.transport_errors,
+            "timeouts": self.timeouts,
+        }
+        summary.update(self.histogram.summary())
+        return summary
+
+
+@dataclass
+class LoadResult:
+    """One replay run: offered vs achieved load, per-class stats."""
+
+    offered_rate: float
+    duration: float
+    elapsed: float
+    classes: Dict[str, ClassStats]
+
+    @property
+    def sent(self) -> int:
+        return sum(stats.sent for stats in self.classes.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(stats.completed for stats in self.classes.values())
+
+    @property
+    def errors(self) -> int:
+        return sum(stats.errors for stats in self.classes.values())
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def percentile(self, class_name: str, p: float) -> float:
+        return self.classes[class_name].histogram.percentile(p)
+
+    @classmethod
+    def combine(cls, results: Sequence["LoadResult"]) -> "LoadResult":
+        """Fold concurrent replays (e.g. one per traffic class, each at its
+        own controlled rate) into one result; same-named classes merge."""
+        if not results:
+            raise ValueError("combine needs at least one result")
+        classes: Dict[str, ClassStats] = {}
+        for result in results:
+            for name, stats in result.classes.items():
+                into = classes.get(name)
+                if into is None:
+                    classes[name] = stats
+                    continue
+                into.histogram.merge(stats.histogram)
+                into.sent += stats.sent
+                into.completed += stats.completed
+                into.protocol_errors += stats.protocol_errors
+                into.transport_errors += stats.transport_errors
+                into.timeouts += stats.timeouts
+        return cls(
+            offered_rate=sum(result.offered_rate for result in results),
+            duration=max(result.duration for result in results),
+            elapsed=max(result.elapsed for result in results),
+            classes=classes,
+        )
+
+    def to_report(self) -> Dict[str, object]:
+        """The JSON-shaped summary the SLO gate and the sweep CLI print."""
+        return {
+            "offered_rate": round(self.offered_rate, 3),
+            "achieved_rate": round(self.achieved_rate, 3),
+            "duration": round(self.duration, 3),
+            "elapsed": round(self.elapsed, 3),
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "classes": {
+                name: stats.to_dict() for name, stats in self.classes.items()
+            },
+        }
+
+
+#: Anything with ``async request(payload, timeout=...) -> dict``.
+Target = object
+Targets = Union[Sequence[Target], Mapping[str, Sequence[Target]]]
+
+
+class OpenLoopReplayer:
+    """Replay a :class:`MixedWorkload` at a fixed Poisson offered rate.
+
+    Parameters
+    ----------
+    targets:
+        Request sinks — a shared list, or a per-class mapping (see the
+        module docstring for why per-class connections matter).
+    workload:
+        The ``(class_name, request)`` stream to draw from.
+    rate / duration:
+        Offered load (requests/second) and how long to offer it.
+    request_timeout:
+        Per-request cap; a request still outstanding after this long is
+        counted under ``timeouts`` (its latency is recorded too — a
+        timed-out request is tail latency, not a missing sample).
+    clock / sleep:
+        Injectable for the deterministic harness self-tests.
+    """
+
+    def __init__(
+        self,
+        targets: Targets,
+        workload: MixedWorkload,
+        rate: float,
+        duration: float,
+        *,
+        seed: int = 0,
+        request_timeout: Optional[float] = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], "asyncio.Future"] = asyncio.sleep,
+    ) -> None:
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        self.rate = rate
+        self.duration = duration
+        self.seed = seed
+        self.request_timeout = request_timeout
+        self._clock = clock
+        self._sleep = sleep
+        self._workload = workload
+        if isinstance(targets, Mapping):
+            self._targets = {name: list(pool) for name, pool in targets.items()}
+        else:
+            pool = list(targets)
+            self._targets = {name: pool for name in workload.class_names()}
+        for name in workload.class_names():
+            if not self._targets.get(name):
+                raise ValueError(f"no targets for traffic class {name!r}")
+        self._round_robin: Dict[str, int] = {name: 0 for name in self._targets}
+
+    def _pick_target(self, class_name: str) -> Target:
+        pool = self._targets[class_name]
+        index = self._round_robin[class_name]
+        self._round_robin[class_name] = (index + 1) % len(pool)
+        return pool[index]
+
+    async def run(self) -> LoadResult:
+        """Offer the load; return once every in-flight request resolved."""
+        stats = {
+            name: ClassStats(name) for name in self._workload.class_names()
+        }
+        arrivals = poisson_arrivals(
+            self.rate, duration=self.duration, seed=self.seed
+        )
+        requests: Iterable[Tuple[str, Dict[str, object]]] = iter(self._workload)
+        loop = asyncio.get_running_loop()
+        tasks: List["asyncio.Task[None]"] = []
+        start = self._clock()
+        for offset in arrivals:
+            class_name, payload = next(requests)  # type: ignore[call-overload]
+            scheduled = start + offset
+            delay = scheduled - self._clock()
+            if delay > 0:
+                await self._sleep(delay)
+            # Fire-and-track: the dispatch loop never awaits a response.
+            tasks.append(loop.create_task(self._fire(
+                stats[class_name], self._pick_target(class_name),
+                payload, scheduled,
+            )))
+        if tasks:
+            await asyncio.gather(*tasks)
+        elapsed = self._clock() - start
+        return LoadResult(
+            offered_rate=self.rate,
+            duration=self.duration,
+            elapsed=elapsed,
+            classes=stats,
+        )
+
+    async def _fire(
+        self,
+        stats: ClassStats,
+        target: Target,
+        payload: Dict[str, object],
+        scheduled: float,
+    ) -> None:
+        stats.sent += 1
+        try:
+            response = await target.request(  # type: ignore[attr-defined]
+                payload, timeout=self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            stats.timeouts += 1
+            stats.histogram.record(max(0.0, self._clock() - scheduled))
+        except (ConnectionError, OSError, EOFError):
+            stats.transport_errors += 1
+            stats.histogram.record(max(0.0, self._clock() - scheduled))
+        else:
+            # Latency from the *scheduled* arrival: client-side queueing
+            # behind a stall is real latency the open-loop contract keeps.
+            stats.histogram.record(max(0.0, self._clock() - scheduled))
+            stats.completed += 1
+            if not (isinstance(response, dict) and response.get("ok")):
+                stats.protocol_errors += 1

@@ -1,0 +1,64 @@
+"""Open-loop arrival schedules: Poisson processes at a controlled rate.
+
+The defining property of an *open-loop* load generator is that arrival
+times are decided **before** any response comes back: the schedule models
+an outside population of clients whose requests do not slow down because
+the server got slow.  Closed-loop generators (issue, wait, issue) silently
+stop offering load exactly when the server stalls — the *coordinated
+omission* problem — and so report fantasy tail latencies.  Everything in
+:mod:`repro.loadgen` therefore starts from a pre-computed schedule.
+
+Schedules are plain generators of absolute offsets (seconds from the run's
+start), deterministic in their seed so a run can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+__all__ = ["poisson_arrivals", "arrival_times"]
+
+
+def poisson_arrivals(
+    rate: float,
+    *,
+    duration: Optional[float] = None,
+    count: Optional[int] = None,
+    seed: int = 0,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Yield absolute arrival offsets of a Poisson process at ``rate``/s.
+
+    Inter-arrival gaps are exponential with mean ``1/rate`` — the memoryless
+    arrival pattern of many independent clients.  Bound the stream with
+    ``duration`` (seconds of offered load), ``count`` (number of arrivals),
+    or both (whichever ends first).  Deterministic in ``seed``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive (arrivals per second)")
+    if duration is None and count is None:
+        raise ValueError("bound the schedule with duration= and/or count=")
+    rng = random.Random(seed)
+    clock = start
+    emitted = 0
+    while count is None or emitted < count:
+        clock += rng.expovariate(rate)
+        if duration is not None and clock - start >= duration:
+            return
+        yield clock
+        emitted += 1
+
+
+def arrival_times(
+    rate: float,
+    *,
+    duration: Optional[float] = None,
+    count: Optional[int] = None,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """:func:`poisson_arrivals` materialised as a list."""
+    return list(poisson_arrivals(
+        rate, duration=duration, count=count, seed=seed, start=start
+    ))

@@ -1,0 +1,115 @@
+"""Offered-load sweeps: walk the rate axis, locate the saturation knee.
+
+A latency-vs-offered-load curve has two regimes: flat (the server keeps up;
+p99 is service time plus scheduling noise) and vertical (offered load
+exceeds capacity; queues — and the open-loop replayer's recorded latencies
+— grow without bound).  The *knee* is the boundary.  The SLO gate pins a
+fixed sub-saturation rate; the sweep is the tool that tells you where that
+knee actually is, so the pinned rate keeps meaning something as the
+implementation evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence
+
+from .replayer import LoadResult, OpenLoopReplayer
+
+__all__ = ["SweepPoint", "sweep_rates", "find_knee", "render_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One sweep sample: the offered rate and its replay result."""
+
+    rate: float
+    result: LoadResult
+
+
+async def sweep_rates(
+    make_replayer: Callable[[float], OpenLoopReplayer],
+    rates: Sequence[float],
+    *,
+    settle: Optional[Callable[[], Awaitable[None]]] = None,
+) -> List[SweepPoint]:
+    """Run one replay per rate, low to high; ``settle`` runs between points
+    (drain queues / let compactions finish) so points stay independent."""
+    points: List[SweepPoint] = []
+    for rate in sorted(rates):
+        replayer = make_replayer(rate)
+        points.append(SweepPoint(rate, await replayer.run()))
+        if settle is not None:
+            await settle()
+    return points
+
+
+def find_knee(
+    points: Sequence[SweepPoint],
+    *,
+    class_name: str = "query",
+    percentile: float = 99.0,
+    slo_seconds: float,
+    min_completion: float = 0.95,
+) -> Dict[str, object]:
+    """Classify a sweep: the best rate still inside the SLO, and the knee.
+
+    A point is *healthy* when its ``class_name`` tail percentile is within
+    ``slo_seconds``, it completed at least ``min_completion`` of what it
+    sent, and it recorded zero errors.  The knee is the first unhealthy
+    rate (None if the sweep never saturated).
+    """
+    healthy: List[float] = []
+    knee: Optional[float] = None
+    rows: List[Dict[str, object]] = []
+    for point in sorted(points, key=lambda p: p.rate):
+        stats = point.result.classes.get(class_name)
+        tail = stats.histogram.percentile(percentile) if stats else 0.0
+        sent = point.result.sent
+        completion = point.result.completed / sent if sent else 0.0
+        ok = (
+            tail <= slo_seconds
+            and completion >= min_completion
+            and point.result.errors == 0
+        )
+        rows.append({
+            "rate": point.rate,
+            "tail_seconds": tail,
+            "completion": round(completion, 4),
+            "errors": point.result.errors,
+            "within_slo": ok,
+        })
+        if ok:
+            healthy.append(point.rate)
+        elif knee is None:
+            knee = point.rate
+    return {
+        "class": class_name,
+        "percentile": percentile,
+        "slo_seconds": slo_seconds,
+        "max_rate_within_slo": max(healthy) if healthy else None,
+        "knee_rate": knee,
+        "points": rows,
+    }
+
+
+def render_sweep(knee: Dict[str, object]) -> str:
+    """A plain-text sweep table (the knee 'plot' for terminals and logs)."""
+    lines = [
+        f"{'rate':>10}  {'p' + str(knee['percentile']):>12}  "
+        f"{'completion':>11}  {'errors':>7}  verdict"
+    ]
+    for row in knee["points"]:  # type: ignore[union-attr]
+        verdict = "ok" if row["within_slo"] else "SATURATED"
+        lines.append(
+            f"{row['rate']:>10.1f}  {row['tail_seconds'] * 1000:>10.1f}ms  "
+            f"{row['completion'] * 100:>10.1f}%  {row['errors']:>7}  {verdict}"
+        )
+    best = knee["max_rate_within_slo"]
+    knee_rate = knee["knee_rate"]
+    lines.append(
+        f"max rate within SLO: "
+        f"{'none' if best is None else f'{best:.1f}/s'}; knee at "
+        f"{'not reached' if knee_rate is None else f'{knee_rate:.1f}/s'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Mixed traffic-class workloads for the load replayer.
+
+A workload is a deterministic, seedable stream of ``(class_name, request)``
+pairs, where each request is a line-JSON protocol payload
+(:mod:`repro.server.tcp`).  Traffic classes carry a weight (their share of
+offered load) and a payload factory; :func:`serving_mix` assembles the
+standard serving mix — mostly point/rollup queries, a trickle of small
+appends, an occasional compaction — the traffic shape the tail-latency SLO
+gate (``benchmarks/bench_load_slo.py``) measures under.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = ["TrafficClass", "MixedWorkload", "serving_mix"]
+
+#: A payload factory: rng in, one line-JSON request out.
+RequestFactory = Callable[[random.Random], Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One class of traffic: a name, its share of offered load, a factory."""
+
+    name: str
+    weight: float
+    make: RequestFactory
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"traffic class {self.name!r} has negative weight")
+
+
+class MixedWorkload:
+    """An endless, deterministic stream of weighted traffic-class requests."""
+
+    def __init__(self, classes: Sequence[TrafficClass], seed: int = 0) -> None:
+        active = [klass for klass in classes if klass.weight > 0]
+        if not active:
+            raise ValueError("a workload needs at least one positive-weight class")
+        self.classes = list(active)
+        self.seed = seed
+
+    def class_names(self) -> List[str]:
+        return [klass.name for klass in self.classes]
+
+    def requests(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Yield ``(class_name, request)`` forever, deterministically."""
+        rng = random.Random(self.seed)
+        weights = [klass.weight for klass in self.classes]
+        while True:
+            klass = rng.choices(self.classes, weights=weights)[0]
+            yield klass.name, klass.make(rng)
+
+    def __iter__(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        return self.requests()
+
+
+def serving_mix(
+    cube: str,
+    values: Mapping[str, Sequence[object]],
+    *,
+    query_weight: float = 0.992,
+    append_weight: float = 0.006,
+    compact_weight: float = 0.002,
+    rollup_fraction: float = 0.02,
+    append_rows: int = 2,
+    seed: int = 0,
+) -> MixedWorkload:
+    """The standard serving mix against one cube over the TCP protocol.
+
+    ``values`` maps each dimension name to the raw values appends and point
+    queries draw from (pass the distinct values of the base relation).
+    Queries are 1–3-dimension point probes plus a ``rollup_fraction`` share
+    of single-dimension roll-ups; appends push ``append_rows`` random rows;
+    compactions run in ``auto`` mode (cheap no-op unless the journal grew).
+    """
+    dimensions = list(values)
+    if not dimensions:
+        raise ValueError("serving_mix needs at least one dimension")
+    pools = {dim: list(vals) for dim, vals in values.items()}
+
+    def make_query(rng: random.Random) -> Dict[str, object]:
+        if rng.random() < rollup_fraction:
+            spec: Dict[str, object] = {
+                "op": "rollup", "dims": [rng.choice(dimensions)]
+            }
+        else:
+            picked = rng.sample(dimensions, rng.randint(1, min(3, len(dimensions))))
+            spec = {dim: rng.choice(pools[dim]) for dim in picked}
+        return {"op": "query", "cube": cube, "q": spec}
+
+    def make_append(rng: random.Random) -> Dict[str, object]:
+        rows = [
+            [rng.choice(pools[dim]) for dim in dimensions]
+            for _ in range(append_rows)
+        ]
+        return {"op": "append", "cube": cube, "rows": rows}
+
+    def make_compact(rng: random.Random) -> Dict[str, object]:
+        return {"op": "compact", "cube": cube, "mode": "auto"}
+
+    return MixedWorkload(
+        [
+            TrafficClass("query", query_weight, make_query),
+            TrafficClass("append", append_weight, make_append),
+            TrafficClass("compact", compact_weight, make_compact),
+        ],
+        seed=seed,
+    )

@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=1024,
         help="per-cube query queue bound (back-pressure, default 1024)",
     )
+    parser.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-request deadline in seconds (queueing + lock wait + "
+        "execution); exceeded requests answer {ok:false} with a "
+        "ServerTimeout and are counted in stats() (default: no timeout)",
+    )
     return parser
 
 
@@ -66,6 +72,7 @@ async def run_server(args: argparse.Namespace) -> None:
         query_workers=args.query_workers,
         maintenance_workers=args.maintenance_workers,
         refresh_processes=args.refresh_processes,
+        request_timeout=args.request_timeout,
     )
     async with server:
         tcp = await serve_tcp(server, host=args.host, port=args.port)

@@ -27,15 +27,17 @@ overlap.  Queries against cube A proceed while cube B (or A!) is mid-append
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from ..catalog import CubeCatalog
-from ..core.errors import ServerError
+from ..core.errors import ServerError, ServerTimeout
 from ..incremental.maintainer import AppendReport
 from ..incremental.parallel import create_refresh_pool
+from ..loadgen.histogram import LatencyHistogram
 from ..session.serving import BatchResult, NamedAnswer, QuerySpec
 
 #: Queue sentinel that tells a dispatcher to shut down.
@@ -48,6 +50,7 @@ class _QueryItem:
 
     specs: List[QuerySpec]
     future: "asyncio.Future[List[BatchResult]]"
+    enqueued: float = 0.0
 
 
 @dataclass
@@ -57,6 +60,10 @@ class _Channel:
     queue: "asyncio.Queue[object]"
     dispatcher: "asyncio.Task[None]"
     append_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Deepest the queue has ever been — the saturation telltale stats()
+    #: reports as ``pending_hwm`` (a rising mark under steady offered load
+    #: means the dispatcher is falling behind).
+    depth_hwm: int = 0
 
 
 class AsyncCubeServer:
@@ -91,6 +98,13 @@ class AsyncCubeServer:
         Alternatively, bring your own executor for the cubing compute (the
         tests inject a thread pool); mutually exclusive with
         ``refresh_processes``.
+    request_timeout:
+        When set, every query and append is bounded to this many seconds
+        end to end (queueing + lock wait + execution).  Exceeding it
+        raises :class:`~repro.core.errors.ServerTimeout` (answered as
+        ``{"ok": false}`` over TCP), counted under the ``timeouts``
+        counter in :meth:`stats` — so one wedged maintenance task cannot
+        silently hang a connection forever.
     """
 
     def __init__(
@@ -102,15 +116,19 @@ class AsyncCubeServer:
         maintenance_workers: int = 2,
         refresh_processes: Optional[int] = None,
         refresh_executor: Optional[Executor] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if refresh_processes is not None and refresh_executor is not None:
             raise ServerError(
                 "pass refresh_processes (server-owned pool) or "
                 "refresh_executor (caller-owned), not both"
             )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServerError("request_timeout must be positive (seconds)")
         self.catalog = catalog
         self.max_pending = max_pending
         self.max_batch = max_batch
+        self.request_timeout = request_timeout
         self._query_workers = query_workers
         self._maintenance_workers = maintenance_workers
         self._refresh_processes = refresh_processes
@@ -128,6 +146,15 @@ class AsyncCubeServer:
             "appended_rows": 0,
             "compactions": 0,
             "errors": 0,
+            "timeouts": 0,
+        }
+        # Server-side latency, per operation class, measured from enqueue
+        # to answer on the event loop (so it brackets queueing + executor
+        # time but not the network).  The load harness cross-checks its
+        # client-side view against these.
+        self._latency: Dict[str, LatencyHistogram] = {
+            "query": LatencyHistogram(),
+            "append": LatencyHistogram(),
         }
 
     # ------------------------------------------------------------------ #
@@ -219,10 +246,27 @@ class AsyncCubeServer:
         if not specs:
             return []
         loop = asyncio.get_running_loop()
-        item = _QueryItem(specs=list(specs), future=loop.create_future())
+        item = _QueryItem(
+            specs=list(specs), future=loop.create_future(),
+            enqueued=time.monotonic(),
+        )
         channel = self._channel(cube)
         await channel.queue.put(item)
-        return await item.future
+        depth = channel.queue.qsize()
+        if depth > channel.depth_hwm:
+            channel.depth_hwm = depth
+        if self.request_timeout is None:
+            return await item.future
+        try:
+            # wait_for cancels the future on timeout; the dispatcher's
+            # ``cancelled()`` guards make the late answer a no-op.
+            return await asyncio.wait_for(item.future, self.request_timeout)
+        except asyncio.TimeoutError:
+            self._counters["timeouts"] += 1
+            raise ServerTimeout(
+                f"query batch on {cube!r} timed out after "
+                f"{self.request_timeout}s ({len(item.specs)} specs)"
+            ) from None
 
     def _channel(self, cube: str) -> _Channel:
         channel = self._channels.get(cube)
@@ -277,10 +321,17 @@ class AsyncCubeServer:
             return
         self._counters["queries"] += len(specs)
         self._counters["batches"] += 1
+        now = time.monotonic()
         cursor = 0
         for item in batch:
             share = results[cursor : cursor + len(item.specs)]
             cursor += len(item.specs)
+            # Record service latency even for callers that timed out and
+            # went away — their work was still done, and hiding it would
+            # bias the server-side tail downward.
+            self._latency["query"].record(
+                max(0.0, now - item.enqueued), len(item.specs)
+            )
             if not item.future.cancelled():
                 item.future.set_result(share)
 
@@ -302,6 +353,9 @@ class AsyncCubeServer:
             else:
                 self._counters["queries"] += len(item.specs)
                 self._counters["batches"] += 1
+                self._latency["query"].record(
+                    max(0.0, time.monotonic() - item.enqueued), len(item.specs)
+                )
                 if not item.future.cancelled():
                     item.future.set_result(results)
 
@@ -332,12 +386,38 @@ class AsyncCubeServer:
         the refresh process pool when one is configured — so concurrent
         queries, including queries on this very cube, keep answering against
         the published version until the atomic swap.
+
+        With ``request_timeout`` set, one deadline brackets the whole
+        append — the wait for the cube's append lock *and* the merge — so
+        an earlier wedged append surfaces here as a
+        :class:`~repro.core.errors.ServerTimeout` instead of an unbounded
+        lock wait.  A merge abandoned by its timeout keeps running on its
+        worker thread and may still publish; the catalog's per-name gates
+        keep that safe.
         """
         self._require_running()
         loop = asyncio.get_running_loop()
         channel = self._channel(cube)
-        async with channel.append_lock:
-            report = await loop.run_in_executor(
+        started = time.monotonic()
+        deadline = (
+            None if self.request_timeout is None
+            else started + self.request_timeout
+        )
+        if deadline is None:
+            await channel.append_lock.acquire()
+        else:
+            try:
+                await asyncio.wait_for(
+                    channel.append_lock.acquire(), deadline - started
+                )
+            except asyncio.TimeoutError:
+                self._counters["timeouts"] += 1
+                raise ServerTimeout(
+                    f"append to {cube!r} timed out after "
+                    f"{self.request_timeout}s waiting for an earlier append"
+                ) from None
+        try:
+            work = loop.run_in_executor(
                 self._maintenance_pool,
                 partial(
                     self.catalog.append,
@@ -347,6 +427,23 @@ class AsyncCubeServer:
                     executor=self._refresh_executor,
                 ),
             )
+            if deadline is None:
+                report = await work
+            else:
+                try:
+                    report = await asyncio.wait_for(
+                        work, max(0.0, deadline - time.monotonic())
+                    )
+                except asyncio.TimeoutError:
+                    self._counters["timeouts"] += 1
+                    raise ServerTimeout(
+                        f"append to {cube!r} timed out after "
+                        f"{self.request_timeout}s mid-merge (the merge may "
+                        "still publish in the background)"
+                    ) from None
+        finally:
+            channel.append_lock.release()
+        self._latency["append"].record(max(0.0, time.monotonic() - started))
         self._counters["appends"] += 1
         self._counters["appended_rows"] += report.appended_rows
         return report
@@ -425,6 +522,7 @@ class AsyncCubeServer:
         for name, channel in self._channels.items():
             entry: Dict[str, object] = {
                 "pending": channel.queue.qsize(),
+                "pending_hwm": channel.depth_hwm,
                 "appending": channel.append_lock.locked(),
             }
             loaded = self.catalog.get_loaded(name)
@@ -435,7 +533,12 @@ class AsyncCubeServer:
             "running": self._started and not self._closing,
             "max_pending": self.max_pending,
             "max_batch": self.max_batch,
+            "request_timeout": self.request_timeout,
             "counters": dict(self._counters),
+            "latency": {
+                name: histogram.summary()
+                for name, histogram in self._latency.items()
+            },
             "compaction": self.catalog.compaction_stats(),
             "cubes": cubes,
         }

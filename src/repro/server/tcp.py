@@ -18,7 +18,9 @@ the catalog's append streams use.  Requests::
 
 An optional ``"id"`` is echoed back verbatim.  Responses are
 ``{"id": ..., "ok": true, "result": ...}`` or ``{"id": ..., "ok": false,
-"error": {"type": ..., "message": ...}}``; answers serialise as
+"error": {"type": ..., "message": ...}}`` — a request that overruns the
+server's ``request_timeout`` answers ``ok: false`` with type
+``ServerTimeout`` rather than stalling the connection; answers serialise as
 ``{"coordinates": {...}, "count": ..., "measures": {...}, "closure": ...,
 "found": ...}``.  Requests on one connection are answered in order; open
 many connections for client-side parallelism — the server batches across

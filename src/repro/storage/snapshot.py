@@ -499,16 +499,28 @@ def load_snapshot(path: str, segments: Sequence[str] = ()) -> "ServingCube":
     Only load trusted files: the payloads are pickle, so loading a crafted
     snapshot executes arbitrary code (see the module warning).
     """
-    with open(path, "rb") as stream:
-        version = _read_header(stream, path)
-        if version == SNAPSHOT_V1:
-            state = _load_v1(stream, path)
-        else:
-            state = _load_v2(stream, path)
-    relation, cube, meta = state
-    config = meta["config"]
-    measures = MeasureSet(tuple(config.measures))
-    cube.measure_set = measures
+    try:
+        with open(path, "rb") as stream:
+            version = _read_header(stream, path)
+            if version == SNAPSHOT_V1:
+                state = _load_v1(stream, path)
+            else:
+                state = _load_v2(stream, path)
+        relation, cube, meta = state
+        config = meta["config"]
+        measures = MeasureSet(tuple(config.measures))
+        cube.measure_set = measures
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        # Corruption that survives the per-frame CRC (e.g. a flipped frame
+        # *kind* byte making one frame's payload land in another frame's
+        # decoder) must still surface as a crisp SnapshotError, never as a
+        # stray unpack/KeyError — the fuzz tests hold the loader to that.
+        raise SnapshotError(
+            f"{path!r} has inconsistent snapshot state: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     for segment in segments:
         _apply_segment(relation, cube, measures, segment)
     return _open_serving(relation, cube, meta)

@@ -1,0 +1,180 @@
+"""Tests for the gate checker's trajectory diff (``check_gates.py --diff``).
+
+The diff is itself a gate (the nightly job fails on it), so its comparison
+semantics — directionality, allowances, config mismatches, appearing and
+disappearing gates — are pinned here rather than discovered in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks")
+)
+
+from check_gates import GATES, TRAJECTORY, diff_trajectories, main  # noqa: E402
+
+
+def _trajectory(**overrides):
+    """A minimal baseline covering the three comparison directions."""
+    gates = {
+        "bench_query_throughput": {
+            "config": {"tuples": 100_000}, "speedup": 50.0,
+        },
+        "bench_api_overhead": {
+            "config": {"tuples": 100_000}, "overhead": -0.70,
+        },
+        "bench_load_slo": {
+            "config": {"tuples": 100_000, "rate": 150.0},
+            "query_p99_ms": 130.0,
+        },
+    }
+    gates.update(overrides)
+    return {"schema": 1, "gates": gates}
+
+
+def _verdicts(results):
+    return {name: ok for name, ok, _ in results}
+
+
+def test_every_gate_rule_has_a_trajectory_entry():
+    assert set(TRAJECTORY) == set(GATES)
+
+
+def test_identical_runs_pass():
+    base = _trajectory()
+    results = diff_trajectories(base, base, max_regression=0.25)
+    assert results and all(ok for _, ok, _ in results)
+
+
+def test_higher_is_better_fails_on_a_big_drop():
+    base = _trajectory()
+    slower = _trajectory(bench_query_throughput={
+        "config": {"tuples": 100_000}, "speedup": 30.0,  # -40% vs 50x
+    })
+    verdicts = _verdicts(diff_trajectories(base, slower, max_regression=0.25))
+    assert verdicts["bench_query_throughput"] is False
+    # A 40% allowance tolerates the same drop.
+    verdicts = _verdicts(diff_trajectories(base, slower, max_regression=0.45))
+    assert verdicts["bench_query_throughput"] is True
+
+
+def test_lower_is_better_uses_its_generous_latency_allowance():
+    base = _trajectory()
+    slower = _trajectory(bench_load_slo={
+        "config": {"tuples": 100_000, "rate": 150.0},
+        "query_p99_ms": 400.0,  # 3x the baseline: still inside the 3.0 slack
+    })
+    verdicts = _verdicts(diff_trajectories(base, slower, max_regression=0.25))
+    assert verdicts["bench_load_slo"] is True
+    way_slower = _trajectory(bench_load_slo={
+        "config": {"tuples": 100_000, "rate": 150.0},
+        "query_p99_ms": 600.0,  # past baseline * (1 + 3.0)
+    })
+    verdicts = _verdicts(diff_trajectories(base, way_slower, max_regression=0.25))
+    assert verdicts["bench_load_slo"] is False
+
+
+def test_delta_direction_compares_in_absolute_points():
+    base = _trajectory()
+    # -70% -> -67% overhead is a 3-point slide: inside the 5-point slack
+    # even though it is a large *relative* change on a near-zero metric.
+    drifted = _trajectory(bench_api_overhead={
+        "config": {"tuples": 100_000}, "overhead": -0.67,
+    })
+    verdicts = _verdicts(diff_trajectories(base, drifted, max_regression=0.25))
+    assert verdicts["bench_api_overhead"] is True
+    worse = _trajectory(bench_api_overhead={
+        "config": {"tuples": 100_000}, "overhead": -0.60,
+    })
+    verdicts = _verdicts(diff_trajectories(base, worse, max_regression=0.25))
+    assert verdicts["bench_api_overhead"] is False
+
+
+def test_config_mismatch_skips_instead_of_comparing():
+    base = _trajectory()
+    reduced = _trajectory(bench_query_throughput={
+        "config": {"tuples": 20_000}, "speedup": 5.0,  # reduced-size run
+    })
+    results = diff_trajectories(base, reduced, max_regression=0.25)
+    entry = {name: (ok, detail) for name, ok, detail in results}
+    ok, detail = entry["bench_query_throughput"]
+    assert ok is True and "not comparable" in detail
+
+
+def test_missing_and_new_gates():
+    base = _trajectory()
+    current = _trajectory()
+    del current["gates"]["bench_load_slo"]
+    verdicts = _verdicts(diff_trajectories(base, current, max_regression=0.25))
+    assert verdicts["bench_load_slo"] is False  # vanished gate = failure
+
+    sparse_base = _trajectory()
+    del sparse_base["gates"]["bench_load_slo"]
+    results = diff_trajectories(sparse_base, _trajectory(), max_regression=0.25)
+    entry = {name: (ok, detail) for name, ok, detail in results}
+    ok, detail = entry["bench_load_slo"]
+    assert ok is True and "no baseline" in detail
+
+
+def test_malformed_entry_fails_its_gate_only():
+    base = _trajectory()
+    broken = _trajectory(bench_query_throughput={
+        "config": {"tuples": 100_000},  # metric key missing entirely
+    })
+    verdicts = _verdicts(diff_trajectories(base, broken, max_regression=0.25))
+    assert verdicts["bench_query_throughput"] is False
+    assert verdicts["bench_load_slo"] is True
+
+
+def test_cli_diff_path_end_to_end(tmp_path, capsys):
+    report = {
+        "benchmark": "bench_query_throughput",
+        "config": {"tuples": 100_000},
+        "passed": True,
+        "speedup": 30.0,
+        "min_speedup": 10.0,
+    }
+    report_path = tmp_path / "bench_query_throughput.json"
+    report_path.write_text(json.dumps(report))
+    baseline = {"schema": 1, "gates": {
+        "bench_query_throughput": {
+            "config": {"tuples": 100_000}, "speedup": 50.0,
+        },
+    }}
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(baseline))
+
+    # 30x passes the absolute gate but regressed 40% vs the baseline.
+    code = main([str(report_path), "--diff", str(baseline_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "trajectory vs baseline" in out
+    assert "FAIL  bench_query_throughput" in out
+
+    code = main([
+        str(report_path), "--diff", str(baseline_path),
+        "--max-regression", "0.5",
+    ])
+    assert code == 0
+
+
+@pytest.mark.parametrize("name", sorted(TRAJECTORY))
+def test_trajectory_metrics_exist_in_the_committed_baseline(name):
+    """The committed baseline must actually contain what --diff reads."""
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(__file__)),
+        "benchmarks", "baselines", "bench-trajectory.json",
+    )
+    with open(path) as handle:
+        baseline = json.load(handle)
+    metric, direction, _ = TRAJECTORY[name]
+    assert direction in ("higher", "lower", "delta")
+    entry = baseline["gates"][name]
+    float(entry[metric])
+    assert isinstance(entry["config"], dict)

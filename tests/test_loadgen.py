@@ -1,0 +1,410 @@
+"""Self-tests for the open-loop load harness (:mod:`repro.loadgen`).
+
+A load generator that lies is worse than none, so the harness itself is
+under test: the Poisson scheduler must offer the rate it claims
+deterministically, the log-bucketed histogram must report percentiles
+within its documented error bound against a sorted-list ground truth, and
+— the one that motivates the whole design — a stalled server must *inflate*
+the recorded tail, not suppress offered load (the coordinated-omission
+regression test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+
+import pytest
+
+from repro import CubeCatalog
+from repro.loadgen import (
+    LatencyHistogram,
+    LineConnection,
+    LoadResult,
+    MixedWorkload,
+    OpenLoopReplayer,
+    SweepPoint,
+    TrafficClass,
+    arrival_times,
+    find_knee,
+    poisson_arrivals,
+    render_sweep,
+    serving_mix,
+)
+from repro.loadgen.replayer import ClassStats
+from repro.server import AsyncCubeServer, serve_tcp
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# --------------------------------------------------------------------------- #
+# Poisson schedule                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def test_poisson_schedule_is_deterministic_in_its_seed():
+    first = arrival_times(100.0, duration=2.0, seed=42)
+    again = arrival_times(100.0, duration=2.0, seed=42)
+    other = arrival_times(100.0, duration=2.0, seed=43)
+    assert first == again
+    assert first != other
+
+
+def test_poisson_schedule_offers_the_requested_rate():
+    # Over a long window the arrival count concentrates hard around
+    # rate * duration (sd = sqrt(n)); 5 sigma keeps this deterministic
+    # per-seed and still meaningful.
+    rate, duration = 500.0, 20.0
+    times = arrival_times(rate, duration=duration, seed=7)
+    expected = rate * duration
+    assert abs(len(times) - expected) < 5 * math.sqrt(expected)
+    assert all(0 <= t < duration for t in times)
+    assert times == sorted(times)
+
+
+def test_poisson_schedule_count_and_start_bounds():
+    exact = arrival_times(50.0, count=25, seed=3)
+    assert len(exact) == 25
+    shifted = arrival_times(50.0, count=25, seed=3, start=100.0)
+    assert shifted == pytest.approx([t + 100.0 for t in exact])
+    both = arrival_times(1000.0, duration=0.001, count=5, seed=3)
+    assert len(both) <= 5
+
+    with pytest.raises(ValueError, match="rate"):
+        arrival_times(0.0, duration=1.0)
+    with pytest.raises(ValueError, match="duration"):
+        list(poisson_arrivals(10.0))
+
+
+# --------------------------------------------------------------------------- #
+# Histogram                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def test_histogram_percentiles_match_sorted_ground_truth():
+    rng = random.Random(11)
+    # Lognormal: the right shape for latency (long right tail spanning
+    # orders of magnitude) and the regime log-bucketing is built for.
+    samples = [rng.lognormvariate(-6.0, 1.5) for _ in range(20_000)]
+    hist = LatencyHistogram(max_relative_error=0.01)
+    for sample in samples:
+        hist.record(sample)
+    ordered = sorted(samples)
+    for p in (1, 25, 50, 90, 99, 99.9):
+        truth = ordered[max(0, math.ceil(len(ordered) * p / 100.0) - 1)]
+        got = hist.percentile(p)
+        assert abs(got - truth) / truth <= 0.021, (p, got, truth)
+    assert hist.count == len(samples)
+    assert hist.min == min(samples)
+    assert hist.max == max(samples)
+    assert abs(hist.mean - sum(samples) / len(samples)) < 1e-9
+
+
+def test_histogram_extremes_and_empty():
+    hist = LatencyHistogram()
+    assert hist.percentile(50) == 0.0 and hist.count == 0 and len(hist) == 0
+    hist.record(0.004)
+    assert hist.percentile(0) == 0.004 and hist.percentile(100) == 0.004
+    # Sub-lowest values (including zero) land in the first bucket.
+    hist.record(0.0)
+    assert hist.min == 0.0
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_merge_equals_recording_everything_into_one():
+    rng = random.Random(5)
+    left, right, combined = (LatencyHistogram() for _ in range(3))
+    for _ in range(5000):
+        value = rng.expovariate(200.0)
+        (left if rng.random() < 0.5 else right).record(value)
+        combined.record(value)
+    left.merge(right)
+    assert left.count == combined.count
+    assert left.min == combined.min and left.max == combined.max
+    for p in (50, 90, 99):
+        assert left.percentile(p) == combined.percentile(p)
+    with pytest.raises(ValueError, match="bucketing"):
+        left.merge(LatencyHistogram(max_relative_error=0.05))
+
+
+def test_histogram_summary_is_json_shaped_milliseconds():
+    hist = LatencyHistogram()
+    hist.record(0.010, count=99)
+    hist.record(1.000)
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["p50_ms"] == pytest.approx(10.0, rel=0.03)
+    assert summary["max_ms"] == 1000.0
+
+
+# --------------------------------------------------------------------------- #
+# Workload mixes                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_mixed_workload_is_deterministic_and_respects_weights():
+    values = {"d0": ["a", "b"], "d1": [1, 2, 3]}
+    mix = serving_mix("c", values, seed=9)
+    stream = iter(mix)
+    first = [next(stream) for _ in range(2000)]
+    again_stream = iter(serving_mix("c", values, seed=9))
+    assert first == [next(again_stream) for _ in range(2000)]
+
+    names = [name for name, _ in first]
+    share = names.count("query") / len(names)
+    assert share > 0.97  # weight 0.992, wide tolerance
+    for name, payload in first:
+        assert payload["op"] in ("query", "append", "compact")
+        assert payload["cube"] == "c"
+        if payload["op"] == "append":
+            assert all(len(row) == 2 for row in payload["rows"])
+
+
+def test_single_class_workload_filters_zero_weights():
+    values = {"d0": ["a"]}
+    only_append = serving_mix(
+        "c", values, query_weight=0.0, append_weight=1.0, compact_weight=0.0
+    )
+    assert only_append.class_names() == ["append"]
+    stream = iter(only_append)
+    assert all(next(stream)[0] == "append" for _ in range(50))
+
+    with pytest.raises(ValueError, match="positive-weight"):
+        MixedWorkload([TrafficClass("q", 0.0, lambda rng: {})])
+    with pytest.raises(ValueError, match="negative"):
+        TrafficClass("q", -1.0, lambda rng: {})
+    with pytest.raises(ValueError, match="dimension"):
+        serving_mix("c", {})
+
+
+# --------------------------------------------------------------------------- #
+# Replayer: open-loop semantics                                               #
+# --------------------------------------------------------------------------- #
+
+
+class _FakeTarget:
+    """A 'server' whose single service lane stalls once, hard.
+
+    Every request takes ``service`` seconds on one lane (an asyncio lock);
+    the first request holds the lane for ``stall`` seconds.  A closed-loop
+    client would simply send fewer requests during the stall and report a
+    clean tail; the open-loop replayer must keep offering and record the
+    queueing delay.
+    """
+
+    def __init__(self, service: float = 0.0005, stall: float = 0.3) -> None:
+        self.service = service
+        self.stall = stall
+        self.calls = 0
+        self._lane = asyncio.Lock()
+
+    async def request(self, payload, timeout=None):
+        self.calls += 1
+        first = self.calls == 1
+        async with self._lane:
+            await asyncio.sleep(self.stall if first else self.service)
+        return {"ok": True}
+
+
+def test_open_loop_replayer_records_coordinated_omission():
+    rate, duration, stall = 200.0, 0.8, 0.3
+    workload = MixedWorkload(
+        [TrafficClass("query", 1.0, lambda rng: {"op": "ping"})]
+    )
+    target = _FakeTarget(stall=stall)
+    scheduled = len(arrival_times(rate, duration=duration, seed=0))
+
+    result = run(OpenLoopReplayer(
+        [target], workload, rate=rate, duration=duration, seed=0
+    ).run())
+
+    stats = result.classes["query"]
+    # Open loop: every scheduled arrival was sent, stall or no stall.
+    assert stats.sent == scheduled
+    assert stats.completed == scheduled and result.errors == 0
+    # The stall shows up in the tail: a big slice of the requests that
+    # arrived during the 0.3s stall waited a large fraction of it.
+    assert stats.histogram.percentile(99) >= stall / 2
+    # ... while the post-stall majority stayed fast.
+    assert stats.histogram.percentile(25) < stall / 2
+
+
+class _ErrorTarget:
+    def __init__(self, responses):
+        self._responses = list(responses)
+
+    async def request(self, payload, timeout=None):
+        outcome = self._responses.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def test_replayer_counts_error_classes_separately():
+    workload = MixedWorkload(
+        [TrafficClass("query", 1.0, lambda rng: {"op": "ping"})]
+    )
+    target = _ErrorTarget([
+        {"ok": True},
+        {"ok": False, "error": {"type": "ServerError"}},
+        ConnectionError("torn"),
+        asyncio.TimeoutError(),
+    ])
+    result = run(_replay_exactly(target, workload, 4))
+    stats = result.classes["query"]
+    assert stats.sent == 4
+    assert stats.completed == 2  # both received responses
+    assert stats.protocol_errors == 1
+    assert stats.transport_errors == 1
+    assert stats.timeouts == 1
+    assert stats.errors == 3
+    # Failures are recorded as latency samples too, not dropped.
+    assert len(stats.histogram) == 4
+
+
+async def _replay_exactly(target, workload, count):
+    """A replayer bounded by arrival count (rate high => instant)."""
+    replayer = OpenLoopReplayer(
+        [target], workload, rate=10_000.0, duration=10.0, seed=1
+    )
+    # Patch the schedule to exactly `count` arrivals.
+    real = poisson_arrivals
+
+    def bounded(rate, *, duration=None, seed=0, start=0.0):
+        return real(rate, count=count, seed=seed, start=start)
+
+    import repro.loadgen.replayer as replayer_module
+    original = replayer_module.poisson_arrivals
+    replayer_module.poisson_arrivals = bounded
+    try:
+        return await replayer.run()
+    finally:
+        replayer_module.poisson_arrivals = original
+
+
+def test_replayer_validates_targets_and_rates():
+    workload = MixedWorkload(
+        [TrafficClass("query", 1.0, lambda rng: {"op": "ping"})]
+    )
+    with pytest.raises(ValueError, match="positive"):
+        OpenLoopReplayer([object()], workload, rate=0.0, duration=1.0)
+    with pytest.raises(ValueError, match="no targets"):
+        OpenLoopReplayer({"other": [object()]}, workload, rate=1.0, duration=1.0)
+    with pytest.raises(ValueError, match="no targets"):
+        OpenLoopReplayer([], workload, rate=1.0, duration=1.0)
+
+
+def test_load_result_combine_merges_classes_and_sums_rates():
+    def result_for(name, rate, latencies):
+        stats = ClassStats(name)
+        for value in latencies:
+            stats.histogram.record(value)
+        stats.sent = stats.completed = len(latencies)
+        return LoadResult(rate, 1.0, 1.0, {name: stats})
+
+    combined = LoadResult.combine([
+        result_for("query", 100.0, [0.001, 0.002]),
+        result_for("append", 0.5, [1.0]),
+        result_for("query", 50.0, [0.003]),
+    ])
+    assert combined.offered_rate == 150.5
+    assert set(combined.classes) == {"query", "append"}
+    assert combined.classes["query"].sent == 3
+    assert combined.sent == 4 and combined.completed == 4
+    with pytest.raises(ValueError):
+        LoadResult.combine([])
+
+
+# --------------------------------------------------------------------------- #
+# Knee finding                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def _point(rate, tail, completed=100, sent=100, errors=0):
+    stats = ClassStats("query")
+    # 10% of samples at `tail` puts the p99 squarely inside the tail bucket.
+    for _ in range(90):
+        stats.histogram.record(tail / 10)
+    for _ in range(10):
+        stats.histogram.record(tail)
+    stats.sent = sent
+    stats.completed = completed
+    stats.protocol_errors = errors
+    return SweepPoint(rate, LoadResult(rate, 1.0, 1.0, {"query": stats}))
+
+
+def test_find_knee_locates_the_saturation_boundary():
+    points = [
+        _point(100.0, 0.005),
+        _point(200.0, 0.008),
+        _point(400.0, 0.900),            # tail blows through the SLO
+        _point(800.0, 5.0, completed=40),  # and completion collapses
+    ]
+    knee = find_knee(points, slo_seconds=0.1)
+    assert knee["max_rate_within_slo"] == 200.0
+    assert knee["knee_rate"] == 400.0
+    verdicts = [row["within_slo"] for row in knee["points"]]
+    assert verdicts == [True, True, False, False]
+
+    table = render_sweep(knee)
+    assert "SATURATED" in table and "200.0/s" in table and "400.0/s" in table
+
+
+def test_find_knee_never_saturated_and_error_points():
+    healthy = find_knee([_point(10.0, 0.001)], slo_seconds=0.1)
+    assert healthy["knee_rate"] is None
+    assert healthy["max_rate_within_slo"] == 10.0
+    assert "not reached" in render_sweep(healthy)
+
+    errored = find_knee(
+        [_point(10.0, 0.001, errors=3)], slo_seconds=0.1
+    )
+    assert errored["max_rate_within_slo"] is None
+
+
+# --------------------------------------------------------------------------- #
+# End to end: replayer over the real TCP stack                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_replayer_drives_the_real_tcp_server(tmp_path):
+    catalog = CubeCatalog(str(tmp_path / "cubes"))
+    catalog.create("sales", [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
+                   schema=["d0", "d1"])
+    values = {"d0": ["s1", "s2"], "d1": ["p1", "p2"]}
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, query_workers=2) as server:
+            tcp = await serve_tcp(server, port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            connections = [
+                await LineConnection.open("127.0.0.1", port) for _ in range(2)
+            ]
+            try:
+                mix = serving_mix(
+                    "sales", values,
+                    append_weight=0.0, compact_weight=0.0, seed=2,
+                )
+                result = await OpenLoopReplayer(
+                    connections, mix, rate=200.0, duration=0.5, seed=2,
+                    request_timeout=10.0,
+                ).run()
+                assert result.errors == 0
+                assert result.completed == result.sent > 50
+                assert result.percentile("query", 50) < 0.5
+                # The server's own histogram saw the same traffic.
+                latency = server.stats()["latency"]["query"]
+                assert latency["count"] >= result.completed
+            finally:
+                for connection in connections:
+                    await connection.close()
+                tcp.close()
+                await tcp.wait_closed()
+
+    run(scenario())

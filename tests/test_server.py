@@ -444,3 +444,355 @@ def test_cli_entrypoint_parses_and_serves(tmp_path):
                 await task
 
     run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection: the TCP layer under network pathologies                     #
+# --------------------------------------------------------------------------- #
+
+
+async def _serving(catalog, **server_kwargs):
+    """(server, tcp, port) for the fault tests; caller tears down."""
+    server = AsyncCubeServer(catalog, **server_kwargs)
+    await server.start()
+    tcp = await serve_tcp(server, port=0)
+    return server, tcp, tcp.sockets[0].getsockname()[1]
+
+
+async def _teardown(server, tcp):
+    tcp.close()
+    await tcp.wait_closed()
+    await server.stop()
+
+
+async def _assert_healthy(port, expect_count=1):
+    """A fresh direct connection still gets real answers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        alive = await _rpc(
+            reader, writer,
+            {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+        )
+        assert alive["ok"] and alive["result"]["count"] == expect_count
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def test_tcp_torn_request_drops_one_connection_cleanly(catalog):
+    """A connection torn mid-request (partial JSON, then RST) dies alone:
+    no other connection is poisoned and no queue slot leaks."""
+    from repro.loadgen.faults import FaultyProxy
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        server, tcp, port = await _serving(catalog)
+        try:
+            async with FaultyProxy(
+                "127.0.0.1", port, fault="torn_request", fault_bytes=10
+            ) as proxy:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                writer.write(
+                    b'{"op": "query", "cube": "sales", "q": {"store": "s1"}}\n'
+                )
+                await writer.drain()
+                # The server saw 10 bytes and an abort: the only defensible
+                # outcome on this connection is a clean drop (EOF/RST here).
+                try:
+                    assert await reader.readline() == b""
+                except (ConnectionError, OSError):
+                    pass
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                assert proxy.connections == 1
+            await _assert_healthy(port)
+            stats = server.stats()
+            assert stats["cubes"]["sales"]["pending"] == 0
+            assert not stats["cubes"]["sales"]["appending"]
+        finally:
+            await _teardown(server, tcp)
+
+    run(scenario())
+
+
+def test_tcp_corrupt_line_answers_ok_false_and_serves_on(catalog):
+    """A corrupted-but-newline-terminated line must get {"ok": false} —
+    the connection and the rest of the server keep working."""
+    from repro.loadgen.faults import FaultyProxy
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        server, tcp, port = await _serving(catalog)
+        try:
+            async with FaultyProxy(
+                "127.0.0.1", port, fault="corrupt_line", fault_bytes=12
+            ) as proxy:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                try:
+                    broken = await _rpc(
+                        reader, writer,
+                        {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                    )
+                    assert broken["ok"] is False
+                    # The same (still corrupting) connection answers again:
+                    # every line is truncated, every answer is an error,
+                    # nothing hangs or dies.
+                    second = await _rpc(reader, writer, {"op": "ping"})
+                    assert second["ok"] is False
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+            await _assert_healthy(port)
+            assert server.stats()["cubes"]["sales"]["pending"] == 0
+        finally:
+            await _teardown(server, tcp)
+
+    run(scenario())
+
+
+def test_tcp_abort_mid_response_spares_other_connections(catalog):
+    """An RST while the response is in flight kills that connection only;
+    a concurrently open connection keeps streaming answers."""
+    from repro.loadgen.faults import FaultyProxy
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        server, tcp, port = await _serving(catalog)
+        try:
+            healthy_reader, healthy_writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            try:
+                async with FaultyProxy(
+                    "127.0.0.1", port, fault="abort_mid_response",
+                    fault_bytes=6,
+                ) as proxy:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", proxy.port
+                    )
+                    writer.write(
+                        b'{"op": "query", "cube": "sales",'
+                        b' "q": {"store": "s1"}}\n'
+                    )
+                    await writer.drain()
+                    # At most fault_bytes of the response arrive, then RST.
+                    try:
+                        partial_line = await reader.readline()
+                        assert len(partial_line) <= 6
+                    except (ConnectionError, OSError):
+                        pass
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+                # The concurrent connection never noticed.
+                for _ in range(3):
+                    answer = await _rpc(
+                        healthy_reader, healthy_writer,
+                        {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                    )
+                    assert answer["ok"] and answer["result"]["count"] == 1
+            finally:
+                healthy_writer.close()
+                await healthy_writer.wait_closed()
+            assert server.stats()["cubes"]["sales"]["pending"] == 0
+        finally:
+            await _teardown(server, tcp)
+
+    run(scenario())
+
+
+def test_tcp_slow_loris_does_not_block_other_connections(catalog):
+    """One byte-at-a-time writer must not head-of-line-block anyone else."""
+    from repro.loadgen.faults import FaultyProxy
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        server, tcp, port = await _serving(catalog)
+        try:
+            async with FaultyProxy(
+                "127.0.0.1", port, fault="slow_loris", delay=0.02
+            ) as proxy:
+                loris_reader, loris_writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                loris_writer.write(b'{"op": "ping"}\n')
+                await loris_writer.drain()
+                loris = asyncio.get_running_loop().create_task(
+                    loris_reader.readline()
+                )
+                try:
+                    # While the loris line dribbles in (~0.3s), a normal
+                    # connection gets many answers.
+                    import time as time_module
+                    started = time_module.monotonic()
+                    await _assert_healthy(port)
+                    assert time_module.monotonic() - started < 0.25
+                    # And the dribbled request itself still answers.
+                    response = json.loads(await loris)
+                    assert response["ok"] and response["result"] == "pong"
+                finally:
+                    if not loris.done():
+                        loris.cancel()
+                    loris_writer.close()
+                    try:
+                        await loris_writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+            assert server.stats()["cubes"]["sales"]["pending"] == 0
+        finally:
+            await _teardown(server, tcp)
+
+    run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# Per-request timeouts                                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_query_timeout_raises_and_counts(catalog):
+    import time as time_module
+
+    from repro.core.errors import ServerTimeout
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, request_timeout=0.15) as server:
+            real = server._run_batch
+
+            def wedged(cube, specs):
+                time_module.sleep(0.5)
+                return real(cube, specs)
+
+            server._run_batch = wedged
+            with pytest.raises(ServerTimeout, match="timed out"):
+                await server.query("sales", {"store": "s1"})
+            assert server.stats()["counters"]["timeouts"] == 1
+            server._run_batch = real
+            # Let the abandoned batch finish on its worker thread, then
+            # verify the server is not wedged: the next query answers.
+            await asyncio.sleep(0.5)
+            answer = await server.query("sales", {"store": "s1"})
+            assert answer.count == 1
+            assert server.stats()["request_timeout"] == 0.15
+
+    run(scenario())
+
+
+def test_append_timeout_releases_the_lock(catalog):
+    import time as time_module
+
+    from repro.core.errors import ServerTimeout
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, request_timeout=0.2) as server:
+            real = catalog.append
+
+            def wedged(name, rows, **kwargs):
+                time_module.sleep(0.5)
+                return real(name, rows, **kwargs)
+
+            catalog.append = wedged
+            with pytest.raises(ServerTimeout, match="mid-merge"):
+                await server.append("sales", [("s2", "p2")])
+            catalog.append = real
+            assert server.stats()["counters"]["timeouts"] == 1
+            # The lock came back: a follow-up append goes through.
+            report = await server.append("sales", [("s3", "p3")])
+            assert report.appended_rows == 1
+            assert not server.stats()["cubes"]["sales"]["appending"]
+
+    run(scenario())
+
+
+def test_tcp_timeout_answers_ok_false_with_server_timeout(catalog):
+    import time as time_module
+
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        server, tcp, port = await _serving(catalog, request_timeout=0.15)
+        try:
+            real = server._run_batch
+
+            def wedged(cube, specs):
+                time_module.sleep(0.5)
+                return real(cube, specs)
+
+            server._run_batch = wedged
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                slow = await _rpc(
+                    reader, writer,
+                    {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                )
+                assert slow["ok"] is False
+                assert slow["error"]["type"] == "ServerTimeout"
+                server._run_batch = real
+                # Let the abandoned batch drain off its worker thread;
+                # same connection, next request: normal service resumed.
+                await asyncio.sleep(0.5)
+                alive = await _rpc(
+                    reader, writer,
+                    {"op": "query", "cube": "sales", "q": {"store": "s1"}},
+                )
+                assert alive["ok"] and alive["result"]["count"] == 1
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        finally:
+            await _teardown(server, tcp)
+
+    run(scenario())
+
+
+def test_request_timeout_must_be_positive(catalog):
+    from repro.core.errors import ServerError as _ServerError
+
+    with pytest.raises(_ServerError, match="request_timeout"):
+        AsyncCubeServer(catalog, request_timeout=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Server-side latency accounting                                               #
+# --------------------------------------------------------------------------- #
+
+
+def test_stats_expose_latency_histograms_and_queue_hwm(catalog):
+    catalog.create("sales", [("s1", "p1"), ("s2", "p2")],
+                   schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog, query_workers=2) as server:
+            await asyncio.gather(
+                *(server.query("sales", {"store": "s1"}) for _ in range(20))
+            )
+            await server.append("sales", [("s3", "p3")])
+            stats = server.stats()
+            latency = stats["latency"]
+            assert latency["query"]["count"] == 20
+            assert latency["query"]["p99_ms"] >= latency["query"]["p50_ms"] >= 0
+            assert latency["append"]["count"] == 1
+            assert latency["append"]["max_ms"] > 0
+            # The queue saw depth while the gather burst was in flight.
+            assert stats["cubes"]["sales"]["pending_hwm"] >= 1
+            assert stats["cubes"]["sales"]["pending"] == 0
+            assert stats["request_timeout"] is None
+
+    run(scenario())
