@@ -57,6 +57,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 from ..core.errors import CatalogError
 from ..session.serving import ServingCube
 from ..session.session import CubeSession
+from ..storage import atomic
 from ..storage.manifest import (
     CatalogManifest,
     CubeEntry,
@@ -470,7 +471,10 @@ class CubeCatalog:
         Fast path: the file still ends with our record at our offset —
         truncate it away.  Slow path (another writer appended while our
         merge was failing): rewrite the stream with a single occurrence of
-        the record dropped.  Caller holds the catalog lock, so no journal
+        the record dropped.  The rewrite is atomic (temp + rename): the
+        journal loader tolerates one torn *tail* line, not a torn middle,
+        so an in-place rewrite interrupted by a crash would corrupt records
+        other writers own.  Caller holds the catalog lock, so no journal
         write can interleave with the rewrite; our record sits at or past
         the folded ``journal_offset``, so bytes before it keep their
         positions either way.
@@ -481,7 +485,7 @@ class CubeCatalog:
             if tail == record:
                 stream.truncate(offset)
                 return
-        with open(path, "r") as stream:
+        with open(path) as stream:
             lines = stream.readlines()
         try:
             lines.reverse()
@@ -489,8 +493,7 @@ class CubeCatalog:
             lines.reverse()
         except ValueError:  # pragma: no cover - record already gone
             return
-        with open(path, "w") as stream:
-            stream.writelines(lines)
+        atomic.replace_lines(path, lines)
 
     def _maybe_auto_compact(self, name: str, cube: ServingCube) -> None:
         """Apply the auto-compaction policy after an append (gate held)."""
@@ -563,7 +566,7 @@ class CubeCatalog:
             # folded journal bytes can go (no appends interleave — the gate
             # is held).  A crash in here costs nothing but disk space.
             self._unlink(stale)
-            open(os.path.join(self.directory, entry.appends), "w").close()
+            atomic.truncate(os.path.join(self.directory, entry.appends))
             if entry.journal_offset:
                 entry.journal_offset = 0
                 self._manifest.save(self.directory)
@@ -606,7 +609,7 @@ class CubeCatalog:
             # append interleaved); reclaim them.  A crash between the
             # truncate and the offset reset reads as an offset past the
             # file's end — an empty tail — so every window stays consistent.
-            open(os.path.join(self.directory, entry.appends), "w").close()
+            atomic.truncate(os.path.join(self.directory, entry.appends))
             entry.journal_offset = 0
             self._manifest.save(self.directory)
         return {
@@ -623,7 +626,7 @@ class CubeCatalog:
         path = os.path.join(self.directory, entry.appends)
         if not os.path.exists(path):
             return 0
-        with open(path, "r") as stream:
+        with open(path) as stream:
             stream.seek(min(entry.journal_offset, self._journal_size(entry)))
             return sum(1 for line in stream if line.strip())
 
@@ -673,7 +676,7 @@ class CubeCatalog:
         path = os.path.join(self.directory, entry.appends)
         if not os.path.exists(path):
             return []
-        with open(path, "r") as stream:
+        with open(path) as stream:
             stream.seek(min(entry.journal_offset, self._journal_size(entry)))
             lines = stream.readlines()
         batches: List[List[object]] = []

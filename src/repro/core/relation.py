@@ -342,7 +342,7 @@ class Relation:
                 f"schema's {list(self.schema.measure_names)}"
             )
         measure_values: List[List[float]] = []
-        for index, name in enumerate(self.schema.measure_names):
+        for name in self.schema.measure_names:
             values = [float(v) for v in measures[name]]
             if len(values) != len(rows):
                 raise SchemaError(

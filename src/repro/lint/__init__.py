@@ -1,0 +1,44 @@
+"""``repro.lint`` — the serving stack's invariant static analyzer.
+
+PRs 4-6 made the engine a concurrent, durable, multi-cube server whose
+correctness rests on conventions no general-purpose linter checks: locks
+held through context managers or paired ``finally`` releases, one global
+lock-acquisition order, a strictly non-blocking asyncio dispatcher,
+copy-on-publish cube maintenance, tmp+rename durability, and seeded
+randomness in everything that claims to be reproducible.  This package
+machine-checks those conventions so the next refactor wave (replicated
+serving, columnar core) can move fast without silently breaking them.
+
+Rule families (see :mod:`repro.lint.rules` and docs/STATIC_ANALYSIS.md):
+
+== =====================================================================
+RL001 lock discipline — no bare ``acquire()`` without a ``finally`` release
+RL002 lock ordering — per-module acquisition graph must stay acyclic
+RL003 blocking-in-async — no blocking calls on the server's event loop
+RL004 publish discipline — published cubes are cloned and swapped, never
+      mutated in place
+RL005 atomic-write discipline — durable artifacts go through tmp+rename
+RL006 seeded randomness — no process-global RNG in benchmarks/loadgen/
+      datagen
+== =====================================================================
+
+Run it as ``python -m repro.lint [paths]``; suppress a reviewed exception
+inline with ``# repro-lint: disable=RLxxx``; park accepted debt in
+``lint-baseline.json``.
+"""
+
+from .engine import LintResult, ParsedModule, run_lint
+from .findings import Baseline, Finding, Suppressions
+from .rules import ALL_RULES, RULES_BY_CODE, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "ParsedModule",
+    "Rule",
+    "RULES_BY_CODE",
+    "Suppressions",
+    "run_lint",
+]

@@ -1,0 +1,171 @@
+"""Command line front end: ``python -m repro.lint [paths ...]``.
+
+Exit status:
+
+* ``0`` — no unsuppressed, un-baselined findings (the CI contract);
+* ``1`` — at least one new finding;
+* ``2`` — usage errors (missing paths, malformed baseline).
+
+The default paths are ``src`` and ``benchmarks`` when run from the repo
+root.  A ``lint-baseline.json`` next to the current directory is picked up
+automatically; ``--update-baseline`` rewrites it from the current findings
+and ``--no-baseline`` ignores it (useful to see the accepted debt too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import run_lint
+from .findings import Baseline, Finding
+from .rules import ALL_RULES
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Concurrency- and durability-invariant static analyzer for the "
+            "repro serving stack (rules RL001-RL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyse (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"accepted-debt file (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report accepted debt as findings",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list findings silenced by inline disable comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    paths = [path for path in ("src", "benchmarks") if os.path.isdir(path)]
+    return paths
+
+
+def _print_text(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    checked_files: int,
+    stale: Sequence[str],
+    show_suppressed: bool,
+    out=None,
+) -> None:
+    # Resolve the stream at call time so test harnesses that swap
+    # sys.stdout (pytest's capsys) see the output.
+    out = out if out is not None else sys.stdout
+    for finding in findings:
+        print(finding.render(), file=out)
+    if show_suppressed:
+        for finding in suppressed:
+            print(f"{finding.render()} [suppressed inline]", file=out)
+    summary = (
+        f"repro.lint: {len(findings)} finding(s) in {checked_files} file(s)"
+    )
+    details = []
+    if baselined:
+        details.append(f"{len(baselined)} baselined")
+    if suppressed:
+        details.append(f"{len(suppressed)} suppressed inline")
+    if details:
+        summary += " (" + ", ".join(details) + ")"
+    print(summary, file=out)
+    for fingerprint in stale:
+        print(
+            f"repro.lint: stale baseline entry (already fixed — run "
+            f"--update-baseline to drop it): {fingerprint}",
+            file=out,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name}: {rule.summary}")
+        return 0
+
+    paths = options.paths or _default_paths()
+    if not paths:
+        parser.error(
+            "no paths given and neither ./src nor ./benchmarks exists"
+        )
+    try:
+        result = run_lint(paths)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = options.baseline or (
+        DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None
+    )
+    if options.update_baseline:
+        target = options.baseline or DEFAULT_BASELINE
+        Baseline().save(target, result.findings)
+        print(
+            f"repro.lint: wrote {len(result.findings)} finding(s) to {target}"
+        )
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and not options.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"repro.lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    new = [f for f in result.findings if not baseline.contains(f)]
+    accepted = [f for f in result.findings if baseline.contains(f)]
+    stale = baseline.stale_entries(result.findings)
+
+    if options.format == "json":
+        payload = {
+            "checked_files": result.checked_files,
+            "findings": [vars(finding) for finding in new],
+            "baselined": [vars(finding) for finding in accepted],
+            "suppressed": [vars(finding) for finding in result.suppressed],
+            "stale_baseline_entries": list(stale),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_text(
+            new, accepted, result.suppressed, result.checked_files, stale,
+            options.show_suppressed,
+        )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module is run via __main__
+    sys.exit(main())

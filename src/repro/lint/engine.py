@@ -1,0 +1,148 @@
+"""The ``repro.lint`` driver: walk files, parse, run rules, apply filters.
+
+The engine is deliberately boring: it finds Python files, parses each one
+once, hands the parse to every registered rule, and filters the raw
+findings through the file's inline suppressions.  Baseline subtraction and
+exit-status policy live in :mod:`repro.lint.cli` — the engine itself always
+reports everything it sees, so tests can assert on the raw stream.
+
+A file that fails to parse yields one ``RL000`` finding (not suppressible:
+a syntax error means the suppressions could not be read either).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .findings import Finding, Suppressions
+from .rules import ALL_RULES, Rule
+
+#: Pseudo-rule for files the analyzer cannot parse.
+PARSE_ERROR_CODE = "RL000"
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", ".venv", "venv"}
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file as the rules see it."""
+
+    #: Absolute path on disk.
+    path: str
+    #: Root-relative, forward-slash path used in findings and scope checks.
+    display: str
+    tree: ast.AST
+    lines: Sequence[str]
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, before baseline policy is applied."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    def by_rule(self, code: str) -> List[Finding]:
+        return [finding for finding in self.findings if finding.rule == code]
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates: Iterable[str] = [path]
+        elif os.path.isdir(path):
+            candidates = _walk(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for candidate in candidates:
+            absolute = os.path.abspath(candidate)
+            if absolute not in seen and absolute.endswith(".py"):
+                seen.add(absolute)
+                collected.append(absolute)
+    return iter(sorted(collected))
+
+
+def _walk(directory: str) -> Iterator[str]:
+    for root, dirnames, filenames in os.walk(directory):
+        dirnames[:] = sorted(
+            name for name in dirnames
+            if name not in SKIP_DIRS and not name.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(root, filename)
+
+
+def display_path(path: str, root: Optional[str] = None) -> str:
+    """Root-relative forward-slash form of ``path`` for findings output."""
+    base = os.path.abspath(root or os.getcwd())
+    absolute = os.path.abspath(path)
+    try:
+        relative = os.path.relpath(absolute, base)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        relative = absolute
+    if relative.startswith(".."):
+        relative = absolute
+    return relative.replace(os.sep, "/")
+
+
+def parse_module(path: str, root: Optional[str] = None) -> Tuple[
+    Optional[ParsedModule], Optional[Finding]
+]:
+    """Parse one file; returns ``(module, None)`` or ``(None, RL000)``."""
+    display = display_path(path, root)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return None, Finding(
+            rule=PARSE_ERROR_CODE,
+            path=display,
+            line=int(line),
+            col=0,
+            message=f"cannot analyse file: {exc}",
+        )
+    return ParsedModule(
+        path=path, display=display, tree=tree, lines=source.splitlines()
+    ), None
+
+
+def run_lint(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Run every rule over every Python file under ``paths``.
+
+    Inline ``# repro-lint: disable=...`` suppressions are applied here;
+    suppressed findings are kept on :attr:`LintResult.suppressed` so the CLI
+    can show them on request and tests can assert suppression behaviour.
+    """
+    active = list(ALL_RULES if rules is None else rules)
+    result = LintResult()
+    for path in iter_python_files(paths):
+        module, parse_error = parse_module(path, root)
+        if parse_error is not None:
+            result.findings.append(parse_error)
+            continue
+        result.checked_files += 1
+        suppressions = Suppressions(module.lines)
+        for rule in active:
+            for finding in rule.check(module):
+                if suppressions.is_suppressed(finding.rule, finding.line):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,132 @@
+"""Findings, suppressions, and the accepted-debt baseline for ``repro.lint``.
+
+A :class:`Finding` is one rule violation at one source location.  Two
+mechanisms keep the analyzer's exit status meaningful on a living tree:
+
+* **Inline suppressions** — a ``# repro-lint: disable=RL001`` comment on the
+  offending line (or on a standalone comment line directly above it) silences
+  the named rules there.  ``disable=all`` silences every rule.  Suppressions
+  are for *reviewed* exceptions: the comment sits next to the code, so the
+  justification travels with it.
+* **The baseline** — a committed JSON file of *accepted debt*: findings that
+  predate a rule and are consciously tolerated.  Baselined findings are
+  reported as such but do not fail the run; a finding is matched by its
+  fingerprint (rule, path, message) rather than its line number, so
+  unrelated edits above it do not churn the file.  ``--update-baseline``
+  rewrites the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+#: Inline suppression marker: ``# repro-lint: disable=RL001,RL005`` (codes
+#: case-insensitive; ``all`` disables every rule on the line).
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Suppressions:
+    """The per-line inline-suppression map of one source file."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        #: line number (1-based) -> set of lowered rule codes (or {"all"}).
+        self._by_line: Dict[int, Set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = SUPPRESS_PATTERN.search(text)
+            if match is None:
+                continue
+            codes = {
+                code.strip().lower()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            self._by_line.setdefault(number, set()).update(codes)
+            # A standalone comment line suppresses the line below it, so a
+            # justification comment can sit on its own line above the code.
+            if text.lstrip().startswith("#"):
+                self._by_line.setdefault(number + 1, set()).update(codes)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        codes = self._by_line.get(line)
+        if not codes:
+            return False
+        return "all" in codes or rule.lower() in codes
+
+
+class Baseline:
+    """The committed accepted-debt file (see module docstring)."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.fingerprints: Set[str] = set(fingerprints)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path) as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path!r} is not a repro-lint baseline "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = raw.get("findings", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"{path!r} has a malformed 'findings' list")
+        fingerprints = set()
+        for entry in entries:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise ValueError(f"malformed baseline entry: {entry!r}")
+            fingerprints.add(str(entry["fingerprint"]))
+        return cls(fingerprints)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.fingerprint() for finding in findings)
+
+    def save(self, path: str, findings: Sequence[Finding]) -> None:
+        """Write the baseline from ``findings`` (sorted, line-independent)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"fingerprint": fingerprint}
+                for fingerprint in sorted(
+                    {finding.fingerprint() for finding in findings}
+                )
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[str]:
+        """Baseline fingerprints that no current finding matches (fixed debt)."""
+        current = {finding.fingerprint() for finding in findings}
+        return sorted(self.fingerprints - current)

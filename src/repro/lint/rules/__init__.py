@@ -1,0 +1,58 @@
+"""The rule registry for ``repro.lint``.
+
+Each rule family lives in its own module and exposes ``CODE``, ``NAME``, a
+docstring describing the invariant, and ``check(module) -> List[Finding]``.
+The registry below is the single source of truth the engine, the CLI's
+``--list-rules``, and the documentation generator iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+from ..findings import Finding
+from . import (
+    rl001_lock_discipline,
+    rl002_lock_ordering,
+    rl003_blocking_async,
+    rl004_publish_discipline,
+    rl005_atomic_write,
+    rl006_seeded_random,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule family."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[["ParsedModule"], List[Finding]]
+
+
+def _rule(module) -> Rule:
+    summary = (module.__doc__ or "").strip().splitlines()[0]
+    return Rule(
+        code=module.CODE, name=module.NAME, summary=summary, check=module.check
+    )
+
+
+#: Every rule family, in code order.
+ALL_RULES: Tuple[Rule, ...] = tuple(
+    _rule(module)
+    for module in (
+        rl001_lock_discipline,
+        rl002_lock_ordering,
+        rl003_blocking_async,
+        rl004_publish_discipline,
+        rl005_atomic_write,
+        rl006_seeded_random,
+    )
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,134 @@
+"""Shared AST helpers for the ``repro.lint`` rule families.
+
+Every rule works on one :class:`~repro.lint.engine.ParsedModule` at a time
+and reasons about *lexical* structure only — no imports are executed, no
+types are resolved.  The helpers here encode the two heuristics the rules
+share:
+
+* **Dotted names** — receivers and lock expressions are canonicalised to
+  dotted strings (``self._lock``, ``channel.append_lock``,
+  ``self._gate()``) so rules can match acquisitions against releases and
+  aliases against their sources.
+* **Lock-ish detection** — an expression is treated as a lock when its last
+  name segment looks like one (``lock``, ``gate``, ``mutex``, ``cond``,
+  ``rwlock``, ``sem`` — singular or plural, bare or as a ``_lock``-style
+  suffix).  Naming *is* the contract: the serving stack names every
+  synchronisation primitive this way, and the lint rules are the reason to
+  keep doing so.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+#: Last-segment names that mark an expression as a synchronisation primitive.
+LOCKISH_PATTERN = re.compile(
+    r"(?:^|_)(?:lock|locks|gate|gates|mutex|mutexes|rwlock|rwlocks|"
+    r"cond|condition|sem|semaphore)$"
+)
+
+#: RWLock's split acquire/release method pairs, plus the plain pair.
+ACQUIRE_METHODS = {"acquire": "release", "acquire_read": "release_read",
+                   "acquire_write": "release_write"}
+RELEASE_METHODS = {release: acquire for acquire, release in ACQUIRE_METHODS.items()}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain, ``a.b()`` for a call on one.
+
+    Returns ``None`` for expressions that are not name/attribute/call chains
+    (subscripts, literals, comprehensions, ...).
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    if isinstance(node, ast.Call):
+        base = dotted_name(node.func)
+        if base is None:
+            return None
+        return f"{base}()"
+    return None
+
+
+def last_segment(dotted: str) -> str:
+    """The final name of a dotted chain, stripped of a trailing call marker."""
+    segment = dotted.split(".")[-1]
+    # str.removesuffix needs 3.9; this package supports the repo's 3.8 floor.
+    return segment[:-2] if segment.endswith("()") else segment
+
+
+def is_lockish_name(name: str) -> bool:
+    return LOCKISH_PATTERN.search(name.lower()) is not None
+
+
+def lock_acquisition_key(node: ast.expr) -> Optional[str]:
+    """Canonical lock identity for a ``with`` context expression, if any.
+
+    Recognised shapes (``None`` otherwise):
+
+    * ``with self._lock:`` — a lock-ish name or attribute;
+    * ``with self._gate(name):`` — a call whose callee is lock-ish (a lock
+      factory/lookup such as the catalog's per-name gates);
+    * ``with lock.read():`` / ``with lock.write():`` — RWLock side helpers,
+      collapsed onto the lock itself (both sides order against the same
+      node in the acquisition graph).
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = dotted_name(node)
+        if dotted is not None and is_lockish_name(last_segment(dotted)):
+            return dotted
+        return None
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("read", "write")
+        ):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and is_lockish_name(last_segment(receiver)):
+                return receiver
+            return None
+        dotted = dotted_name(node.func)
+        if dotted is not None and is_lockish_name(last_segment(dotted)):
+            return f"{dotted}()"
+    return None
+
+
+def canonical_lock(key: str) -> str:
+    """Module-level lock identity: ``self._lock`` and ``cls._lock`` unify."""
+    for prefix in ("self.", "cls."):
+        if key.startswith(prefix):
+            return key[len(prefix):]
+    return key
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, bool]]:
+    """Every function/method in ``tree`` as ``(node, is_async)``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node, False
+        elif isinstance(node, ast.AsyncFunctionDef):
+            yield node, True
+
+
+def in_scope(display_path: str, *segments: str) -> bool:
+    """Whether a module's display path lies under any of ``segments``.
+
+    Matches path *segments*, so ``repro/server`` matches both
+    ``src/repro/server/tcp.py`` and a fixture corpus laid out as
+    ``tests/lint_fixtures/repro/server/bad.py``.
+    """
+    normalized = "/" + display_path.replace("\\", "/").lstrip("/")
+    return any(f"/{segment.strip('/')}/" in normalized for segment in segments)
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, or ``None``."""
+    return dotted_name(node.func)

@@ -1,0 +1,135 @@
+"""RL001 — lock discipline: no bare ``acquire()`` without a ``finally``.
+
+Every lock in the serving stack is held either through its context manager
+(``with lock:``, ``with lock.read():``) or — when the acquisition itself
+needs special handling, like the server's timeout-bounded
+``await wait_for(lock.acquire(), ...)`` — through an explicit
+``acquire()``/``release()`` pair whose release lives in a ``finally`` block.
+Anything else leaks the lock on the first exception between acquire and
+release, which in a writer-preference world wedges *every* future reader.
+
+Flagged:
+
+* ``lock.acquire()`` (also ``acquire_read``/``acquire_write`` and awaited
+  asyncio acquires) with no matching ``release`` on the same receiver inside
+  a ``finally`` block of the same function;
+* ``lock.release()`` calls outside any ``finally`` block — a happy-path
+  release leaks on exceptions just as surely.
+
+The receivers are matched lexically (``channel.append_lock`` against
+``channel.append_lock``), so keep acquire and release spelled the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from ..findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+from .common import (
+    ACQUIRE_METHODS,
+    RELEASE_METHODS,
+    dotted_name,
+    is_lockish_name,
+    iter_functions,
+    last_segment,
+)
+
+CODE = "RL001"
+NAME = "lock-discipline"
+
+
+def _lock_method_call(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(receiver, method)`` when ``node`` is a lock acquire/release call."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    if method not in ACQUIRE_METHODS and method not in RELEASE_METHODS:
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return None
+    # Plain acquire/release appear on queues, semaphores-by-other-names, and
+    # third-party objects too; require a lock-ish receiver for those.  The
+    # RWLock method names (acquire_read/...) are unambiguous on their own —
+    # self.acquire_read() inside a lock class still counts.
+    if method in ("acquire", "release") and not is_lockish_name(
+        last_segment(receiver)
+    ):
+        return None
+    return receiver, method
+
+
+def _finally_releases(function: ast.AST) -> Set[Tuple[str, str]]:
+    """Every ``(receiver, release_method)`` called inside a ``finally``."""
+    releases: Set[Tuple[str, str]] = set()
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for call in ast.walk(stmt):
+                if isinstance(call, ast.Call):
+                    found = _lock_method_call(call)
+                    if found is not None and found[1] in RELEASE_METHODS:
+                        releases.add(found)
+    return releases
+
+
+def _nodes_under_finally(function: ast.AST) -> Set[int]:
+    under: Set[int] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for child in ast.walk(stmt):
+                    under.add(id(child))
+    return under
+
+
+def check(module: ParsedModule) -> List[Finding]:
+    findings: List[Finding] = []
+    for function, _is_async in iter_functions(module.tree):
+        releases_in_finally = _finally_releases(function)
+        finally_nodes = _nodes_under_finally(function)
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            found = _lock_method_call(node)
+            if found is None:
+                continue
+            receiver, method = found
+            if method in ACQUIRE_METHODS:
+                release = ACQUIRE_METHODS[method]
+                if (receiver, release) not in releases_in_finally:
+                    findings.append(
+                        Finding(
+                            rule=CODE,
+                            path=module.display,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"bare {receiver}.{method}() with no "
+                                f"{receiver}.{release}() in a finally block; "
+                                "use the lock's context manager, or pair the "
+                                "acquire with a release in a finally"
+                            ),
+                        )
+                    )
+            elif id(node) not in finally_nodes:
+                findings.append(
+                    Finding(
+                        rule=CODE,
+                        path=module.display,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{receiver}.{method}() outside a finally block "
+                            "leaks the lock when an exception fires between "
+                            "acquire and release; move it into a finally"
+                        ),
+                    )
+                )
+    return findings

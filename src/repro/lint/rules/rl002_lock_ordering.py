@@ -1,0 +1,262 @@
+"""RL002 — lock ordering: the per-module acquisition graph must be acyclic.
+
+The serving stack layers its locks in one fixed order; taking them in two
+different orders in two code paths is the classic AB/BA deadlock.  This rule
+rebuilds each module's lock *acquisition graph*: an edge ``A -> B`` means
+some code path acquires ``B`` while holding ``A`` — either directly (nested
+``with`` blocks) or through a call to another function in the same module
+that acquires ``B`` (transitively).  Any cycle in that graph is reported.
+
+On top of the generic cycle check, the rule pins the one ordering the
+catalog's deadlock depends on (established in the PR-5 concurrency rework):
+**per-name gates are acquired before the catalog-wide lock, never the other
+way around.**  ``CubeCatalog`` holds a per-name gate for a cube's heavy work
+and dips into ``self._lock`` for short manifest/instance-table sections;
+acquiring a gate while already inside the catalog-wide lock would deadlock
+against any gate-holder waiting for that same lock.  An edge from a
+``*_lock``-named lock to a ``*gate*``-named lock is therefore flagged even
+when the module's graph shows no complete cycle (the reverse edges usually
+live in the same module anyway, but the pin keeps the report crisp and keeps
+firing if the halves are ever split across modules).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .common import canonical_lock, dotted_name, lock_acquisition_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL002"
+NAME = "lock-ordering"
+
+#: The catalog-wide registry lock (short critical sections).
+CATALOG_LOCK = re.compile(r"^_?lock$")
+#: The per-name gates (long per-cube critical sections).
+NAME_GATE = re.compile(r"gate")
+
+#: edge source -> {target -> (line, col) of a witness acquisition}
+Graph = Dict[str, Dict[str, Tuple[int, int]]]
+
+
+def _collect_functions(tree: ast.AST):
+    """``(name, kind, node)`` for every function: kind 'method' or 'func'.
+
+    The distinction matters for call resolution: a bare ``open(...)`` call
+    is the *builtin*, never a method that happens to be named ``open`` —
+    only ``self.open(...)`` reaches the method.  Conflating them invents
+    acquisition edges out of thin air (the catalog's ``open()`` method vs
+    the builtin was the motivating false positive).
+    """
+    def visit(node: ast.AST, in_class: bool):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child.name, ("method" if in_class else "func"), child
+                # Nested defs resolve by bare name like module functions.
+                yield from visit(child, False)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, True)
+            elif isinstance(child, (ast.If, ast.Try, ast.With, ast.For,
+                                    ast.While)):
+                yield from visit(child, in_class)
+
+    yield from visit(tree, False)
+
+
+def _called_function(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(kind, name)`` of a possibly-local callee: ``foo`` or ``self.foo``."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) == 1:
+        return "func", parts[0]
+    if len(parts) == 2 and parts[0] in ("self", "cls"):
+        return "method", parts[1]
+    return None
+
+
+class _FunctionFacts(ast.NodeVisitor):
+    """Lock acquisitions and call sites of one function, with held-set context."""
+
+    def __init__(self) -> None:
+        self.held: List[str] = []
+        #: (held_key, acquired_key, line, col) for nested with acquisitions.
+        self.edges: List[Tuple[str, str, int, int]] = []
+        #: every lock this function acquires directly.
+        self.acquired: Set[str] = set()
+        #: (held_keys, callee (kind, name), line, col) for same-module calls.
+        self.calls: List[Tuple[Tuple[str, ...], Tuple[str, str], int, int]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        acquired_here: List[str] = []
+        for item in node.items:  # type: ignore[attr-defined]
+            key = lock_acquisition_key(item.context_expr)
+            if key is None:
+                continue
+            key = canonical_lock(key)
+            self.acquired.add(key)
+            for held in self.held:
+                if held != key:
+                    self.edges.append(
+                        (held, key, item.context_expr.lineno,
+                         item.context_expr.col_offset)
+                    )
+            self.held.append(key)
+            acquired_here.append(key)
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self.visit(stmt)
+        for _ in acquired_here:
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _called_function(node)
+        if callee is not None:
+            self.calls.append(
+                (tuple(self.held), callee, node.lineno, node.col_offset)
+            )
+        self.generic_visit(node)
+
+    # Nested function definitions run later, under an unknown held set;
+    # they are analysed as functions in their own right instead.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def _transitive_acquisitions(
+    facts: Dict[Tuple[str, str], _FunctionFacts]
+) -> Dict[Tuple[str, str], Set[str]]:
+    """Fixpoint of "locks function f may acquire", following local calls.
+
+    A bare-name call only resolves to a module-level (or nested) function;
+    a ``self.``/``cls.`` call only resolves to a method — never across.
+    """
+    summary = {key: set(f.acquired) for key, f in facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, fact in facts.items():
+            for _held, callee, _line, _col in fact.calls:
+                extra = summary.get(callee)
+                if extra and not extra <= summary[key]:
+                    summary[key] |= extra
+                    changed = True
+    return summary
+
+
+def _build_graph(module: "ParsedModule") -> Graph:
+    facts: Dict[Tuple[str, str], _FunctionFacts] = {}
+    for name, kind, function in _collect_functions(module.tree):
+        visitor = _FunctionFacts()
+        for stmt in function.body:
+            visitor.visit(stmt)
+        key = (kind, name)
+        # Same-named methods on different classes merge conservatively.
+        if key in facts:
+            existing = facts[key]
+            existing.edges.extend(visitor.edges)
+            existing.acquired |= visitor.acquired
+            existing.calls.extend(visitor.calls)
+        else:
+            facts[key] = visitor
+    summary = _transitive_acquisitions(facts)
+    graph: Graph = {}
+    for fact in facts.values():
+        for held, acquired, line, col in fact.edges:
+            graph.setdefault(held, {}).setdefault(acquired, (line, col))
+        for held_keys, callee, line, col in fact.calls:
+            if not held_keys:
+                continue
+            for target in summary.get(callee, ()):
+                for held in held_keys:
+                    if held != target:
+                        graph.setdefault(held, {}).setdefault(target, (line, col))
+    return graph
+
+
+def _find_cycle(graph: Graph) -> Optional[List[str]]:
+    """One cycle in the graph as ``[a, b, ..., a]``, or ``None``."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def dfs(node: str) -> Optional[List[str]]:
+        color[node] = GREY
+        stack.append(node)
+        for target in sorted(graph.get(node, ())):
+            state = color.get(target, WHITE)
+            if state == GREY:
+                return stack[stack.index(target):] + [target]
+            if state == WHITE and target in graph:
+                cycle = dfs(target)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    graph = _build_graph(module)
+    findings: List[Finding] = []
+    for held, targets in sorted(graph.items()):
+        for target, (line, col) in sorted(targets.items()):
+            if CATALOG_LOCK.match(held) and NAME_GATE.search(target):
+                findings.append(
+                    Finding(
+                        rule=CODE,
+                        path=module.display,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"per-name gate {target!r} acquired while holding "
+                            f"catalog-wide lock {held!r}; the serving stack's "
+                            "order is gate first, catalog lock inside it — "
+                            "the reverse deadlocks against gate-holders "
+                            "waiting on the catalog lock"
+                        ),
+                    )
+                )
+    cycle = _find_cycle(graph)
+    if cycle is not None:
+        first_edge = graph[cycle[0]][cycle[1]]
+        findings.append(
+            Finding(
+                rule=CODE,
+                path=module.display,
+                line=first_edge[0],
+                col=first_edge[1],
+                message=(
+                    "lock acquisition cycle "
+                    + " -> ".join(cycle)
+                    + "; two code paths take these locks in different orders "
+                    "(AB/BA deadlock) — pick one order and hoist the "
+                    "acquisitions"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,145 @@
+"""RL003 — no blocking calls lexically inside ``async def`` in the server.
+
+The asyncio dispatcher is the one thread every connection shares; a single
+blocking call on it — a sleep, file or socket I/O, a pickle of a 100k-cell
+cube, a synchronous lock acquire — stalls *every* in-flight request, which
+is precisely the failure mode the server's executor offloads exist to
+prevent.  Scope: modules under ``repro/server/`` (the only package whose
+code runs on the event loop).
+
+Flagged inside ``async def`` bodies:
+
+* ``time.sleep(...)``;
+* builtin ``open(...)`` / ``os.fdopen`` / ``io.open`` — file I/O;
+* any ``pickle.*`` / ``subprocess.*`` / ``socket.*`` call, plus
+  ``os.system`` / ``os.popen``;
+* synchronous ``.acquire()`` (also ``acquire_read``/``acquire_write``) on a
+  lock — asyncio lock acquires are fine when awaited.
+
+Exempt: the awaited expression itself (``await lock.acquire()``), arguments
+of ``asyncio.wait_for``/``shield``/``gather``/``ensure_future`` (the
+server's timeout-bounded acquire), anything handed to
+``run_in_executor``/``asyncio.to_thread``, and the bodies of *synchronous*
+functions nested inside the coroutine (they execute wherever they are later
+called, typically on an executor).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional, Set
+
+from ..findings import Finding
+from .common import (
+    ACQUIRE_METHODS,
+    dotted_name,
+    in_scope,
+    is_lockish_name,
+    last_segment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL003"
+NAME = "blocking-in-async"
+
+#: Exact dotted names that block.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "open",
+    "io.open",
+    "os.fdopen",
+    "os.system",
+    "os.popen",
+    "socket.create_connection",
+}
+#: Any call into these modules blocks (or burns enough CPU to count).
+BLOCKING_MODULES = {"pickle", "subprocess", "socket"}
+#: Wrappers whose arguments run off the event loop (or under its timeout).
+OFFLOAD_CALLEES = {"run_in_executor", "to_thread"}
+AWAIT_WRAPPERS = {"wait_for", "shield", "gather", "ensure_future", "wait"}
+
+
+def _blocking_reason(node: ast.Call) -> Optional[str]:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    if dotted in BLOCKING_CALLS:
+        return f"{dotted}() blocks the event loop"
+    root = dotted.split(".")[0]
+    if root in BLOCKING_MODULES and "." in dotted:
+        return f"{dotted}() blocks the event loop"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in ACQUIRE_METHODS:
+        receiver = dotted_name(node.func.value)
+        if receiver is not None and (
+            is_lockish_name(last_segment(receiver))
+            or node.func.attr != "acquire"
+        ):
+            return (
+                f"synchronous {receiver}.{node.func.attr}() on the event "
+                "loop; await it (asyncio lock) or move the work to an "
+                "executor"
+            )
+    return None
+
+
+def _exempt_subtrees(coroutine: ast.AST) -> Set[int]:
+    """ids of nodes whose descendants must not be flagged."""
+    exempt: Set[int] = set()
+
+    def mark(node: ast.AST) -> None:
+        for child in ast.walk(node):
+            exempt.add(id(child))
+
+    for node in ast.walk(coroutine):
+        if isinstance(node, ast.Await):
+            # The awaited call itself yields to the loop.  Its *arguments*
+            # are only exempt under the known wrapper callees below.
+            if isinstance(node.value, ast.Call):
+                exempt.add(id(node.value))
+                exempt.add(id(node.value.func))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if callee in OFFLOAD_CALLEES or callee in AWAIT_WRAPPERS:
+                for argument in [*node.args, *node.keywords]:
+                    mark(argument)
+        elif node is not coroutine and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # Nested sync defs run wherever they are called (usually an
+            # executor); nested async defs are visited as coroutines in
+            # their own right by check().
+            mark(node)
+    return exempt
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    if not in_scope(module.display, "repro/server"):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        exempt = _exempt_subtrees(node)
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call) or id(call) in exempt:
+                continue
+            reason = _blocking_reason(call)
+            if reason is not None:
+                findings.append(
+                    Finding(
+                        rule=CODE,
+                        path=module.display,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{reason} inside async def {node.name!r}; wrap "
+                            "it in loop.run_in_executor()/asyncio.to_thread()"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,126 @@
+"""RL004 — publish discipline: published cubes are swapped, never mutated.
+
+The concurrent serving contract (PR 4) is copy-on-publish: readers answer
+against the *published* ``CubeResult`` while maintenance merges into a
+private ``clone()`` and lands the result with one atomic reference swap.  A
+mutating call on the published object itself — ``serving.cube.merge(...)``,
+``self.cube.upsert(...)`` — races every in-flight query with a half-applied
+merge.  Only :mod:`repro.incremental.maintainer` (the one module that owns
+the publish sequence, including the deliberately single-threaded in-place
+mode) may mutate a cube it did not just create.
+
+Flagged: calls to a ``CubeResult`` mutator (``merge``/``upsert``/``remove``/
+``add``/``shift_rep_tids``) whose receiver is a ``.cube`` attribute chain
+rooted in ``self``/a parameter/module state — i.e. an object that existed
+before the function ran and may be published.  Exempt: receivers that are
+locally *created* in the same function (assigned from any call —
+``clone()``, ``run()``, a constructor), because a value born in the function
+cannot be published yet; the swap that publishes it is an assignment, which
+this rule never flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..findings import Finding
+from .common import dotted_name, iter_functions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL004"
+NAME = "publish-discipline"
+
+#: CubeResult's mutating methods.
+MUTATORS = {"merge", "upsert", "remove", "add", "shift_rep_tids"}
+
+#: The one module allowed to mutate a pre-existing cube (it owns the
+#: publish sequence and the documented single-threaded in-place mode).
+EXEMPT_SUFFIXES = ("incremental/maintainer.py",)
+
+
+def _local_bindings(function: ast.AST) -> Dict[str, Optional[str]]:
+    """name -> source chain for simple local assignments.
+
+    ``None`` marks a name bound from a call (a freshly created object); a
+    dotted string marks an alias of an attribute chain.  Re-assignment keeps
+    the *most permissive* view conservative: once a name has ever aliased an
+    attribute chain, it stays an alias.
+    """
+    bindings: Dict[str, Optional[str]] = {}
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(node.value, ast.Call):
+            bindings.setdefault(target.id, None)
+        else:
+            chain = dotted_name(node.value)
+            if chain is not None:
+                bindings[target.id] = chain
+    return bindings
+
+
+def _published_receiver(
+    receiver: ast.expr, bindings: Dict[str, Optional[str]]
+) -> Optional[str]:
+    """The resolved chain when ``receiver`` may be a published cube."""
+    chain = dotted_name(receiver)
+    if chain is None or chain.endswith("()"):
+        # A call result (``....clone().merge(...)``) is a fresh object.
+        return None
+    parts = chain.split(".")
+    root = parts[0]
+    resolved = bindings.get(root, root)
+    if resolved is None:
+        return None  # bound from a call in this function: locally created
+    resolved_chain = ".".join([resolved, *parts[1:]])
+    # Require a dotted ``<owner>.cube`` chain: a cube reachable *from a
+    # field* may be published; a bare local/parameter named ``cube`` (the
+    # load path folding segments into a cube nothing references yet) is not
+    # provably reachable by readers.
+    if "." in resolved_chain and resolved_chain.split(".")[-1] == "cube":
+        return resolved_chain
+    return None
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    display = module.display.replace("\\", "/")
+    if any(display.endswith(suffix) for suffix in EXEMPT_SUFFIXES):
+        return []
+    findings: List[Finding] = []
+    seen: Set[int] = set()
+    for function, _is_async in iter_functions(module.tree):
+        bindings = _local_bindings(function)
+        for node in ast.walk(function):
+            if (
+                not isinstance(node, ast.Call)
+                or id(node) in seen
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in MUTATORS
+            ):
+                continue
+            seen.add(id(node))  # nested defs are walked again by iter_functions
+            resolved = _published_receiver(node.func.value, bindings)
+            if resolved is None:
+                continue
+            findings.append(
+                Finding(
+                    rule=CODE,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{resolved}.{node.func.attr}() mutates a cube that "
+                        "may be published to concurrent readers; merge into "
+                        "a clone() and publish it with an atomic swap (see "
+                        "repro.incremental.maintainer), or route the change "
+                        "through the maintainer"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,99 @@
+"""RL005 — atomic-write discipline for durable artifacts.
+
+Everything durable in the storage/catalog layer — snapshots, delta
+segments, the manifest, journal rewrites — must reach disk through the
+same-directory temp-file + ``os.replace`` protocol in
+:mod:`repro.storage.atomic`.  A plain ``open(path, "w")`` is a window where
+a crash leaves a *half-written* file under the final name: a torn snapshot
+that fails its CRC at best, a silently short manifest at worst.  The append
+journals are the one designed exception — they are append-only (``"a"``)
+and the loader tolerates exactly one torn tail line, which is why append
+mode is not flagged.
+
+Scope: modules under ``repro/storage/`` and ``repro/catalog/``.  Flagged:
+``open``/``os.fdopen``/``io.open`` with a creating-or-truncating mode
+(``"w"``, ``"wb"``, ``"x"``, ``"w+"`` ...) and ``pathlib``-style
+``.write_text()``/``.write_bytes()`` calls.  The helper module
+``repro/storage/atomic.py`` itself is exempt — it is the one place the raw
+pattern is allowed to live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional
+
+from ..findings import Finding
+from .common import dotted_name, in_scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL005"
+NAME = "atomic-write"
+
+#: The blessed helper module (the raw tmp+rename pattern lives here).
+HELPER_SUFFIX = "repro/storage/atomic.py"
+
+OPENERS = {"open", "io.open", "os.fdopen"}
+PATH_WRITERS = {"write_text", "write_bytes"}
+
+
+def _write_mode(node: ast.Call) -> Optional[str]:
+    """The creating/truncating mode string of an open call, if any."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if "w" in mode.value or "x" in mode.value:
+            return mode.value
+        return None
+    # A computed mode cannot be proven safe; treat it as a write.
+    return "<dynamic>"
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    display = module.display.replace("\\", "/")
+    if not in_scope(display, "repro/storage", "repro/catalog"):
+        return []
+    if display.endswith(HELPER_SUFFIX):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted in OPENERS:
+            mode = _write_mode(node)
+            if mode is None:
+                continue
+            message = (
+                f"open(..., {mode!r}) on a durable artifact can crash into a "
+                "half-written file under its final name; write through "
+                "repro.storage.atomic (temp file + os.replace)"
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in PATH_WRITERS
+        ):
+            message = (
+                f".{node.func.attr}() truncates in place; write through "
+                "repro.storage.atomic (temp file + os.replace)"
+            )
+        else:
+            continue
+        findings.append(
+            Finding(
+                rule=CODE,
+                path=module.display,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+            )
+        )
+    return findings

@@ -1,0 +1,91 @@
+"""RL006 — seeded randomness in benchmarks, load generation, and data gen.
+
+A benchmark that cannot be replayed cannot be debugged: the perf-gate CI
+jobs, the open-loop load harness, and the synthetic datasets all promise
+that the same seed reproduces the same run bit-for-bit.  The module-level
+``random.*`` functions draw from one hidden, process-global, unseeded
+generator — any library call can perturb it, and two concurrent users
+interleave draws nondeterministically.  ``random.Random()`` without a seed
+is the same problem with extra steps.
+
+Scope: ``benchmarks/``, ``repro/loadgen/``, ``repro/datagen/``.  Flagged:
+
+* ``random.Random()`` (or a bare imported ``Random()``) with no seed
+  argument;
+* any module-level ``random.<fn>(...)`` call — including ``random.seed``:
+  seeding the *global* generator still shares it with everything else in
+  the process;
+* calls to functions imported from :mod:`random` (``from random import
+  choice``), which hide the same global generator.
+
+The fix is always the same: make an explicit ``random.Random(seed)``
+instance and thread it through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Set
+
+from ..findings import Finding
+from .common import dotted_name, in_scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL006"
+NAME = "seeded-randomness"
+
+FIX = "; use an explicit random.Random(seed) instance instead"
+
+
+def _from_random_imports(tree: ast.AST) -> Set[str]:
+    """Local names bound by ``from random import ...``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    if not in_scope(
+        module.display, "benchmarks", "repro/loadgen", "repro/datagen"
+    ):
+        return []
+    imported = _from_random_imports(module.tree)
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        message = None
+        if dotted == "random.Random" or (
+            dotted == "Random" and "Random" in imported
+        ):
+            if not node.args and not node.keywords:
+                message = f"{dotted}() constructed without a seed{FIX}"
+        elif dotted.startswith("random."):
+            message = (
+                f"{dotted}() draws from the process-global unseeded "
+                f"generator{FIX}"
+            )
+        elif "." not in dotted and dotted in imported:
+            message = (
+                f"{dotted}() (imported from random) draws from the "
+                f"process-global unseeded generator{FIX}"
+            )
+        if message is not None:
+            findings.append(
+                Finding(
+                    rule=CODE,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message,
+                )
+            )
+    return findings

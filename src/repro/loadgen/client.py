@@ -76,7 +76,7 @@ class LineConnection:
         future: "asyncio.Future[Dict[str, object]]" = (
             asyncio.get_running_loop().create_future()
         )
-        data = json.dumps(payload).encode("utf-8") + b"\n"
+        data = json.dumps(payload).encode() + b"\n"
         async with self._write_lock:
             if self._broken is not None:
                 raise ConnectionError(f"connection failed: {self._broken}")

@@ -461,7 +461,22 @@ class AsyncCubeServer:
             self._maintenance_pool,
             partial(self.catalog.create, name, rows, schema=schema),
         )
-        return self.catalog.describe(name)
+        return await self.describe(name)
+
+    async def describe(self, name: str) -> Dict[str, object]:
+        """One cube's catalog metadata, without blocking the event loop.
+
+        :meth:`repro.catalog.CubeCatalog.describe` counts the journaled
+        batches pending replay, which means opening and scanning the cube's
+        append stream — real disk I/O that must not run on the loop thread.
+        It runs on the maintenance pool instead, like every other
+        catalog-touching operation.
+        """
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._maintenance_pool, partial(self.catalog.describe, name)
+        )
 
     async def drop(self, name: str) -> None:
         """Unregister a cube and delete its files; its queue drains first."""

@@ -94,7 +94,9 @@ async def _dispatch_request(
     if not isinstance(cube, str):
         raise ServerError(f"op {op!r} needs a string 'cube' field")
     if op == "describe":
-        return server.catalog.describe(cube)
+        # Via the server, not server.catalog: describe() scans the cube's
+        # append journal on disk and must stay off the event loop.
+        return await server.describe(cube)
     if op == "query":
         spec = request.get("q")
         if not isinstance(spec, dict):
@@ -197,7 +199,7 @@ async def _respond(
             "ok": False,
             "error": {"type": type(error).__name__, "message": str(error)},
         }
-    writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+    writer.write(json.dumps(payload).encode() + b"\n")
     await writer.drain()
 
 

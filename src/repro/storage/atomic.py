@@ -1,0 +1,87 @@
+"""The one place durable files are written: same-directory temp + rename.
+
+Every durable artifact in the storage/catalog layer — snapshots, delta
+segments, the manifest, journal rewrites — reaches disk through this
+module.  The protocol is the classic one: write the full content into a
+temporary file *in the same directory* (so the final ``os.replace`` is a
+same-filesystem rename, which POSIX makes atomic), then swap it over the
+final name.  A crash at any instant leaves either the old file or the new
+file under the final name — never a half-written hybrid — plus at worst an
+unreferenced ``.tmp`` orphan.
+
+``repro.lint`` rule RL005 enforces the funnel: a bare ``open(path, "w")``
+anywhere else under ``repro/storage/`` or ``repro/catalog/`` is a finding,
+and this module is the single allow-listed home of the raw pattern.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import BinaryIO, Callable, IO, Union
+
+
+def atomic_write(
+    path: str,
+    write_body: Callable[[BinaryIO], None],
+    prefix: str = ".atomic-",
+) -> int:
+    """Stream ``write_body`` into ``path`` atomically; returns the file size.
+
+    The callback receives the open *binary* temp-file stream; on any
+    exception the temp file is removed and nothing under ``path`` changes.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle, tmp_path = tempfile.mkstemp(prefix=prefix, suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            write_body(stream)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return os.path.getsize(path)
+
+
+def atomic_write_bytes(path: str, payload: bytes, prefix: str = ".atomic-") -> int:
+    """Replace ``path``'s content with ``payload`` atomically."""
+    return atomic_write(path, lambda stream: stream.write(payload), prefix=prefix)
+
+
+def atomic_write_text(
+    path: str, text: str, prefix: str = ".atomic-", encoding: str = "utf-8"
+) -> int:
+    """Replace ``path``'s content with ``text`` atomically."""
+    return atomic_write_bytes(path, text.encode(encoding), prefix=prefix)
+
+
+def truncate(path: str, create: bool = True) -> None:
+    """Empty ``path`` (creating it when ``create``).
+
+    Truncation needs no temp file: the target state *is* the empty file, and
+    ``open(..., "w")`` reaches it in one step — there is no intermediate
+    content a crash could expose.  Callers outside this module still route
+    through here so RL005 keeps a single funnel to audit.
+    """
+    if not create and not os.path.exists(path):
+        return
+    open(path, "w").close()
+
+
+def replace_lines(path: str, lines: Union[list, tuple]) -> int:
+    """Atomically rewrite a line-oriented file (e.g. an append journal).
+
+    Used by the catalog to retract a journaled batch whose merge failed: the
+    journal must drop exactly one record while *preserving* records other
+    writers appended meanwhile, and a crash mid-rewrite must never corrupt
+    the middle of the stream (the journal loader tolerates one torn tail
+    line, not a torn middle).
+    """
+    return atomic_write_text(path, "".join(lines), prefix=".journal-")
+
+
+# Typing alias kept for callers that annotate the callback they pass in.
+WriteBody = Callable[[IO[bytes]], None]

@@ -20,11 +20,11 @@ from __future__ import annotations
 import json
 import os
 import re
-import tempfile
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 from ..core.errors import CatalogError
+from .atomic import atomic_write_text
 
 #: Manifest file name inside a catalog directory.
 MANIFEST_NAME = "catalog.json"
@@ -139,7 +139,7 @@ class CatalogManifest:
         if not os.path.exists(path):
             return cls()
         try:
-            with open(path, "r") as handle:
+            with open(path) as handle:
                 raw = json.load(handle)
         except (OSError, ValueError) as exc:
             raise CatalogError(f"cannot read catalog manifest {path!r}: {exc}") from exc
@@ -159,25 +159,16 @@ class CatalogManifest:
 
     def save(self, directory: str) -> None:
         """Atomically (re)write the manifest into ``directory``."""
-        payload = {
+        cubes: Dict[str, Dict[str, object]] = {}
+        for name, entry in self.entries.items():
+            raw = asdict(entry)
+            raw["dimensions"] = list(entry.dimensions)
+            raw["segments"] = list(entry.segments)
+            cubes[name] = raw
+        payload: Dict[str, object] = {
             "version": MANIFEST_VERSION,
-            "cubes": {name: asdict(entry) for name, entry in self.entries.items()},
+            "cubes": cubes,
         }
-        for entry in payload["cubes"].values():
-            entry["dimensions"] = list(entry["dimensions"])
-            entry["segments"] = list(entry["segments"])
         path = self.path_in(directory)
-        handle, tmp_path = tempfile.mkstemp(
-            prefix=".catalog-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream, indent=2, sort_keys=True)
-                stream.write("\n")
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
-            raise
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(path, text, prefix=".catalog-")

@@ -121,7 +121,7 @@ class PartitionedCubeComputer:
         merged = CubeResult(relation.num_dimensions, name=f"partitioned-{self.algorithm}")
 
         # Pass 1: cells fixing the partitioning dimension, one partition at a time.
-        for value, tids in partitions.items():
+        for _value, tids in partitions.items():
             part_relation = relation.select(tids)
             cube = self._run(part_relation, initial_collapsed=())
             for cell, stats in cube.items():
@@ -324,7 +324,10 @@ class PartitionedCubeComputer:
                 rows = [relation.row(tid) for tid in tids]
                 path = os.path.join(spill_dir, f"partition-{value}.pkl")
                 written.append(path)
-                with open(path, "wb") as handle:
+                # Spill files are transient scratch (re-created on every
+                # spill, never read across a crash), so the durability
+                # funnel does not apply.
+                with open(path, "wb") as handle:  # repro-lint: disable=RL005
                     pickle.dump(rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 total_bytes += os.path.getsize(path)
         except BaseException:

@@ -66,10 +66,11 @@ from __future__ import annotations
 import os
 import pickle
 import struct
-import tempfile
 import zlib
 from itertools import islice
 from typing import TYPE_CHECKING, BinaryIO, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .atomic import atomic_write
 
 from ..core.cube import CellStats, CubeResult
 from ..core.errors import SnapshotError
@@ -131,22 +132,8 @@ def _check_config(serving: "ServingCube") -> None:
 
 
 def _atomic_write(path: str, write_body) -> int:
-    """Write through a same-directory temp file + atomic rename."""
-    directory = os.path.dirname(os.path.abspath(path)) or "."
-    handle, tmp_path = tempfile.mkstemp(
-        prefix=".snapshot-", suffix=".tmp", dir=directory
-    )
-    try:
-        with os.fdopen(handle, "wb") as stream:
-            write_body(stream)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
-        raise
-    return os.path.getsize(path)
+    """Write through the shared same-directory temp file + rename helper."""
+    return atomic_write(path, write_body, prefix=".snapshot-")
 
 
 # --------------------------------------------------------------------------- #

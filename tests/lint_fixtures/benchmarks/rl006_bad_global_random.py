@@ -1,0 +1,10 @@
+"""RL006 bad: drawing from the process-global unseeded generator."""
+
+import random
+from random import shuffle
+
+
+def make_rows(count):
+    rows = [(random.randrange(4), random.random()) for _ in range(count)]
+    shuffle(rows)
+    return rows

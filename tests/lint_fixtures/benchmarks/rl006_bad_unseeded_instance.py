@@ -1,0 +1,8 @@
+"""RL006 bad: a Random() instance constructed without a seed."""
+
+import random
+from random import Random
+
+
+def make_generators():
+    return random.Random(), Random()

@@ -1,0 +1,9 @@
+"""RL006 good: the generator arrives as a parameter; no hidden state."""
+
+
+def sample(rng, population, count):
+    return rng.sample(population, count)
+
+
+def jitter(rng, base):
+    return base * (1.0 + rng.uniform(-0.1, 0.1))

@@ -1,0 +1,8 @@
+"""RL006 good: an explicit seeded generator threaded through."""
+
+import random
+
+
+def make_rows(count, seed=7):
+    rng = random.Random(seed)
+    return [(rng.randrange(4), rng.random()) for _ in range(count)]

@@ -1,0 +1,12 @@
+"""RL001 bad: acquire with no matching release in a finally block."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def update(value):
+    _lock.acquire()
+    shared = value  # an exception here leaks the lock forever
+    _lock.release()
+    return shared

@@ -1,0 +1,12 @@
+"""RL001 bad: RWLock acquire_write released only on the happy path."""
+
+
+class Store:
+    def __init__(self, rwlock):
+        self.rwlock = rwlock
+        self.data = {}
+
+    def put(self, key, value):
+        self.rwlock.acquire_write()
+        self.data[key] = value
+        self.rwlock.release_write()

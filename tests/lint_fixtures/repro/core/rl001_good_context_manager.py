@@ -1,0 +1,19 @@
+"""RL001 good: locks held through their context managers."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def update(store, key, value):
+    with _lock:
+        store[key] = value
+
+
+class Reader:
+    def __init__(self, rwlock):
+        self.rwlock = rwlock
+
+    def snapshot(self, store):
+        with self.rwlock.read():
+            return dict(store)

@@ -1,0 +1,14 @@
+"""RL001 good: explicit acquire paired with a release in a finally."""
+
+
+class Channel:
+    def __init__(self, append_lock):
+        self.append_lock = append_lock
+        self.rows = []
+
+    def append(self, rows):
+        self.append_lock.acquire()
+        try:
+            self.rows.extend(rows)
+        finally:
+            self.append_lock.release()

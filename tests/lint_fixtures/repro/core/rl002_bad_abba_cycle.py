@@ -1,0 +1,19 @@
+"""RL002 bad: two code paths take the same two locks in opposite orders."""
+
+import threading
+
+_table_lock = threading.Lock()
+_index_lock = threading.Lock()
+
+
+def insert(table, index, row):
+    with _table_lock:
+        with _index_lock:
+            table.append(row)
+            index[row[0]] = row
+
+
+def lookup(table, index, key):
+    with _index_lock:
+        with _table_lock:
+            return table[index[key]]

@@ -1,0 +1,22 @@
+"""RL002 bad: per-name gate acquired while holding the catalog-wide lock.
+
+The serving stack's order is gate first, catalog lock inside it; the
+reverse deadlocks against any gate-holder waiting on the catalog lock.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._gates = {}
+
+    def _gate(self, name):
+        with self._lock:
+            return self._gates.setdefault(name, threading.RLock())
+
+    def drop(self, name, cubes):
+        with self._lock:
+            with self._gate(name):
+                cubes.pop(name, None)

@@ -1,0 +1,19 @@
+"""RL002 good: every path takes the locks in the same order."""
+
+import threading
+
+_table_lock = threading.Lock()
+_index_lock = threading.Lock()
+
+
+def insert(table, index, row):
+    with _table_lock:
+        with _index_lock:
+            table.append(row)
+            index[row[0]] = row
+
+
+def lookup(table, index, key):
+    with _table_lock:
+        with _index_lock:
+            return table[index[key]]

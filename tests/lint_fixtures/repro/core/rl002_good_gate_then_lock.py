@@ -1,0 +1,19 @@
+"""RL002 good: the catalog's real discipline — gate outer, short lock inner."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._gates = {}
+
+    def _gate(self, name):
+        with self._lock:
+            return self._gates.setdefault(name, threading.RLock())
+
+    def append(self, name, cubes, rows):
+        with self._gate(name):
+            with self._lock:
+                entry = cubes[name]
+            entry.extend(rows)

@@ -1,0 +1,6 @@
+"""RL004 bad: aliasing the published cube does not launder the mutation."""
+
+
+def upsert_rows(server, rows):
+    target = server.serving.cube
+    target.upsert(rows)

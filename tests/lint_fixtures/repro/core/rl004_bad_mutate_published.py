@@ -1,0 +1,10 @@
+"""RL004 bad: merging straight into the published cube."""
+
+
+class Maintainer:
+    def __init__(self, serving):
+        self.serving = serving
+
+    def refresh(self, delta, relation):
+        # Every in-flight query races this half-applied merge.
+        self.serving.cube.merge(delta, relation)

@@ -1,0 +1,11 @@
+"""RL004 good: copy-on-publish — merge into a clone, swap atomically."""
+
+
+class Maintainer:
+    def __init__(self, serving):
+        self.serving = serving
+
+    def refresh(self, delta, relation):
+        fresh = self.serving.cube.clone()
+        fresh.merge(delta, relation)
+        self.serving.publish(fresh)

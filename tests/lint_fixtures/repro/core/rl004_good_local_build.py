@@ -1,0 +1,9 @@
+"""RL004 good: mutating a cube built inside the function is fine."""
+
+
+def fold_segments(load_segment, paths):
+    cube = load_segment(paths[0])
+    for path in paths[1:]:
+        delta = load_segment(path)
+        cube.merge(delta.cube, delta.relation)
+    return cube

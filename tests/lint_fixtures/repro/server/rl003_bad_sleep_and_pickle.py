@@ -1,0 +1,9 @@
+"""RL003 bad: sleeping and pickling on the event loop thread."""
+
+import pickle
+import time
+
+
+async def handle(request, cube):
+    time.sleep(0.1)  # stalls every in-flight request
+    return pickle.dumps(cube)

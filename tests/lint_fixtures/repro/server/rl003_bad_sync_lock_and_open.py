@@ -1,0 +1,11 @@
+"""RL003 bad: synchronous lock acquire and file I/O inside a coroutine."""
+
+
+async def append(channel, path, rows):
+    channel.append_lock.acquire()  # blocks the loop until the lock frees
+    try:
+        with open(path) as stream:  # disk I/O on the loop thread
+            header = stream.readline()
+        return header, rows
+    finally:
+        channel.append_lock.release()

@@ -1,0 +1,11 @@
+"""RL003 good: asyncio lock acquires awaited (bounded by wait_for)."""
+
+import asyncio
+
+
+async def append(channel, rows, timeout):
+    await asyncio.wait_for(channel.append_lock.acquire(), timeout)
+    try:
+        await channel.queue.put(rows)
+    finally:
+        channel.append_lock.release()

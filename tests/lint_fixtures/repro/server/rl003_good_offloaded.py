@@ -1,0 +1,20 @@
+"""RL003 good: blocking work handed to an executor, acquire awaited."""
+
+import asyncio
+import pickle
+from functools import partial
+
+
+async def handle(server, cube, path):
+    loop = asyncio.get_running_loop()
+    payload = await loop.run_in_executor(
+        server.pool, partial(pickle.dumps, cube)
+    )
+    data = await loop.run_in_executor(server.pool, _read, path)
+    return payload, data
+
+
+def _read(path):
+    # A plain sync helper: runs on the executor, not the loop.
+    with open(path, "rb") as stream:
+        return stream.read()

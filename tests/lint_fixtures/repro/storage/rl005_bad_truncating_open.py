@@ -1,0 +1,14 @@
+"""RL005 bad: a durable artifact written with a plain truncating open."""
+
+import json
+
+
+def save_manifest(path, payload):
+    # A crash mid-dump leaves a half-written manifest under the final name.
+    with open(path, "w") as stream:
+        json.dump(payload, stream)
+
+
+def save_snapshot(path, render):
+    with open(path, mode="wb") as stream:
+        render(stream)

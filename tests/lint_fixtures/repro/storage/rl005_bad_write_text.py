@@ -1,0 +1,8 @@
+"""RL005 bad: pathlib-style in-place writes truncate before they land."""
+
+import json
+
+
+def save(manifest_path, snapshot_path, payload, blob):
+    manifest_path.write_text(json.dumps(payload))
+    snapshot_path.write_bytes(blob)

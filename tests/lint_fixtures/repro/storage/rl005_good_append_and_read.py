@@ -1,0 +1,14 @@
+"""RL005 good: append-mode journals and plain reads are the designed modes."""
+
+import json
+
+
+def journal(path, record):
+    # Append-only: the loader tolerates one torn tail line.
+    with open(path, "a") as stream:
+        stream.write(json.dumps(record) + "\n")
+
+
+def load(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream if line.strip()]

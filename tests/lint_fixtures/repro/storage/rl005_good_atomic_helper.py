@@ -1,0 +1,13 @@
+"""RL005 good: durable writes routed through the atomic funnel."""
+
+import json
+
+from repro.storage.atomic import atomic_write_bytes, atomic_write_text
+
+
+def save_manifest(path, payload):
+    atomic_write_text(path, json.dumps(payload) + "\n")
+
+
+def save_snapshot(path, blob):
+    atomic_write_bytes(path, blob, prefix=".snapshot-")

@@ -1,0 +1,102 @@
+"""Tests for :mod:`repro.storage.atomic` — the durable-write funnel.
+
+Every durable artifact (snapshots, manifest, journal rewrites) flows through
+this module's temp-file + rename protocol; ``repro.lint`` rule RL005 pins
+that funnel statically.  These tests pin it dynamically: a write that fails
+at any stage — body callback, the rename itself — must leave the target
+file's previous content untouched and no temporary orphans behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage import atomic
+
+
+@pytest.fixture
+def target(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(b"old content\n")
+    return str(path)
+
+
+def _listdir(path: str):
+    return sorted(os.listdir(os.path.dirname(path)))
+
+
+def test_atomic_write_replaces_content_and_reports_size(target):
+    size = atomic.atomic_write(target, lambda stream: stream.write(b"fresh"))
+    assert size == 5
+    with open(target, "rb") as stream:
+        assert stream.read() == b"fresh"
+    assert _listdir(target) == ["artifact.bin"]
+
+
+def test_atomic_write_bytes_and_text(target):
+    atomic.atomic_write_bytes(target, b"bytes")
+    with open(target, "rb") as stream:
+        assert stream.read() == b"bytes"
+    atomic.atomic_write_text(target, "texté")
+    with open(target, "rb") as stream:
+        assert stream.read() == "texté".encode()
+
+
+def test_failing_body_leaves_target_and_no_orphans(target):
+    def explode(stream):
+        stream.write(b"half-writ")
+        raise RuntimeError("disk on fire")
+
+    with pytest.raises(RuntimeError):
+        atomic.atomic_write(target, explode)
+    with open(target, "rb") as stream:
+        assert stream.read() == b"old content\n"
+    assert _listdir(target) == ["artifact.bin"]
+
+
+def test_failing_rename_leaves_target_and_no_orphans(target, monkeypatch):
+    def refuse(src, dst):
+        raise OSError("no rename for you")
+
+    monkeypatch.setattr(atomic.os, "replace", refuse)
+    with pytest.raises(OSError):
+        atomic.atomic_write_bytes(target, b"never lands")
+    monkeypatch.undo()
+    with open(target, "rb") as stream:
+        assert stream.read() == b"old content\n"
+    assert _listdir(target) == ["artifact.bin"]
+
+
+def test_truncate_creates_and_empties(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    atomic.truncate(path)
+    assert os.path.getsize(path) == 0
+    with open(path, "w") as stream:
+        stream.write("line\n")
+    atomic.truncate(path)
+    assert os.path.getsize(path) == 0
+    missing = str(tmp_path / "absent.jsonl")
+    atomic.truncate(missing, create=False)
+    assert not os.path.exists(missing)
+
+
+def test_replace_lines_rewrites_atomically(tmp_path, monkeypatch):
+    path = str(tmp_path / "journal.jsonl")
+    with open(path, "w") as stream:
+        stream.write("one\ntwo\nthree\n")
+    atomic.replace_lines(path, ["one\n", "three\n"])
+    with open(path) as stream:
+        assert stream.read() == "one\nthree\n"
+
+    # A crash mid-rewrite must leave the journal byte-for-byte intact.
+    def refuse(src, dst):
+        raise OSError("crash before rename")
+
+    monkeypatch.setattr(atomic.os, "replace", refuse)
+    with pytest.raises(OSError):
+        atomic.replace_lines(path, ["one\n"])
+    monkeypatch.undo()
+    with open(path) as stream:
+        assert stream.read() == "one\nthree\n"

@@ -110,7 +110,7 @@ def test_merge_order_independence_on_random_groups():
     relation = make_relation(rows)
     tids = list(range(relation.num_tuples))
     expected = closedness_of_tids(tids, relation)
-    for trial in range(20):
+    for _trial in range(20):
         rng.shuffle(tids)
         cut_a, cut_b = sorted((rng.randint(0, len(tids)), rng.randint(0, len(tids))))
         parts = [tids[:cut_a], tids[cut_a:cut_b], tids[cut_b:]]

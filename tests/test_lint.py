@@ -1,0 +1,245 @@
+"""Tests for :mod:`repro.lint` — the concurrency/durability static analyzer.
+
+Three layers:
+
+* the **fixture corpus** under ``tests/lint_fixtures/`` — every
+  ``rlNNN_bad_*`` file must fire rule RLNNN, every ``rlNNN_good_*`` file
+  must be clean under *all* rules;
+* the **clean-tree pin** — ``repro.lint`` over ``src/`` and ``benchmarks/``
+  reports zero unsuppressed findings (the CI contract this repo ships with);
+* the **machinery** — suppression comments, the accepted-debt baseline, and
+  the CLI's exit-status policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import textwrap
+
+import pytest
+
+from repro.lint import ALL_RULES, Baseline, Finding, run_lint
+from repro.lint.cli import main
+from repro.lint.engine import PARSE_ERROR_CODE
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TESTS_DIR)
+FIXTURES = os.path.join(TESTS_DIR, "lint_fixtures")
+
+
+def _fixture_files():
+    collected = []
+    for root, _dirs, files in os.walk(FIXTURES):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                collected.append(os.path.join(root, name))
+    return sorted(collected)
+
+
+BAD_FIXTURES = [path for path in _fixture_files() if "_bad_" in path]
+GOOD_FIXTURES = [path for path in _fixture_files() if "_good_" in path]
+
+
+def _expected_rule(path: str) -> str:
+    match = re.search(r"(rl\d{3})_", os.path.basename(path))
+    assert match, f"fixture {path!r} does not encode its rule"
+    return match.group(1).upper()
+
+
+# --------------------------------------------------------------------------- #
+# Fixture corpus                                                               #
+# --------------------------------------------------------------------------- #
+
+
+def test_fixture_corpus_is_complete():
+    """Every rule has at least two bad and two good fixtures."""
+    for rule in ALL_RULES:
+        code = rule.code.lower()
+        bad = [p for p in BAD_FIXTURES if os.path.basename(p).startswith(code)]
+        good = [p for p in GOOD_FIXTURES if os.path.basename(p).startswith(code)]
+        assert len(bad) >= 2, f"{rule.code} needs >=2 bad fixtures, has {bad}"
+        assert len(good) >= 2, f"{rule.code} needs >=2 good fixtures, has {good}"
+
+
+@pytest.mark.parametrize(
+    "path", BAD_FIXTURES, ids=[os.path.basename(p) for p in BAD_FIXTURES]
+)
+def test_bad_fixture_fires_its_rule(path):
+    result = run_lint([path], root=REPO_ROOT)
+    expected = _expected_rule(path)
+    fired = result.by_rule(expected)
+    assert fired, (
+        f"{os.path.basename(path)} produced no {expected} finding; "
+        f"got {[f.render() for f in result.findings]}"
+    )
+    # Findings carry a real location and end up in the file they came from.
+    for finding in fired:
+        assert finding.line >= 1
+        assert finding.path.replace("\\", "/").endswith(
+            os.path.basename(path)
+        )
+
+
+@pytest.mark.parametrize(
+    "path", GOOD_FIXTURES, ids=[os.path.basename(p) for p in GOOD_FIXTURES]
+)
+def test_good_fixture_is_clean_under_every_rule(path):
+    result = run_lint([path], root=REPO_ROOT)
+    assert result.findings == [], [f.render() for f in result.findings]
+    assert result.suppressed == []  # good fixtures earn silence, not waivers
+
+
+# --------------------------------------------------------------------------- #
+# The clean-tree pin (the CI contract)                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_source_tree_has_zero_unsuppressed_findings():
+    paths = [os.path.join(REPO_ROOT, "src")]
+    benchmarks = os.path.join(REPO_ROOT, "benchmarks")
+    if os.path.isdir(benchmarks):
+        paths.append(benchmarks)
+    result = run_lint(paths, root=REPO_ROOT)
+    assert result.checked_files > 50  # the walker actually saw the tree
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Suppressions                                                                 #
+# --------------------------------------------------------------------------- #
+
+BAD_STORAGE_SNIPPET = """\
+def save(path, payload):
+    with open(path, "w") as stream:{inline}
+        stream.write(payload)
+"""
+
+
+def _lint_snippet(tmp_path, source, name="repro/storage/generated.py"):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint([str(target)], root=str(tmp_path))
+
+
+def test_inline_suppression_silences_only_named_rules(tmp_path):
+    loud = _lint_snippet(tmp_path, BAD_STORAGE_SNIPPET.format(inline=""))
+    assert [f.rule for f in loud.findings] == ["RL005"]
+
+    quiet = _lint_snippet(
+        tmp_path,
+        BAD_STORAGE_SNIPPET.format(inline="  # repro-lint: disable=RL005"),
+    )
+    assert quiet.findings == []
+    assert [f.rule for f in quiet.suppressed] == ["RL005"]
+
+    wrong_code = _lint_snippet(
+        tmp_path,
+        BAD_STORAGE_SNIPPET.format(inline="  # repro-lint: disable=RL001"),
+    )
+    assert [f.rule for f in wrong_code.findings] == ["RL005"]
+
+
+def test_standalone_comment_suppresses_the_line_below(tmp_path):
+    result = _lint_snippet(
+        tmp_path,
+        """\
+        def save(path, payload):
+            # transient scratch file  # repro-lint: disable=all
+            with open(path, "w") as stream:
+                stream.write(payload)
+        """,
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RL005"]
+
+
+def test_parse_errors_are_reported_and_not_suppressible(tmp_path):
+    result = _lint_snippet(
+        tmp_path,
+        "def broken(:  # repro-lint: disable=all\n",
+    )
+    assert [f.rule for f in result.findings] == [PARSE_ERROR_CODE]
+
+
+# --------------------------------------------------------------------------- #
+# Baseline                                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def test_baseline_matches_by_fingerprint_not_line(tmp_path):
+    finding = Finding(rule="RL005", path="a.py", line=10, col=0, message="m")
+    moved = Finding(rule="RL005", path="a.py", line=99, col=4, message="m")
+    other = Finding(rule="RL005", path="a.py", line=10, col=0, message="n")
+    baseline = Baseline.from_findings([finding])
+    assert baseline.contains(moved)
+    assert not baseline.contains(other)
+    assert baseline.stale_entries([moved]) == []
+    assert baseline.stale_entries([other]) == [finding.fingerprint()]
+
+
+def test_baseline_round_trip_and_validation(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    finding = Finding(rule="RL001", path="b.py", line=1, col=0, message="x")
+    Baseline().save(path, [finding, finding])
+    loaded = Baseline.load(path)
+    assert loaded.fingerprints == {finding.fingerprint()}
+    (tmp_path / "bad.json").write_text(json.dumps({"version": 99}))
+    with pytest.raises(ValueError):
+        Baseline.load(str(tmp_path / "bad.json"))
+
+
+# --------------------------------------------------------------------------- #
+# CLI                                                                          #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def bad_tree(tmp_path, monkeypatch):
+    """A tmp cwd holding one RL005 violation under repro/storage/."""
+    target = tmp_path / "repro" / "storage" / "writer.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_STORAGE_SNIPPET.format(inline=""))
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_cli_exit_codes_and_baseline_workflow(bad_tree, capsys):
+    assert main(["repro"]) == 1
+    out = capsys.readouterr().out
+    assert "RL005" in out and "writer.py" in out
+
+    # Accept the debt, then the same tree passes — and reports it as debt.
+    assert main(["repro", "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["repro"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    assert main(["repro", "--no-baseline"]) == 1
+    capsys.readouterr()
+
+    # Fix the code: the run passes and flags the baseline entry as stale.
+    (bad_tree / "repro" / "storage" / "writer.py").write_text(
+        "def save(path, payload):\n    return (path, payload)\n"
+    )
+    assert main(["repro"]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_json_format_and_rule_listing(bad_tree, capsys):
+    assert main(["repro", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked_files"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["RL005"]
+
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in listing
+
+
+def test_cli_missing_path_is_a_usage_error(bad_tree, capsys):
+    assert main(["no-such-dir"]) == 2

@@ -159,7 +159,7 @@ def test_mixed_workload_is_deterministic_and_respects_weights():
     names = [name for name, _ in first]
     share = names.count("query") / len(names)
     assert share > 0.97  # weight 0.992, wide tolerance
-    for name, payload in first:
+    for _name, payload in first:
         assert payload["op"] in ("query", "append", "compact")
         assert payload["cube"] == "c"
         if payload["op"] == "append":

@@ -144,6 +144,38 @@ def test_create_drop_save_through_the_server(catalog):
     assert catalog.list() == []
 
 
+def test_describe_runs_off_the_event_loop(catalog):
+    """``describe`` scans the append journal on disk; the server must route
+    it through the maintenance pool, never call into the catalog from a
+    coroutine directly (repro.lint RL003 guards the lexical version of this;
+    this test guards the behavioural one)."""
+    catalog.create("sales", [("s1", "p1")], schema=["store", "product"])
+
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            loop_thread = [None]
+            original = catalog.describe
+
+            def spy(name):
+                import threading
+
+                loop_thread[0] = threading.current_thread()
+                return original(name)
+
+            catalog.describe = spy
+            try:
+                info = await server.describe("sales")
+            finally:
+                catalog.describe = original
+            assert info["rows"] == 1
+            assert info["pending_appends"] == 0
+            import threading
+
+            assert loop_thread[0] is not threading.main_thread()
+
+    run(scenario())
+
+
 def test_compact_through_the_server(catalog):
     catalog.create("sales", [("s1", "p1"), ("s1", "p2"), ("s2", "p1")],
                    schema=["store", "product"])
