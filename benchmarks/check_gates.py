@@ -74,6 +74,23 @@ def _load_slo_rule(report: Dict) -> Tuple[bool, str]:
     )
 
 
+def _vector_rule(report: Dict) -> Tuple[bool, str]:
+    matches = bool(report["fallback_matches"])
+    detail = f"paths agree: {matches}"
+    if not bool(report["vectorized"]):
+        # Pure-python backend: the fallback is the reference implementation,
+        # so only correctness is gated (see the bench_vector docstring).
+        return matches, detail + " (pure-python backend, correctness only)"
+    ok, speed_detail = _speedup_rule(report)
+    repair = float(report["repair_speedup"])
+    floor = float(report["repair_floor"])
+    repair_ok = repair >= floor
+    detail += (
+        f", {speed_detail}, repair {repair:.2f}x (floor >= {floor:.2f}x)"
+    )
+    return matches and ok and repair_ok, detail
+
+
 GATES: Dict[str, GateRule] = {
     "bench_query_throughput": _speedup_rule,
     "bench_api_overhead": _overhead_rule,
@@ -81,6 +98,7 @@ GATES: Dict[str, GateRule] = {
     "bench_concurrent_serving": _speedup_rule,
     "bench_snapshot": _snapshot_rule,
     "bench_load_slo": _load_slo_rule,
+    "bench_vector": _vector_rule,
 }
 
 
@@ -99,6 +117,7 @@ TRAJECTORY: Dict[str, Tuple[str, str, object]] = {
     "bench_concurrent_serving": ("speedup", "higher", None),
     "bench_snapshot": ("speedup", "higher", None),
     "bench_load_slo": ("query_p99_ms", "lower", 3.0),
+    "bench_vector": ("speedup", "higher", None),
 }
 
 

@@ -23,8 +23,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.cell import Cell
 from ..core.cube import CubeResult
-from ..core.measures import MeasureState
 from ..core.relation import Relation
+from ..vector import kernels
 from .base import CubingAlgorithm, register_algorithm
 
 
@@ -150,14 +150,10 @@ class BUC(CubingAlgorithm):
         self.bump("cells_emitted")
 
     def _aggregate_measures(self, tids: Sequence[int]) -> Dict[str, float]:
-        measures = self._measures
-        if not measures:
-            return {}
-        relation = self._relation
-        states: List[MeasureState] = measures.create_states(relation, tids[0])
-        for tid in tids[1:]:
-            measures.merge_states(states, measures.create_states(relation, tid))
-        return measures.values(states)
+        # Vectorized over the partition's measure columns when the NumPy
+        # backend is active; the per-tuple state fold otherwise.  Shared by
+        # the BUC subclasses (qc_dfs, output_based).
+        return kernels.aggregate_measures(self._measures, self._relation, tids)
 
 
 register_algorithm(BUC)

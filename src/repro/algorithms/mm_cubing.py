@@ -31,8 +31,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..core.cell import Cell, all_mask
 from ..core.closedness import closedness_of_tids
 from ..core.cube import CubeResult
-from ..core.measures import MeasureState
 from ..core.relation import Relation
+from ..vector import kernels
 from .base import CubingAlgorithm, register_algorithm
 from .multiway import DenseSubspace
 
@@ -267,14 +267,9 @@ class MMCubing(CubingAlgorithm):
         return tuple(values)
 
     def _payload_for(self, tids: Sequence[int]) -> Dict[str, float]:
-        measures = self._measures
-        if not measures:
-            return {}
-        relation = self._relation
-        states: List[MeasureState] = measures.create_states(relation, tids[0])
-        for tid in tids[1:]:
-            measures.merge_states(states, measures.create_states(relation, tid))
-        return measures.values(states)
+        # Vectorized over the group's measure columns when the NumPy backend
+        # is active; the per-tuple state fold otherwise.
+        return kernels.aggregate_measures(self._measures, self._relation, tids)
 
 
 register_algorithm(MMCubing, aliases=["mm", "mmcubing"])

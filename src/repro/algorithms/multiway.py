@@ -26,8 +26,10 @@ from itertools import combinations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.closedness import ClosednessState
+from ..core.columns import column_store, get_backend
 from ..core.measures import MeasureSet, MeasureState
 from ..core.relation import Relation
+from ..vector import kernels
 
 #: Slot index shared by every non-dense (or masked) value of a dimension.
 OTHER_SLOT = 0
@@ -111,10 +113,13 @@ class DenseSubspace:
     # ------------------------------------------------------------------ #
 
     def _aggregate_base(self, tids: Sequence[int]) -> Dict[Tuple[int, ...], AggCell]:
+        base = self._aggregate_base_vector(tids)
+        if base is not None:
+            return base
         relation = self.relation
         columns = relation.columns
         measures = self.measures
-        base: Dict[Tuple[int, ...], AggCell] = {}
+        base = {}
         for tid in tids:
             coords = tuple(
                 self._slot_maps[axis].get(columns[dim][tid], OTHER_SLOT)
@@ -136,6 +141,63 @@ class DenseSubspace:
                     cell.measures = states
                 else:
                     measures.merge_states(cell.measures, states)
+        return base
+
+    def _aggregate_base_vector(
+        self, tids: Sequence[int]
+    ) -> Optional[Dict[Tuple[int, ...], AggCell]]:
+        """Base cuboid via the fused grouped-aggregation kernel, or ``None``.
+
+        The per-tuple slot-map lookups become one table gather per axis, and
+        the group-by + closedness + measure fold collapses into
+        :func:`repro.vector.kernels.grouped_closed_aggregate` — the states
+        are then reconstructed per *group* (Closed Mask + representative
+        tuple id for closedness, the exact state scalars for measures), so
+        the resulting :class:`AggCell` values are identical to the per-tuple
+        loop's.
+        """
+        backend = get_backend()
+        if (
+            backend.np is None
+            or len(tids) < kernels.MIN_GROUPED_TIDS
+            or (self.measures and not kernels.vectorizable_measures(self.measures))
+        ):
+            return None
+        np = backend.np
+        relation = self.relation
+        store = column_store(relation)
+        tid_index = np.asarray(tids, dtype=np.int64)
+        keys: List[object] = []
+        for axis, dim in enumerate(self.dims):
+            column = store.dimension(dim)[tid_index]
+            slots = self._slot_maps[axis]
+            if not slots:
+                keys.append(np.zeros(len(tids), dtype=np.int64))
+                continue
+            # Dense-value -> slot as a gather table; every other value (and
+            # every masked one) stays on the shared OTHER slot.
+            table = np.zeros(int(column.max()) + 1, dtype=np.int64)
+            for value, slot in slots.items():
+                if 0 <= value < len(table):
+                    table[value] = slot
+            keys.append(table[column])
+        grouped = kernels.grouped_closed_aggregate(
+            relation, tid_index, keys, self.measures, self.track_closedness
+        )
+        measures = self.measures
+        base: Dict[Tuple[int, ...], AggCell] = {}
+        for coords, (count, rep, mask, row) in grouped.items():
+            closed = (
+                ClosednessState(rep_tid=rep, closed_mask=mask)
+                if self.track_closedness
+                else None
+            )
+            states = (
+                kernels.states_from_row(measures, row, count)
+                if measures
+                else None
+            )
+            base[coords] = AggCell(count, closed, states)
         return base
 
     # ------------------------------------------------------------------ #

@@ -20,7 +20,16 @@ needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from .cell import (
     Cell,
@@ -167,6 +176,8 @@ class CubeResult:
         relation: Relation,
         measures: Optional[MeasureSet] = None,
         delta_tid_offset: int = 0,
+        batch_size: Optional[int] = None,
+        yield_between_batches: Optional[Callable[[], None]] = None,
     ) -> "MergeReport":
         """Fold a delta closed cube into this one, repairing closedness.
 
@@ -184,7 +195,10 @@ class CubeResult:
         Mutates this cube in place (cells added and updated, never removed —
         appending tuples can only create or grow closed cells) and keeps the
         live closure index current.  See :mod:`repro.incremental.merge` for
-        the algorithm and the closedness-repair argument.
+        the algorithm and the closedness-repair argument; ``batch_size`` /
+        ``yield_between_batches`` bound how long the merge runs between
+        scheduler yield points (same semantics as
+        :func:`~repro.incremental.merge.merge_closed_cubes`).
         """
         from ..incremental.merge import merge_closed_cubes
 
@@ -194,6 +208,8 @@ class CubeResult:
             relation,
             measures=measures,
             delta_tid_offset=delta_tid_offset,
+            batch_size=batch_size,
+            yield_between_batches=yield_between_batches,
         )
 
     def clone(self) -> "CubeResult":

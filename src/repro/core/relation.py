@@ -225,8 +225,24 @@ class Relation:
     def num_dimensions(self) -> int:
         return self.schema.num_dimensions
 
+    def column_store(self) -> "object":
+        """Cached columnar views of this relation (see :mod:`repro.core.columns`).
+
+        The canonical storage stays plain lists — algorithms index
+        ``columns[dim][tid]`` directly — but vectorized kernels go through
+        the store's typed snapshots, rebuilt lazily after appends.
+        """
+        from .columns import column_store
+
+        return column_store(self)
+
     def cardinality(self, dim: int) -> int:
         """Number of distinct values appearing in dimension ``dim``."""
+        from .columns import column_store
+
+        store = column_store(self)
+        if store.backend.np is not None and self.num_tuples >= 1024:
+            return int(store.backend.np.unique(store.dimension(dim)).size)
         return len(set(self.columns[dim]))
 
     def cardinalities(self) -> Tuple[int, ...]:
@@ -396,6 +412,28 @@ class Relation:
 
     def select(self, tids: Sequence[int]) -> "Relation":
         """Return a new relation containing only the given tuple ids (in order)."""
+        if isinstance(tids, range) and tids.step == 1:
+            # The delta-window case (appends select a contiguous suffix):
+            # one C-speed slice per column instead of a per-tid loop.
+            start, stop = tids.start, tids.stop
+            columns = [col[start:stop] for col in self.columns]
+            measure_columns = [col[start:stop] for col in self.measure_columns]
+            return Relation(self.schema, columns, measure_columns, self.decoders)
+        from .columns import column_store
+
+        store = column_store(self)
+        if store.backend.np is not None and len(tids) >= 1024:
+            np = store.backend.np
+            index = np.asarray(tids, dtype=np.int64)
+            columns = [
+                store.dimension(dim)[index].tolist()
+                for dim in range(self.num_dimensions)
+            ]
+            measure_columns = [
+                store.measure(m)[index].tolist()
+                for m in range(self.schema.num_measures)
+            ]
+            return Relation(self.schema, columns, measure_columns, self.decoders)
         columns = [[col[tid] for tid in tids] for col in self.columns]
         measure_columns = [[col[tid] for tid in tids] for col in self.measure_columns]
         return Relation(self.schema, columns, measure_columns, self.decoders)

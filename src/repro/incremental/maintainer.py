@@ -46,7 +46,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from ..algorithms.base import CubingOptions, get_algorithm
 from ..core.cube import CubeResult
@@ -56,7 +56,9 @@ from ..query.engine import PartitionedQueryEngine, QueryEngine, invalidate_answe
 from .merge import MergeReport
 from .parallel import (
     MergeTask,
+    WorkerCacheMiss,
     compute_delta_cube,
+    merge_state_token,
     picklable_order,
     run_merge_task,
 )
@@ -70,12 +72,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MAX_DELTA_DIMS = 12
 
 #: Beyond this many materialised cells the remote-merge offload stops paying:
-#: its task pickles the whole base cube plus the grown relation to the
+#: a cold task pickles the whole base cube plus the grown relation to the
 #: worker, an O(total data) per-append cost that would silently grow with
-#: the cube.  Larger cubes still offload the delta *compute* (O(delta)
-#: payload) and merge in process.  See ROADMAP "worker-resident merge state"
-#: for the path to lifting this.
+#: the cube.  The worker-resident cache usually avoids the resend (a warm
+#: append ships delta-only), but the cold-path cost still bounds the mode;
+#: larger cubes offload the delta *compute* (O(delta) payload) and merge in
+#: process.
 REMOTE_MERGE_MAX_CELLS = 200_000
+
+#: Candidates (and apply-phase upserts) processed between scheduler yields
+#: by the chunked copy-on-publish merge.  At ~10–30 µs per candidate the
+#: default keeps each GIL-holding stretch well under 100 ms.
+MERGE_BATCH_SIZE = 2048
+
+
+def _yield_gil() -> None:
+    """Hand the GIL (and thereby the event loop's thread) a turn mid-merge."""
+    time.sleep(0)
 
 
 @dataclass(frozen=True)
@@ -122,10 +135,21 @@ class CubeMaintainer:
         serving: "ServingCube",
         copy_on_publish: bool = False,
         executor: Optional[Executor] = None,
+        merge_batch_size: Optional[int] = None,
+        merge_yield: Optional[Callable[[], None]] = None,
     ) -> None:
         self.serving = serving
         self.copy_on_publish = copy_on_publish
         self.executor = executor
+        # Copy-on-publish merges run while query threads are live, so they
+        # default to chunked evaluation with GIL yields between batches; the
+        # single-threaded in-place path stays one uninterrupted pass.
+        if merge_batch_size is None and copy_on_publish:
+            merge_batch_size = MERGE_BATCH_SIZE
+        if merge_yield is None and copy_on_publish:
+            merge_yield = _yield_gil
+        self.merge_batch_size = merge_batch_size
+        self.merge_yield = merge_yield
 
     # ------------------------------------------------------------------ #
 
@@ -210,7 +234,13 @@ class CubeMaintainer:
             # version until the atomic swap below.  Closedness makes the
             # clone cheap: it is proportional to the closed cube.
             new_cube = serving.cube.clone()
-            report = new_cube.merge(delta_cube, relation, measures=measures)
+            report = new_cube.merge(
+                delta_cube,
+                relation,
+                measures=measures,
+                batch_size=self.merge_batch_size,
+                yield_between_batches=self.merge_yield,
+            )
             new_index = new_cube.closure_index()
             invalidated = serving.engine.publish(
                 new_cube,
@@ -256,26 +286,58 @@ class CubeMaintainer:
         pickling), sending the caller down the in-process paths; exactness
         errors raised by the merge itself propagate so the usual
         full-recompute fallback fires.
+
+        Worker-resident merge state: the base cube's cell list only crosses
+        the process boundary cold.  Each task asks the worker to retain the
+        post-merge cube under ``(serving token, covered tuples)``; once one
+        append has primed a worker, subsequent tasks ship delta-only (a
+        ``cache_key`` instead of the cells) and fall back to a one-shot full
+        resend when :class:`WorkerCacheMiss` says the pool routed the task
+        to an unprimed worker.
         """
         serving = self.serving
         config = serving.config
-        task = MergeTask(
-            base_cells=[
-                (cell, stats.count, dict(stats.measures), stats.rep_tid)
-                for cell, stats in serving.cube.items()
-            ],
+        token = merge_state_token(serving)
+        cache_key = (token, start_tid)
+        store_key = (token, relation.num_tuples)
+        base_task = dict(
             relation=relation,
             start_tid=start_tid,
             algorithm=algorithm,
             measures=tuple(config.measures),
             dimension_order=config.dimension_order,
+            cache_key=cache_key,
+            store_key=store_key,
         )
-        try:
-            outcome = self.executor.submit(run_merge_task, task).result()
-        except (IncrementalError, MeasureError):
-            raise
-        except Exception:
-            return None
+        outcome = None
+        if getattr(serving, "_merge_state_hint", None) == cache_key:
+            # Some worker holds the post-merge cube of the previous append;
+            # try the delta-only payload first.
+            try:
+                outcome = self.executor.submit(
+                    run_merge_task, MergeTask(base_cells=None, **base_task)
+                ).result()
+            except WorkerCacheMiss:
+                outcome = None
+            except (IncrementalError, MeasureError):
+                raise
+            except Exception:
+                return None
+        if outcome is None:
+            task = MergeTask(
+                base_cells=[
+                    (cell, stats.count, dict(stats.measures), stats.rep_tid)
+                    for cell, stats in serving.cube.items()
+                ],
+                **base_task,
+            )
+            try:
+                outcome = self.executor.submit(run_merge_task, task).result()
+            except (IncrementalError, MeasureError):
+                raise
+            except Exception:
+                return None
+        serving._merge_state_hint = store_key
         new_cube = serving.cube.clone()
         for cell, count, cell_measures, rep_tid in outcome.changed:
             new_cube.upsert(cell, count, cell_measures, rep_tid)

@@ -45,14 +45,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..core.cell import Cell
-from ..core.closedness import closed_cell_state
+from ..core.cell import Cell, sort_key
 from ..core.cube import CellStats, CubeResult
 from ..core.errors import IncrementalError
 from ..core.measures import MeasureSet
 from ..core.relation import Relation
+from ..vector import kernels
 
 
 @dataclass
@@ -145,6 +145,8 @@ def merge_closed_cubes(
     relation: Relation,
     measures: Optional[MeasureSet] = None,
     delta_tid_offset: int = 0,
+    batch_size: Optional[int] = None,
+    yield_between_batches: Optional[Callable[[], None]] = None,
 ) -> MergeReport:
     """Fold ``delta`` into ``base`` in place; see the module docstring.
 
@@ -153,6 +155,15 @@ def merge_closed_cubes(
     ``delta_tid_offset``, must index into it.  Returns a :class:`MergeReport`
     whose :meth:`~MergeReport.changed_cells` drive index and cache
     maintenance upstream.
+
+    ``batch_size`` bounds how many candidates (and, in the apply phase, how
+    many upserts) are processed between calls to ``yield_between_batches``;
+    the callback is the seam the serving layer uses to hand the GIL back to
+    the event loop mid-merge (see :class:`repro.incremental.maintainer.
+    CubeMaintainer`).  Batching never changes the result: candidates are
+    evaluated in one deterministic sorted order regardless of batch
+    boundaries or backend, and the pre-merge closure indexes answer every
+    batch because nothing mutates until the apply phase.
     """
     if base.num_dims != delta.num_dims:
         raise IncrementalError(
@@ -173,92 +184,122 @@ def merge_closed_cubes(
 
     base_index = base.closure_index()
     delta_index = delta.closure_index()
-    columns = relation.columns
-    num_dims = base.num_dims
 
-    # Evaluation phase: for every cell with delta support, compute its union
-    # closure and merged statistics.  Nothing is mutated yet, so the two
-    # closure indexes keep answering for the *pre-merge* cubes throughout.
+    # Candidate generation: every lattice cell with delta support, via the
+    # BFS below — kept deliberately scalar.  A level-wise np.unique
+    # formulation was measured 5x slower at scale because every candidate
+    # must round-trip through a Python tuple anyway (see the note in
+    # repro.vector.kernels).  A sort by the canonical cell key makes the
+    # evaluation order — and hence the first-wins dedup below and the
+    # report's cell order — identical across backends and batch sizes.
     candidates = support_generalisations(iter(delta))
     report.candidates = len(candidates)
+    ordered = sorted(candidates, key=sort_key)
+    if batch_size is None or batch_size <= 0:
+        batch_size = len(ordered) or 1
+
+    # Evaluation phase: for every candidate, compute its union closure and
+    # merged statistics.  Nothing is mutated yet, so the two closure indexes
+    # keep answering for the *pre-merge* cubes throughout — which is what
+    # makes batching (and yielding between batches) safe.
     produced: Dict[Cell, Tuple[int, Dict[str, float], int]] = {}
-    for candidate in candidates:
-        # A cell materialised in a closed cube is its own closure — resolve
-        # via the cell dictionary (O(1)) and fall back to the posting-list
-        # intersection only for non-materialised candidates.  In realistic
-        # append workloads most candidates are materialised on at least one
-        # side, so this removes the bulk of the index work.
-        own_base = base.get(candidate)
-        found_base = (
-            (candidate, own_base)
-            if own_base is not None
-            else base_index.closure(candidate)
-        )
-        own_delta = delta.get(candidate)
-        if found_base is None:
-            # No base tuple matches the candidate, so its union closure is
-            # its delta closure — a cell the delta cube materialises and this
-            # loop reaches as its own candidate.  Only that candidate needs
-            # work: carry it over verbatim (tids re-based), skip the rest.
-            if own_delta is not None and candidate not in produced:
-                produced[candidate] = (
-                    own_delta.count,
-                    dict(own_delta.measures),
-                    _global_rep(candidate, own_delta, delta_tid_offset),
-                )
-            continue
-        found_delta = (
-            (candidate, own_delta)
-            if own_delta is not None
-            else delta_index.closure(candidate)
-        )
-        if found_delta is None:  # pragma: no cover - candidates have support
-            continue
-        delta_cell, delta_stats = found_delta
-        delta_rep = _global_rep(delta_cell, delta_stats, delta_tid_offset)
-        base_cell, base_stats = found_base
-        # Aggregation-based repair: reconstruct both closedness states and
-        # merge them (Lemma 3).  The merged Closed Mask names the dimensions
-        # every union tuple shares a value on — i.e. the candidate's closed
-        # cover — and the merged representative tuple supplies the values.
-        state = closed_cell_state(base_cell, _global_rep(base_cell, base_stats, 0))
-        state.merge(closed_cell_state(delta_cell, delta_rep), relation)
-        mask = state.closed_mask
-        rep = state.rep_tid
-        closed_cover = tuple(
-            columns[dim][rep] if (mask >> dim) & 1 else None
-            for dim in range(num_dims)
-        )
-        if closed_cover in produced:
-            continue
-        merged_values = (
-            measures.merge_values(
-                base_stats.measures,
-                base_stats.count,
-                delta_stats.measures,
-                delta_stats.count,
+    for start in range(0, len(ordered), batch_size):
+        batch = ordered[start : start + batch_size]
+        # ``None`` entries mark candidates whose result comes from the next
+        # repaired pair, in order; anything else is a delta-only carry.
+        slots: List[Optional[Tuple[Cell, Tuple[int, Dict[str, float], int]]]] = []
+        pairs: List[kernels.RepairPair] = []
+        for candidate in batch:
+            # A cell materialised in a closed cube is its own closure —
+            # resolve via the cell dictionary (O(1)) and fall back to the
+            # posting-list intersection only for non-materialised candidates.
+            # In realistic append workloads most candidates are materialised
+            # on at least one side, so this removes the bulk of the index
+            # work.
+            own_base = base.get(candidate)
+            found_base = (
+                (candidate, own_base)
+                if own_base is not None
+                else base_index.closure(candidate)
             )
-            if measures
-            else {}
-        )
-        produced[closed_cover] = (
-            base_stats.count + delta_stats.count,
-            merged_values,
-            rep,
-        )
+            own_delta = delta.get(candidate)
+            if found_base is None:
+                # No base tuple matches the candidate, so its union closure
+                # is its delta closure — a cell the delta cube materialises
+                # and this loop reaches as its own candidate.  Only that
+                # candidate needs work: carry it over verbatim (tids
+                # re-based), skip the rest.
+                if own_delta is not None:
+                    slots.append(
+                        (
+                            candidate,
+                            (
+                                own_delta.count,
+                                dict(own_delta.measures),
+                                _global_rep(candidate, own_delta, delta_tid_offset),
+                            ),
+                        )
+                    )
+                continue
+            found_delta = (
+                (candidate, own_delta)
+                if own_delta is not None
+                else delta_index.closure(candidate)
+            )
+            if found_delta is None:  # pragma: no cover - candidates have support
+                continue
+            delta_cell, delta_stats = found_delta
+            base_cell, base_stats = found_base
+            pairs.append(
+                (
+                    base_cell,
+                    base_stats.count,
+                    base_stats.measures,
+                    _global_rep(base_cell, base_stats, 0),
+                    delta_cell,
+                    delta_stats.count,
+                    delta_stats.measures,
+                    _global_rep(delta_cell, delta_stats, delta_tid_offset),
+                )
+            )
+            slots.append(None)
+        # Aggregation-based repair (Lemma 3), batched: the merged Closed
+        # Mask names the dimensions every union tuple shares a value on —
+        # i.e. the candidate's closed cover — and the merged representative
+        # tuple supplies the values.  Distinct candidates can collapse onto
+        # one cover; the first (in sorted candidate order) wins, and a cover
+        # can never collide with a delta-only carry because covers always
+        # have base support.
+        repaired = iter(kernels.repair_pairs(pairs, relation, measures))
+        for slot in slots:
+            if slot is None:
+                closed_cover, count, values, rep = next(repaired)
+                if closed_cover not in produced:
+                    produced[closed_cover] = (count, values, rep)
+            elif slot[0] not in produced:
+                produced[slot[0]] = slot[1]
+        if yield_between_batches is not None and start + batch_size < len(ordered):
+            yield_between_batches()
 
     # Apply phase: upsert the produced cells, keeping the live closure index
-    # current through CubeResult's maintenance hooks.
-    for cell, (count, values, rep) in produced.items():
-        existing = base.get(cell)
-        if existing is None:
-            base.add(cell, count, values, rep)
-            report.added.append(cell)
-        elif (
-            existing.count != count
-            or existing.rep_tid != rep
-            or existing.measures != values
-        ):
-            base.upsert(cell, count, values, rep)
-            report.updated.append(cell)
+    # current through CubeResult's maintenance hooks.  Chunked under the same
+    # budget — upserts mutate the cube and its index, but each one is
+    # individually atomic and the pre-computed ``produced`` payloads don't
+    # depend on them.
+    items = list(produced.items())
+    for start in range(0, len(items), batch_size):
+        if yield_between_batches is not None and start:
+            yield_between_batches()
+        for cell, (count, values, rep) in items[start : start + batch_size]:
+            existing = base.get(cell)
+            if existing is None:
+                base.add(cell, count, values, rep)
+                report.added.append(cell)
+            elif (
+                existing.count != count
+                or existing.rep_tid != rep
+                or existing.measures != values
+            ):
+                base.upsert(cell, count, values, rep)
+                report.updated.append(cell)
     return report

@@ -28,7 +28,9 @@ tests: same code path, no process startup cost, just no GIL escape).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -40,6 +42,77 @@ from ..core.relation import Relation
 
 #: One materialised cell in transit: ``(cell, count, measures, rep_tid)``.
 CellRecord = Tuple[Cell, int, Dict[str, float], Optional[int]]
+
+#: A worker-resident base-cube identity: ``(serving token, covered tuples)``.
+#: The token is unique per served cube per parent process; the tuple count
+#: pins the cube *content*, because relations are append-only — the closed
+#: cube of ``relation[0:n]`` is a function of ``n`` alone for a given cube.
+MergeStateKey = Tuple[int, int]
+
+#: How many base-cube snapshots one worker keeps resident.  Small on
+#: purpose: each entry is a full cell list, and a refresh pool rarely serves
+#: more than a handful of cubes at once.
+WORKER_CACHE_MAX = 4
+
+_merge_state_tokens = itertools.count(1)
+_worker_cache_lock = threading.Lock()
+_worker_base_cache: "Dict[MergeStateKey, List[CellRecord]]" = {}
+
+
+def merge_state_token(serving: object) -> int:
+    """A stable identity token for one served cube, lazily stamped.
+
+    ``(engine name, version)`` pairs are unsafe as cache identities — the
+    version resets when an engine is rebuilt — so the maintainer brands each
+    :class:`~repro.session.serving.ServingCube` with a monotonic counter the
+    first time it offloads a merge for it.
+    """
+    token = getattr(serving, "_merge_state_token", None)
+    if token is None:
+        token = next(_merge_state_tokens)
+        object.__setattr__(serving, "_merge_state_token", token)
+    return token
+
+
+class WorkerCacheMiss(Exception):
+    """The worker holds no base cube under the task's ``cache_key``.
+
+    Raised (and pickled back through the future) instead of guessing: the
+    submitter retries once with the full cell list, which also re-primes the
+    worker that answered.  Misses are expected — a pool routes tasks to any
+    worker, and only the one that ran the previous append has the state.
+    """
+
+    def __init__(self, cache_key: MergeStateKey) -> None:
+        super().__init__(f"no worker-resident base cube under key {cache_key!r}")
+        self.cache_key = cache_key
+
+    def __reduce__(self):  # pragma: no cover - exercised via process pools
+        return (WorkerCacheMiss, (self.cache_key,))
+
+
+def worker_cache_store(key: MergeStateKey, records: List[CellRecord]) -> None:
+    """Retain one base-cube snapshot in this worker, evicting oldest-first."""
+    with _worker_cache_lock:
+        _worker_base_cache.pop(key, None)
+        _worker_base_cache[key] = records
+        while len(_worker_base_cache) > WORKER_CACHE_MAX:
+            _worker_base_cache.pop(next(iter(_worker_base_cache)))
+
+
+def worker_cache_get(key: MergeStateKey) -> Optional[List[CellRecord]]:
+    """This worker's snapshot under ``key``, refreshed to most-recent."""
+    with _worker_cache_lock:
+        records = _worker_base_cache.pop(key, None)
+        if records is not None:
+            _worker_base_cache[key] = records
+        return records
+
+
+def worker_cache_clear() -> None:
+    """Drop every resident snapshot (test isolation)."""
+    with _worker_cache_lock:
+        _worker_base_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -159,14 +232,26 @@ class MergeTask:
     (aggregation-based closedness repair included) into a private copy of the
     base — the two CPU-heavy phases of an append.  Only the *changed* cells
     travel back; the serving thread replays them onto a clone and publishes.
+
+    ``base_cells`` may be ``None`` when ``cache_key`` names a base cube a
+    worker already holds resident (stored under ``store_key`` by a previous
+    task) — the delta-only payload of the worker-resident merge protocol.  A
+    worker without the state raises :class:`WorkerCacheMiss`; the submitter
+    retries with the full list.
     """
 
-    base_cells: List[CellRecord]
+    base_cells: Optional[List[CellRecord]]
     relation: Relation
     start_tid: int
     algorithm: str
     measures: Tuple[MeasureSpec, ...] = ()
     dimension_order: object = None
+    #: Identity of the pre-merge base cube to look up when ``base_cells`` is
+    #: ``None``.
+    cache_key: Optional[MergeStateKey] = None
+    #: Identity to retain the *post*-merge base cube under for the next
+    #: append; ``None`` disables retention.
+    store_key: Optional[MergeStateKey] = None
 
 
 @dataclass(frozen=True)
@@ -188,8 +273,15 @@ def run_merge_task(task: MergeTask) -> MergeTaskResult:
     """
     from ..algorithms.base import CubingOptions, get_algorithm
 
+    records = task.base_cells
+    if records is None:
+        if task.cache_key is None:
+            raise WorkerCacheMiss((0, task.start_tid))
+        records = worker_cache_get(task.cache_key)
+        if records is None:
+            raise WorkerCacheMiss(task.cache_key)
     base = rebuild_cube(
-        task.base_cells,
+        records,
         task.relation.num_dimensions,
         name="prepared-merge",
         measures=task.measures,
@@ -210,6 +302,14 @@ def run_merge_task(task: MergeTask) -> MergeTaskResult:
     for cell in report.changed_cells():
         stats = base[cell]
         changed.append((cell, stats.count, dict(stats.measures), stats.rep_tid))
+    if task.store_key is not None:
+        worker_cache_store(
+            task.store_key,
+            [
+                (cell, stats.count, dict(stats.measures), stats.rep_tid)
+                for cell, stats in base.items()
+            ],
+        )
     return MergeTaskResult(
         changed=changed, report=report, algorithm=delta_result.algorithm
     )

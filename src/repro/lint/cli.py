@@ -6,7 +6,7 @@ Exit status:
 * ``1`` — at least one new finding;
 * ``2`` — usage errors (missing paths, malformed baseline).
 
-The default paths are ``src`` and ``benchmarks`` when run from the repo
+The default paths are ``src``, ``benchmarks``, and ``examples`` when run from the repo
 root.  A ``lint-baseline.json`` next to the current directory is picked up
 automatically; ``--update-baseline`` rewrites it from the current findings
 and ``--no-baseline`` ignores it (useful to see the accepted debt too).
@@ -37,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "paths", nargs="*",
-        help="files or directories to analyse (default: src benchmarks)",
+        help="files or directories to analyse (default: src benchmarks examples)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -67,7 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _default_paths() -> List[str]:
-    paths = [path for path in ("src", "benchmarks") if os.path.isdir(path)]
+    paths = [path for path in ("src", "benchmarks", "examples") if os.path.isdir(path)]
     return paths
 
 

@@ -19,6 +19,7 @@ from . import (
     rl004_publish_discipline,
     rl005_atomic_write,
     rl006_seeded_random,
+    rl007_await_under_lock,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +53,7 @@ ALL_RULES: Tuple[Rule, ...] = tuple(
         rl004_publish_discipline,
         rl005_atomic_write,
         rl006_seeded_random,
+        rl007_await_under_lock,
     )
 )
 

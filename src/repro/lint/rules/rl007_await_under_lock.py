@@ -1,0 +1,101 @@
+"""RL007 — no ``await`` while holding a synchronous lock.
+
+A coroutine that awaits inside ``with some_lock:`` parks *holding the
+lock*: the event loop runs other tasks, and any of them — or any executor
+thread — that touches the same lock blocks for as long as the first task
+stays parked.  With a ``threading.Lock`` that is an instant deadlock when
+the awaited work needs the loop's thread; with the serving stack's RWLock
+it silently serialises every reader behind one suspended writer.  This is
+the natural hazard of mixing the incremental layer's chunked, yielding
+merges (:func:`repro.incremental.merge.merge_closed_cubes` with
+``yield_between_batches``) into async code: yield points must never sit
+inside a synchronous critical section.
+
+Flagged: any ``await`` lexically inside the body of a *synchronous*
+``with`` whose context expression is lock-ish (``with self._lock:``,
+``with gate(name):``, ``with lock.read():`` — the shapes
+:func:`repro.lint.rules.common.lock_acquisition_key` recognises).
+
+Exempt:
+
+* ``async with`` on an asyncio lock — awaiting is exactly how those locks
+  cooperate with the loop;
+* nested function bodies (sync or async) defined inside the ``with`` —
+  they execute when later called, not while the lock is held.
+
+The fix is structural, not cosmetic: either complete the critical section
+before awaiting, hand the lock-holding work to an executor thread, or use
+an ``asyncio.Lock`` and ``async with``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from ..findings import Finding
+from .common import lock_acquisition_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import ParsedModule
+
+CODE = "RL007"
+NAME = "await-under-sync-lock"
+
+
+def _awaits_in_body(nodes: List[ast.stmt]) -> Iterator[ast.Await]:
+    """Every ``await`` executed while the enclosing ``with`` is held.
+
+    Iterative walk that stops at nested function/lambda boundaries: their
+    bodies run when the object is later called, not under this lock.
+    """
+    stack: List[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _lock_keys(with_node: ast.With) -> List[Tuple[str, ast.expr]]:
+    keys: List[Tuple[str, ast.expr]] = []
+    for item in with_node.items:
+        key = lock_acquisition_key(item.context_expr)
+        if key is not None:
+            keys.append((key, item.context_expr))
+    return keys
+
+
+def check(module: "ParsedModule") -> List[Finding]:
+    # ``await`` is only legal inside ``async def``, so every hit below is in
+    # a coroutine by construction; no scope gate — the hazard is the same in
+    # any package.
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.With):
+            continue
+        keys = _lock_keys(node)
+        if not keys:
+            continue
+        held = ", ".join(key for key, _ in keys)
+        for awaited in sorted(
+            _awaits_in_body(node.body), key=lambda n: (n.lineno, n.col_offset)
+        ):
+            findings.append(
+                Finding(
+                    rule=CODE,
+                    path=module.display,
+                    line=awaited.lineno,
+                    col=awaited.col_offset,
+                    message=(
+                        f"await while holding synchronous lock {held}; the "
+                        "coroutine parks with the lock held and blocks every "
+                        "other acquirer — finish the critical section first, "
+                        "offload it to an executor, or use asyncio.Lock with "
+                        "'async with'"
+                    ),
+                )
+            )
+    return findings

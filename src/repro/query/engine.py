@@ -48,6 +48,7 @@ from ..core.cell import Cell, make_cell, sort_key
 from ..core.cube import CellStats, CubeResult
 from ..core.errors import QueryError
 from ..core.relation import Relation
+from ..vector import kernels
 from .cache import LRUCache
 from .index import CubeIndex
 from .queries import PointQuery, Query, QueryAnswer, RollupQuery, SliceQuery
@@ -236,8 +237,14 @@ class QueryEngine:
         """
         fixed_cell = query.validate(self.num_dims)
         fixed = query.fixed_mapping()
+        slots = self.index.specialisation_slots(fixed_cell)
+        vectorized = kernels.slice_targets(
+            self.index, slots, fixed, query.group_by, self.num_dims
+        )
+        if vectorized is not None:
+            return vectorized
         targets: Set[Cell] = set()
-        for slot in self.index.specialisation_slots(fixed_cell):
+        for slot in slots:
             cell = self.index.cell_at(slot)
             assignment = dict(fixed)
             complete = True

@@ -71,6 +71,8 @@ class CubeIndex:
         self._mutate_lock = threading.Lock()
         #: Bumped once per mutation call that changed the index.
         self.generation = 0
+        #: ``(generation, per-dim arrays)`` cache for :meth:`columns_view`.
+        self._columns_cache: Optional[Tuple[int, List[object]]] = None
         self.add_cells(items)
 
     @classmethod
@@ -134,6 +136,7 @@ class CubeIndex:
         index._best_slot = best_slot
         index._mutate_lock = threading.Lock()
         index.generation = 0
+        index._columns_cache = None
         return index
 
     # ------------------------------------------------------------------ #
@@ -307,6 +310,41 @@ class CubeIndex:
         if slot is None:
             return None
         return self._cells[slot], self._stats[slot]
+
+    def columns_view(self) -> Optional[List[object]]:
+        """Per-dimension ``int64`` arrays over the indexed cells, by slot.
+
+        ``arrays[dim][slot]`` is the cell's fixed value on ``dim``, with
+        ``-1`` standing in for ``*`` (value codes are non-negative by
+        construction — see :mod:`repro.core.encode`).  Tombstoned slots keep
+        their stale rows; callers only ever gather at live slots.  Returns
+        ``None`` when the active column backend is not vectorized, which
+        tells callers to take their per-slot reference path.
+
+        The arrays are cached per :attr:`generation`.  Published indexes are
+        immutable, so on the serving path the rebuild cost is paid once per
+        publish and amortised across every query against that index.
+        """
+        from ..core.columns import get_backend
+
+        backend = get_backend()
+        if backend.np is None:
+            return None
+        cached = self._columns_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        np = backend.np
+        cells = self._cells
+        arrays: List[object] = [
+            np.fromiter(
+                (-1 if cell[dim] is None else cell[dim] for cell in cells),
+                dtype=np.int64,
+                count=len(cells),
+            )
+            for dim in range(self.num_dims)
+        ]
+        self._columns_cache = (self.generation, arrays)
+        return arrays
 
     def values_on_dimension(self, dim: int) -> Mapping[int, Set[int]]:
         """The posting map of one dimension (used by slice enumeration)."""

@@ -1,0 +1,31 @@
+"""Vectorized execution kernels over the columnar backend seam.
+
+See :mod:`repro.vector.kernels` for the kernels and
+:mod:`repro.core.columns` for backend selection.
+"""
+
+from .kernels import (
+    aggregate_measures,
+    aggregate_measures_python,
+    grouped_closed_aggregate,
+    grouped_closed_aggregate_python,
+    lexsort_runs,
+    repair_pairs,
+    repair_pairs_python,
+    slice_targets,
+    states_from_row,
+    vectorizable_measures,
+)
+
+__all__ = [
+    "aggregate_measures",
+    "aggregate_measures_python",
+    "grouped_closed_aggregate",
+    "grouped_closed_aggregate_python",
+    "lexsort_runs",
+    "repair_pairs",
+    "repair_pairs_python",
+    "slice_targets",
+    "states_from_row",
+    "vectorizable_measures",
+]

@@ -7,6 +7,19 @@ import random
 import pytest
 
 from repro import Relation
+from repro.core.columns import HAS_NUMPY, use_backend
+
+#: Every column backend importable in this interpreter.  On the no-NumPy CI
+#: leg this is just the fallback; elsewhere the equivalence suites run twice
+#: and prove the two kernel paths bit-identical.
+BACKEND_NAMES = ("numpy", "python") if HAS_NUMPY else ("python",)
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def column_backend(request):
+    """Run the requesting test once per available column backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 def random_relation(

@@ -1,0 +1,9 @@
+"""RL007 bad: awaiting while a synchronous lock is held."""
+
+
+class Maintainer:
+    async def flush(self, batch):
+        with self._lock:  # threading lock: held across the suspension
+            prepared = self.stage(batch)
+            await self.channel.put(prepared)  # parks holding the lock
+            self.applied += len(batch)

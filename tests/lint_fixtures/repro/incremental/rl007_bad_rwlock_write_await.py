@@ -1,0 +1,8 @@
+"""RL007 bad: awaiting under an RWLock write side held synchronously."""
+
+
+async def publish(engine, cube, notifier):
+    with engine.lock.write():  # every reader queues behind this
+        engine.swap(cube)
+        await notifier.broadcast(engine.version)  # suspends mid-write-section
+    return engine.version

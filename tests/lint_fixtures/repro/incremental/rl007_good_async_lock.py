@@ -1,0 +1,9 @@
+"""RL007 good: an asyncio lock held via ``async with`` cooperates with the loop."""
+
+
+class Maintainer:
+    async def flush(self, batch):
+        async with self._lock:
+            prepared = self.stage(batch)
+            await self.channel.put(prepared)
+            self.applied += len(batch)

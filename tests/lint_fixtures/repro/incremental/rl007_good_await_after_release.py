@@ -1,0 +1,9 @@
+"""RL007 good: the critical section completes before the coroutine awaits."""
+
+
+async def publish(engine, cube, notifier):
+    with engine.lock.write():
+        engine.swap(cube)
+        version = engine.version
+    await notifier.broadcast(version)
+    return version

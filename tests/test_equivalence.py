@@ -25,12 +25,14 @@ from repro.core.validate import (
 )
 from repro.datagen.synthetic import SyntheticConfig, generate_relation
 
-from conftest import CLOSED_ALGORITHMS, ICEBERG_ALGORITHMS, random_relation
+from repro.core.columns import use_backend
+
+from conftest import BACKEND_NAMES, CLOSED_ALGORITHMS, ICEBERG_ALGORITHMS, random_relation
 
 
 @pytest.mark.parametrize("seed", range(8))
 @pytest.mark.parametrize("min_sup", [1, 2, 3])
-def test_closed_algorithms_agree_with_oracle(seed, min_sup):
+def test_closed_algorithms_agree_with_oracle(seed, min_sup, column_backend):
     relation = random_relation(seed, max_dims=5, max_cardinality=4, max_tuples=35)
     expected = reference_closed_cube(relation, min_sup)
     for name in CLOSED_ALGORITHMS:
@@ -40,7 +42,7 @@ def test_closed_algorithms_agree_with_oracle(seed, min_sup):
 
 @pytest.mark.parametrize("seed", range(8))
 @pytest.mark.parametrize("min_sup", [1, 2, 3])
-def test_iceberg_algorithms_agree_with_oracle(seed, min_sup):
+def test_iceberg_algorithms_agree_with_oracle(seed, min_sup, column_backend):
     relation = random_relation(seed + 50, max_dims=5, max_cardinality=4, max_tuples=35)
     expected = reference_iceberg_cube(relation, min_sup)
     for name in ICEBERG_ALGORITHMS:
@@ -50,7 +52,7 @@ def test_iceberg_algorithms_agree_with_oracle(seed, min_sup):
 
 @pytest.mark.parametrize("skew", [0.0, 2.0])
 @pytest.mark.parametrize("dependence", [0.0, 1.5])
-def test_agreement_on_generated_workloads(skew, dependence):
+def test_agreement_on_generated_workloads(skew, dependence, column_backend):
     config = SyntheticConfig.uniform(
         num_tuples=60, num_dims=4, cardinality=4, skew=skew, dependence=dependence, seed=9
     )
@@ -62,7 +64,7 @@ def test_agreement_on_generated_workloads(skew, dependence):
             assert expected.same_cells(cube), f"{name}:\n" + expected.diff(cube)
 
 
-def test_closed_cube_satisfies_definition_and_quotient_semantics():
+def test_closed_cube_satisfies_definition_and_quotient_semantics(column_backend):
     relation = random_relation(1234, max_dims=4, max_cardinality=3, max_tuples=25)
     closed = get_algorithm("c-cubing-star", CubingOptions(min_sup=1)).run(relation).cube
     check_counts(relation, closed)
@@ -82,9 +84,13 @@ def test_closed_cube_satisfies_definition_and_quotient_semantics():
 def test_property_closed_algorithms_match_oracle(rows, min_sup):
     relation = Relation.from_rows(rows)
     expected = reference_closed_cube(relation, min_sup)
-    for name in ("qc-dfs", "c-cubing-mm", "c-cubing-star", "c-cubing-star-array"):
-        cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(relation).cube
-        assert expected.same_cells(cube), f"{name}:\n" + expected.diff(cube)
+    # Looped rather than fixture-parametrized: hypothesis forbids
+    # function-scoped fixtures under @given.
+    for backend in BACKEND_NAMES:
+        with use_backend(backend):
+            for name in ("qc-dfs", "c-cubing-mm", "c-cubing-star", "c-cubing-star-array"):
+                cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(relation).cube
+                assert expected.same_cells(cube), f"{name}[{backend}]:\n" + expected.diff(cube)
 
 
 @settings(max_examples=30, deadline=None)
@@ -99,9 +105,11 @@ def test_property_closed_algorithms_match_oracle(rows, min_sup):
 def test_property_iceberg_algorithms_match_oracle(rows, min_sup):
     relation = Relation.from_rows(rows)
     expected = reference_iceberg_cube(relation, min_sup)
-    for name in ICEBERG_ALGORITHMS:
-        cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(relation).cube
-        assert expected.same_cells(cube), f"{name}:\n" + expected.diff(cube)
+    for backend in BACKEND_NAMES:
+        with use_backend(backend):
+            for name in ICEBERG_ALGORITHMS:
+                cube = get_algorithm(name, CubingOptions(min_sup=min_sup)).run(relation).cube
+                assert expected.same_cells(cube), f"{name}[{backend}]:\n" + expected.diff(cube)
 
 
 @settings(max_examples=30, deadline=None)

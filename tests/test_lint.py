@@ -5,8 +5,9 @@ Three layers:
 * the **fixture corpus** under ``tests/lint_fixtures/`` — every
   ``rlNNN_bad_*`` file must fire rule RLNNN, every ``rlNNN_good_*`` file
   must be clean under *all* rules;
-* the **clean-tree pin** — ``repro.lint`` over ``src/`` and ``benchmarks/``
-  reports zero unsuppressed findings (the CI contract this repo ships with);
+* the **clean-tree pin** — ``repro.lint`` over ``src/``, ``benchmarks/``,
+  and ``examples/`` reports zero unsuppressed findings (the CI contract this
+  repo ships with);
 * the **machinery** — suppression comments, the accepted-debt baseline, and
   the CLI's exit-status policy.
 """
@@ -98,9 +99,10 @@ def test_good_fixture_is_clean_under_every_rule(path):
 
 def test_source_tree_has_zero_unsuppressed_findings():
     paths = [os.path.join(REPO_ROOT, "src")]
-    benchmarks = os.path.join(REPO_ROOT, "benchmarks")
-    if os.path.isdir(benchmarks):
-        paths.append(benchmarks)
+    for extra in ("benchmarks", "examples"):
+        extra_dir = os.path.join(REPO_ROOT, extra)
+        if os.path.isdir(extra_dir):
+            paths.append(extra_dir)
     result = run_lint(paths, root=REPO_ROOT)
     assert result.checked_files > 50  # the walker actually saw the tree
     assert result.findings == [], "\n".join(
