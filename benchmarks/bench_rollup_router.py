@@ -1,0 +1,299 @@
+"""Rollup-router benchmark: hot-shape slices served from materialised grains.
+
+Builds a closed cube over a synthetic star-schema relation (100k tuples by
+default: two high-cardinality "dashboard" dimensions plus four narrow ones),
+replays a skewed slice workload — 80% of the traffic on five hot shapes —
+to populate the engine's shape recorder, lets the advisor materialise the
+hot grains, then times the identical seeded hot-shape stream two ways:
+
+1. ``engine`` — the closed-cube engine alone (router detached), the
+   posting-intersection + closure-resolution path every query takes today;
+2. ``routed`` — the same engine with the rollup router installed, so hot
+   shapes are answered from the flat pre-aggregated tables.
+
+The hot key space (>2000 distinct slice keys) deliberately exceeds the
+engine's slice cache, so the baseline measures real engine work, not cache
+replay.  The gate fails unless routed throughput beats the engine by
+``--min-speedup`` (default 5x), every routed answer matches the engine
+cell-for-cell, and answers stay exact after an incremental append
+(``stale_reads`` must be 0)::
+
+    PYTHONPATH=src python benchmarks/bench_rollup_router.py
+    PYTHONPATH=src python benchmarks/bench_rollup_router.py \
+        --tuples 20000 --min-sup 1 --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from bench_helpers import write_report
+
+from repro import Avg, CubeSession, Sum
+
+#: The five hot shapes: (fixed dims, group-by dim).  Their grains are what
+#: the advisor should discover and materialise.
+HOT_SHAPES: Tuple[Tuple[Tuple[int, ...], int], ...] = (
+    ((0,), 1),
+    ((1,), 2),
+    ((0, 1), 2),
+    ((2,), 3),
+    ((0, 3), 1),
+)
+
+#: Cold shapes: the 20% tail the router must fall back (or stay exact) on.
+COLD_SHAPES: Tuple[Tuple[Tuple[int, ...], int], ...] = (
+    ((4,), 5),
+    ((3,), 4),
+    ((5,), 0),
+)
+
+Query = Tuple[Dict[int, int], Tuple[int, ...]]
+
+
+def build_rows(tuples: int, card_hot: int, card_cold: int, seed: int):
+    rng = random.Random(seed)
+    cards = (card_hot, card_hot, card_cold, card_cold, card_cold, card_cold)
+    return [
+        tuple(rng.randrange(card) for card in cards)
+        + (float(rng.randrange(1, 100)),)
+        for _ in range(tuples)
+    ]
+
+
+def build_stream(
+    relation, count: int, hot_fraction: float, seed: int
+) -> List[Query]:
+    """A seeded slice stream: ``hot_fraction`` of it on the five hot shapes."""
+    rng = random.Random(seed)
+    cards = [len(relation.encoder(dim)) for dim in range(6)]
+    stream: List[Query] = []
+    for _ in range(count):
+        shapes = HOT_SHAPES if rng.random() < hot_fraction else COLD_SHAPES
+        fixed_dims, group_dim = shapes[rng.randrange(len(shapes))]
+        fixed = {dim: rng.randrange(cards[dim]) for dim in fixed_dims}
+        stream.append((fixed, (group_dim,)))
+    return stream
+
+
+def run_stream(engine, stream: Sequence[Query]) -> Tuple[float, int]:
+    """Total seconds and answer cells produced for one serving mode."""
+    answers = 0
+    start = time.perf_counter()
+    for fixed, group in stream:
+        answers += len(engine.slice(fixed, group))
+    return time.perf_counter() - start, answers
+
+
+def answers_match(routed, expected) -> bool:
+    """Cell-for-cell equality: coordinates and counts exact, measures to
+    float-ulp tolerance.
+
+    The engine's incremental maintenance merges algebraic measures by
+    reconstructing states from *finalised* values (``avg * count`` to recover
+    the sum), so a delta-merged cube's ``avg`` can differ from the rollup
+    table's exact ``(sum, count)`` arithmetic in the last ulp.  Counts and
+    cells never differ; distributive sums of integer-valued floats are exact
+    in either order.
+    """
+    if len(routed) != len(expected):
+        return False
+    for (cell_r, count_r, meas_r), (cell_e, count_e, meas_e) in zip(
+        routed, expected
+    ):
+        if cell_r != cell_e or count_r != count_e or len(meas_r) != len(meas_e):
+            return False
+        for (name_r, value_r), (name_e, value_e) in zip(meas_r, meas_e):
+            if name_r != name_e or not math.isclose(
+                value_r, value_e, rel_tol=1e-9, abs_tol=1e-9
+            ):
+                return False
+    return True
+
+
+def count_mismatches(serving, stream: Sequence[Query]) -> Tuple[int, int]:
+    """Routed answers compared cell-for-cell against the detached engine.
+
+    Returns ``(mismatched cells, compared cells)``.  Comparison covers the
+    cell coordinates, the count, and every finalised measure value — the
+    routing-invisibility contract (see :func:`answers_match` for the float
+    tolerance on measures).
+    """
+    engine = serving.engine
+    router = engine.router
+    mismatched = compared = 0
+    for fixed, group in stream:
+        engine.clear_caches()
+        engine.router = router
+        routed = [(a.cell, a.count, a.measures) for a in engine.slice(fixed, group)]
+        engine.clear_caches()
+        engine.router = None
+        expected = [
+            (a.cell, a.count, a.measures) for a in engine.slice(fixed, group)
+        ]
+        compared += max(len(expected), len(routed), 1)
+        if not answers_match(routed, expected):
+            mismatched += 1
+    engine.router = router
+    engine.clear_caches()
+    return mismatched, compared
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000)
+    parser.add_argument("--card-hot", type=int, default=40,
+                        help="cardinality of the two dashboard dimensions")
+    parser.add_argument("--card-cold", type=int, default=8,
+                        help="cardinality of the four narrow dimensions")
+    parser.add_argument("--min-sup", type=int, default=8)
+    parser.add_argument("--warm-queries", type=int, default=1200,
+                        help="recorded warm-up stream feeding the advisor")
+    parser.add_argument("--queries", type=int, default=2000,
+                        help="timed hot-shape queries per serving mode")
+    parser.add_argument("--verify-queries", type=int, default=250,
+                        help="queries verified cell-for-cell per phase")
+    parser.add_argument("--append-rows", type=int, default=5000,
+                        help="rows appended for the staleness check")
+    parser.add_argument("--top-k", type=int, default=8)
+    parser.add_argument("--budget-bytes", type=int, default=16_000_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail unless routing beats the engine by this factor")
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    print(f"dataset: T={args.tuples} cards=({args.card_hot},{args.card_hot},"
+          f"{args.card_cold}x4) min_sup={args.min_sup}")
+    rows = build_rows(args.tuples, args.card_hot, args.card_cold, args.seed)
+    schema = {"dimensions": [f"d{i}" for i in range(6)], "measures": ["m"]}
+    start = time.perf_counter()
+    serving = (
+        CubeSession.from_rows(rows, schema=schema)
+        .closed(min_sup=args.min_sup)
+        .measures(Sum("m"), Avg("m"))
+        .build()
+    )
+    print(f"materialised closed cube in {time.perf_counter() - start:.2f}s "
+          f"({len(serving.cube)} cells, {serving.algorithm})")
+    engine = serving.engine
+
+    # Phase 1: record the skewed workload (the shape log the advisor mines).
+    warm = build_stream(serving.relation, args.warm_queries, 0.8, args.seed)
+    start = time.perf_counter()
+    run_stream(engine, warm)
+    recorder = engine.recorder.stats()
+    print(f"warm-up: {args.warm_queries} queries in "
+          f"{time.perf_counter() - start:.2f}s -> {recorder['shapes']} shapes "
+          f"recorded")
+
+    # Phase 2: the advisor materialises the hot grains.
+    start = time.perf_counter()
+    report = serving.enable_rollups(
+        budget_bytes=args.budget_bytes, top_k=args.top_k
+    )
+    grains = len(report["installed"])
+    print(f"advisor: materialised {grains} grains "
+          f"({report['total_bytes']:,} bytes) in "
+          f"{time.perf_counter() - start:.2f}s")
+    for choice in report["installed"]:
+        print(f"  grain {tuple(choice['dims'])}: {choice['estimated_rows']} "
+              f"rows, {choice['estimated_bytes']:,} bytes, "
+              f"cost saved ~{choice['cost']:.0f}")
+
+    # Phase 3: time the identical hot-only stream, engine vs routed.  The
+    # distinct hot key space exceeds the slice cache, so neither mode is
+    # measuring cache replay.
+    hot = build_stream(serving.relation, args.queries, 1.0, args.seed + 1)
+    router = engine.router
+    engine.router = None
+    engine.clear_caches()
+    engine_seconds, engine_answers = run_stream(engine, hot)
+    engine_qps = len(hot) / engine_seconds if engine_seconds else float("inf")
+    engine.router = router
+    engine.clear_caches()
+    routed_seconds, routed_answers = run_stream(engine, hot)
+    routed_qps = len(hot) / routed_seconds if routed_seconds else float("inf")
+    speedup = routed_qps / engine_qps if engine_qps else float("inf")
+    routed_share = engine.router.counters["routed_slices"] / max(1, len(hot))
+
+    print()
+    print(f"{'mode':<18}{'queries':>9}{'seconds':>10}{'qps':>12}{'answers':>10}")
+    print("-" * 59)
+    print(f"{'engine':<18}{len(hot):>9}{engine_seconds:>10.3f}"
+          f"{engine_qps:>12.0f}{engine_answers:>10}")
+    print(f"{'routed':<18}{len(hot):>9}{routed_seconds:>10.3f}"
+          f"{routed_qps:>12.0f}{routed_answers:>10}")
+    print(f"\nspeedup: {speedup:.1f}x (routed share of hot stream: "
+          f"{routed_share:.1%})")
+
+    # Phase 4: routing invisibility — routed == engine, cell for cell, on a
+    # mixed stream (hot shapes and fallback tails both covered).
+    verify = build_stream(serving.relation, args.verify_queries, 0.7, args.seed + 2)
+    mismatched, compared = count_mismatches(serving, verify)
+    verified = mismatched == 0 and routed_answers == engine_answers
+    print(f"verification: {compared} cells across {len(verify)} queries, "
+          f"{mismatched} mismatched")
+
+    # Phase 5: staleness — append a delta, re-verify without any cache help.
+    extra = build_rows(args.append_rows, args.card_hot, args.card_cold,
+                       args.seed + 3)
+    start = time.perf_counter()
+    append = serving.append(extra)
+    print(f"append: {append.appended_rows} rows via {append.mode} in "
+          f"{time.perf_counter() - start:.2f}s")
+    stale_stream = build_stream(
+        serving.relation, args.verify_queries, 0.7, args.seed + 4
+    )
+    stale_reads, stale_compared = count_mismatches(serving, stale_stream)
+    covered = all(
+        entry["covered_tuples"] == serving.relation.num_tuples
+        for entry in serving.rollup_stats()["tables"].values()
+    )
+    if not covered:
+        stale_reads += 1  # a table left behind the relation is a stale read
+    print(f"post-append verification: {stale_compared} cells, "
+          f"{stale_reads} stale")
+
+    passed = (
+        speedup >= args.min_speedup and verified and stale_reads == 0
+        and grains > 0
+    )
+    write_report(
+        args.json,
+        "bench_rollup_router",
+        {"tuples": args.tuples, "card_hot": args.card_hot,
+         "card_cold": args.card_cold, "min_sup": args.min_sup,
+         "queries": args.queries, "top_k": args.top_k,
+         "budget_bytes": args.budget_bytes, "seed": args.seed},
+        passed=passed,
+        engine_qps=round(engine_qps, 2),
+        routed_qps=round(routed_qps, 2),
+        speedup=round(speedup, 3),
+        routed_share=round(routed_share, 4),
+        grains=grains,
+        rollup_bytes=report["total_bytes"],
+        verified=verified,
+        verified_cells=compared + stale_compared,
+        stale_reads=stale_reads,
+        min_speedup=args.min_speedup,
+    )
+
+    if not passed:
+        print(f"FAIL: speedup {speedup:.1f}x (required {args.min_speedup:.1f}x), "
+              f"verified={verified}, stale_reads={stale_reads}, grains={grains}")
+        return 1
+    print(f"OK: routed serving is {speedup:.1f}x the engine on hot shapes "
+          f"(required {args.min_speedup:.1f}x), all answers exact before and "
+          "after append")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,12 @@ runs is one download per run instead of five.  ``--diff`` compares this
 run's reports against a committed baseline trajectory and fails on any
 gate that regressed past its allowance (see ``TRAJECTORY``) — absolute
 thresholds catch falling off a cliff, the diff catches sliding downhill.
+``--update-baseline`` rewrites the committed baseline from this run's
+reports (after a deliberate perf change), but only when every gate passes
+its absolute thresholds — a failing run can never become the new normal::
+
+    python benchmarks/check_gates.py bench-artifacts/ \\
+        --update-baseline benchmarks/baselines/bench-trajectory.json
 """
 
 from __future__ import annotations
@@ -91,6 +97,18 @@ def _vector_rule(report: Dict) -> Tuple[bool, str]:
     return matches and ok and repair_ok, detail
 
 
+def _rollup_router_rule(report: Dict) -> Tuple[bool, str]:
+    ok, detail = _speedup_rule(report)
+    verified = bool(report["verified"])
+    stale = int(report["stale_reads"])
+    grains = int(report["grains"])
+    detail += (
+        f", verified={verified}, stale_reads={stale} (allows 0), "
+        f"{grains} grains (needs > 0)"
+    )
+    return ok and verified and stale == 0 and grains > 0, detail
+
+
 GATES: Dict[str, GateRule] = {
     "bench_query_throughput": _speedup_rule,
     "bench_api_overhead": _overhead_rule,
@@ -99,6 +117,7 @@ GATES: Dict[str, GateRule] = {
     "bench_snapshot": _snapshot_rule,
     "bench_load_slo": _load_slo_rule,
     "bench_vector": _vector_rule,
+    "bench_rollup_router": _rollup_router_rule,
 }
 
 
@@ -118,6 +137,7 @@ TRAJECTORY: Dict[str, Tuple[str, str, object]] = {
     "bench_snapshot": ("speedup", "higher", None),
     "bench_load_slo": ("query_p99_ms", "lower", 3.0),
     "bench_vector": ("speedup", "higher", None),
+    "bench_rollup_router": ("speedup", "higher", None),
 }
 
 
@@ -224,6 +244,10 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="default fractional regression allowance for "
                         "--diff (per-gate overrides in TRAJECTORY)")
+    parser.add_argument("--update-baseline", type=str, default=None,
+                        help="rewrite the committed baseline trajectory from "
+                        "this run's reports; refused unless every gate "
+                        "passes its absolute thresholds")
     args = parser.parse_args(argv)
 
     files = collect_reports(args.paths)
@@ -267,6 +291,24 @@ def main(argv: Sequence[str] = None) -> int:
         for name, ok, detail in diffs:
             print(f"{'PASS' if ok else 'FAIL'}  {name:<{width}}  {detail}")
         all_ok = all_ok and all(ok for _, ok, _ in diffs)
+
+    if args.update_baseline:
+        if not all_ok:
+            print("refusing to update the baseline from a failing run",
+                  file=sys.stderr)
+            return 1
+        trajectory = {
+            "schema": 1,
+            "generated_at": time.time(),
+            "passed": True,
+            "gates": merged,
+        }
+        directory = os.path.dirname(os.path.abspath(args.update_baseline))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.update_baseline, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+        print(f"baseline refreshed: {args.update_baseline} "
+              f"({len(merged)} gates)")
 
     if not all_ok:
         print("gate validation failed", file=sys.stderr)

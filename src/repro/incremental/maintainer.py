@@ -111,6 +111,9 @@ class AppendReport:
     merge: Optional[MergeReport] = None
     #: Partition values recomputed by the partition-refresh path.
     refreshed_partitions: Optional[Tuple[int, ...]] = None
+    #: How the remote-merge path shipped its payload (``"delta-send"``,
+    #: ``"full-send (cold)"``, ``"full-send (miss)"``); ``None`` off that path.
+    merge_cache: Optional[str] = None
 
     def describe(self) -> str:
         lines = [
@@ -119,6 +122,8 @@ class AppendReport:
         ]
         if self.merge is not None:
             lines.append("-> " + self.merge.describe())
+        if self.merge_cache is not None:
+            lines.append(f"-> remote merge payload: {self.merge_cache}")
         if self.refreshed_partitions is not None:
             lines.append(
                 f"-> recomputed partitions {sorted(self.refreshed_partitions)!r}"
@@ -204,6 +209,28 @@ class CubeMaintainer:
             and self.serving.relation.num_dimensions <= MAX_DELTA_DIMS
         )
 
+    def _merged_rollups(self, relation) -> Optional[dict]:
+        """The next generation of rollup tables, derived from the same delta.
+
+        Each installed table folds in exactly its own uncovered window (a
+        table's ``covered_tuples``, not this append's ``start_tid`` — tables
+        installed mid-stream stay exact), with the same chunked-yield
+        discipline as the cube merge.  ``None`` when no router is installed,
+        so the paths below can skip the rollup swap entirely.
+        """
+        engine = self.serving.engine
+        router = getattr(engine, "router", None)
+        if router is None or not router.tables:
+            return None
+        return {
+            grain: table.merged_delta(
+                relation,
+                batch_size=self.merge_batch_size,
+                yield_between_batches=self.merge_yield,
+            )
+            for grain, table in router.tables.items()
+        }
+
     def _delta_merge(self, start_tid: int, started: float) -> AppendReport:
         from ..session.planner import plan_algorithm
 
@@ -247,18 +274,24 @@ class CubeMaintainer:
                 new_index,
                 changed=report.changed_cells(),
                 extra_caches=[serving._decoded],
+                rollups=self._merged_rollups(relation),
             )
             serving.cube = new_cube
         else:
             report = serving.cube.merge(delta_cube, relation, measures=measures)
             # The engine shares the cube's live closure index, so the index
-            # is already current; only derived caches need repair — both at
-            # once, sharing one probe index over the changed cells.
-            invalidated = invalidate_answers(
-                [serving.engine.cache, serving._decoded],
-                relation.num_dimensions,
-                report.changed_cells(),
+            # is already current; only derived caches need repair — the
+            # engine's point and slice caches plus the decoded layer.
+            changed = report.changed_cells()
+            invalidated = serving.engine.invalidate(changed)
+            invalidated += invalidate_answers(
+                serving._decoded, relation.num_dimensions, changed
             )
+            new_tables = self._merged_rollups(relation)
+            if new_tables is not None:
+                # In-place mode is single-threaded by contract, so a direct
+                # swap (no publish section) is sufficient here.
+                serving.engine.router.tables = new_tables
             serving.engine.version += 1
         return AppendReport(
             appended_rows=relation.num_tuples - start_tid,
@@ -310,6 +343,8 @@ class CubeMaintainer:
             store_key=store_key,
         )
         outcome = None
+        payload_mode = "full-send (cold)"
+        cache_stats = serving.merge_cache_stats
         if getattr(serving, "_merge_state_hint", None) == cache_key:
             # Some worker holds the post-merge cube of the previous append;
             # try the delta-only payload first.
@@ -317,8 +352,12 @@ class CubeMaintainer:
                 outcome = self.executor.submit(
                     run_merge_task, MergeTask(base_cells=None, **base_task)
                 ).result()
+                payload_mode = "delta-send"
+                cache_stats["delta_sends"] += 1
             except WorkerCacheMiss:
                 outcome = None
+                payload_mode = "full-send (miss)"
+                cache_stats["misses"] += 1
             except (IncrementalError, MeasureError):
                 raise
             except Exception:
@@ -333,6 +372,7 @@ class CubeMaintainer:
             )
             try:
                 outcome = self.executor.submit(run_merge_task, task).result()
+                cache_stats["full_sends"] += 1
             except (IncrementalError, MeasureError):
                 raise
             except Exception:
@@ -342,11 +382,15 @@ class CubeMaintainer:
         for cell, count, cell_measures, rep_tid in outcome.changed:
             new_cube.upsert(cell, count, cell_measures, rep_tid)
         new_index = new_cube.closure_index()
+        # Rollup tables are maintained in process even when the cube merge
+        # ran remotely: their delta aggregation is one kernel pass over the
+        # append window, far below the cube merge the offload exists for.
         invalidated = serving.engine.publish(
             new_cube,
             new_index,
             changed=outcome.report.changed_cells(),
             extra_caches=[serving._decoded],
+            rollups=self._merged_rollups(relation),
         )
         serving.cube = new_cube
         return AppendReport(
@@ -356,6 +400,7 @@ class CubeMaintainer:
             elapsed_seconds=time.perf_counter() - started,
             invalidated_answers=invalidated,
             merge=outcome.report,
+            merge_cache=payload_mode,
         )
 
     def _compute_delta(

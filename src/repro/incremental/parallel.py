@@ -57,6 +57,16 @@ WORKER_CACHE_MAX = 4
 _merge_state_tokens = itertools.count(1)
 _worker_cache_lock = threading.Lock()
 _worker_base_cache: "Dict[MergeStateKey, List[CellRecord]]" = {}
+#: Traffic through this process's resident cache.  Per process by nature:
+#: with a thread pool the parent sees every worker's counts; with a process
+#: pool each worker counts its own (the serving-side
+#: ``ServingCube.merge_cache_stats`` is the cross-process view).
+_worker_cache_counters: Dict[str, int] = {
+    "hits": 0,
+    "misses": 0,
+    "stores": 0,
+    "evictions": 0,
+}
 
 
 def merge_state_token(serving: object) -> int:
@@ -96,8 +106,10 @@ def worker_cache_store(key: MergeStateKey, records: List[CellRecord]) -> None:
     with _worker_cache_lock:
         _worker_base_cache.pop(key, None)
         _worker_base_cache[key] = records
+        _worker_cache_counters["stores"] += 1
         while len(_worker_base_cache) > WORKER_CACHE_MAX:
             _worker_base_cache.pop(next(iter(_worker_base_cache)))
+            _worker_cache_counters["evictions"] += 1
 
 
 def worker_cache_get(key: MergeStateKey) -> Optional[List[CellRecord]]:
@@ -106,11 +118,22 @@ def worker_cache_get(key: MergeStateKey) -> Optional[List[CellRecord]]:
         records = _worker_base_cache.pop(key, None)
         if records is not None:
             _worker_base_cache[key] = records
+            _worker_cache_counters["hits"] += 1
+        else:
+            _worker_cache_counters["misses"] += 1
         return records
 
 
+def worker_cache_stats() -> Dict[str, int]:
+    """This process's resident-cache counters (see their declaration note)."""
+    with _worker_cache_lock:
+        stats = dict(_worker_cache_counters)
+        stats["resident"] = len(_worker_base_cache)
+    return stats
+
+
 def worker_cache_clear() -> None:
-    """Drop every resident snapshot (test isolation)."""
+    """Drop every resident snapshot (test isolation); counters survive."""
     with _worker_cache_lock:
         _worker_base_cache.clear()
 

@@ -12,11 +12,15 @@ mode) may mutate a cube it did not just create.
 Flagged: calls to a ``CubeResult`` mutator (``merge``/``upsert``/``remove``/
 ``add``/``shift_rep_tids``) whose receiver is a ``.cube`` attribute chain
 rooted in ``self``/a parameter/module state — i.e. an object that existed
-before the function ran and may be published.  Exempt: receivers that are
-locally *created* in the same function (assigned from any call —
-``clone()``, ``run()``, a constructor), because a value born in the function
-cannot be published yet; the swap that publishes it is an assignment, which
-this rule never flags.
+before the function ran and may be published.  The same discipline covers
+the adaptive rollup layer (``src/repro/rollup/``): an installed
+``RollupTable`` is read by concurrent queries exactly like the cube, so
+``.rollup``/``.rollups`` receiver chains are held to the same contract —
+maintenance derives a fresh table (``merged_delta``) and swaps it in the
+engine's publish section.  Exempt: receivers that are locally *created* in
+the same function (assigned from any call — ``clone()``, ``run()``, a
+constructor), because a value born in the function cannot be published yet;
+the swap that publishes it is an assignment, which this rule never flags.
 """
 
 from __future__ import annotations
@@ -39,6 +43,10 @@ MUTATORS = {"merge", "upsert", "remove", "add", "shift_rep_tids"}
 #: The one module allowed to mutate a pre-existing cube (it owns the
 #: publish sequence and the documented single-threaded in-place mode).
 EXEMPT_SUFFIXES = ("incremental/maintainer.py",)
+
+#: Attribute-chain tails that name a publishable aggregate: the served cube
+#: and the installed rollup tables (read concurrently under the same lock).
+PUBLISHED_TAILS = ("cube", "rollup", "rollups")
 
 
 def _local_bindings(function: ast.AST) -> Dict[str, Optional[str]]:
@@ -79,11 +87,11 @@ def _published_receiver(
     if resolved is None:
         return None  # bound from a call in this function: locally created
     resolved_chain = ".".join([resolved, *parts[1:]])
-    # Require a dotted ``<owner>.cube`` chain: a cube reachable *from a
-    # field* may be published; a bare local/parameter named ``cube`` (the
-    # load path folding segments into a cube nothing references yet) is not
-    # provably reachable by readers.
-    if "." in resolved_chain and resolved_chain.split(".")[-1] == "cube":
+    # Require a dotted ``<owner>.cube`` (or ``.rollup``/``.rollups``) chain:
+    # an aggregate reachable *from a field* may be published; a bare local/
+    # parameter named ``cube`` (the load path folding segments into a cube
+    # nothing references yet) is not provably reachable by readers.
+    if "." in resolved_chain and resolved_chain.split(".")[-1] in PUBLISHED_TAILS:
         return resolved_chain
     return None
 

@@ -8,7 +8,10 @@ generator — any library call can perturb it, and two concurrent users
 interleave draws nondeterministically.  ``random.Random()`` without a seed
 is the same problem with extra steps.
 
-Scope: ``benchmarks/``, ``repro/loadgen/``, ``repro/datagen/``.  Flagged:
+Scope: ``benchmarks/``, ``repro/loadgen/``, ``repro/datagen/``, and
+``repro/rollup/`` (the shape recorder's sampling must replay exactly — the
+advisor's materialisation plan is a function of the log, so an unseeded
+sampler would make rollup selection nondeterministic run to run).  Flagged:
 
 * ``random.Random()`` (or a bare imported ``Random()``) with no seed
   argument;
@@ -51,7 +54,8 @@ def _from_random_imports(tree: ast.AST) -> Set[str]:
 
 def check(module: "ParsedModule") -> List[Finding]:
     if not in_scope(
-        module.display, "benchmarks", "repro/loadgen", "repro/datagen"
+        module.display, "benchmarks", "repro/loadgen", "repro/datagen",
+        "repro/rollup",
     ):
         return []
     imported = _from_random_imports(module.tree)

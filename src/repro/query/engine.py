@@ -137,6 +137,15 @@ class QueryEngine:
             "rollup_queries": 0,
             "closure_lookups": 0,
         }
+        # Imported lazily: repro.rollup imports the query package back for
+        # QueryAnswer/SliceQuery, so a module-level import here would cycle.
+        from ..rollup.recorder import ShapeRecorder
+
+        #: Shape log of executed queries, mined by :mod:`repro.rollup.advisor`.
+        self.recorder = ShapeRecorder()
+        #: Optional :class:`~repro.rollup.router.RollupRouter`; when set,
+        #: consulted after the answer caches and before closure resolution.
+        self.router = None
 
     @property
     def num_dims(self) -> int:
@@ -160,6 +169,7 @@ class QueryEngine:
     def _point_nolock(self, target: Cell) -> QueryAnswer:
         """Point resolution body; caller must hold the read lock."""
         self.counters["point_queries"] += 1
+        self._record_point_shape(target)
         return self._answer_cell(target)
 
     def rollup(self, cell: Sequence[Optional[int]], dims: Sequence[int]) -> QueryAnswer:
@@ -168,12 +178,23 @@ class QueryEngine:
         target = query.target_cell(self.num_dims)
         with self.lock.read():
             self.counters["rollup_queries"] += 1
+            self._record_point_shape(target)
             return self._answer_cell(target)
+
+    def _record_point_shape(self, target: Cell) -> None:
+        self.recorder.record(
+            tuple(dim for dim, value in enumerate(target) if value is not None)
+        )
 
     def _answer_cell(self, target: Cell) -> QueryAnswer:
         cached = self.cache.get(target)
         if cached is not None:
             return cached
+        if self.router is not None:
+            routed = self.router.route_point(target)
+            if routed is not None:
+                self.cache.put(target, routed)
+                return routed
         answer = self._resolve_closure(target)
         self.cache.put(target, answer)
         return answer
@@ -214,14 +235,26 @@ class QueryEngine:
         """Slice body (enumeration + answers); caller must hold the read lock."""
         self.counters["slice_queries"] += 1
         key = (query.validate(self.num_dims), tuple(query.group_by))
+        fixed_dims = tuple(sorted(query.fixed_mapping()))
+        group_dims = tuple(sorted(query.group_by))
         cached = self.slice_cache.get(key)
         if cached is not None:
+            self.recorder.record(fixed_dims, group_dims, cost=len(cached) + 1)
             return cached
+        if self.router is not None:
+            routed = self.router.route_slice(query, self.num_dims)
+            if routed is not None:
+                # Routed slices are *not* written to the slice cache: the
+                # rollup table already is the cache, and keeping them out of
+                # it means a table swap alone makes the next read fresh.
+                self.recorder.record(fixed_dims, group_dims, cost=len(routed) + 1)
+                return routed
         targets = self._slice_targets(query)
         answers = [
             self._answer_cell(target) for target in sorted(targets, key=sort_key)
         ]
         self.slice_cache.put(key, answers)
+        self.recorder.record(fixed_dims, group_dims, cost=len(answers) + 1)
         return answers
 
     def _slice_targets(self, query: SliceQuery) -> Set[Cell]:
@@ -287,6 +320,7 @@ class QueryEngine:
         index: Optional[CubeIndex] = None,
         changed: Optional[Sequence[Cell]] = None,
         extra_caches: Sequence[LRUCache] = (),
+        rollups: Optional[Dict[Tuple[int, ...], object]] = None,
     ) -> int:
         """Swap in the next cube version atomically (copy-on-publish).
 
@@ -303,7 +337,12 @@ class QueryEngine:
         When ``index`` is omitted it is taken from ``cube.closure_index()``;
         note that *building* that index then happens inside the exclusive
         section, so callers on the concurrent path should pass a pre-built
-        index.  Returns the number of cached answers dropped.
+        index.  ``rollups``, when given, is the next generation of rollup
+        tables (grain -> :class:`~repro.rollup.table.RollupTable`, prepared
+        off the hot path from the same delta) and is swapped into the router
+        inside the same exclusive section, so a reader can never pair the
+        new cube with pre-append rollup answers.  Returns the number of
+        cached answers dropped.
         """
         if index is None:
             index = cube.closure_index()
@@ -311,6 +350,8 @@ class QueryEngine:
         with self.lock.write():
             self.cube = cube
             self.index = index
+            if rollups is not None and self.router is not None:
+                self.router.tables = rollups
             if changed is None:
                 dropped = sum(len(cache) for cache in caches)
                 dropped += len(self.slice_cache)
@@ -363,6 +404,10 @@ class QueryEngine:
             "cache": self.cache.stats(),
             "slice_cache": self.slice_cache.stats(),
             "version": self.version,
+            "recorder": self.recorder.stats(),
+            "rollups": (
+                self.router.stats() if self.router is not None else {"enabled": False}
+            ),
             **self.counters,
         }
 

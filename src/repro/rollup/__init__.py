@@ -1,0 +1,48 @@
+"""Adaptive materialized rollups: shape mining, advising, routing.
+
+The serving engine answers every slice/roll-up from the closed cube; repeated
+dashboard-style aggregates pay closure resolution and slice enumeration on
+every cache miss.  This package adds the workload-awareness layer on top:
+
+* :class:`~repro.rollup.recorder.ShapeRecorder` — a seeded-sampled log of
+  executed query *shapes* ``(fixed_dims, group_dims)``, folded in by
+  :class:`~repro.query.engine.QueryEngine` on every query;
+* :mod:`~repro.rollup.advisor` — picks the top-K shapes under a byte budget
+  and materializes each as a flat pre-aggregated
+  :class:`~repro.rollup.table.RollupTable` (built with the vectorized
+  :func:`~repro.vector.kernels.grouped_closed_aggregate` kernel over
+  :class:`~repro.core.columns.ColumnStore` views);
+* :class:`~repro.rollup.router.RollupRouter` — pattern-matches incoming
+  queries against the installed grains (exact match, or coarser-grain
+  reaggregation from a finer table) and falls back to the closed-cube
+  engine otherwise.
+
+Freshness follows the engine's copy-on-publish discipline: appends derive
+merged table copies from the same delta window the cube merge consumes, and
+the engine swaps the whole table set inside its write-locked publish section,
+so the router can never serve a pre-append answer after the merge publishes.
+Enable through :meth:`repro.session.serving.ServingCube.enable_rollups`.
+"""
+
+from .advisor import (
+    DEFAULT_BUDGET_BYTES,
+    DEFAULT_TOP_K,
+    RollupChoice,
+    advise_rollups,
+    materialise_rollups,
+)
+from .recorder import ShapeRecorder, ShapeStat
+from .router import RollupRouter
+from .table import RollupTable
+
+__all__ = [
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_TOP_K",
+    "RollupChoice",
+    "RollupRouter",
+    "RollupTable",
+    "ShapeRecorder",
+    "ShapeStat",
+    "advise_rollups",
+    "materialise_rollups",
+]

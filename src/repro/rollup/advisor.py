@@ -1,0 +1,180 @@
+"""Rollup advisor: pick the top-K hot grains under a byte budget.
+
+The advisor turns the :class:`~repro.rollup.recorder.ShapeRecorder`'s log
+into a materialisation plan.  Shapes are collapsed onto their *grain* (the
+union of fixed and group-by dimensions — one table serves every shape whose
+grain it covers), ranked by the total estimated engine cost they accounted
+for (what materializing them saves), and selected greedily until ``top_k``
+grains are chosen or the byte budget is exhausted.
+
+Two entry points: :func:`advise_rollups` is the dry run — it sizes each
+candidate with the deterministic model of :func:`~repro.rollup.table.
+estimate_table_bytes` over a cardinality-product row bound, without touching
+the data (this is what the TCP ``advise`` verb returns); :func:`
+materialise_rollups` additionally builds the chosen tables and re-checks the
+budget against their *actual* sizes, dropping any grain whose estimate was
+too optimistic (sparse data can only make tables smaller, so this is rare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..core.measures import MeasureSet
+from ..core.relation import Relation
+from .recorder import ShapeRecorder
+from .table import RollupTable, estimate_table_bytes
+
+#: Default materialisation budget.  Deliberately modest: closedness keeps
+#: hot grains small (see docs/ROLLUPS.md), so a few megabytes covers a
+#: dashboard fleet's worth of shapes.
+DEFAULT_BUDGET_BYTES = 8_000_000
+
+#: Default number of grains to materialise.
+DEFAULT_TOP_K = 8
+
+
+@dataclass(frozen=True)
+class RollupChoice:
+    """One candidate grain and what the advisor decided about it."""
+
+    dims: Tuple[int, ...]
+    hits: int
+    cost: float
+    estimated_rows: int
+    estimated_bytes: int
+    chosen: bool
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the TCP ``advise`` verb returns these)."""
+        return {
+            "dims": list(self.dims),
+            "hits": self.hits,
+            "cost": round(self.cost, 3),
+            "estimated_rows": self.estimated_rows,
+            "estimated_bytes": self.estimated_bytes,
+            "chosen": self.chosen,
+            "reason": self.reason,
+        }
+
+
+def _candidate_grains(
+    recorder: ShapeRecorder, min_hits: int
+) -> List[Tuple[Tuple[int, ...], int, float]]:
+    """Logged shapes collapsed onto grains: ``(dims, hits, cost)`` ranked."""
+    grains: Dict[Tuple[int, ...], List[float]] = {}
+    for stat in recorder.snapshot():
+        grain = stat.grain
+        if not grain:
+            continue  # the apex has no table to build
+        entry = grains.get(grain)
+        if entry is None:
+            grains[grain] = [stat.hits, stat.cost]
+        else:
+            entry[0] += stat.hits
+            entry[1] += stat.cost
+    ranked = [
+        (grain, int(hits), cost)
+        for grain, (hits, cost) in grains.items()
+        if hits >= min_hits
+    ]
+    ranked.sort(key=lambda item: (-item[2], -item[1], item[0]))
+    return ranked
+
+
+def advise_rollups(
+    relation: Relation,
+    recorder: ShapeRecorder,
+    measures: MeasureSet,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+    top_k: int = DEFAULT_TOP_K,
+    min_hits: int = 1,
+) -> List[RollupChoice]:
+    """Rank logged grains and mark which fit ``top_k`` and the budget.
+
+    Row counts are estimated as ``min(num_tuples, product of dimension
+    cardinalities)`` — an upper bound, since a grain can never have more
+    rows than tuples or than its value space.  Estimation only; nothing is
+    built.
+    """
+    measure_width = len(measures.specs) if measures else 0
+    choices: List[RollupChoice] = []
+    spent = 0
+    chosen = 0
+    for grain, hits, cost in _candidate_grains(recorder, min_hits):
+        rows = 1
+        for dim in grain:
+            rows *= max(1, len(relation.encoder(dim)))
+            if rows >= relation.num_tuples:
+                rows = relation.num_tuples
+                break
+        size = estimate_table_bytes(rows, len(grain), measure_width)
+        if chosen >= top_k:
+            choices.append(
+                RollupChoice(grain, hits, cost, rows, size, False, "beyond top-k")
+            )
+        elif spent + size > budget_bytes:
+            choices.append(
+                RollupChoice(grain, hits, cost, rows, size, False, "over budget")
+            )
+        else:
+            choices.append(
+                RollupChoice(grain, hits, cost, rows, size, True, "selected")
+            )
+            spent += size
+            chosen += 1
+    return choices
+
+
+def materialise_rollups(
+    relation: Relation,
+    recorder: ShapeRecorder,
+    measures: MeasureSet,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+    top_k: int = DEFAULT_TOP_K,
+    min_hits: int = 1,
+) -> Tuple[List[RollupChoice], Dict[Tuple[int, ...], RollupTable]]:
+    """Advise, then build the chosen tables, re-budgeting on actual sizes.
+
+    Returns ``(choices, tables)`` where each chosen choice carries its built
+    table's real row count and byte estimate.  A table whose actual size
+    pushes the running total over the budget is dropped and its choice
+    re-marked (estimates bound rows from above, so this only fires when the
+    budget is nearly exhausted anyway).
+    """
+    advised = advise_rollups(
+        relation, recorder, measures,
+        budget_bytes=budget_bytes, top_k=top_k, min_hits=min_hits,
+    )
+    tables: Dict[Tuple[int, ...], RollupTable] = {}
+    final: List[RollupChoice] = []
+    spent = 0
+    for choice in advised:
+        if not choice.chosen:
+            final.append(choice)
+            continue
+        table = RollupTable.build(relation, choice.dims, measures)
+        if spent + table.estimated_bytes > budget_bytes:
+            final.append(
+                replace(
+                    choice,
+                    estimated_rows=len(table),
+                    estimated_bytes=table.estimated_bytes,
+                    chosen=False,
+                    reason="over budget (actual size)",
+                )
+            )
+            continue
+        spent += table.estimated_bytes
+        tables[table.dims] = table
+        final.append(
+            replace(
+                choice,
+                estimated_rows=len(table),
+                estimated_bytes=table.estimated_bytes,
+                reason="materialised",
+            )
+        )
+    return final, tables

@@ -1,0 +1,131 @@
+"""Query-shape log: what the workload actually asks, mined for the advisor.
+
+A query's *shape* is the pair ``(fixed_dims, group_dims)`` — which dimensions
+it fixes and which it groups by, each as a sorted tuple of dimension indices.
+``slice({A: a1}, group_by=[B])`` and ``slice({A: a2}, group_by=[B])`` share
+one shape: the rollup that serves one serves the other, so shapes (not
+concrete cells) are the unit the advisor reasons about.
+
+:class:`ShapeRecorder` folds every executed query into a bounded shape log
+with hit counts and an estimated serving cost (the number of answers the
+engine enumerated — a proxy for the slots it touched).  Sampling, when
+enabled, uses an explicitly seeded :class:`random.Random` instance so two
+runs over the same query stream record the same log (the RL006 discipline:
+no process-seeded randomness outside ``random_seed`` plumbing).
+
+The recorder is attached to every :class:`~repro.query.engine.QueryEngine`
+and updated inside the engine's read-locked query paths; its own mutex only
+guards the log dictionary, so recording costs one lock plus a dict upsert.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: A query shape: ``(fixed_dims, group_dims)``, both sorted dim-index tuples.
+QueryShape = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+#: Shape-log capacity.  A workload has few *shapes* even when it has many
+#: distinct cells (shapes are subsets of the dimension list), so a small
+#: bound suffices; when full, the least-hit shape is evicted.
+MAX_SHAPES = 512
+
+
+@dataclass(frozen=True)
+class ShapeStat:
+    """One logged shape: its traffic and accumulated estimated cost."""
+
+    fixed_dims: Tuple[int, ...]
+    group_dims: Tuple[int, ...]
+    hits: int
+    #: Sum of per-query estimated costs — the total engine effort this shape
+    #: accounted for, which is exactly what materializing it would save.
+    cost: float
+
+    @property
+    def grain(self) -> Tuple[int, ...]:
+        """The dimensions a rollup table must carry to serve this shape."""
+        return tuple(sorted(set(self.fixed_dims) | set(self.group_dims)))
+
+
+class ShapeRecorder:
+    """Seeded-sampled log of executed query shapes (thread-safe, bounded)."""
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        max_shapes: int = MAX_SHAPES,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.max_shapes = max_shapes
+        #: Seeded instance on purpose: the log of a replayed query stream is
+        #: deterministic, so advisor decisions are reproducible.
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: shape -> ``[hits, total estimated cost]``.
+        self._shapes: Dict[QueryShape, List[float]] = {}
+        self.recorded = 0
+        self.sampled_out = 0
+
+    def record(
+        self,
+        fixed_dims: Tuple[int, ...],
+        group_dims: Tuple[int, ...] = (),
+        cost: float = 1.0,
+    ) -> None:
+        """Fold one executed query into the log (maybe sampled out)."""
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.sampled_out += 1
+            return
+        shape = (fixed_dims, group_dims)
+        with self._lock:
+            entry = self._shapes.get(shape)
+            if entry is None:
+                if len(self._shapes) >= self.max_shapes:
+                    coldest = min(self._shapes, key=lambda s: self._shapes[s][0])
+                    del self._shapes[coldest]
+                self._shapes[shape] = [1, cost]
+            else:
+                entry[0] += 1
+                entry[1] += cost
+            self.recorded += 1
+
+    def snapshot(self) -> List[ShapeStat]:
+        """The logged shapes, hottest (by accumulated cost) first."""
+        with self._lock:
+            stats = [
+                ShapeStat(fixed, group, int(hits), cost)
+                for (fixed, group), (hits, cost) in self._shapes.items()
+            ]
+        stats.sort(key=lambda s: (-s.cost, -s.hits, s.fixed_dims, s.group_dims))
+        return stats
+
+    def clear(self) -> None:
+        """Drop the log; the sampler's sequence position survives."""
+        with self._lock:
+            self._shapes.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            shapes = len(self._shapes)
+        return {
+            "shapes": shapes,
+            "recorded": self.recorded,
+            "sampled_out": self.sampled_out,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shapes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShapeRecorder(shapes={len(self)}, recorded={self.recorded}, "
+            f"sample_rate={self.sample_rate})"
+        )

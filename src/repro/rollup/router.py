@@ -1,0 +1,293 @@
+"""Workload-aware query router: serve hot shapes from flat rollup tables.
+
+Installed on a :class:`~repro.query.engine.QueryEngine` (see
+:meth:`repro.session.serving.ServingCube.enable_rollups`), the router is
+consulted inside the engine's read-locked query paths, after the answer
+caches and before closure resolution.  Matching is AppLovin-style multi-grain
+pattern matching:
+
+* **exact grain** — the query's dimension set equals an installed grain: a
+  slice is a posting intersection over the table, a point a single row probe;
+* **coarser grain** — the query's dimension set is a strict subset of an
+  installed grain: the finer table's matching rows are re-grouped on the
+  queried dimensions and their measure states merged (exact, because rows
+  carry state scalars — see :mod:`repro.rollup.table`);
+* **no covering grain** — the router returns ``None`` and the engine falls
+  back to closed-cube resolution, so routing is invisible to correctness.
+
+Iceberg semantics are applied at serve time: tables store unfiltered base
+counts and the router drops groups below ``min_sup``, which reproduces the
+engine's slice membership exactly (a cell appears in an engine slice iff its
+count clears the threshold) and its point not-found convention.  Routed
+answers carry ``closure=None`` — they come from a flat table, not a
+materialised closed cell; count and measures are identical to the engine's.
+
+Concurrency follows the engine's discipline: :attr:`tables` is replaced
+wholesale by reference swap inside the engine's write-locked publish section
+(never mutated in place), so readers always see one consistent table
+generation — the generation published together with the cube they are
+querying.  Counters are best-effort, like the engine's.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.cell import Cell
+from ..query.queries import QueryAnswer, SliceQuery
+from .table import RollupTable
+
+#: Cached per-shape routing decision: ``(table, exact, group placement pairs,
+#: sort key over the table's row keys)``, or ``False`` for "no covering
+#: grain" so repeat misses skip the grain scan too.
+SlicePlan = Union[
+    Tuple[RollupTable, bool, Tuple[Tuple[int, int], ...], Optional[Callable]],
+    bool,
+]
+
+
+class RollupRouter:
+    """Pattern-match queries against materialised grains, else fall back."""
+
+    def __init__(self, min_sup: int = 1) -> None:
+        self.min_sup = min_sup
+        self._tables: Dict[Tuple[int, ...], RollupTable] = {}
+        #: Per-shape slice plans; repeat queries on a hot shape skip grain
+        #: matching and sort-order derivation.  Dropped whenever the table
+        #: generation is swapped (see the :attr:`tables` setter).
+        self._slice_plans: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], SlicePlan
+        ] = {}
+        #: Per-grain routed-query counts; survives table swaps.
+        self.hits: Dict[Tuple[int, ...], int] = {}
+        self.counters: Dict[str, int] = {
+            "routed_points": 0,
+            "routed_slices": 0,
+            "exact_grain": 0,
+            "reaggregated": 0,
+            "fallbacks": 0,
+        }
+
+    @property
+    def tables(self) -> Dict[Tuple[int, ...], RollupTable]:
+        """grain (sorted dim tuple) -> table.  Swapped wholesale on publish."""
+        return self._tables
+
+    @tables.setter
+    def tables(self, tables: Dict[Tuple[int, ...], RollupTable]) -> None:
+        self._tables = tables
+        self._slice_plans = {}
+
+    # ------------------------------------------------------------------ #
+    # Matching                                                            #
+    # ------------------------------------------------------------------ #
+
+    def match(
+        self, dims_needed: Tuple[int, ...]
+    ) -> Optional[Tuple[RollupTable, bool]]:
+        """The best installed grain covering ``dims_needed``, if any.
+
+        Exact grain wins; otherwise the smallest (fewest-row) strictly finer
+        table — fewer rows to re-group.  Returns ``(table, exact)``.
+        """
+        tables = self.tables
+        table = tables.get(dims_needed)
+        if table is not None:
+            return table, True
+        needed = frozenset(dims_needed)
+        best: Optional[RollupTable] = None
+        for candidate in tables.values():
+            if needed <= candidate.dims_set and (
+                best is None or len(candidate.rows) < len(best.rows)
+            ):
+                best = candidate
+        if best is None:
+            return None
+        return best, False
+
+    def _record(self, table: RollupTable, exact: bool, kind: str) -> None:
+        self.counters[kind] += 1
+        self.counters["exact_grain" if exact else "reaggregated"] += 1
+        self.hits[table.dims] = self.hits.get(table.dims, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Point routing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def route_point(self, target: Cell) -> Optional[QueryAnswer]:
+        """A routed point answer, or ``None`` when no grain covers it."""
+        if not self.tables:
+            return None
+        fixed = {dim: value for dim, value in enumerate(target) if value is not None}
+        found = self.match(tuple(sorted(fixed)))
+        if found is None:
+            self.counters["fallbacks"] += 1
+            return None
+        table, exact = found
+        self._record(table, exact, "routed_points")
+        if exact:
+            key = tuple(fixed[dim] for dim in table.dims)
+            entry = table.lookup(key)
+            if entry is None:
+                return QueryAnswer(cell=target, count=None)
+            count, row = entry
+            if count < self.min_sup:
+                return QueryAnswer(cell=target, count=None)
+            return QueryAnswer(
+                cell=target, count=count, measures=table.finalised[key]
+            )
+        else:
+            count = 0
+            row: Optional[Tuple[float, ...]] = None
+            for key in table.select(fixed):
+                sub_count, sub_row = table.rows[key]
+                count += sub_count
+                row = sub_row if row is None else table.merge_state_rows(row, sub_row)
+            if row is None:
+                return QueryAnswer(cell=target, count=None)
+        if count < self.min_sup:
+            # Below the iceberg threshold: the engine answers not-found (the
+            # closed iceberg cube discards this information); so do we.
+            return QueryAnswer(cell=target, count=None)
+        return QueryAnswer(
+            cell=target, count=count, measures=table.measure_items(count, row)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Slice routing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _slice_plan(
+        self, fixed_dims: Tuple[int, ...], group: Tuple[int, ...]
+    ) -> SlicePlan:
+        """Build (and cache) the routing plan for one slice shape.
+
+        Every cell of one slice shares its arity and star pattern, and the
+        fixed values are constant across the result, so the engine's
+        sort_key ordering reduces to the group-by values in ascending
+        dimension order — the plan's sort key reads them straight off the
+        table's row keys (exact grain) or the re-grouped sub-keys (coarser
+        grain) with a C-level :func:`operator.itemgetter`.
+        """
+        found = self.match(tuple(sorted(set(fixed_dims) | set(group))))
+        if found is None:
+            plan: SlicePlan = False
+        else:
+            table, exact = found
+            group_pos = tuple(table._pos[dim] for dim in group)
+            order = sorted(range(len(group)), key=lambda i: group[i])
+            if exact:
+                pairs = tuple(zip(group, group_pos))
+                spos = [group_pos[i] for i in order]
+                getter = itemgetter(*spos) if spos else None
+            else:
+                pairs = group_pos
+                getter = itemgetter(*order) if order else None
+            plan = (table, exact, pairs, getter)
+        self._slice_plans[(fixed_dims, group)] = plan
+        return plan
+
+    def route_slice(
+        self, query: SliceQuery, num_dims: int
+    ) -> Optional[List[QueryAnswer]]:
+        """A routed slice result, or ``None`` when no grain covers it."""
+        if not self._tables:
+            return None
+        fixed = query.fixed_mapping()
+        group = tuple(query.group_by)
+        shape = (tuple(sorted(fixed)), group)
+        plan = self._slice_plans.get(shape)
+        if plan is None:
+            plan = self._slice_plan(*shape)
+        if plan is False:
+            self.counters["fallbacks"] += 1
+            return None
+        table, exact, pairs, getter = plan
+        self._record(table, exact, "routed_slices")
+        min_sup = self.min_sup
+        base: List[Optional[int]] = [None] * num_dims
+        for dim, value in fixed.items():
+            base[dim] = value
+        answers: List[QueryAnswer] = []
+        if exact:
+            rows = table.rows
+            finalised = table.finalised
+            for key in sorted(table.select(fixed), key=getter):
+                count, _row = rows[key]
+                if count < min_sup:
+                    continue
+                values = base.copy()
+                for dim, pos in pairs:
+                    values[dim] = key[pos]
+                answers.append(
+                    QueryAnswer(
+                        cell=tuple(values),
+                        count=count,
+                        measures=finalised[key],
+                    )
+                )
+        else:
+            group_pos = pairs
+            grouped: Dict[Tuple[int, ...], List[object]] = {}
+            for key in table.select(fixed):
+                count, row = table.rows[key]
+                sub = tuple(key[pos] for pos in group_pos)
+                entry = grouped.get(sub)
+                if entry is None:
+                    grouped[sub] = [count, row]
+                else:
+                    entry[0] += count
+                    entry[1] = table.merge_state_rows(entry[1], row)
+            for sub in sorted(grouped, key=getter):
+                count, row = grouped[sub]
+                if count < min_sup:
+                    continue
+                values = base.copy()
+                for dim, value in zip(group, sub):
+                    values[dim] = value
+                answers.append(
+                    QueryAnswer(
+                        cell=tuple(values),
+                        count=count,
+                        measures=table.measure_items(count, row),
+                    )
+                )
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def total_bytes(self) -> int:
+        return sum(table.estimated_bytes for table in self.tables.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Per-rollup hits/rows/bytes plus router-level counters.
+
+        ``fallbacks`` is the miss count: queries no installed grain covered
+        (cache hits are answered before the router and are not counted).
+        """
+        per_table = {
+            ",".join(str(dim) for dim in grain): {
+                "dims": list(grain),
+                "rows": len(table),
+                "bytes": table.estimated_bytes,
+                "hits": self.hits.get(grain, 0),
+                "covered_tuples": table.covered_tuples,
+            }
+            for grain, table in self.tables.items()
+        }
+        return {
+            "enabled": True,
+            "grains": len(self.tables),
+            "total_bytes": self.total_bytes(),
+            "tables": per_table,
+            **self.counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RollupRouter(grains={len(self.tables)}, "
+            f"min_sup={self.min_sup}, bytes={self.total_bytes()})"
+        )

@@ -1,0 +1,269 @@
+"""Flat pre-aggregated rollup tables, one materialised grain each.
+
+A :class:`RollupTable` over grain ``dims`` holds one row per distinct value
+combination the base relation carries on those dimensions — the exact
+(unfiltered) group-by of the fact table at that grain, built in one pass with
+the vectorized :func:`repro.vector.kernels.grouped_closed_aggregate` kernel
+over :class:`~repro.core.columns.ColumnStore` views.
+
+Rows carry measure *state* scalars, not display values — the same
+:data:`~repro.vector.kernels.GroupEntry` convention the kernels use (the
+group sum for ``Sum`` *and* ``Avg``, extrema for ``Min``/``Max``, the count
+for ``Count``) — so a coarser-grain reaggregation merges rows exactly:
+partial sums add, extrema fold, and the average is refinalised from its
+``(sum, count)`` pair only at answer time.  Counts are stored unfiltered;
+iceberg semantics (``count >= min_sup``) are applied by the router at serve
+time, which reproduces the engine's answers for any threshold.
+
+Publish discipline (the RL004 contract): an installed table is never mutated.
+Maintenance derives a *new* table via :meth:`RollupTable.merged_delta` — the
+append window is aggregated with the same kernel and folded into a fresh row
+dictionary in chunks, with the same scheduler-yield cadence as the chunked
+cube merge — and the engine swaps the whole table set inside its write-locked
+publish section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.columns import column_store
+from ..core.measures import MaxMeasure, MeasureSet, MinMeasure
+from ..core.relation import Relation
+from ..vector import kernels
+
+#: One table row: ``(count, measure state row)`` keyed by the grain's values.
+Row = Tuple[int, Tuple[float, ...]]
+
+#: Deterministic size model used for budgeting (a CPython measurement of the
+#: dict slot, key tuple, and row tuple would vary per build; the advisor
+#: needs stable arithmetic): fixed table overhead, per-row container cost,
+#: and per-field cost counted twice for key fields (the posting index holds
+#: a second reference per key field).
+_TABLE_OVERHEAD_BYTES = 512
+_ROW_BYTES = 96
+_FIELD_BYTES = 16
+
+
+def estimate_table_bytes(num_rows: int, key_width: int, measure_width: int) -> int:
+    """The size model shared by built tables and the advisor's dry runs."""
+    per_row = _ROW_BYTES + _FIELD_BYTES * (2 * key_width + measure_width)
+    return _TABLE_OVERHEAD_BYTES + num_rows * per_row
+
+
+def _merge_ops(measures: MeasureSet) -> Tuple[Optional[Callable], ...]:
+    """Per-spec state-scalar merge: ``None`` means add (count/sum/avg-sum)."""
+    ops: List[Optional[Callable]] = []
+    for spec in measures.specs:
+        if type(spec) is MinMeasure:
+            ops.append(min)
+        elif type(spec) is MaxMeasure:
+            ops.append(max)
+        else:
+            ops.append(None)
+    return tuple(ops)
+
+
+class RollupTable:
+    """One materialised grain: the exact base-table group-by over ``dims``."""
+
+    __slots__ = (
+        "dims",
+        "dims_set",
+        "measures",
+        "rows",
+        "covered_tuples",
+        "estimated_bytes",
+        "finalised",
+        "_pos",
+        "_postings",
+        "_ops",
+    )
+
+    def __init__(
+        self,
+        dims: Tuple[int, ...],
+        measures: MeasureSet,
+        rows: Dict[Tuple[int, ...], Row],
+        covered_tuples: int,
+    ) -> None:
+        self.dims = tuple(dims)
+        self.dims_set = frozenset(self.dims)
+        self.measures = measures
+        self.rows = rows
+        #: Relation length this table aggregates; :meth:`merged_delta` folds
+        #: in exactly the window from here to the grown relation's end.
+        self.covered_tuples = covered_tuples
+        self._pos = {dim: pos for pos, dim in enumerate(self.dims)}
+        self._ops = _merge_ops(measures)
+        #: Per-dimension-position postings: value -> row keys carrying it.
+        #: Rebuilt per table version — tables are small by construction (the
+        #: advisor's byte budget), so O(rows) per publish is cheap.
+        postings: List[Dict[int, List[Tuple[int, ...]]]] = [
+            {} for _ in self.dims
+        ]
+        for key in rows:
+            for pos, value in enumerate(key):
+                postings[pos].setdefault(value, []).append(key)
+        self._postings = postings
+        #: Finalised measure items per row, computed once per table version —
+        #: a table is immutable once published, so the exact-grain serving
+        #: path can hand these out without per-query state finalisation.
+        self.finalised: Dict[Tuple[int, ...], Tuple[Tuple[str, float], ...]] = {
+            key: self.measure_items(count, row)
+            for key, (count, row) in rows.items()
+        }
+        self.estimated_bytes = estimate_table_bytes(
+            len(rows), len(self.dims), len(measures.specs) if measures else 0
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls, relation: Relation, dims: Iterable[int], measures: MeasureSet
+    ) -> "RollupTable":
+        """Aggregate the whole relation at grain ``dims`` in one kernel pass."""
+        dims = tuple(sorted(dims))
+        return cls(
+            dims,
+            measures,
+            cls._aggregate(relation, dims, measures, 0, relation.num_tuples),
+            covered_tuples=relation.num_tuples,
+        )
+
+    @staticmethod
+    def _aggregate(
+        relation: Relation,
+        dims: Tuple[int, ...],
+        measures: MeasureSet,
+        start_tid: int,
+        end_tid: int,
+    ) -> Dict[Tuple[int, ...], Row]:
+        """Group-by rows of one tuple window, via the fused kernel."""
+        if end_tid <= start_tid:
+            return {}
+        store = column_store(relation)
+        keys = [store.dimension(dim)[start_tid:end_tid] for dim in dims]
+        groups = kernels.grouped_closed_aggregate(
+            relation,
+            range(start_tid, end_tid),
+            keys,
+            measures,
+            track_closedness=False,
+        )
+        return {
+            coords: (count, row)
+            for coords, (count, _rep, _mask, row) in groups.items()
+        }
+
+    def merged_delta(
+        self,
+        relation: Relation,
+        batch_size: Optional[int] = None,
+        yield_between_batches: Optional[Callable[[], None]] = None,
+    ) -> "RollupTable":
+        """A new table with the append window folded in (copy-on-publish).
+
+        Aggregates only ``covered_tuples..num_tuples`` — the same delta
+        window the cube merge consumes — and merges the delta groups into a
+        copy of the row dictionary, ``batch_size`` groups between
+        ``yield_between_batches`` calls (the chunked-merge discipline of
+        :class:`~repro.incremental.maintainer.CubeMaintainer`).  ``self`` is
+        untouched; the caller publishes the returned table by swap.
+        """
+        end_tid = relation.num_tuples
+        if end_tid <= self.covered_tuples:
+            return self
+        delta = self._aggregate(
+            relation, self.dims, self.measures, self.covered_tuples, end_tid
+        )
+        rows = dict(self.rows)
+        ops = self._ops
+        items = list(delta.items())
+        step = batch_size if batch_size else len(items) or 1
+        for chunk_start in range(0, len(items), step):
+            for coords, (count, row) in items[chunk_start:chunk_start + step]:
+                existing = rows.get(coords)
+                if existing is None:
+                    rows[coords] = (count, row)
+                else:
+                    rows[coords] = (
+                        existing[0] + count,
+                        self.merge_state_rows(existing[1], row),
+                    )
+            if (
+                yield_between_batches is not None
+                and chunk_start + step < len(items)
+            ):
+                yield_between_batches()
+        return RollupTable(self.dims, self.measures, rows, covered_tuples=end_tid)
+
+    # ------------------------------------------------------------------ #
+    # Lookup                                                              #
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, values: Tuple[int, ...]) -> Optional[Row]:
+        """The row fully fixing the grain (exact point at this grain)."""
+        return self.rows.get(values)
+
+    def select(self, fixed: Mapping[int, int]) -> Iterable[Tuple[int, ...]]:
+        """Row keys matching ``{dim: value}`` via posting intersection.
+
+        Every ``fixed`` dimension must be in the grain; an empty mapping
+        selects every row (the grain's full cuboid).
+        """
+        if not fixed:
+            return self.rows.keys()
+        constraints = []
+        for dim, value in fixed.items():
+            keys = self._postings[self._pos[dim]].get(value)
+            if keys is None:
+                return ()
+            constraints.append((keys, self._pos[dim], value))
+        if len(constraints) == 1:
+            return constraints[0][0]
+        # Filter the shortest posting list by direct key probes — posting
+        # lists are short (one value's rows), so a scan beats building sets.
+        constraints.sort(key=lambda item: len(item[0]))
+        keys = constraints[0][0]
+        checks = [(pos, value) for _keys, pos, value in constraints[1:]]
+        if len(checks) == 1:
+            pos, value = checks[0]
+            return [key for key in keys if key[pos] == value]
+        return [
+            key for key in keys if all(key[p] == v for p, v in checks)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Measure handling                                                    #
+    # ------------------------------------------------------------------ #
+
+    def merge_state_rows(
+        self, first: Tuple[float, ...], second: Tuple[float, ...]
+    ) -> Tuple[float, ...]:
+        """Fold two state rows: sums/counts add, extrema min/max."""
+        return tuple(
+            (a + b) if op is None else op(a, b)
+            for op, a, b in zip(self._ops, first, second)
+        )
+
+    def measure_items(
+        self, count: int, row: Tuple[float, ...]
+    ) -> Tuple[Tuple[str, float], ...]:
+        """Finalise a row's states into the engine's sorted answer format."""
+        if not self.measures:
+            return ()
+        states = kernels.states_from_row(self.measures, row, count)
+        return tuple(sorted(self.measures.values(states).items()))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RollupTable(dims={list(self.dims)}, rows={len(self.rows)}, "
+            f"covered={self.covered_tuples})"
+        )

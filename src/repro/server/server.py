@@ -519,6 +519,73 @@ class AsyncCubeServer:
         return report
 
     # ------------------------------------------------------------------ #
+    # Adaptive rollups                                                    #
+    # ------------------------------------------------------------------ #
+
+    async def rollups(self, name: str) -> Dict[str, object]:
+        """One cube's rollup-router statistics (``{"enabled": False}`` when
+        no router is installed).  Loads the cube if needed, so it runs off
+        the event loop like every catalog-touching operation."""
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._query_pool,
+            partial(self._rollup_stats, name),
+        )
+
+    def _rollup_stats(self, name: str) -> Dict[str, object]:
+        return self.catalog.open(name).rollup_stats()
+
+    async def advise(
+        self,
+        name: str,
+        budget_bytes: Optional[int] = None,
+        top_k: Optional[int] = None,
+        apply: bool = False,
+    ) -> Dict[str, object]:
+        """Mine ``name``'s query log for rollup candidates; optionally apply.
+
+        The dry run (default) estimates sizes without building anything and
+        runs on the query pool.  ``apply=True`` materialises the chosen
+        tables and installs the router — maintenance-class work, so it runs
+        on the maintenance pool under the cube's append lock (an advisor
+        snapshot racing an append would size tables for a superseded
+        relation length).
+        """
+        self._require_running()
+        loop = asyncio.get_running_loop()
+        if apply:
+            channel = self._channel(name)
+            async with channel.append_lock:
+                report = await loop.run_in_executor(
+                    self._maintenance_pool,
+                    partial(self._apply_rollups, name, budget_bytes, top_k),
+                )
+            return report
+        return await loop.run_in_executor(
+            self._query_pool,
+            partial(self._advise_rollups, name, budget_bytes, top_k),
+        )
+
+    def _advise_rollups(
+        self, name: str, budget_bytes: Optional[int], top_k: Optional[int]
+    ) -> Dict[str, object]:
+        report = self.catalog.open(name).advise_rollups(
+            budget_bytes=budget_bytes, top_k=top_k
+        )
+        report["applied"] = False
+        return report
+
+    def _apply_rollups(
+        self, name: str, budget_bytes: Optional[int], top_k: Optional[int]
+    ) -> Dict[str, object]:
+        report = self.catalog.open(name).enable_rollups(
+            budget_bytes=budget_bytes, top_k=top_k
+        )
+        report["applied"] = True
+        return report
+
+    # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
 
@@ -543,6 +610,18 @@ class AsyncCubeServer:
             loaded = self.catalog.get_loaded(name)
             if loaded is not None:
                 entry["version"] = loaded.version
+                entry["merge_cache"] = dict(loaded.merge_cache_stats)
+                rollups = loaded.rollup_stats()
+                # A summary, not the full per-grain table map: stats() runs
+                # on the event loop and feeds dashboards, not debuggers.
+                entry["rollups"] = {
+                    "enabled": rollups.get("enabled", False),
+                    "grains": rollups.get("grains", 0),
+                    "total_bytes": rollups.get("total_bytes", 0),
+                    "routed_points": rollups.get("routed_points", 0),
+                    "routed_slices": rollups.get("routed_slices", 0),
+                    "fallbacks": rollups.get("fallbacks", 0),
+                }
             cubes[name] = entry
         return {
             "running": self._started and not self._closing,

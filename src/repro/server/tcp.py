@@ -15,6 +15,9 @@ the catalog's append streams use.  Requests::
     {"op": "drop",       "cube": "sales"}
     {"op": "save",       "cube": "sales"}
     {"op": "compact",    "cube": "sales", "mode": "auto"}
+    {"op": "rollups",    "cube": "sales"}
+    {"op": "advise",     "cube": "sales", "budget_bytes": 4000000,
+                         "top_k": 4, "apply": true}
 
 An optional ``"id"`` is echoed back verbatim.  Responses are
 ``{"id": ..., "ok": true, "result": ...}`` or ``{"id": ..., "ok": false,
@@ -84,11 +87,11 @@ async def _dispatch_request(
         return server.stats()
     if op not in (
         "describe", "query", "query_many", "append", "create", "drop", "save",
-        "compact",
+        "compact", "rollups", "advise",
     ):
         raise ServerError(
             f"unknown op {op!r}; expected ping/list/stats/describe/query/"
-            "query_many/append/create/drop/save/compact"
+            "query_many/append/create/drop/save/compact/rollups/advise"
         )
     cube = request.get("cube")
     if not isinstance(cube, str):
@@ -128,6 +131,21 @@ async def _dispatch_request(
         if not isinstance(mode, str):
             raise ServerError("'compact' takes an optional string 'mode'")
         return await server.compact(cube, mode)
+    if op == "rollups":
+        return await server.rollups(cube)
+    if op == "advise":
+        budget_bytes = request.get("budget_bytes")
+        top_k = request.get("top_k")
+        apply = request.get("apply", False)
+        if budget_bytes is not None and not isinstance(budget_bytes, int):
+            raise ServerError("'advise' takes an optional integer 'budget_bytes'")
+        if top_k is not None and not isinstance(top_k, int):
+            raise ServerError("'advise' takes an optional integer 'top_k'")
+        if not isinstance(apply, bool):
+            raise ServerError("'advise' takes an optional boolean 'apply'")
+        return await server.advise(
+            cube, budget_bytes=budget_bytes, top_k=top_k, apply=apply
+        )
     await server.save(cube)
     return {"saved": cube}
 

@@ -306,6 +306,19 @@ class ServingCube:
         #: Lazily created single worker thread behind :meth:`append_async`
         #: (one per cube, so async appends to one cube stay ordered).
         self._append_pool: Optional[ThreadPoolExecutor] = None
+        #: Remote-merge worker-cache traffic (see
+        #: :meth:`repro.incremental.maintainer.CubeMaintainer._remote_merge`):
+        #: how many merges shipped only the delta because the worker still
+        #: held the base state, how many had to resend the full base, and how
+        #: many delta attempts missed and fell back.
+        self.merge_cache_stats: Dict[str, int] = {
+            "delta_sends": 0,
+            "full_sends": 0,
+            "misses": 0,
+        }
+        #: Last :meth:`enable_rollups` parameters, reused by re-advises with
+        #: no arguments (``None`` until rollups are first enabled).
+        self._rollup_params: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------ #
     # Name / value translation                                            #
@@ -598,6 +611,16 @@ class ServingCube:
             # the swap (so readers that resolved against the old engine
             # cannot write back afterwards — see LRUCache.put_if_generation).
             engine.version = self.engine.version + 1
+            old_engine = self.engine
+            if isinstance(engine, QueryEngine) and isinstance(old_engine, QueryEngine):
+                # The workload log and any installed rollups survive a full
+                # rebuild: the shape history is about the query stream, not
+                # the cube version, and the tables are rebuilt at the same
+                # grains over the grown relation before the engine becomes
+                # reachable (so the first routed read is already fresh).
+                engine.recorder = old_engine.recorder
+                if old_engine.router is not None:
+                    engine.router = self._rebuilt_router(old_engine.router)
             self.cube = cube
             self.engine = engine
             self.algorithm = algorithm
@@ -608,6 +631,166 @@ class ServingCube:
             if report is not None:
                 self.partition_report = report
             self.clear_cache()
+
+    # ------------------------------------------------------------------ #
+    # Adaptive rollups                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _measure_set(self) -> "MeasureSet":
+        from ..core.measures import MeasureSet
+
+        return MeasureSet(tuple(self.config.measures))
+
+    def _rebuilt_router(self, old_router: object) -> object:
+        """A fresh router carrying ``old_router``'s grains over the current
+        relation (used by :meth:`refresh` to keep rollups across rebuilds)."""
+        from ..rollup import RollupRouter, RollupTable
+
+        router = RollupRouter(min_sup=self.config.min_sup)
+        router.hits = dict(old_router.hits)
+        router.counters = dict(old_router.counters)
+        measures = self._measure_set()
+        router.tables = {
+            grain: RollupTable.build(self.relation, grain, measures)
+            for grain in old_router.tables
+        }
+        return router
+
+    def enable_rollups(
+        self,
+        budget_bytes: Optional[int] = None,
+        top_k: Optional[int] = None,
+        min_hits: int = 1,
+    ) -> Dict[str, object]:
+        """Mine the query log and materialise the hottest rollup grains.
+
+        Runs the :mod:`repro.rollup.advisor` over the engine's
+        :class:`~repro.rollup.recorder.ShapeRecorder`, builds the chosen
+        tables, and installs (or refreshes) the
+        :class:`~repro.rollup.router.RollupRouter` under the engine's write
+        lock.  Subsequent queries whose dimension set an installed grain
+        covers are answered from the flat tables — exactly (iceberg filtering
+        happens at serve time), falling back to the closed-cube engine for
+        everything else.  Safe to call repeatedly as the workload drifts;
+        omitted parameters reuse the previous call's (or the defaults).
+        Returns a JSON-ready report of what was installed and skipped.
+
+        Requires an explicit config (maintenance must know ``min_sup`` and
+        the measures) and the single-engine serving path — partitioned cubes
+        shard by a dimension value and have no one relation-wide engine to
+        route for.
+        """
+        from ..rollup import (
+            DEFAULT_BUDGET_BYTES,
+            DEFAULT_TOP_K,
+            RollupRouter,
+            materialise_rollups,
+        )
+
+        if not self.config_known:
+            raise QueryError(
+                "enable_rollups() needs the cube's real configuration "
+                "(min_sup, measures); build through CubeSession or pass "
+                "config=... to ServingCube"
+            )
+        engine = self.engine
+        if not isinstance(engine, QueryEngine):
+            raise QueryError(
+                "rollup routing requires the single-engine serving path; "
+                "partitioned cubes are not supported"
+            )
+        stored = self._rollup_params or {}
+        if budget_bytes is None:
+            budget_bytes = stored.get("budget_bytes", DEFAULT_BUDGET_BYTES)
+        if top_k is None:
+            top_k = stored.get("top_k", DEFAULT_TOP_K)
+        with self._maintenance_lock:
+            choices, tables = materialise_rollups(
+                self.relation,
+                engine.recorder,
+                self._measure_set(),
+                budget_bytes=budget_bytes,
+                top_k=top_k,
+                min_hits=min_hits,
+            )
+            router = engine.router
+            if router is None:
+                router = RollupRouter(min_sup=self.config.min_sup)
+            with engine.lock.write():
+                router.tables = tables
+                engine.router = router
+            self._rollup_params = {
+                "budget_bytes": budget_bytes,
+                "top_k": top_k,
+                "min_hits": min_hits,
+            }
+            return {
+                "installed": [c.as_dict() for c in choices if c.chosen],
+                "skipped": [c.as_dict() for c in choices if not c.chosen],
+                "budget_bytes": budget_bytes,
+                "top_k": top_k,
+                "total_bytes": router.total_bytes(),
+            }
+
+    def advise_rollups(
+        self,
+        budget_bytes: Optional[int] = None,
+        top_k: Optional[int] = None,
+        min_hits: int = 1,
+    ) -> Dict[str, object]:
+        """Dry-run the advisor over the current query log; nothing is built.
+
+        The estimation-only sibling of :meth:`enable_rollups` (and the body
+        of the server's ``advise`` verb): returns every candidate grain with
+        its traffic, estimated size, and whether it would be materialised
+        under the given budget and ``top_k``.  Omitted parameters reuse the
+        last :meth:`enable_rollups` call's (or the defaults).
+        """
+        from ..rollup import DEFAULT_BUDGET_BYTES, DEFAULT_TOP_K, advise_rollups
+
+        engine = self.engine
+        if not isinstance(engine, QueryEngine):
+            raise QueryError(
+                "rollup routing requires the single-engine serving path; "
+                "partitioned cubes are not supported"
+            )
+        stored = self._rollup_params or {}
+        if budget_bytes is None:
+            budget_bytes = stored.get("budget_bytes", DEFAULT_BUDGET_BYTES)
+        if top_k is None:
+            top_k = stored.get("top_k", DEFAULT_TOP_K)
+        choices = advise_rollups(
+            self.relation,
+            engine.recorder,
+            self._measure_set(),
+            budget_bytes=budget_bytes,
+            top_k=top_k,
+            min_hits=min_hits,
+        )
+        return {
+            "budget_bytes": budget_bytes,
+            "top_k": top_k,
+            "choices": [choice.as_dict() for choice in choices],
+        }
+
+    def disable_rollups(self) -> None:
+        """Uninstall the router; every query falls back to the engine."""
+        engine = self.engine
+        if isinstance(engine, QueryEngine) and engine.router is not None:
+            with engine.lock.write():
+                engine.router = None
+        self._rollup_params = None
+
+    def rollup_stats(self) -> Dict[str, object]:
+        """Router statistics with grain dimensions decoded to names."""
+        engine = self.engine
+        if not isinstance(engine, QueryEngine) or engine.router is None:
+            return {"enabled": False}
+        stats = engine.router.stats()
+        names = self.schema.dimensions
+        for entry in stats["tables"].values():
+            entry["dimensions"] = [names[dim] for dim in entry["dims"]]
+        return stats
 
     # ------------------------------------------------------------------ #
     # Persistence                                                        #
@@ -756,6 +939,14 @@ class ServingCube:
         stats["materialised_cells"] = len(self.cube)
         stats["fact_rows"] = self.relation.num_tuples
         stats["cache_info"] = self.cache_info()
+        from ..incremental.parallel import worker_cache_stats
+
+        merge_cache: Dict[str, object] = dict(self.merge_cache_stats)
+        # The in-process view of the worker-resident cache (complete under a
+        # thread pool; per-worker under a process pool — see parallel.py).
+        merge_cache["worker"] = worker_cache_stats()
+        stats["merge_cache"] = merge_cache
+        stats["rollups"] = self.rollup_stats()
         if self.build_seconds is not None:
             stats["build_seconds"] = self.build_seconds
         return stats

@@ -66,6 +66,7 @@ class CubeSession:
         self._cache_size = DEFAULT_CACHE_SIZE
         self._partitioned = False
         self._partition_dim: Optional[int] = None
+        self._rollups: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     # Construction                                                        #
@@ -185,6 +186,22 @@ class CubeSession:
         )
         return self
 
+    def enable_rollups(
+        self,
+        budget_bytes: Optional[int] = None,
+        top_k: Optional[int] = None,
+    ) -> "CubeSession":
+        """Serve hot query shapes from adaptive materialized rollups.
+
+        The built cube starts with the workload-aware router installed (see
+        :meth:`repro.session.serving.ServingCube.enable_rollups`); the query
+        log starts empty, so no tables exist until traffic has flowed and
+        ``enable_rollups()`` is called again (or the server's ``advise`` verb
+        applies a plan).  Incompatible with :meth:`partitioned`.
+        """
+        self._rollups = {"budget_bytes": budget_bytes, "top_k": top_k}
+        return self
+
     # ------------------------------------------------------------------ #
     # Build                                                               #
     # ------------------------------------------------------------------ #
@@ -209,7 +226,7 @@ class CubeSession:
         cube, engine, algorithm, plan, build_seconds, report = build_serving_state(
             self.relation, config
         )
-        return ServingCube(
+        serving = ServingCube(
             relation=self.relation,
             schema=self.schema,
             cube=cube,
@@ -220,6 +237,12 @@ class CubeSession:
             config=config,
             partition_report=report,
         )
+        if self._rollups is not None:
+            serving.enable_rollups(
+                budget_bytes=self._rollups["budget_bytes"],
+                top_k=self._rollups["top_k"],
+            )
+        return serving
 
     def build_into(self, catalog: object, name: str) -> ServingCube:
         """Build and register the cube in a :class:`~repro.catalog.CubeCatalog`.

@@ -1,0 +1,11 @@
+"""RL004 bad: merging straight into an installed (published) rollup table."""
+
+
+class Maintainer:
+    def __init__(self, serving):
+        self.serving = serving
+
+    def fold_delta(self, delta, relation):
+        # Queries route against this table concurrently; an in-place merge
+        # races them with half-applied rows.
+        self.serving.rollup.merge(delta, relation)

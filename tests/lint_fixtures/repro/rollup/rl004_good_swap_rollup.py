@@ -1,0 +1,10 @@
+"""RL004 good: rollup maintenance derives a fresh table and swaps it."""
+
+
+class Maintainer:
+    def __init__(self, serving):
+        self.serving = serving
+
+    def fold_delta(self, relation):
+        fresh = self.serving.rollup.merged_delta(relation)
+        self.serving.publish(rollups=fresh)

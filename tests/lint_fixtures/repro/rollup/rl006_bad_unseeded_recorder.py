@@ -1,0 +1,15 @@
+"""RL006 bad: a shape recorder sampling from the process-global generator."""
+
+import random
+
+
+class Recorder:
+    def __init__(self, sample_rate):
+        self.sample_rate = sample_rate
+
+    def record(self, shape):
+        # The hidden global generator makes the shape log — and therefore
+        # the advisor's materialisation plan — unreplayable.
+        if random.random() >= self.sample_rate:
+            return None
+        return shape

@@ -1,0 +1,14 @@
+"""RL006 good: an explicitly seeded sampler — the shape log replays exactly."""
+
+import random
+
+
+class Recorder:
+    def __init__(self, sample_rate, seed):
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+
+    def record(self, shape):
+        if self._rng.random() >= self.sample_rate:
+            return None
+        return shape

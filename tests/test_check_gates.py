@@ -164,6 +164,52 @@ def test_cli_diff_path_end_to_end(tmp_path, capsys):
     assert code == 0
 
 
+def _rollup_report(**overrides):
+    report = {
+        "benchmark": "bench_rollup_router",
+        "config": {"tuples": 100_000},
+        "speedup": 8.0,
+        "min_speedup": 5.0,
+        "verified": True,
+        "stale_reads": 0,
+        "grains": 8,
+    }
+    report.update(overrides)
+    report["passed"] = (
+        report["speedup"] >= report["min_speedup"]
+        and report["verified"]
+        and report["stale_reads"] == 0
+        and report["grains"] > 0
+    )
+    return report
+
+
+def test_rollup_router_rule_gates_all_four_conditions():
+    rule = GATES["bench_rollup_router"]
+    assert rule(_rollup_report())[0] is True
+    assert rule(_rollup_report(speedup=4.0))[0] is False
+    assert rule(_rollup_report(verified=False))[0] is False
+    assert rule(_rollup_report(stale_reads=2))[0] is False
+    assert rule(_rollup_report(grains=0))[0] is False
+
+
+def test_update_baseline_refuses_a_failing_run(tmp_path):
+    report_path = tmp_path / "bench_rollup_router.json"
+    baseline_path = tmp_path / "baseline.json"
+
+    report_path.write_text(json.dumps(_rollup_report(speedup=4.0)))
+    code = main([str(report_path), "--update-baseline", str(baseline_path)])
+    assert code == 1
+    assert not baseline_path.exists()
+
+    report_path.write_text(json.dumps(_rollup_report()))
+    code = main([str(report_path), "--update-baseline", str(baseline_path)])
+    assert code == 0
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["passed"] is True
+    assert baseline["gates"]["bench_rollup_router"]["speedup"] == 8.0
+
+
 @pytest.mark.parametrize("name", sorted(TRAJECTORY))
 def test_trajectory_metrics_exist_in_the_committed_baseline(name):
     """The committed baseline must actually contain what --diff reads."""
