@@ -1,0 +1,367 @@
+"""Replication gate: leader + 2 followers under the bench_load_slo workload.
+
+The replicated tier's contract has two halves, and this gate measures both:
+
+* **bounded lag** — while the leader absorbs the bench_load_slo append
+  trickle (each append a copy-on-publish merge journaled into the chain),
+  both followers must stay within sight of the tip: once the offered load
+  stops, they must report ``caught_up`` within ``--max-catchup-seconds``
+  (the ``catchup_seconds`` actually taken is the trajectory metric);
+* **read agreement** — after catch-up, a deterministic panel of point,
+  rollup, and slice queries is answered by the leader and by every follower
+  over the real TCP path, and the answers must agree **cell for cell**.
+  A single divergent count fails the gate: followers replay the same
+  journal the leader's crash recovery replays, so any disagreement is a
+  replication bug, not noise.
+
+Topology: one process, three TCP endpoints — the leader
+(:class:`repro.server.AsyncCubeServer` over the writing catalog) and two
+read-only followers, each with its *own* :class:`~repro.catalog.CubeCatalog`
+instance and :class:`~repro.replication.ReplicationTailer` over the shared
+directory (the separate catalog instances are what make the manifest, not
+shared memory, the coordination point).  The leader holds the cube's
+single-writer lease for the whole run.  Query traffic round-robins over the
+follower endpoints through the replayer's per-class connection pools; the
+append trickle goes only to the leader — exactly the
+:class:`~repro.replication.ReplicaSet` routing policy, expressed as pools.
+
+Defaults are the documented full-size configuration; CI's PR job runs a
+reduced size::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py
+    PYTHONPATH=src python benchmarks/bench_replication.py \\
+        --tuples 20000 --rate 60 --duration 4 --append-rate 0.5
+
+``--json PATH`` writes the :func:`bench_helpers.write_report` envelope that
+``check_gates.py`` validates and merges into ``bench-trajectory.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Sequence
+
+from bench_helpers import write_report
+from bench_load_slo import build_rows, class_mix, distinct_values
+
+from repro import CubeCatalog
+from repro.loadgen import LineConnection, LoadResult, OpenLoopReplayer, open_pools
+from repro.replication import ReplicationTailer, acquire
+from repro.server import AsyncCubeServer, serve_tcp
+
+CUBE = "traffic"
+
+
+async def start_follower(args) -> Dict[str, object]:
+    """One follower endpoint: its own catalog instance + tailer + server."""
+    tailer = ReplicationTailer(
+        args.catalog_dir, [CUBE], poll_interval=args.poll_interval
+    )
+    tailer.start()
+    server = AsyncCubeServer(
+        CubeCatalog(args.catalog_dir),
+        query_workers=2,
+        request_timeout=args.request_timeout,
+        role="follower",
+        tailer=tailer,
+    )
+    await server.start()
+    tcp = await serve_tcp(server, port=0)
+    return {
+        "tailer": tailer,
+        "server": server,
+        "tcp": tcp,
+        "port": tcp.sockets[0].getsockname()[1],
+    }
+
+
+async def stop_follower(follower: Dict[str, object]) -> None:
+    follower["tcp"].close()
+    await follower["tcp"].wait_closed()
+    await follower["server"].stop()
+    follower["tailer"].stop()
+
+
+def verification_specs(values: Dict[str, List[object]]) -> List[Dict[str, object]]:
+    """The deterministic read panel: every single-dimension point, one
+    rollup per dimension, and one two-dimension slice."""
+    specs: List[Dict[str, object]] = []
+    dims = sorted(values)
+    for dim in dims:
+        for value in values[dim]:
+            specs.append({"op": "point", "cell": {dim: value}})
+        specs.append({"op": "rollup", "dims": [dim]})
+    if len(dims) >= 2:
+        specs.append({
+            "op": "slice",
+            "fixed": {dims[0]: values[dims[0]][0]},
+            "group_by": [dims[1]],
+        })
+    return specs
+
+
+async def verify_agreement(
+    leader_conn: LineConnection,
+    follower_conns: Sequence[LineConnection],
+    specs: List[Dict[str, object]],
+    timeout: float,
+) -> Dict[str, int]:
+    """Ask everyone the same panel; count cell-for-cell disagreements."""
+    request = {"op": "query_many", "cube": CUBE, "q": specs}
+    expected = await leader_conn.request(request, timeout=timeout)
+    assert expected.get("ok"), expected
+    mismatches = 0
+    compared = 0
+    for conn in follower_conns:
+        answered = await conn.request(request, timeout=timeout)
+        assert answered.get("ok"), answered
+        for spec, want, got in zip(
+            specs, expected["result"], answered["result"]
+        ):
+            compared += 1
+            if want != got:
+                mismatches += 1
+                print(f"MISMATCH on {spec}: leader={want!r} follower={got!r}")
+    return {"compared": compared, "mismatches": mismatches}
+
+
+async def run_replicated(args, values) -> Dict[str, object]:
+    catalog = CubeCatalog(args.catalog_dir)
+    lease = acquire(args.catalog_dir, CUBE, "bench-leader", ttl=3600.0)
+    followers: List[Dict[str, object]] = []
+    max_lag_bytes = 0
+    async with AsyncCubeServer(
+        catalog,
+        query_workers=2,
+        maintenance_workers=2,
+        request_timeout=args.request_timeout,
+    ) as leader:
+        leader_tcp = await serve_tcp(leader, port=0)
+        leader_port = leader_tcp.sockets[0].getsockname()[1]
+        try:
+            for _ in range(args.followers):
+                followers.append(await start_follower(args))
+            # The ReplicaSet routing policy as replayer pools: read class
+            # round-robins over the follower endpoints, append class goes
+            # only to the leader.
+            query_endpoints = [
+                ("127.0.0.1", follower["port"])
+                for follower in followers
+                for _ in range(max(1, args.connections // args.followers))
+            ]
+            pools = await open_pools({
+                "query": query_endpoints,
+                "append": [("127.0.0.1", leader_port)] * 2,
+            })
+            verify_conns = await open_pools({
+                "leader": [("127.0.0.1", leader_port)],
+                "followers": [
+                    ("127.0.0.1", follower["port"]) for follower in followers
+                ],
+            })
+            try:
+                def replayer(klass: str, rate: float,
+                             seed_shift: int = 0) -> OpenLoopReplayer:
+                    seed = args.seed + seed_shift
+                    return OpenLoopReplayer(
+                        pools,
+                        class_mix(values, args, klass=klass, seed=seed),
+                        rate=rate,
+                        duration=args.duration,
+                        seed=seed,
+                        request_timeout=args.request_timeout,
+                    )
+
+                async def sample_lag() -> None:
+                    nonlocal max_lag_bytes
+                    while True:
+                        for follower in followers:
+                            lag = follower["tailer"].lag(CUBE)
+                            max_lag_bytes = max(
+                                max_lag_bytes, int(lag["journal_bytes"])
+                            )
+                        await asyncio.sleep(0.2)
+
+                sampler = asyncio.get_running_loop().create_task(sample_lag())
+                results = await asyncio.gather(
+                    replayer("query", args.rate).run(),
+                    replayer("append", args.append_rate, 1).run(),
+                )
+                sampler.cancel()
+                measured = LoadResult.combine(list(results))
+
+                # Catch-up: from load-stop to every follower at the tip.
+                catchup_start = time.perf_counter()
+                caught_up = True
+                try:
+                    await asyncio.gather(*(
+                        asyncio.get_running_loop().run_in_executor(
+                            None,
+                            lambda f=follower: f["tailer"].wait_caught_up(
+                                args.max_catchup_seconds
+                            ),
+                        )
+                        for follower in followers
+                    ))
+                except Exception as exc:
+                    caught_up = False
+                    print(f"CATCH-UP FAILED: {exc}")
+                catchup_seconds = time.perf_counter() - catchup_start
+
+                agreement = await verify_agreement(
+                    verify_conns["leader"][0],
+                    verify_conns["followers"],
+                    verification_specs(values),
+                    args.request_timeout,
+                )
+                follower_stats = [
+                    follower["tailer"].stats()[CUBE] for follower in followers
+                ]
+            finally:
+                for pool_set in (pools, verify_conns):
+                    for connections in pool_set.values():
+                        for connection in connections:
+                            await connection.close()
+        finally:
+            for follower in followers:
+                await stop_follower(follower)
+            leader_tcp.close()
+            await leader_tcp.wait_closed()
+    return {
+        "result": measured,
+        "caught_up": caught_up,
+        "catchup_seconds": catchup_seconds,
+        "agreement": agreement,
+        "max_lag_bytes": max_lag_bytes,
+        "follower_stats": follower_stats,
+        "lease_epoch": lease.epoch,
+    }
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=100_000,
+                        help="base relation size the cube serves")
+    parser.add_argument("--dims", type=int, default=5)
+    parser.add_argument("--cardinality", type=int, default=8)
+    parser.add_argument("--skew", type=float, default=0.5)
+    parser.add_argument("--followers", type=int, default=2,
+                        help="read-only follower endpoints to attach")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="offered query load over the followers "
+                        "(requests/second, Poisson)")
+    parser.add_argument("--append-rate", type=float, default=0.1,
+                        help="offered append trickle to the leader — the "
+                        "bench_load_slo maintenance rate the followers "
+                        "must keep up with")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of offered load")
+    parser.add_argument("--connections", type=int, default=8,
+                        help="query-class TCP connections (split across "
+                        "the followers)")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="follower journal poll interval in seconds")
+    parser.add_argument("--max-catchup-seconds", type=float, default=10.0,
+                        help="the gate: every follower must reach the chain "
+                        "tip within this many seconds of load stop")
+    parser.add_argument("--request-timeout", type=float, default=15.0,
+                        help="per-request deadline, client and server side")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    rows = build_rows(args)
+    values = distinct_values(rows)
+    print(f"dataset: T={args.tuples} D={args.dims} C={args.cardinality} "
+          f"S={args.skew} min_sup=1 closed; followers={args.followers}")
+
+    with tempfile.TemporaryDirectory() as directory:
+        args.catalog_dir = os.path.join(directory, "catalog")
+        catalog = CubeCatalog(args.catalog_dir)
+        start = time.perf_counter()
+        serving = catalog.create(CUBE, rows)
+        print(f"built base cube in {time.perf_counter() - start:.2f}s "
+              f"({len(serving)} cells, algorithm {serving.algorithm!r})")
+        del catalog, serving
+
+        views = asyncio.run(run_replicated(args, values))
+
+    result = views["result"]
+    agreement = views["agreement"]
+    print(f"\noffered load: sent {result.sent}, completed {result.completed}, "
+          f"errors {result.errors}")
+    for index, stats in enumerate(views["follower_stats"]):
+        print(f"follower {index}: rows={stats['rows']} "
+              f"batches_applied={stats['batches_applied']} "
+              f"snapshot_loads={stats['snapshot_loads']} "
+              f"rebootstraps={stats['rebootstraps']} "
+              f"lag={stats['replica_lag']}")
+    print(f"max journal lag observed: {views['max_lag_bytes']} bytes")
+    print(f"catch-up after load stop: {views['catchup_seconds']:.2f}s "
+          f"(bound {args.max_catchup_seconds:.0f}s, "
+          f"caught_up={views['caught_up']})")
+    print(f"read agreement: {agreement['compared']} answers compared, "
+          f"{agreement['mismatches']} mismatches")
+
+    passed = (
+        views["caught_up"]
+        and agreement["mismatches"] == 0
+        and agreement["compared"] > 0
+        and result.errors == 0
+        and args.followers >= 2
+    )
+
+    write_report(
+        args.json,
+        "bench_replication",
+        {
+            "tuples": args.tuples,
+            "dims": args.dims,
+            "cardinality": args.cardinality,
+            "skew": args.skew,
+            "followers": args.followers,
+            "rate": args.rate,
+            "append_rate": args.append_rate,
+            "duration": args.duration,
+            "connections": args.connections,
+            "poll_interval": args.poll_interval,
+            "request_timeout": args.request_timeout,
+            "seed": args.seed,
+        },
+        passed=passed,
+        max_catchup_seconds=args.max_catchup_seconds,
+        caught_up=views["caught_up"],
+        catchup_seconds=round(views["catchup_seconds"], 3),
+        max_lag_bytes=views["max_lag_bytes"],
+        compared=agreement["compared"],
+        mismatches=agreement["mismatches"],
+        sent=result.sent,
+        completed=result.completed,
+        errors=result.errors,
+        lease_epoch=views["lease_epoch"],
+        follower_rows=[
+            stats["rows"] for stats in views["follower_stats"]
+        ],
+        follower_rebootstraps=[
+            stats["rebootstraps"] for stats in views["follower_stats"]
+        ],
+    )
+
+    if not passed:
+        print("\nFAIL: the replicated tier violated its contract "
+              "(see the lines above)")
+        return 1
+    print(f"\nOK: {args.followers} followers stayed within "
+          f"{args.max_catchup_seconds:.0f}s of the tip and agreed with the "
+          f"leader on all {agreement['compared']} answers, zero errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

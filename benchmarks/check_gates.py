@@ -109,6 +109,24 @@ def _rollup_router_rule(report: Dict) -> Tuple[bool, str]:
     return ok and verified and stale == 0 and grains > 0, detail
 
 
+def _replication_rule(report: Dict) -> Tuple[bool, str]:
+    caught_up = bool(report["caught_up"])
+    catchup = float(report["catchup_seconds"])
+    bound = float(report["max_catchup_seconds"])
+    mismatches = int(report["mismatches"])
+    compared = int(report["compared"])
+    errors = int(report["errors"])
+    followers = int(report["config"]["followers"])
+    return (
+        caught_up and catchup <= bound and mismatches == 0 and compared > 0
+        and errors == 0 and followers >= 2,
+        f"catch-up {catchup:.2f}s (bound <= {bound:.0f}s, "
+        f"caught_up={caught_up}), {mismatches}/{compared} read mismatches "
+        f"(allows 0), {errors} errors (allows 0), "
+        f"{followers} followers (needs >= 2)",
+    )
+
+
 GATES: Dict[str, GateRule] = {
     "bench_query_throughput": _speedup_rule,
     "bench_api_overhead": _overhead_rule,
@@ -118,6 +136,7 @@ GATES: Dict[str, GateRule] = {
     "bench_load_slo": _load_slo_rule,
     "bench_vector": _vector_rule,
     "bench_rollup_router": _rollup_router_rule,
+    "bench_replication": _replication_rule,
 }
 
 
@@ -138,6 +157,9 @@ TRAJECTORY: Dict[str, Tuple[str, str, object]] = {
     "bench_load_slo": ("query_p99_ms", "lower", 3.0),
     "bench_vector": ("speedup", "higher", None),
     "bench_rollup_router": ("speedup", "higher", None),
+    # Catch-up is near-instant on a healthy run; absolute seconds of slack
+    # absorb runner jitter without letting a stuck tailer slide through.
+    "bench_replication": ("catchup_seconds", "delta", 5.0),
 }
 
 

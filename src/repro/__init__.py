@@ -31,7 +31,13 @@ The package provides:
 * concurrent serving (:mod:`repro.server`) — an asyncio front end with query
   batching, back-pressure, and copy-on-publish appends (optionally computed
   in a process pool) that never block the read hot path; ``python -m
-  repro.server`` exposes it over a line-JSON TCP protocol.
+  repro.server`` exposes it over a line-JSON TCP protocol,
+* a replicated serving tier (:mod:`repro.replication`) — per-cube
+  single-writer leases held through the catalog manifest (epoch-fenced
+  appends), a :class:`~repro.replication.ReplicationTailer` replaying the
+  append journal into read-only follower replicas (``python -m
+  repro.replication``), and a :class:`~repro.replication.ReplicaSet` client
+  routing writes to the leader and load-balancing reads over followers.
 
 Quick start::
 
@@ -105,6 +111,12 @@ from .incremental import (
     merge_closed_cubes,
 )
 from .server import AsyncCubeServer, serve_tcp
+from .replication import (
+    CubeFollower,
+    CubeLease,
+    ReplicaSet,
+    ReplicationTailer,
+)
 from .storage import load_snapshot, save_snapshot
 from .query import (
     PartitionedQueryEngine,
@@ -127,6 +139,10 @@ __all__ = [
     "CubeCatalog",
     "AsyncCubeServer",
     "serve_tcp",
+    "CubeFollower",
+    "CubeLease",
+    "ReplicaSet",
+    "ReplicationTailer",
     "RWLock",
     "create_refresh_pool",
     "NamedAnswer",

@@ -54,10 +54,11 @@ import threading
 import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
-from ..core.errors import CatalogError
+from ..core.errors import CatalogError, LeaseFencedError
 from ..session.serving import ServingCube
 from ..session.session import CubeSession
 from ..storage import atomic
+from ..storage.chain import read_journal_tail
 from ..storage.manifest import (
     CatalogManifest,
     CubeEntry,
@@ -216,7 +217,7 @@ class CubeCatalog:
                 entry = self._entry(name)
                 del self._manifest.entries[name]
                 self._cubes.pop(name, None)
-                self._manifest.save(self.directory)
+                self._save_manifest()
                 self._unlink(
                     [entry.snapshot, entry.appends, *entry.segments]
                 )
@@ -244,11 +245,28 @@ class CubeCatalog:
                 "generation": entry.generation,
                 "segments": list(entry.segments),
                 "journal_offset": entry.journal_offset,
+                "leader_id": entry.leader_id,
+                "leader_epoch": entry.leader_epoch,
+                "lease_expires_at": entry.lease_expires_at,
                 "durable_bytes": self._durable_bytes(entry),
                 "journal_bytes": self._journal_size(entry),
                 "loaded": name in self._cubes,
                 "pending_appends": self._journal_batches(entry),
             }
+
+    def install(self, name: str, cube: ServingCube) -> ServingCube:
+        """Adopt ``cube`` as the live in-memory instance of ``name``.
+
+        The manifest must already know ``name``; nothing is written to disk.
+        This is the promotion hook of the replicated tier: a follower that
+        has tailed a cube to the chain tip installs its replica here and
+        starts serving writes immediately, instead of paying a full reload
+        of a chain it already holds in memory.
+        """
+        with self._lock:
+            self._entry(name)  # raises if the manifest does not know it
+            self._cubes[name] = cube
+        return cube
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
@@ -268,6 +286,7 @@ class CubeCatalog:
         rows: Sequence[object],
         copy_on_publish: bool = False,
         executor: Optional["Executor"] = None,
+        lease: Optional[object] = None,
     ) -> "AppendReport":
         """Append rows to ``name`` durably: journal first, then merge.
 
@@ -278,6 +297,15 @@ class CubeCatalog:
         non-JSON values append on the cube directly and :meth:`save` to
         persist.  ``copy_on_publish`` / ``executor`` pass through to
         :meth:`repro.session.serving.ServingCube.append`.
+
+        ``lease`` carries the replicated tier's single-writer claim: any
+        object with ``holder_id`` / ``epoch`` attributes (in practice a
+        :class:`repro.replication.CubeLease`).  When given, the on-disk
+        manifest is re-read and the append is *fenced* — it raises
+        :class:`~repro.core.errors.LeaseFencedError` before journaling
+        anything if the cube's lease has moved to another holder or a higher
+        epoch.  ``lease=None`` (the default) keeps the single-process
+        behaviour: no fencing, no extra manifest read.
 
         When the automatic compaction policy is enabled and the un-folded
         journal has outgrown the durable state, the fold runs here, inline,
@@ -298,6 +326,8 @@ class CubeCatalog:
         with self._gate(name):
             with self._lock:
                 entry = self._entry(name)
+                if lease is not None:
+                    self._check_lease(name, lease)
                 path = os.path.join(self.directory, entry.appends)
                 with open(path, "a") as stream:
                     offset = stream.tell()
@@ -423,6 +453,67 @@ class CubeCatalog:
     def _gate(self, name: str) -> threading.RLock:
         with self._lock:
             return self._gates.setdefault(name, threading.RLock())
+
+    def _save_manifest(self) -> None:
+        """Write the manifest, preserving lease state written by others.
+
+        Lease transitions (:mod:`repro.replication.lease`) are made by other
+        *processes* directly against the on-disk manifest; this catalog
+        instance's in-memory copy can be arbitrarily stale about them.  Every
+        manifest write therefore first re-reads the lease triple from disk
+        into the in-memory entries, so a chain flip (compaction, save, drop)
+        never rolls back a leadership change it did not make.  Caller holds
+        the catalog lock.
+        """
+        try:
+            on_disk = CatalogManifest.load(self.directory)
+        except CatalogError:
+            on_disk = CatalogManifest()
+        for name, entry in self._manifest.entries.items():
+            disk_entry = on_disk.entries.get(name)
+            if disk_entry is None:
+                continue
+            entry.leader_id = disk_entry.leader_id
+            entry.leader_epoch = disk_entry.leader_epoch
+            entry.lease_expires_at = disk_entry.lease_expires_at
+        self._manifest.save(self.directory)
+
+    def _check_lease(self, name: str, lease: object) -> None:
+        """Fence an append against the *on-disk* lease state (lock held).
+
+        ``lease`` is duck-typed — anything with ``holder_id`` and ``epoch``.
+        The check reads the manifest fresh from disk because lease takeovers
+        happen in other processes: a paused leader's in-memory view is
+        exactly what cannot be trusted.  Expiry alone does not fence (the
+        holder may simply be between renewals); only an actually-recorded
+        takeover — a different holder or a higher epoch — does.
+        """
+        holder_id = getattr(lease, "holder_id", None)
+        epoch = getattr(lease, "epoch", None)
+        if not holder_id or epoch is None:
+            raise CatalogError(
+                f"append lease must carry holder_id/epoch, got {lease!r}"
+            )
+        disk_entry = CatalogManifest.load(self.directory).entries.get(name)
+        if disk_entry is None:
+            raise CatalogError(
+                f"cube {name!r} vanished from the on-disk manifest of "
+                f"{self.directory!r} while appending"
+            )
+        if disk_entry.leader_epoch > epoch or (
+            disk_entry.leader_id and disk_entry.leader_id != holder_id
+        ):
+            raise LeaseFencedError(
+                f"append to {name!r} fenced: writer {holder_id!r} holds "
+                f"epoch {epoch}, but the manifest records leader "
+                f"{disk_entry.leader_id!r} at epoch {disk_entry.leader_epoch}"
+            )
+        # Sync what we just learned so later describe()/saves stay honest.
+        entry = self._manifest.entries.get(name)
+        if entry is not None:
+            entry.leader_id = disk_entry.leader_id
+            entry.leader_epoch = disk_entry.leader_epoch
+            entry.lease_expires_at = disk_entry.lease_expires_at
 
     def _entry(self, name: str) -> CubeEntry:
         entry = self._manifest.entries.get(name)
@@ -552,7 +643,7 @@ class CubeCatalog:
             entry.algorithm = cube.algorithm
             entry.dimensions = tuple(cube.schema.dimensions)
             try:
-                self._manifest.save(self.directory)
+                self._save_manifest()
             except BaseException:
                 (
                     entry.snapshot, entry.generation, entry.format,
@@ -569,7 +660,7 @@ class CubeCatalog:
             atomic.truncate(os.path.join(self.directory, entry.appends))
             if entry.journal_offset:
                 entry.journal_offset = 0
-                self._manifest.save(self.directory)
+                self._save_manifest()
         return {
             "name": name,
             "mode": "full",
@@ -597,7 +688,7 @@ class CubeCatalog:
             entry.rows = cube.relation.num_tuples
             entry.cells = len(cube)
             try:
-                self._manifest.save(self.directory)
+                self._save_manifest()
             except BaseException:
                 (
                     entry.segments, entry.journal_offset, entry.saved_at,
@@ -611,7 +702,7 @@ class CubeCatalog:
             # file's end — an empty tail — so every window stays consistent.
             atomic.truncate(os.path.join(self.directory, entry.appends))
             entry.journal_offset = 0
-            self._manifest.save(self.directory)
+            self._save_manifest()
         return {
             "name": name,
             "mode": "incremental",
@@ -674,27 +765,7 @@ class CubeCatalog:
         file's end reads as an empty tail.
         """
         path = os.path.join(self.directory, entry.appends)
-        if not os.path.exists(path):
-            return []
-        with open(path) as stream:
-            stream.seek(min(entry.journal_offset, self._journal_size(entry)))
-            lines = stream.readlines()
-        batches: List[List[object]] = []
-        for position, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                batches.append(record["rows"])
-            except (ValueError, KeyError, TypeError) as exc:
-                if position == len(lines) - 1:
-                    # A torn final line is the expected crash artefact of an
-                    # interrupted append; everything before it is intact.
-                    break
-                raise CatalogError(
-                    f"corrupt append stream {path!r} at line "
-                    f"{position + 1}: {exc}"
-                ) from exc
+        batches, _ = read_journal_tail(path, entry.journal_offset)
         return batches
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

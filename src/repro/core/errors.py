@@ -93,6 +93,26 @@ class ServerTimeout(ServerError):
     """
 
 
+class ReplicationError(ReproError):
+    """Raised by the replicated serving tier (:mod:`repro.replication`).
+
+    Examples: acquiring a lease another process still holds, tailing a cube
+    the catalog manifest does not know, or promoting a follower that cannot
+    reach the chain tip.
+    """
+
+
+class LeaseFencedError(ReplicationError):
+    """Raised when a write arrives under a lease that is no longer current.
+
+    The single-writer contract: every durable append carries the writer's
+    ``(holder_id, epoch)`` and the catalog checks it against the manifest
+    *before* journaling.  A leader that paused (GC, network partition) past
+    its lease expiry and was superseded by a higher epoch gets this error
+    instead of silently forking the replication log.
+    """
+
+
 class QueryError(ReproError):
     """Raised when a closure query against a served cube is malformed.
 

@@ -10,7 +10,9 @@ journals are the one designed exception — they are append-only (``"a"``)
 and the loader tolerates exactly one torn tail line, which is why append
 mode is not flagged.
 
-Scope: modules under ``repro/storage/`` and ``repro/catalog/``.  Flagged:
+Scope: modules under ``repro/storage/``, ``repro/catalog/``, and
+``repro/replication/`` (follower cursor files are durable artifacts too:
+a torn cursor would silently re-read or skip journal bytes).  Flagged:
 ``open``/``os.fdopen``/``io.open`` with a creating-or-truncating mode
 (``"w"``, ``"wb"``, ``"x"``, ``"w+"`` ...) and ``pathlib``-style
 ``.write_text()``/``.write_bytes()`` calls.  The helper module
@@ -59,7 +61,8 @@ def _write_mode(node: ast.Call) -> Optional[str]:
 
 def check(module: "ParsedModule") -> List[Finding]:
     display = module.display.replace("\\", "/")
-    if not in_scope(display, "repro/storage", "repro/catalog"):
+    if not in_scope(display, "repro/storage", "repro/catalog",
+                    "repro/replication"):
         return []
     if display.endswith(HELPER_SUFFIX):
         return []

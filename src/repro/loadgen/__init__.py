@@ -32,7 +32,7 @@ no dependencies:
 SLO gate; ``docs/LOAD_TESTING.md`` is the operator's guide.
 """
 
-from .client import LineConnection
+from .client import LineConnection, open_pools
 from .faults import FAULT_MODES, FaultyProxy
 from .histogram import LatencyHistogram
 from .replayer import ClassStats, LoadResult, OpenLoopReplayer
@@ -48,6 +48,7 @@ __all__ = [
     "TrafficClass",
     "serving_mix",
     "LineConnection",
+    "open_pools",
     "OpenLoopReplayer",
     "ClassStats",
     "LoadResult",

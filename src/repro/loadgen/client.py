@@ -19,9 +19,9 @@ from __future__ import annotations
 import asyncio
 import json
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["LineConnection"]
+__all__ = ["LineConnection", "open_pools"]
 
 
 class LineConnection:
@@ -104,3 +104,30 @@ class LineConnection:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+async def open_pools(
+    endpoints_by_class: Mapping[str, Sequence[Tuple[str, int]]],
+) -> Dict[str, List[LineConnection]]:
+    """Open one connection per ``(host, port)`` per traffic class.
+
+    The shape :class:`~repro.loadgen.replayer.OpenLoopReplayer` takes as a
+    per-class target mapping — and the way a replayer drives a *replicated*
+    tier: point the read classes at follower endpoints and the write classes
+    at the leader, e.g. ``{"query": [(h, 7172), (h, 7173)], "append":
+    [(h, 7171)]}``.  A class can list one endpoint many times to widen its
+    pool.  On any connect failure, every connection already opened is closed
+    before the error propagates.
+    """
+    pools: Dict[str, List[LineConnection]] = {}
+    try:
+        for klass, endpoints in endpoints_by_class.items():
+            connections = pools.setdefault(klass, [])
+            for host, port in endpoints:
+                connections.append(await LineConnection.open(host, port))
+    except BaseException:
+        for connections in pools.values():
+            for connection in connections:
+                await connection.close()
+        raise
+    return pools

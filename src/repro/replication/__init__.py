@@ -1,0 +1,52 @@
+"""The replicated serving tier: one leader, N followers, one chain.
+
+This package promotes the catalog's snapshot + delta-segment + append-journal
+chain (:mod:`repro.catalog`, :mod:`repro.storage`) into a replication log.
+Nothing new is written to disk — the chain the leader already maintains for
+crash recovery *is* the log followers tail:
+
+* :mod:`~repro.replication.lease` — per-cube single-writer leases held
+  through the catalog manifest: ``leader_id`` / monotonically increasing
+  ``leader_epoch`` / ``lease_expires_at``.  The epoch fences superseded
+  leaders: :meth:`repro.catalog.CubeCatalog.append` with ``lease=...``
+  rejects writes carrying a stale epoch with
+  :class:`~repro.core.errors.LeaseFencedError`.
+* :mod:`~repro.replication.tailer` — :class:`ReplicationTailer` /
+  :class:`CubeFollower`: replay journal records and reconcile published
+  compactions into read-only replicas, publishing pinned
+  :class:`~repro.session.serving.CubeView` reads and a cached
+  ``replica_lag`` (un-applied journal bytes + leader-epoch delta).
+* :mod:`~repro.replication.client` — :class:`ReplicaSet`: the routing
+  client that sends writes to the leader and round-robins reads over
+  followers.
+
+A follower process is one command away::
+
+    python -m repro.replication /var/lib/cubes --port 7172
+
+See docs/REPLICATION.md for the design (lease/epoch semantics, failover,
+compaction interaction) and docs/OPERATIONS.md for the runbook.
+"""
+
+from .client import ReplicaSet
+from .lease import (
+    DEFAULT_LEASE_TTL,
+    CubeLease,
+    acquire,
+    read,
+    release,
+    renew,
+)
+from .tailer import CubeFollower, ReplicationTailer
+
+__all__ = [
+    "CubeFollower",
+    "CubeLease",
+    "DEFAULT_LEASE_TTL",
+    "ReplicaSet",
+    "ReplicationTailer",
+    "acquire",
+    "read",
+    "release",
+    "renew",
+]

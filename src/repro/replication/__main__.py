@@ -1,0 +1,117 @@
+"""``python -m repro.replication``: run a read-only follower over TCP.
+
+Point it at the same catalog directory the leader serves::
+
+    PYTHONPATH=src python -m repro.server      /var/lib/cubes --port 7171
+    PYTHONPATH=src python -m repro.replication /var/lib/cubes --port 7172
+    PYTHONPATH=src python -m repro.replication /var/lib/cubes --port 7173
+
+Each follower bootstraps its replicas from the snapshot chain, tails the
+append journal on a background thread, and serves the read verbs of the
+line-JSON protocol (:mod:`repro.server.tcp`); write verbs answer
+``{"ok": false}``.  ``{"op": "replica"}`` reports each cube's cursor and
+lag; ``{"op": "stats"}`` carries ``role`` and per-cube ``replica_lag``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+from typing import Optional, Sequence
+
+from ..catalog import CubeCatalog
+from ..server.server import AsyncCubeServer
+from ..server.tcp import serve_tcp
+from .tailer import DEFAULT_POLL_INTERVAL, ReplicationTailer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication",
+        description="Run a read-only follower of a cube catalog directory: "
+        "tail the append journal into replicas and serve them over the "
+        "line-JSON TCP protocol.",
+    )
+    parser.add_argument("catalog", help="the leader's catalog directory")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7172)
+    parser.add_argument(
+        "--cubes", nargs="*", default=None,
+        help="cube names to follow (default: every registered cube)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL,
+        help="seconds between journal polls "
+        f"(default {DEFAULT_POLL_INTERVAL})",
+    )
+    parser.add_argument(
+        "--state-dir", default=None,
+        help="directory for persisted chain cursors (enables warm restarts "
+        "that skip the snapshot re-read; default: none)",
+    )
+    parser.add_argument(
+        "--query-workers", type=int, default=4,
+        help="threads answering queries (default 4)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most query specs coalesced per engine call (default 64)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="per-cube query queue bound (back-pressure, default 1024)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-request deadline in seconds (default: no timeout)",
+    )
+    return parser
+
+
+async def run_follower(args: argparse.Namespace) -> None:
+    catalog = CubeCatalog(args.catalog)
+    tailer = ReplicationTailer(
+        args.catalog,
+        cubes=args.cubes,
+        poll_interval=args.poll_interval,
+        state_dir=args.state_dir,
+    )
+    tailer.start()
+    server = AsyncCubeServer(
+        catalog,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        query_workers=args.query_workers,
+        request_timeout=args.request_timeout,
+        role="follower",
+        tailer=tailer,
+    )
+    try:
+        async with server:
+            tcp = await serve_tcp(server, host=args.host, port=args.port)
+            sockets = tcp.sockets or ()
+            for sock in sockets:
+                print(
+                    f"following catalog {catalog.directory!r} "
+                    f"({sorted(tailer.followers)}) on {sock.getsockname()}"
+                )
+            try:
+                await asyncio.Event().wait()  # run until cancelled
+            finally:
+                tcp.close()
+                await tcp.wait_closed()
+    finally:
+        tailer.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(run_follower(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

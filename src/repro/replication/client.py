@@ -1,0 +1,196 @@
+"""`ReplicaSet`: one client over a leader + N follower endpoints.
+
+The routing policy of the replicated tier, in one object: every *write*
+(append, create, drop, save, compact) goes to the leader — the lease holder
+is the only process whose catalog may touch the chain — and every *read*
+(query, query_many) round-robins over the follower connections, falling
+back to the leader when no followers are attached.  Reads on followers are
+eventually consistent: a follower answers from its pinned replica view,
+which trails the leader by its ``replica_lag`` (readable per endpoint via
+:meth:`ReplicaSet.replica_status`).
+
+Built on the same pipelined :class:`~repro.loadgen.client.LineConnection`
+the load harness uses, so a ReplicaSet composes with the open-loop replayer
+and with plain ``asyncio`` code alike::
+
+    replicas = await ReplicaSet.connect(
+        ("127.0.0.1", 7171),                       # leader
+        [("127.0.0.1", 7172), ("127.0.0.1", 7173)] # followers
+    )
+    await replicas.append("sales", new_rows)       # -> leader
+    await replicas.query("sales", {"store": "nyc"})  # -> a follower
+    await replicas.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReplicationError
+from ..loadgen.client import LineConnection
+
+__all__ = ["ReplicaSet"]
+
+#: A TCP endpoint: ``(host, port)``.
+Endpoint = Tuple[str, int]
+
+
+class ReplicaSet:
+    """Route requests across a replicated serving tier (async)."""
+
+    def __init__(
+        self,
+        leader: LineConnection,
+        followers: Sequence[LineConnection] = (),
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        self.leader = leader
+        self.followers: List[LineConnection] = list(followers)
+        self.request_timeout = request_timeout
+        self._next_follower = 0
+        self.counters: Dict[str, int] = {"leader_requests": 0, "follower_requests": 0}
+
+    @classmethod
+    async def connect(
+        cls,
+        leader: Endpoint,
+        followers: Sequence[Endpoint] = (),
+        request_timeout: Optional[float] = None,
+    ) -> "ReplicaSet":
+        """Open one pipelined connection per endpoint."""
+        leader_conn = await LineConnection.open(*leader)
+        follower_conns = []
+        try:
+            for endpoint in followers:
+                follower_conns.append(await LineConnection.open(*endpoint))
+        except BaseException:
+            await leader_conn.close()
+            for conn in follower_conns:
+                await conn.close()
+            raise
+        return cls(leader_conn, follower_conns, request_timeout=request_timeout)
+
+    # -------------------------------------------------------------- #
+    # Routing                                                         #
+    # -------------------------------------------------------------- #
+
+    def _read_connection(self) -> LineConnection:
+        if not self.followers:
+            return self.leader
+        conn = self.followers[self._next_follower % len(self.followers)]
+        self._next_follower += 1
+        return conn
+
+    async def _request(
+        self, conn: LineConnection, payload: Dict[str, object]
+    ) -> object:
+        if conn is self.leader:
+            self.counters["leader_requests"] += 1
+        else:
+            self.counters["follower_requests"] += 1
+        response = await conn.request(payload, timeout=self.request_timeout)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ReplicationError(
+                f"{payload.get('op')!r} failed on the "
+                f"{'leader' if conn is self.leader else 'follower'}: "
+                f"{error.get('type')}: {error.get('message')}"
+            )
+        return response.get("result")
+
+    # -------------------------------------------------------------- #
+    # Reads (load-balanced over followers)                            #
+    # -------------------------------------------------------------- #
+
+    async def query(self, cube: str, spec: Dict[str, object]) -> object:
+        """One op-spec (or bare point spec), on the next follower in turn."""
+        return await self._request(
+            self._read_connection(), {"op": "query", "cube": cube, "q": spec}
+        )
+
+    async def query_many(
+        self, cube: str, specs: Sequence[Dict[str, object]]
+    ) -> List[object]:
+        """A batch of specs on one follower (one version, one round trip)."""
+        result = await self._request(
+            self._read_connection(),
+            {"op": "query_many", "cube": cube, "q": list(specs)},
+        )
+        return result  # type: ignore[return-value]
+
+    # -------------------------------------------------------------- #
+    # Writes (always the leader)                                      #
+    # -------------------------------------------------------------- #
+
+    async def append(self, cube: str, rows: Sequence[object]) -> object:
+        return await self._request(
+            self.leader,
+            {"op": "append", "cube": cube, "rows": [list(row) for row in rows]},
+        )
+
+    async def create(
+        self,
+        cube: str,
+        rows: Sequence[object],
+        schema: Optional[object] = None,
+    ) -> object:
+        payload: Dict[str, object] = {
+            "op": "create", "cube": cube, "rows": [list(row) for row in rows],
+        }
+        if schema is not None:
+            payload["schema"] = schema
+        return await self._request(self.leader, payload)
+
+    async def drop(self, cube: str) -> object:
+        return await self._request(self.leader, {"op": "drop", "cube": cube})
+
+    async def save(self, cube: str) -> object:
+        return await self._request(self.leader, {"op": "save", "cube": cube})
+
+    async def compact(self, cube: str, mode: str = "auto") -> object:
+        return await self._request(
+            self.leader, {"op": "compact", "cube": cube, "mode": mode}
+        )
+
+    # -------------------------------------------------------------- #
+    # Introspection                                                   #
+    # -------------------------------------------------------------- #
+
+    async def describe(self, cube: str) -> object:
+        """Manifest metadata, from the leader (the writer's view is the
+        authoritative one — followers share the same directory anyway)."""
+        return await self._request(
+            self.leader, {"op": "describe", "cube": cube}
+        )
+
+    async def stats(self) -> Dict[str, object]:
+        """``stats()`` from every endpoint: the leader plus each follower."""
+        results = await asyncio.gather(
+            self._request(self.leader, {"op": "stats"}),
+            *(
+                self._request(conn, {"op": "stats"})
+                for conn in self.followers
+            ),
+        )
+        return {
+            "leader": results[0],
+            "followers": list(results[1:]),
+            "client": dict(self.counters),
+        }
+
+    async def replica_status(self) -> List[object]:
+        """The ``replica`` verb from every follower (cursor, counters, lag)."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self._request(conn, {"op": "replica"})
+                    for conn in self.followers
+                )
+            )
+        )
+
+    async def close(self) -> None:
+        await self.leader.close()
+        for conn in self.followers:
+            await conn.close()

@@ -1,0 +1,233 @@
+"""Per-cube single-writer leases, held through the catalog manifest.
+
+The replicated tier's coordination point is the file every process already
+shares: ``catalog.json``.  Each cube's manifest entry carries a lease triple
+— ``leader_id`` (who may append), ``leader_epoch`` (a monotonic acquisition
+counter), and ``lease_expires_at`` (the wall-clock instant after which the
+lease may be taken over).  This module owns every transition of that triple:
+
+* :func:`acquire` — take the cube's lease if it is free, expired, or already
+  ours.  Every takeover from another holder bumps the epoch; the epoch never
+  decreases, so a superseded leader's appends are *fenced* by comparing its
+  remembered epoch against the manifest (see
+  :meth:`repro.catalog.CubeCatalog.append`).
+* :func:`renew` — extend our own lease.  Fenced: renewing a lease someone
+  else took over raises :class:`~repro.core.errors.LeaseFencedError` instead
+  of silently stealing it back.
+* :func:`release` — give the lease up early (expiry zeroed, holder cleared,
+  epoch kept — it must stay monotonic).
+* :func:`read` — the current on-disk triple, for observers.
+
+Transitions are serialised *across processes* by an ``O_EXCL`` lock file
+next to the manifest (``<name>.lease.lock``): creating the file is the
+mutex acquire, unlinking it the release, and a lock file older than
+:data:`LOCK_STALE_SECONDS` (a crashed transition) is broken.  Within the
+critical section a transition loads the manifest fresh, mutates *only* the
+lease triple of one entry, and saves atomically — so it composes with chain
+flips made by the leader's catalog, which in turn re-reads the lease triple
+from disk before each of its own saves (``CubeCatalog._save_manifest``).
+The two writers touch disjoint fields and each re-reads the other's fields
+first; the residual window (a flip between this module's load and save)
+is documented in docs/REPLICATION.md and is harmless for data: fencing
+happens on the append path, not here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+
+from ..core.errors import LeaseFencedError, ReplicationError
+from ..storage.manifest import CatalogManifest, validate_cube_name
+
+__all__ = [
+    "CubeLease",
+    "DEFAULT_LEASE_TTL",
+    "acquire",
+    "release",
+    "renew",
+    "read",
+]
+
+#: Default lease lifetime in seconds.  Long enough that a healthy leader
+#: renewing at half-TTL never loses its lease to scheduling jitter, short
+#: enough that failover (expiry + takeover) completes in seconds.
+DEFAULT_LEASE_TTL = 10.0
+
+#: A lease *lock file* (not the lease itself) older than this is considered
+#: the debris of a crashed transition and is broken.  Transitions hold the
+#: lock for one manifest load + save — milliseconds — so thirty seconds is
+#: orders of magnitude past any live critical section.
+LOCK_STALE_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class CubeLease:
+    """One writer's claim on one cube, as last read from the manifest.
+
+    Frozen: a lease is a *fact about a moment* — renewing or re-acquiring
+    returns a new value rather than mutating the one a fenced append may
+    still be holding.  ``holder_id`` / ``epoch`` are what the catalog's
+    append fencing compares against the manifest.
+    """
+
+    name: str
+    holder_id: str
+    epoch: int
+    expires_at: float
+
+    def remaining(self, now: float | None = None) -> float:
+        """Seconds of validity left (negative once expired)."""
+        return self.expires_at - (time.time() if now is None else now)
+
+
+def _lock_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{validate_cube_name(name)}.lease.lock")
+
+
+class _TransitionLock:
+    """Cross-process mutex for lease transitions on one cube.
+
+    ``os.open(..., O_CREAT | O_EXCL)`` is the acquire — it either creates
+    the lock file or fails because another process's transition is in
+    flight.  Creating an empty flag file needs no write-content atomicity,
+    so this deliberately sits outside the ``repro.storage.atomic`` funnel
+    (which exists to prevent *partial content*, a failure mode a zero-byte
+    flag cannot have).
+    """
+
+    def __init__(self, directory: str, name: str) -> None:
+        self.path = _lock_path(directory, name)
+
+    def __enter__(self) -> "_TransitionLock":
+        deadline = time.time() + LOCK_STALE_SECONDS
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.time() > deadline:
+                    raise ReplicationError(
+                        f"lease transition lock {self.path!r} held for over "
+                        f"{LOCK_STALE_SECONDS}s; giving up"
+                    ) from None
+                time.sleep(0.005)
+                continue
+            os.close(fd)
+            return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already broken
+            pass
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return  # released between our open() and stat(): retry
+        if age > LOCK_STALE_SECONDS:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:  # pragma: no cover - racing breaker
+                pass
+
+
+def _load_entry(directory: str, name: str):
+    manifest = CatalogManifest.load(directory)
+    entry = manifest.entries.get(name)
+    if entry is None:
+        raise ReplicationError(
+            f"no cube named {name!r} in catalog {directory!r}; known cubes: "
+            f"{sorted(manifest.entries)}"
+        )
+    return manifest, entry
+
+
+def read(directory: str, name: str) -> CubeLease:
+    """The cube's current lease triple as recorded on disk."""
+    _, entry = _load_entry(directory, name)
+    return CubeLease(
+        name=name,
+        holder_id=entry.leader_id,
+        epoch=entry.leader_epoch,
+        expires_at=entry.lease_expires_at,
+    )
+
+
+def acquire(
+    directory: str,
+    name: str,
+    holder_id: str,
+    ttl: float = DEFAULT_LEASE_TTL,
+) -> CubeLease:
+    """Take the cube's lease for ``holder_id``; raise if it is validly held.
+
+    Acquirable states: never held, expired, or already held by
+    ``holder_id`` (re-acquiring our own live lease just extends it, same
+    epoch).  Taking over from a *different* holder — even an expired one —
+    bumps the epoch, which is what fences the old holder's in-flight
+    appends.  Raises :class:`~repro.core.errors.ReplicationError` while
+    another holder's lease is still live.
+    """
+    if not holder_id:
+        raise ReplicationError("lease holder_id must be a non-empty string")
+    with _TransitionLock(directory, name):
+        manifest, entry = _load_entry(directory, name)
+        now = time.time()
+        if (
+            entry.leader_id
+            and entry.leader_id != holder_id
+            and entry.lease_expires_at > now
+        ):
+            raise ReplicationError(
+                f"cube {name!r} lease is held by {entry.leader_id!r} (epoch "
+                f"{entry.leader_epoch}) for another "
+                f"{entry.lease_expires_at - now:.1f}s"
+            )
+        if entry.leader_id != holder_id:
+            entry.leader_epoch += 1
+        entry.leader_id = holder_id
+        entry.lease_expires_at = now + ttl
+        manifest.save(directory)
+        return CubeLease(
+            name=name,
+            holder_id=holder_id,
+            epoch=entry.leader_epoch,
+            expires_at=entry.lease_expires_at,
+        )
+
+
+def renew(
+    directory: str, lease: CubeLease, ttl: float = DEFAULT_LEASE_TTL
+) -> CubeLease:
+    """Extend ``lease``; fenced against takeovers.
+
+    Raises :class:`~repro.core.errors.LeaseFencedError` when the manifest
+    records a different holder or a higher epoch — the renewer has been
+    superseded and must stop writing, not win the lease back.
+    """
+    with _TransitionLock(directory, lease.name):
+        manifest, entry = _load_entry(directory, lease.name)
+        if entry.leader_epoch > lease.epoch or entry.leader_id != lease.holder_id:
+            raise LeaseFencedError(
+                f"cannot renew lease on {lease.name!r}: {lease.holder_id!r} "
+                f"holds epoch {lease.epoch}, but the manifest records leader "
+                f"{entry.leader_id!r} at epoch {entry.leader_epoch}"
+            )
+        entry.lease_expires_at = time.time() + ttl
+        manifest.save(directory)
+        return replace(lease, expires_at=entry.lease_expires_at)
+
+
+def release(directory: str, lease: CubeLease) -> None:
+    """Give the lease up early; a no-op if it was already taken over."""
+    with _TransitionLock(directory, lease.name):
+        manifest, entry = _load_entry(directory, lease.name)
+        if entry.leader_epoch != lease.epoch or entry.leader_id != lease.holder_id:
+            return  # superseded: the new holder's lease is not ours to clear
+        entry.leader_id = ""
+        entry.lease_expires_at = 0.0
+        manifest.save(directory)

@@ -22,6 +22,14 @@ never waits on maintenance:
 Appends to one cube apply in submission order; appends to different cubes
 overlap.  Queries against cube A proceed while cube B (or A!) is mid-append
 — zero torn reads is the contract the interleaving tests enforce.
+
+**Roles.**  A server is a ``"leader"`` (the default: full read/write surface)
+or a ``"follower"`` in the replicated tier (:mod:`repro.replication`): wired
+to a :class:`~repro.replication.ReplicationTailer`, it answers queries from
+the tailer's pinned replica views and *rejects* every mutating verb (append,
+create, drop, save, compact, ``advise(apply=True)``) — the single-writer
+lease lives with the leader.  Followers report their role and per-cube
+``replica_lag`` in :meth:`~AsyncCubeServer.stats`.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..catalog import CubeCatalog
 from ..core.errors import ServerError, ServerTimeout
@@ -39,6 +47,9 @@ from ..incremental.maintainer import AppendReport
 from ..incremental.parallel import create_refresh_pool
 from ..loadgen.histogram import LatencyHistogram
 from ..session.serving import BatchResult, NamedAnswer, QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..replication.tailer import ReplicationTailer
 
 #: Queue sentinel that tells a dispatcher to shut down.
 _SHUTDOWN = object()
@@ -105,6 +116,14 @@ class AsyncCubeServer:
         ``{"ok": false}`` over TCP), counted under the ``timeouts``
         counter in :meth:`stats` — so one wedged maintenance task cannot
         silently hang a connection forever.
+    role:
+        ``"leader"`` (default) serves the full surface; ``"follower"``
+        serves reads from ``tailer``'s pinned replica views and rejects
+        every mutating verb with :class:`~repro.core.errors.ServerError`.
+    tailer:
+        The :class:`~repro.replication.ReplicationTailer` a follower
+        answers from (required for — and only legal with — the follower
+        role).  The caller starts and stops it.
     """
 
     def __init__(
@@ -117,6 +136,8 @@ class AsyncCubeServer:
         refresh_processes: Optional[int] = None,
         refresh_executor: Optional[Executor] = None,
         request_timeout: Optional[float] = None,
+        role: str = "leader",
+        tailer: Optional["ReplicationTailer"] = None,
     ) -> None:
         if refresh_processes is not None and refresh_executor is not None:
             raise ServerError(
@@ -125,6 +146,17 @@ class AsyncCubeServer:
             )
         if request_timeout is not None and request_timeout <= 0:
             raise ServerError("request_timeout must be positive (seconds)")
+        if role not in ("leader", "follower"):
+            raise ServerError(
+                f"unknown server role {role!r}; use 'leader' or 'follower'"
+            )
+        if (role == "follower") != (tailer is not None):
+            raise ServerError(
+                "the follower role requires a ReplicationTailer (and a "
+                "leader must not carry one)"
+            )
+        self.role = role
+        self.tailer = tailer
         self.catalog = catalog
         self.max_pending = max_pending
         self.max_batch = max_batch
@@ -210,6 +242,13 @@ class AsyncCubeServer:
     def _require_running(self) -> None:
         if not self._started or self._closing:
             raise ServerError("the server is not running (start() it first)")
+
+    def _require_writable(self, op: str) -> None:
+        if self.role != "leader":
+            raise ServerError(
+                f"{op!r} is a write and this server is a read-only "
+                "follower; route writes to the leader (the lease holder)"
+            )
 
     # ------------------------------------------------------------------ #
     # Queries                                                             #
@@ -360,7 +399,14 @@ class AsyncCubeServer:
                     item.future.set_result(results)
 
     def _run_batch(self, cube: str, specs: List[QuerySpec]) -> List[BatchResult]:
-        """Executed on a query worker thread: resolve the cube, answer all."""
+        """Executed on a query worker thread: resolve the cube, answer all.
+
+        A follower answers from the tailer's pinned replica view — the
+        whole batch resolves at one published replica version and the
+        leader's catalog instance is never loaded in this process.
+        """
+        if self.tailer is not None:
+            return self.tailer.view(cube).query_many(specs)
         return self.catalog.open(cube).query_many(specs)
 
     def _fail_pending(self, queue: "asyncio.Queue[object]") -> None:
@@ -396,6 +442,7 @@ class AsyncCubeServer:
         keep that safe.
         """
         self._require_running()
+        self._require_writable("append")
         loop = asyncio.get_running_loop()
         channel = self._channel(cube)
         started = time.monotonic()
@@ -456,6 +503,7 @@ class AsyncCubeServer:
     ) -> Dict[str, object]:
         """Build and register a new cube from raw rows; returns its metadata."""
         self._require_running()
+        self._require_writable("create")
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(
             self._maintenance_pool,
@@ -481,6 +529,7 @@ class AsyncCubeServer:
     async def drop(self, name: str) -> None:
         """Unregister a cube and delete its files; its queue drains first."""
         self._require_running()
+        self._require_writable("drop")
         channel = self._channels.pop(name, None)
         if channel is not None:
             await channel.queue.put(_SHUTDOWN)
@@ -493,6 +542,7 @@ class AsyncCubeServer:
     async def save(self, name: Optional[str] = None) -> None:
         """Snapshot one cube (or all loaded cubes) through the catalog."""
         self._require_running()
+        self._require_writable("save")
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(
             self._maintenance_pool, partial(self.catalog.save, name)
@@ -507,6 +557,7 @@ class AsyncCubeServer:
         meanwhile.  Returns the catalog's compaction report.
         """
         self._require_running()
+        self._require_writable("compact")
         loop = asyncio.get_running_loop()
         channel = self._channel(name)
         async with channel.append_lock:
@@ -555,6 +606,7 @@ class AsyncCubeServer:
         self._require_running()
         loop = asyncio.get_running_loop()
         if apply:
+            self._require_writable("advise(apply=True)")
             channel = self._channel(name)
             async with channel.append_lock:
                 report = await loop.run_in_executor(
@@ -601,12 +653,25 @@ class AsyncCubeServer:
         load.
         """
         cubes: Dict[str, Dict[str, object]] = {}
-        for name, channel in self._channels.items():
+        names = set(self._channels)
+        if self.tailer is not None:
+            # Followed cubes appear even before their first query, so an
+            # operator watching lag sees every replica from the start.
+            names.update(self.tailer.followers)
+        for name in sorted(names):
+            channel = self._channels.get(name)
             entry: Dict[str, object] = {
-                "pending": channel.queue.qsize(),
-                "pending_hwm": channel.depth_hwm,
-                "appending": channel.append_lock.locked(),
+                "pending": 0 if channel is None else channel.queue.qsize(),
+                "pending_hwm": 0 if channel is None else channel.depth_hwm,
+                "appending": (
+                    False if channel is None else channel.append_lock.locked()
+                ),
             }
+            if self.tailer is not None and name in self.tailer.followers:
+                follower = self.tailer.followers[name]
+                # Cached at the tailer's last poll — no disk from here.
+                entry["replica_lag"] = follower.lag()
+                entry["replica_rows"] = follower.cursor.rows
             loaded = self.catalog.get_loaded(name)
             if loaded is not None:
                 entry["version"] = loaded.version
@@ -625,6 +690,7 @@ class AsyncCubeServer:
             cubes[name] = entry
         return {
             "running": self._started and not self._closing,
+            "role": self.role,
             "max_pending": self.max_pending,
             "max_batch": self.max_batch,
             "request_timeout": self.request_timeout,
@@ -636,6 +702,18 @@ class AsyncCubeServer:
             "compaction": self.catalog.compaction_stats(),
             "cubes": cubes,
         }
+
+    def replica_status(self) -> Dict[str, object]:
+        """The replication view of this server (the TCP ``replica`` verb).
+
+        On a follower: the tailer's per-cube cursor, counters, and cached
+        lag.  On a leader: just the role — leaders have no replicas to
+        report on.  Never touches disk (the lag pair is cached at each
+        tailer poll), so it is safe on the event loop.
+        """
+        if self.tailer is None:
+            return {"role": self.role, "cubes": {}}
+        return {"role": self.role, "cubes": self.tailer.stats()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

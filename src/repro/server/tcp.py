@@ -7,6 +7,7 @@ the catalog's append streams use.  Requests::
     {"op": "ping"}
     {"op": "list"}
     {"op": "stats"}
+    {"op": "replica"}
     {"op": "describe", "cube": "sales"}
     {"op": "query",      "cube": "sales", "q": {"store": "nyc"}}
     {"op": "query_many", "cube": "sales", "q": [{...}, {"op": "rollup", ...}]}
@@ -85,13 +86,15 @@ async def _dispatch_request(
         return server.list_cubes()
     if op == "stats":
         return server.stats()
+    if op == "replica":
+        return server.replica_status()
     if op not in (
         "describe", "query", "query_many", "append", "create", "drop", "save",
         "compact", "rollups", "advise",
     ):
         raise ServerError(
-            f"unknown op {op!r}; expected ping/list/stats/describe/query/"
-            "query_many/append/create/drop/save/compact/rollups/advise"
+            f"unknown op {op!r}; expected ping/list/stats/replica/describe/"
+            "query/query_many/append/create/drop/save/compact/rollups/advise"
         )
     cube = request.get("cube")
     if not isinstance(cube, str):

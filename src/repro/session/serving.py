@@ -1055,6 +1055,37 @@ class CubeView:
         """:meth:`ServingCube.rollup`, answered at the pinned version."""
         return self.slice({}, group_by=dims)
 
+    def query_many(self, specs: Iterable[QuerySpec]) -> List[BatchResult]:
+        """:meth:`ServingCube.query_many`, answered at the pinned version.
+
+        Same op-spec dispatch (``"point"`` / ``"slice"`` / ``"rollup"``, bare
+        mappings as point shorthand), every answer resolved against this
+        view's one pinned version — the batch surface follower servers
+        (:mod:`repro.replication`) hand their whole dispatch loop to.
+        """
+        results: List[BatchResult] = []
+        for spec in specs:
+            op = spec.get("op")
+            if op == "point":
+                results.append(self.point(spec.get("cell", {})))  # type: ignore[arg-type]
+            elif op == "slice":
+                results.append(
+                    self.slice(
+                        spec.get("fixed", {}),  # type: ignore[arg-type]
+                        spec.get("group_by", ()),  # type: ignore[arg-type]
+                    )
+                )
+            elif op == "rollup":
+                results.append(self.rollup(spec.get("dims", ())))  # type: ignore[arg-type]
+            elif op is None or "op" in self._serving._dim_of:
+                results.append(self.point(spec))
+            else:
+                raise QueryError(
+                    f"unknown query op {op!r}; expected 'point', 'slice', or "
+                    "'rollup' (or a bare {dimension: value} point spec)"
+                )
+        return results
+
     def __len__(self) -> int:
         """Materialised cells at the pinned version."""
         return len(self._engine.cube)

@@ -1,0 +1,123 @@
+"""Chain positions: where a reader stands in a cube's snapshot/journal chain.
+
+A cube's durable state is a *chain*: one base snapshot (numbered by
+``generation``), zero or more delta segments stacked on it, and the append
+journal's un-folded tail.  The catalog walks the whole chain on every load;
+the replication tailer (:mod:`repro.replication.tailer`) instead keeps a
+**cursor** — a :class:`ChainPosition` — and advances it incrementally, so a
+follower that already folded the chain up to some byte replays only what
+landed after it.
+
+Two pieces live here because both the catalog and the tailer need them:
+
+* :class:`ChainPosition` — the serialisable cursor: which chain identity
+  (generation + segment list) the reader has folded, and how many journal
+  bytes past it.  Identity comparison is how the tailer detects that a
+  compaction rewrote the chain underneath it.
+* :func:`read_journal_tail` — the one journal-tail reader.  It returns the
+  decoded batches *and* the byte offset it safely consumed, tolerating
+  exactly one torn **tail** line (the expected crash artefact of an
+  interrupted append) by not advancing past it — the next read retries the
+  line once the writer completes it.  A torn line in the *middle* of the
+  window is corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.errors import CatalogError
+
+__all__ = ["ChainPosition", "read_journal_tail"]
+
+
+@dataclass
+class ChainPosition:
+    """A reader's cursor into one cube's snapshot/segment/journal chain.
+
+    ``generation`` + ``segments`` name the chain *identity* the reader has
+    folded into its in-memory state; ``journal_offset`` is the byte position
+    in the append journal up to which batches are applied on top of that
+    identity.  ``rows`` counts the fact rows the reader has applied in total
+    — the tailer compares it against the manifest's durable row count to
+    decide whether a compaction folded rows it never saw (in which case the
+    cursor cannot be advanced and the reader must re-bootstrap).
+    """
+
+    generation: int = 0
+    segments: Tuple[str, ...] = field(default_factory=tuple)
+    journal_offset: int = 0
+    rows: int = 0
+
+    def same_chain(self, generation: int, segments: Tuple[str, ...]) -> bool:
+        """Whether ``generation``/``segments`` still name this cursor's chain."""
+        return self.generation == generation and tuple(self.segments) == tuple(
+            segments
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "segments": list(self.segments),
+            "journal_offset": self.journal_offset,
+            "rows": self.rows,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ChainPosition":
+        try:
+            return cls(
+                generation=int(raw["generation"]),  # type: ignore[arg-type]
+                segments=tuple(raw.get("segments", ())),  # type: ignore[arg-type]
+                journal_offset=int(raw["journal_offset"]),  # type: ignore[arg-type]
+                rows=int(raw.get("rows", 0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CatalogError(f"corrupt chain cursor: {raw!r} ({exc})") from exc
+
+
+def read_journal_tail(
+    path: str, offset: int
+) -> Tuple[List[List[object]], int]:
+    """Read the journal's record batches from ``offset``; returns
+    ``(batches, consumed_offset)``.
+
+    ``consumed_offset`` is the byte position after the last *complete*
+    record: a torn final line (an append interrupted mid-write) is not
+    consumed, so a cursor advanced to the returned offset re-reads that line
+    on the next call and picks the record up once its writer finishes.  An
+    unparsable line anywhere before the tail raises
+    :class:`~repro.core.errors.CatalogError` — the journal loader's contract
+    is one torn *tail* line, never a torn middle.  A missing file, or an
+    ``offset`` at or past the file's end (the post-truncation state), reads
+    as an empty tail.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    with open(path) as stream:
+        stream.seek(0, os.SEEK_END)
+        size = stream.tell()
+        position = min(offset, size)
+        stream.seek(position)
+        lines = stream.readlines()
+    batches: List[List[object]] = []
+    consumed = position
+    for index, line in enumerate(lines):
+        if not line.strip():
+            consumed += len(line.encode("utf-8"))
+            continue
+        try:
+            record = json.loads(line)
+            rows = record["rows"]
+        except (ValueError, KeyError, TypeError) as exc:
+            if index == len(lines) - 1:
+                break  # torn tail: leave it un-consumed for the next read
+            raise CatalogError(
+                f"corrupt append stream {path!r} at byte {consumed}: {exc}"
+            ) from exc
+        batches.append(rows)
+        consumed += len(line.encode("utf-8"))
+    return batches, consumed

@@ -83,6 +83,15 @@ class CubeEntry:
     rewrites (see :func:`snapshot_filename`), and ``format`` records the
     snapshot's on-disk format version name (``"v1"`` for entries written
     before the streaming format existed).
+
+    The lease triple — ``leader_id`` / ``leader_epoch`` / ``lease_expires_at``
+    — makes the manifest the coordination point of the replicated tier
+    (:mod:`repro.replication`): at most one writer process holds the cube's
+    lease at a time, the epoch counts lease acquisitions monotonically (it
+    never resets, so a superseded leader's writes are *fenced* by epoch
+    comparison), and ``lease_expires_at`` is the wall-clock instant after
+    which the lease may be taken over.  Entries written before the
+    replication tier default to "no lease ever held".
     """
 
     snapshot: str
@@ -97,6 +106,9 @@ class CubeEntry:
     generation: int = 0
     segments: tuple = ()
     journal_offset: int = 0
+    leader_id: str = ""
+    leader_epoch: int = 0
+    lease_expires_at: float = 0.0
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "CubeEntry":
@@ -117,6 +129,9 @@ class CubeEntry:
                 generation=int(raw.get("generation", 0)),  # type: ignore[arg-type]
                 segments=tuple(raw.get("segments", ())),  # type: ignore[arg-type]
                 journal_offset=int(raw.get("journal_offset", 0)),  # type: ignore[arg-type]
+                leader_id=str(raw.get("leader_id", "")),
+                leader_epoch=int(raw.get("leader_epoch", 0)),  # type: ignore[arg-type]
+                lease_expires_at=float(raw.get("lease_expires_at", 0.0)),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CatalogError(f"corrupt manifest entry: {raw!r} ({exc})") from exc

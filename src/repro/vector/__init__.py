@@ -1,7 +1,22 @@
 """Vectorized execution kernels over the columnar backend seam.
 
-See :mod:`repro.vector.kernels` for the kernels and
-:mod:`repro.core.columns` for backend selection.
+The serving stack's hot per-tuple loops — partition-pass measure
+aggregation, closedness repair in the incremental merge, slice target
+enumeration, and the grouped aggregation that builds rollup tables —
+dispatch through :mod:`repro.core.columns`.  When NumPy is importable
+(capability-detected at import; force the fallback with
+``REPRO_COLUMN_BACKEND=python`` or
+``repro.core.columns.use_backend("python")``), the kernels here take over
+with **bit-identical** results; otherwise the exported ``*_python``
+reference implementations run the same contracts.  Every kernel is
+exported in both forms so the benchmark gate
+(``benchmarks/bench_vector.py``) can time the pair against each other and
+the cross-backend test suites can prove them value-identical.
+
+See :mod:`repro.vector.kernels` for the kernel catalog and
+:mod:`repro.core.columns` for backend selection; consumers include
+:mod:`repro.incremental` (repair batches), :mod:`repro.query` (slice
+enumeration), and :mod:`repro.rollup` (table builds).
 """
 
 from .kernels import (

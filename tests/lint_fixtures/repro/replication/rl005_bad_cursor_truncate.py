@@ -1,0 +1,16 @@
+"""RL005 bad: a follower cursor written with a plain truncating open.
+
+A crash mid-dump leaves a torn cursor under its final name; on restart the
+follower would silently re-read or skip journal bytes.
+"""
+
+import json
+
+
+def persist_cursor(path, cursor):
+    with open(path, "w") as stream:
+        json.dump(cursor, stream)
+
+
+def persist_lease(path, lease):
+    path.write_text(json.dumps(lease))

@@ -1,0 +1,16 @@
+"""RL005 good: follower cursors land through the atomic funnel; journal
+tails are plain reads."""
+
+import json
+
+from repro.storage.atomic import atomic_write_text
+
+
+def persist_cursor(path, cursor):
+    atomic_write_text(path, json.dumps(cursor) + "\n", prefix=".cursor-")
+
+
+def read_journal_tail(path, offset):
+    with open(path) as stream:
+        stream.seek(offset)
+        return [json.loads(line) for line in stream if line.strip()]

@@ -1,0 +1,77 @@
+"""Tests for the docs CI helpers (``tools/check_docs.py``).
+
+The subprocess example-runner is exercised by the CI ``docs`` job itself;
+these tests pin the link extraction and resolution semantics, plus the
+repo-wide invariant the job enforces: every intra-repo reference in the
+tracked markdown resolves today.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools")
+)
+
+import check_docs  # noqa: E402
+
+
+def test_extract_markdown_links():
+    text = (
+        "See [the guide](docs/GUIDE.md#usage) and "
+        "![a diagram](img/d.png) plus [external](https://example.com)."
+    )
+    targets = check_docs.extract_targets(text)
+    assert "docs/GUIDE.md#usage" in targets
+    assert "https://example.com" in targets
+    assert "img/d.png" not in targets  # images are not link targets
+
+
+def test_extract_backticked_file_references():
+    text = (
+        "Run `benchmarks/bench_replication.py` against `docs/OPERATIONS.md`; "
+        "`repro.replication` is a module, `python -m pytest` a command."
+    )
+    targets = check_docs.extract_targets(text)
+    assert "benchmarks/bench_replication.py" in targets
+    assert "docs/OPERATIONS.md" in targets
+    assert all("pytest" not in target for target in targets)
+    assert "repro.replication" not in targets
+
+
+def test_resolve_target_roots(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "GUIDE.md").write_text("# guide\n")
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "api.py").write_text("")
+    doc = str(tmp_path / "README.md")
+
+    ok, _ = check_docs.resolve_target(doc, "docs/GUIDE.md", str(tmp_path))
+    assert ok
+    ok, _ = check_docs.resolve_target(
+        doc, "docs/GUIDE.md#anchor", str(tmp_path)
+    )
+    assert ok
+    # Module-path style resolves through the src/ layout root.
+    ok, _ = check_docs.resolve_target(doc, "repro/api.py", str(tmp_path))
+    assert ok
+    ok, _ = check_docs.resolve_target(doc, "#bare-anchor", str(tmp_path))
+    assert ok
+    ok, _ = check_docs.resolve_target(doc, "https://x.invalid", str(tmp_path))
+    assert ok
+    ok, detail = check_docs.resolve_target(doc, "docs/NOPE.md", str(tmp_path))
+    assert not ok and "NOPE" in detail
+
+
+def test_repo_markdown_links_all_resolve():
+    failures = check_docs.check_links()
+    assert failures == [], "\n".join(failures)
+
+
+def test_repo_has_examples_and_docs():
+    assert len(check_docs.iter_examples()) >= 5
+    docs = {os.path.basename(path) for path in check_docs.iter_markdown_files()}
+    assert {"README.md", "ARCHITECTURE.md", "REPLICATION.md",
+            "OPERATIONS.md"} <= docs

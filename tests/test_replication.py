@@ -1,0 +1,404 @@
+"""Tests for the replicated serving tier (:mod:`repro.replication`).
+
+The contract under test, per layer:
+
+* **leases** — one writer per cube, epochs bump only on holder change, a
+  recorded takeover (not mere expiry) fences the old holder everywhere:
+  renewals fail, journal appends fail.
+* **tailing** — followers replay the leader's journal into live replicas;
+  compactions the replica already replayed are adopted without touching
+  data; compactions covering unseen rows force a re-bootstrap; a restart
+  over a persisted cursor replays only the journal tail
+  (``snapshot_loads == 0``).
+* **failover** — an expired lease lets a follower promote: it takes the
+  lease at a higher epoch, drains to the tip, and installs its replica
+  into a catalog as the new leader.
+* **serving** — follower servers answer queries from pinned replica views,
+  refuse every mutating op, and report ``replica_lag`` through ``stats()``
+  and the TCP ``replica`` verb; :class:`ReplicaSet` routes writes to the
+  leader and reads to followers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import CubeCatalog
+from repro.core.errors import LeaseFencedError, ReplicationError, ServerError
+from repro.replication import (
+    CubeFollower,
+    ReplicaSet,
+    ReplicationTailer,
+    acquire,
+    read,
+    release,
+    renew,
+)
+from repro.server import AsyncCubeServer, serve_tcp
+
+ROWS = [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+SCHEMA = ["A", "B"]
+
+
+@pytest.fixture
+def directory(tmp_path):
+    return str(tmp_path / "catalog")
+
+
+@pytest.fixture
+def catalog(directory):
+    catalog = CubeCatalog(directory)
+    catalog.create("sales", ROWS, schema=SCHEMA)
+    return catalog
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# --------------------------------------------------------------------------- #
+# Leases                                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def test_acquire_renew_release(directory, catalog):
+    lease = acquire(directory, "sales", "writer-1")
+    assert lease.holder_id == "writer-1"
+    assert lease.epoch == 1
+    assert lease.remaining() > 0
+
+    renewed = renew(directory, lease)
+    assert renewed.epoch == 1  # renewal is not a holder change
+    assert renewed.expires_at >= lease.expires_at
+
+    release(directory, renewed)
+    after = read(directory, "sales")
+    assert after.holder_id == ""
+    assert after.epoch == 1  # epochs never roll back on release
+
+
+def test_live_lease_blocks_other_holders(directory, catalog):
+    acquire(directory, "sales", "writer-1", ttl=30.0)
+    with pytest.raises(ReplicationError):
+        acquire(directory, "sales", "writer-2")
+    # The holder itself may re-acquire (idempotent restart) without an
+    # epoch bump turning into a self-fence.
+    again = acquire(directory, "sales", "writer-1", ttl=30.0)
+    assert again.epoch == 1
+
+
+def test_expiry_takeover_bumps_epoch_and_fences(directory, catalog):
+    stale = acquire(directory, "sales", "writer-1", ttl=0.05)
+    time.sleep(0.1)
+    # Expiry alone fences nothing: the old holder can still renew...
+    assert renew(directory, stale, ttl=0.05).epoch == 1
+    expired = read(directory, "sales")
+    time.sleep(0.1)
+
+    taken = acquire(directory, "sales", "writer-2", ttl=30.0)
+    assert taken.epoch == 2  # holder change bumps the epoch
+    # ...but a recorded takeover fences the old holder's renewals.
+    with pytest.raises(LeaseFencedError):
+        renew(directory, expired)
+    # And release from the fenced holder is a harmless no-op.
+    release(directory, expired)
+    assert read(directory, "sales").holder_id == "writer-2"
+
+
+def test_unknown_cube_rejected(directory, catalog):
+    with pytest.raises(ReplicationError):
+        acquire(directory, "nope", "writer-1")
+
+
+def test_fenced_append_rejected(directory, catalog):
+    stale = acquire(directory, "sales", "writer-1", ttl=0.05)
+    catalog.append("sales", [("a3", "b3")], lease=stale)  # still the holder
+    time.sleep(0.1)
+    acquire(directory, "sales", "writer-2", ttl=30.0)
+
+    with pytest.raises(LeaseFencedError):
+        catalog.append("sales", [("a9", "b9")], lease=stale)
+    # The fenced batch must not have reached the journal: a fresh load
+    # sees only the rows appended under valid leadership.
+    assert CubeCatalog(directory).open("sales").relation.num_tuples == 4
+
+
+def test_lease_survives_chain_flips(directory, catalog):
+    lease = acquire(directory, "sales", "writer-1", ttl=30.0)
+    catalog.append("sales", [("a3", "b3")], lease=lease)
+    catalog.save("sales")      # full snapshot rewrite flips the manifest
+    catalog.compact("sales")
+    after = read(directory, "sales")
+    assert after.holder_id == "writer-1"
+    assert after.epoch == lease.epoch
+
+
+# --------------------------------------------------------------------------- #
+# Tailing                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def test_follower_tails_appends(directory, catalog):
+    follower = CubeFollower(directory, "sales")
+    follower.poll()  # first poll bootstraps
+    assert follower.counters["snapshot_loads"] == 1
+    assert follower.view().point({"A": "a1"}).count == 2
+
+    catalog.append("sales", [("a1", "b9"), ("a1", "b8")])
+    pinned = follower.view()
+    assert follower.poll() is True
+    assert follower.view().point({"A": "a1"}).count == 4
+    # The pre-poll view stays pinned at its version (copy-on-publish).
+    assert pinned.point({"A": "a1"}).count == 2
+    assert follower.lag()["caught_up"] is True
+    assert follower.counters["rebootstraps"] == 0
+
+
+def test_follower_adopts_replayed_compaction(directory, catalog):
+    follower = CubeFollower(directory, "sales")
+    follower.poll()
+    catalog.append("sales", [("a3", "b3")])
+    follower.poll()  # replica has replayed the batch from the journal
+
+    catalog.compact("sales", mode="full")  # folds that same batch durably
+    assert follower.poll() is True  # adopts the new chain identity
+    assert follower.counters["rebootstraps"] == 0
+    assert follower.counters["snapshot_loads"] == 1
+    assert follower.view().point({"A": "a3"}).count == 1
+
+
+def test_follower_rebootstraps_on_unseen_compaction(directory, catalog):
+    follower = CubeFollower(directory, "sales")
+    follower.poll()
+    # The follower never polls between the append and the fold, so the
+    # durable row count moves past its cursor.
+    catalog.append("sales", [("a3", "b3")])
+    catalog.compact("sales", mode="full")
+
+    assert follower.poll() is True
+    assert follower.counters["rebootstraps"] == 1
+    assert follower.counters["snapshot_loads"] == 2
+    assert follower.view().point({"A": "a3"}).count == 1
+
+
+def test_warm_restart_skips_snapshot(directory, catalog, tmp_path):
+    state = str(tmp_path / "state")
+    first = CubeFollower(directory, "sales", state_dir=state)
+    first.poll()
+    catalog.append("sales", [("a3", "b3")])
+    first.poll()
+
+    # Restart: a new follower adopts the live replica + persisted cursor.
+    second = CubeFollower(directory, "sales", state_dir=state)
+    second.resume(first.replica)
+    assert second.counters["snapshot_loads"] == 0
+    assert second.view().point({"A": "a3"}).count == 1
+
+    catalog.append("sales", [("a4", "b4")])
+    second.poll()
+    assert second.counters["snapshot_loads"] == 0  # journal tail only
+    assert second.view().point({"A": "a4"}).count == 1
+
+
+def test_resume_without_cursor_falls_back_to_bootstrap(directory, catalog):
+    follower = CubeFollower(directory, "sales")  # no state_dir
+    probe = CubeFollower(directory, "sales")
+    probe.poll()
+    follower.resume(probe.replica)
+    assert follower.counters["snapshot_loads"] == 1  # cold path
+
+
+def test_tailer_background_thread_and_lag(directory, catalog):
+    with ReplicationTailer(directory, ["sales"], poll_interval=0.01) as tailer:
+        tailer.wait_caught_up(timeout=5.0)
+        catalog.append("sales", [("a5", "b5")])
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if tailer.view("sales").point({"A": "a5"}).count == 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("background tailer never applied the append")
+        stats = tailer.stats()["sales"]
+        assert stats["rows"] == 4
+        assert stats["replica_lag"]["caught_up"] in (True, False)
+    with pytest.raises(ReplicationError):
+        tailer.view("other")
+
+
+def test_promote_takes_lease_and_installs(directory, catalog):
+    old = acquire(directory, "sales", "leader-1", ttl=0.05)
+    catalog.append("sales", [("a3", "b3")], lease=old)
+    tailer = ReplicationTailer(directory, ["sales"])
+    tailer.wait_caught_up(timeout=5.0)
+    time.sleep(0.1)  # let the old lease expire
+
+    target = CubeCatalog(directory)
+    lease, replica = tailer.promote("sales", "leader-2", catalog=target)
+    assert lease.epoch == old.epoch + 1
+    assert replica.relation.num_tuples == 4
+    assert "sales" not in tailer.followers
+    # The installed replica serves writes without a chain reload.
+    target.append("sales", [("a6", "b6")], lease=lease)
+    assert target.get_loaded("sales") is replica
+    # The deposed leader's straggler append is fenced.
+    with pytest.raises(LeaseFencedError):
+        catalog.append("sales", [("a7", "b7")], lease=old)
+
+
+# --------------------------------------------------------------------------- #
+# Follower serving + ReplicaSet                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_follower_server_role_validation(directory, catalog):
+    with pytest.raises(ServerError):
+        AsyncCubeServer(catalog, role="follower")  # tailer required
+    with pytest.raises(ServerError):
+        AsyncCubeServer(
+            catalog, role="leader", tailer=ReplicationTailer(directory)
+        )
+    with pytest.raises(ServerError):
+        AsyncCubeServer(catalog, role="observer")
+
+
+def test_follower_server_reads_and_rejects_writes(directory, catalog):
+    tailer = ReplicationTailer(directory, ["sales"], poll_interval=0.01)
+    tailer.start()
+    try:
+        async def scenario():
+            follower_catalog = CubeCatalog(directory)
+            async with AsyncCubeServer(
+                follower_catalog, role="follower", tailer=tailer
+            ) as server:
+                answer = await server.query("sales", {"A": "a1"})
+                assert answer.count == 2
+                for call in (
+                    server.append("sales", [("x", "y")]),
+                    server.create("other", ROWS, schema=SCHEMA),
+                    server.drop("sales"),
+                    server.save("sales"),
+                    server.compact("sales"),
+                ):
+                    with pytest.raises(ServerError):
+                        await call
+                stats = server.stats()
+                assert stats["role"] == "follower"
+                assert stats["cubes"]["sales"]["replica_lag"]["caught_up"]
+                assert stats["cubes"]["sales"]["replica_rows"] == 3
+
+        run(scenario())
+    finally:
+        tailer.stop()
+
+
+async def _rpc(reader, writer, request):
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def test_tcp_replica_verb(directory, catalog):
+    tailer = ReplicationTailer(directory, ["sales"], poll_interval=0.01)
+    tailer.start()
+    try:
+        async def scenario():
+            async with AsyncCubeServer(
+                CubeCatalog(directory), role="follower", tailer=tailer
+            ) as server:
+                tcp = await serve_tcp(server, port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    status = await _rpc(reader, writer, {"op": "replica"})
+                    assert status["ok"]
+                    assert status["result"]["role"] == "follower"
+                    cursor = status["result"]["cubes"]["sales"]["cursor"]
+                    assert cursor["rows"] == 3
+
+                    denied = await _rpc(reader, writer, {
+                        "op": "append", "cube": "sales", "rows": [["x", "y"]],
+                    })
+                    assert not denied["ok"]
+                    assert denied["error"]["type"] == "ServerError"
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        run(scenario())
+    finally:
+        tailer.stop()
+
+
+def test_leader_replica_verb_reports_leader(directory, catalog):
+    async def scenario():
+        async with AsyncCubeServer(catalog) as server:
+            status = server.replica_status()
+            assert status == {"role": "leader", "cubes": {}}
+            assert server.stats()["role"] == "leader"
+
+    run(scenario())
+
+
+def test_replica_set_routing(directory, catalog):
+    tailer = ReplicationTailer(directory, ["sales"], poll_interval=0.01)
+    tailer.start()
+    try:
+        async def scenario():
+            async with AsyncCubeServer(catalog) as leader:
+                leader_tcp = await serve_tcp(leader, port=0)
+                leader_port = leader_tcp.sockets[0].getsockname()[1]
+                async with AsyncCubeServer(
+                    CubeCatalog(directory), role="follower", tailer=tailer
+                ) as follower:
+                    follower_tcp = await serve_tcp(follower, port=0)
+                    follower_port = follower_tcp.sockets[0].getsockname()[1]
+                    replica_set = await ReplicaSet.connect(
+                        ("127.0.0.1", leader_port),
+                        [("127.0.0.1", follower_port)],
+                        request_timeout=10.0,
+                    )
+                    try:
+                        answer = await replica_set.query(
+                            "sales", {"A": "a1"}
+                        )
+                        assert answer["count"] == 2
+                        report = await replica_set.append(
+                            "sales", [("a8", "b8")]
+                        )
+                        assert report["appended_rows"] == 1
+                        deadline = time.time() + 5.0
+                        while time.time() < deadline:
+                            answer = await replica_set.query(
+                                "sales", {"A": "a8"}
+                            )
+                            if answer["count"] == 1:
+                                break
+                            await asyncio.sleep(0.02)
+                        else:
+                            pytest.fail("append never reached the follower")
+                        stats = await replica_set.stats()
+                        assert stats["client"]["leader_requests"] >= 1
+                        assert stats["client"]["follower_requests"] >= 2
+                        status = await replica_set.replica_status()
+                        assert status[0]["role"] == "follower"
+                        with pytest.raises(ReplicationError):
+                            await replica_set.query("nope", {"A": "a1"})
+                    finally:
+                        await replica_set.close()
+                    follower_tcp.close()
+                    await follower_tcp.wait_closed()
+                leader_tcp.close()
+                await leader_tcp.wait_closed()
+
+        run(scenario())
+    finally:
+        tailer.stop()
