@@ -59,6 +59,7 @@ from ..session.serving import ServingCube
 from ..session.session import CubeSession
 from ..storage import atomic
 from ..storage.chain import read_journal_tail
+from ..storage.locks import ManifestLock
 from ..storage.manifest import (
     CatalogManifest,
     CubeEntry,
@@ -460,23 +461,30 @@ class CubeCatalog:
         Lease transitions (:mod:`repro.replication.lease`) are made by other
         *processes* directly against the on-disk manifest; this catalog
         instance's in-memory copy can be arbitrarily stale about them.  Every
-        manifest write therefore first re-reads the lease triple from disk
-        into the in-memory entries, so a chain flip (compaction, save, drop)
-        never rolls back a leadership change it did not make.  Caller holds
+        manifest write therefore re-reads the lease triple from disk into the
+        in-memory entries, so a chain flip (compaction, save, drop) never
+        rolls back a leadership change it did not make.  The whole
+        load-merge-save runs under the directory's cross-process
+        :class:`~repro.storage.locks.ManifestLock` — the same mutex every
+        lease transition holds — so a takeover landing *between* the re-read
+        and the save cannot be clobbered either: without the lock that
+        window would roll the fence back on disk, letting a deposed leader's
+        appends pass while the legitimate leader is rejected.  Caller holds
         the catalog lock.
         """
-        try:
-            on_disk = CatalogManifest.load(self.directory)
-        except CatalogError:
-            on_disk = CatalogManifest()
-        for name, entry in self._manifest.entries.items():
-            disk_entry = on_disk.entries.get(name)
-            if disk_entry is None:
-                continue
-            entry.leader_id = disk_entry.leader_id
-            entry.leader_epoch = disk_entry.leader_epoch
-            entry.lease_expires_at = disk_entry.lease_expires_at
-        self._manifest.save(self.directory)
+        with ManifestLock(self.directory):
+            try:
+                on_disk = CatalogManifest.load(self.directory)
+            except CatalogError:
+                on_disk = CatalogManifest()
+            for name, entry in self._manifest.entries.items():
+                disk_entry = on_disk.entries.get(name)
+                if disk_entry is None:
+                    continue
+                entry.leader_id = disk_entry.leader_id
+                entry.leader_epoch = disk_entry.leader_epoch
+                entry.lease_expires_at = disk_entry.lease_expires_at
+            self._manifest.save(self.directory)
 
     def _check_lease(self, name: str, lease: object) -> None:
         """Fence an append against the *on-disk* lease state (lock held).

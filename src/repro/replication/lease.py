@@ -18,28 +18,25 @@ lease may be taken over).  This module owns every transition of that triple:
   epoch kept — it must stay monotonic).
 * :func:`read` — the current on-disk triple, for observers.
 
-Transitions are serialised *across processes* by an ``O_EXCL`` lock file
-next to the manifest (``<name>.lease.lock``): creating the file is the
-mutex acquire, unlinking it the release, and a lock file older than
-:data:`LOCK_STALE_SECONDS` (a crashed transition) is broken.  Within the
-critical section a transition loads the manifest fresh, mutates *only* the
-lease triple of one entry, and saves atomically — so it composes with chain
-flips made by the leader's catalog, which in turn re-reads the lease triple
-from disk before each of its own saves (``CubeCatalog._save_manifest``).
-The two writers touch disjoint fields and each re-reads the other's fields
-first; the residual window (a flip between this module's load and save)
-is documented in docs/REPLICATION.md and is harmless for data: fencing
-happens on the append path, not here.
+Transitions are serialised by the directory's manifest lock
+(:class:`repro.storage.locks.ManifestLock` — an ``O_EXCL`` ``catalog.lock``
+file next to the manifest, broken by rename-and-verify once stale).  The
+*same* lock is taken by the leader catalog around every one of its own
+manifest saves (``CubeCatalog._save_manifest``), so the two kinds of
+``catalog.json`` writer — lease transitions here, chain flips there — can
+never interleave their load–mutate–save cycles: a takeover written by
+:func:`acquire` cannot be rolled back on disk by a concurrent compaction,
+and the append-path fence always sees the current triple.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, replace
 
 from ..core.errors import LeaseFencedError, ReplicationError
-from ..storage.manifest import CatalogManifest, validate_cube_name
+from ..storage.locks import ManifestLock
+from ..storage.manifest import CatalogManifest
 
 __all__ = [
     "CubeLease",
@@ -54,12 +51,6 @@ __all__ = [
 #: renewing at half-TTL never loses its lease to scheduling jitter, short
 #: enough that failover (expiry + takeover) completes in seconds.
 DEFAULT_LEASE_TTL = 10.0
-
-#: A lease *lock file* (not the lease itself) older than this is considered
-#: the debris of a crashed transition and is broken.  Transitions hold the
-#: lock for one manifest load + save — milliseconds — so thirty seconds is
-#: orders of magnitude past any live critical section.
-LOCK_STALE_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -80,59 +71,6 @@ class CubeLease:
     def remaining(self, now: float | None = None) -> float:
         """Seconds of validity left (negative once expired)."""
         return self.expires_at - (time.time() if now is None else now)
-
-
-def _lock_path(directory: str, name: str) -> str:
-    return os.path.join(directory, f"{validate_cube_name(name)}.lease.lock")
-
-
-class _TransitionLock:
-    """Cross-process mutex for lease transitions on one cube.
-
-    ``os.open(..., O_CREAT | O_EXCL)`` is the acquire — it either creates
-    the lock file or fails because another process's transition is in
-    flight.  Creating an empty flag file needs no write-content atomicity,
-    so this deliberately sits outside the ``repro.storage.atomic`` funnel
-    (which exists to prevent *partial content*, a failure mode a zero-byte
-    flag cannot have).
-    """
-
-    def __init__(self, directory: str, name: str) -> None:
-        self.path = _lock_path(directory, name)
-
-    def __enter__(self) -> "_TransitionLock":
-        deadline = time.time() + LOCK_STALE_SECONDS
-        while True:
-            try:
-                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                self._break_if_stale()
-                if time.time() > deadline:
-                    raise ReplicationError(
-                        f"lease transition lock {self.path!r} held for over "
-                        f"{LOCK_STALE_SECONDS}s; giving up"
-                    ) from None
-                time.sleep(0.005)
-                continue
-            os.close(fd)
-            return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        try:
-            os.unlink(self.path)
-        except FileNotFoundError:  # pragma: no cover - already broken
-            pass
-
-    def _break_if_stale(self) -> None:
-        try:
-            age = time.time() - os.path.getmtime(self.path)
-        except OSError:
-            return  # released between our open() and stat(): retry
-        if age > LOCK_STALE_SECONDS:
-            try:
-                os.unlink(self.path)
-            except FileNotFoundError:  # pragma: no cover - racing breaker
-                pass
 
 
 def _load_entry(directory: str, name: str):
@@ -174,7 +112,7 @@ def acquire(
     """
     if not holder_id:
         raise ReplicationError("lease holder_id must be a non-empty string")
-    with _TransitionLock(directory, name):
+    with ManifestLock(directory):
         manifest, entry = _load_entry(directory, name)
         now = time.time()
         if (
@@ -209,7 +147,7 @@ def renew(
     records a different holder or a higher epoch — the renewer has been
     superseded and must stop writing, not win the lease back.
     """
-    with _TransitionLock(directory, lease.name):
+    with ManifestLock(directory):
         manifest, entry = _load_entry(directory, lease.name)
         if entry.leader_epoch > lease.epoch or entry.leader_id != lease.holder_id:
             raise LeaseFencedError(
@@ -224,7 +162,7 @@ def renew(
 
 def release(directory: str, lease: CubeLease) -> None:
     """Give the lease up early; a no-op if it was already taken over."""
-    with _TransitionLock(directory, lease.name):
+    with ManifestLock(directory):
         manifest, entry = _load_entry(directory, lease.name)
         if entry.leader_epoch != lease.epoch or entry.leader_id != lease.holder_id:
             return  # superseded: the new holder's lease is not ours to clear

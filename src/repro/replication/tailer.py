@@ -57,6 +57,18 @@ __all__ = ["CubeFollower", "ReplicationTailer"]
 #: How often a background tailer polls the chain for new records.
 DEFAULT_POLL_INTERVAL = 0.05
 
+#: After this many *consecutive* failed polls a follower stops claiming its
+#: cached ``caught_up`` lag: one or two failures are transient races with
+#: the leader (a compaction unlinking a chain file between the manifest
+#: read and the load) that the next poll resolves, but a persistent streak
+#: means the cached lag is a stale claim and operators must see the
+#: follower as degraded, not frozen-but-healthy.
+POLL_ERRORS_BEFORE_STALE = 3
+
+#: Default promotion catch-up budget, in seconds (see
+#: :meth:`ReplicationTailer.promote`).
+DEFAULT_CATCHUP_TIMEOUT = 30.0
+
 
 class CubeFollower:
     """One cube's read-only replica, advanced by tailing its chain."""
@@ -78,11 +90,14 @@ class CubeFollower:
         self._caught_up_epoch = 0
         self.counters: Dict[str, int] = {
             "polls": 0,
+            "poll_errors": 0,
             "snapshot_loads": 0,
             "rebootstraps": 0,
             "batches_applied": 0,
             "rows_applied": 0,
         }
+        self._last_error: Optional[str] = None
+        self._consecutive_errors = 0
         self._lock = threading.Lock()
 
     # -------------------------------------------------------------- #
@@ -179,7 +194,30 @@ class CubeFollower:
         :meth:`view` calls.
         """
         with self._lock:
-            return self._poll_locked()
+            changed = self._poll_locked()
+            self._consecutive_errors = 0
+            return changed
+
+    def note_poll_error(self, exc: BaseException) -> None:
+        """Record a failed :meth:`poll` so the failure is visible, not fatal.
+
+        The background tailer routes every poll exception here and keeps
+        tailing: a cube dropped from the manifest, a compaction unlinking a
+        stale snapshot between the manifest read and the load, a torn
+        cursor directory — all either resolve on a later poll or deserve an
+        operator's eye, and neither justifies silently killing the thread
+        for every *other* follower.  After
+        :data:`POLL_ERRORS_BEFORE_STALE` consecutive failures the cached
+        lag stops claiming ``caught_up`` so ``stats()`` shows the follower
+        degraded instead of frozen at its last healthy report.
+        """
+        self.counters["poll_errors"] += 1
+        self._consecutive_errors += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        if self._consecutive_errors >= POLL_ERRORS_BEFORE_STALE:
+            lag = dict(self._lag)
+            lag["caught_up"] = False
+            self._lag = lag
 
     def _poll_locked(self) -> bool:
         self.counters["polls"] += 1
@@ -277,6 +315,7 @@ class CubeFollower:
         stats["cursor"] = self.cursor.as_dict()
         stats["replica_lag"] = self.lag()
         stats["rows"] = self.cursor.rows
+        stats["last_error"] = self._last_error
         return stats
 
     # -------------------------------------------------------------- #
@@ -331,9 +370,24 @@ class ReplicationTailer:
             name: CubeFollower(self.directory, name, state_dir=state_dir)
             for name in cubes
         }
+        #: Guards mutation of the followers map (:meth:`promote` removes
+        #: entries from the caller's thread while :meth:`_run` iterates).
+        self._followers_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._started = False
+
+    def _snapshot_followers(self) -> List[Tuple[str, CubeFollower]]:
+        """A point-in-time copy of the followers map, safe to iterate.
+
+        Every iteration over the map goes through here: :meth:`promote`
+        deletes entries from the caller's thread, and a ``del`` landing
+        mid-iteration in the background :meth:`_run` loop would raise
+        ``RuntimeError`` and kill the tailer thread for every remaining
+        follower.
+        """
+        with self._followers_lock:
+            return list(self.followers.items())
 
     # -------------------------------------------------------------- #
     # Lifecycle                                                       #
@@ -343,7 +397,7 @@ class ReplicationTailer:
         """Bootstrap every follower, then poll on a daemon thread."""
         if self._started:
             return self
-        for follower in self.followers.values():
+        for _, follower in self._snapshot_followers():
             if follower.replica is None:
                 follower.poll()  # first poll bootstraps
         self._stop.clear()
@@ -370,14 +424,20 @@ class ReplicationTailer:
 
     def _run(self) -> None:
         while not self._stop.is_set():
-            for follower in self.followers.values():
+            for _, follower in self._snapshot_followers():
                 if self._stop.is_set():
                     break
                 try:
                     follower.poll()
-                except ReplicationError:
-                    # A cube dropped mid-tail: keep tailing the others.
-                    continue
+                except Exception as exc:  # noqa: BLE001 — see note_poll_error
+                    # A cube dropped mid-tail (ReplicationError), a chain
+                    # file unlinked by a leader compaction between the
+                    # manifest read and the load (FileNotFoundError/OSError),
+                    # a corrupt manifest read (CatalogError): record it and
+                    # keep tailing.  The daemon dying here would silently
+                    # freeze every replica while their servers keep
+                    # reporting the last cached lag.
+                    follower.note_poll_error(exc)
             self._stop.wait(self.poll_interval)
 
     # -------------------------------------------------------------- #
@@ -401,13 +461,15 @@ class ReplicationTailer:
 
     def stats(self) -> Dict[str, object]:
         return {
-            name: follower.stats() for name, follower in self.followers.items()
+            name: follower.stats()
+            for name, follower in self._snapshot_followers()
         }
 
     def caught_up(self) -> bool:
         """Whether every follower reported zero lag at its last poll."""
         return all(
-            follower.lag().get("caught_up") for follower in self.followers.values()
+            follower.lag().get("caught_up")
+            for _, follower in self._snapshot_followers()
         )
 
     def wait_caught_up(self, timeout: float = 30.0) -> None:
@@ -415,14 +477,14 @@ class ReplicationTailer:
         deadline = time.time() + timeout
         while True:
             if not self._started:
-                for follower in self.followers.values():
+                for _, follower in self._snapshot_followers():
                     follower.poll()
             if self.caught_up():
                 return
             if time.time() > deadline:
                 lags = {
                     name: follower.lag()
-                    for name, follower in self.followers.items()
+                    for name, follower in self._snapshot_followers()
                     if not follower.lag().get("caught_up")
                 }
                 raise ReplicationError(
@@ -440,24 +502,50 @@ class ReplicationTailer:
         holder_id: str,
         catalog: Optional[object] = None,
         ttl: float = lease_mod.DEFAULT_LEASE_TTL,
+        catchup_timeout: float = DEFAULT_CATCHUP_TIMEOUT,
     ) -> Tuple["lease_mod.CubeLease", ServingCube]:
         """Take the cube's lease and hand its replica over as the new leader.
 
         Failover: acquire the lease (only possible once the old leader's
         lease expired — the acquisition bumps the epoch, fencing the old
-        leader's stragglers), drain the journal to the tip, stop following,
-        and install the replica into ``catalog`` (a
-        :class:`~repro.catalog.CubeCatalog`, if given) so the new leader
-        serves writes without reloading a chain it already holds.
+        leader's stragglers), drain the journal until the replica reports
+        ``caught_up``, stop following, and install the replica into
+        ``catalog`` (a :class:`~repro.catalog.CubeCatalog`, if given) so
+        the new leader serves writes without reloading a chain it already
+        holds.
+
+        A replica that cannot reach the chain tip within
+        ``catchup_timeout`` seconds is **never installed**: the lease is
+        released (the epoch bump stays — epochs are monotonic, so nothing
+        is un-fenced) and :class:`~repro.core.errors.ReplicationError` is
+        raised.  Installing a behind replica would let the new leader's
+        next compaction snapshot the behind in-memory state and truncate
+        the journal, permanently losing the rows that existed only in the
+        journal tail.
         """
         follower = self._follower(name)
         acquired = lease_mod.acquire(self.directory, name, holder_id, ttl=ttl)
-        follower.poll()  # drain to tip under our own (now-fenced) epoch
-        if not follower.lag().get("caught_up"):
-            follower.poll()
+        try:
+            deadline = time.time() + catchup_timeout
+            while True:
+                follower.poll()  # drain under our own (now-fenced) epoch
+                if follower.lag().get("caught_up"):
+                    break
+                if time.time() > deadline:
+                    raise ReplicationError(
+                        f"cannot promote {name!r}: replica still behind the "
+                        f"chain tip after {catchup_timeout}s "
+                        f"(lag {follower.lag()!r})"
+                    )
+                time.sleep(self.poll_interval)
+        except BaseException:
+            # Not leader material: free the lease for the next candidate.
+            lease_mod.release(self.directory, acquired)
+            raise
         replica = follower.replica
         assert replica is not None
-        del self.followers[name]
+        with self._followers_lock:
+            self.followers.pop(name, None)
         if catalog is not None:
             catalog.install(name, replica)  # type: ignore[attr-defined]
         return acquired, replica

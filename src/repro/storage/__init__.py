@@ -8,9 +8,13 @@
   (:meth:`repro.session.serving.ServingCube.save` / ``load``);
 * :mod:`repro.storage.manifest` — the JSON table of contents of a
   :class:`~repro.catalog.CubeCatalog` directory (per-cube snapshot and
-  append-stream naming, atomic rewrite).
+  append-stream naming, atomic rewrite);
+* :mod:`repro.storage.locks` — the per-directory cross-process mutex
+  (``catalog.lock``) serialising every manifest load–mutate–save, shared by
+  the catalog's chain flips and the replication tier's lease transitions.
 """
 
+from .locks import LOCK_STALE_SECONDS, MANIFEST_LOCK_NAME, ManifestLock
 from .manifest import (
     CUBE_NAME_PATTERN,
     MANIFEST_NAME,
@@ -48,8 +52,11 @@ __all__ = [
     "CatalogManifest",
     "CubeEntry",
     "CUBE_NAME_PATTERN",
+    "LOCK_STALE_SECONDS",
+    "MANIFEST_LOCK_NAME",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
+    "ManifestLock",
     "appends_filename",
     "segment_filename",
     "snapshot_filename",

@@ -1,0 +1,128 @@
+"""Cross-process mutual exclusion for catalog manifest writers.
+
+Two kinds of process rewrite ``catalog.json``: lease transitions
+(:mod:`repro.replication.lease` — acquire/renew/release, possibly from a
+process that is not the leader) and the leader catalog's own manifest saves
+(:meth:`repro.catalog.CubeCatalog` chain flips: compaction, snapshot, drop).
+Both perform a load–mutate–save cycle, and the two writers touch *different*
+fields of the same entries — so an unserialised interleaving silently rolls
+one writer's fields back to what the other loaded.  The dangerous direction
+is the lease: a chain flip that loads the manifest just before a takeover
+saves, then saves itself, re-publishes the *old* ``leader_id``/``epoch`` —
+inverting the fence exactly during failover (the deposed leader passes the
+append-path check while the legitimate one is rejected).
+
+:class:`ManifestLock` closes that window: one ``O_EXCL`` lock file per
+catalog directory (``catalog.lock``), taken around every manifest
+load–mutate–save by both writers.  Creating the file is the mutex acquire,
+unlinking it the release.  Creating an empty flag file needs no
+write-content atomicity, so this deliberately sits outside the
+:mod:`repro.storage.atomic` funnel (which exists to prevent *partial
+content*, a failure mode a zero-byte flag cannot have).
+
+A lock file older than :data:`LOCK_STALE_SECONDS` is the debris of a
+crashed critical section and is broken — by an atomic rename to a unique
+debris name whose identity is then verified against the pre-rename stat,
+never by a blind unlink.  Rename is exclusive (exactly one breaker captures
+the file), and the verification catches the race where the stale file was
+released and a *fresh* lock created between the breaker's stat and its
+rename: a captured fresh lock is re-linked into place instead of destroyed,
+so a live holder's mutex is never pulled out from under it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..core.errors import CatalogError
+
+__all__ = ["LOCK_STALE_SECONDS", "MANIFEST_LOCK_NAME", "ManifestLock"]
+
+#: Lock file name inside a catalog directory.
+MANIFEST_LOCK_NAME = "catalog.lock"
+
+#: A lock file older than this is considered the debris of a crashed
+#: critical section and is broken.  Holders keep the lock for one manifest
+#: load + save — milliseconds — so thirty seconds is orders of magnitude
+#: past any live critical section.
+LOCK_STALE_SECONDS = 30.0
+
+
+class ManifestLock:
+    """Per-directory cross-process mutex over ``catalog.json`` writes.
+
+    Usage is ``with ManifestLock(directory): load / mutate / save``.  The
+    acquire spins (5 ms backoff) until the ``O_CREAT | O_EXCL`` create
+    succeeds, breaking stale debris along the way, and raises
+    :class:`~repro.core.errors.CatalogError` after :data:`LOCK_STALE_SECONDS`
+    of continuous contention — by then the holder is either live and wedged
+    (give up, do not steal) or crashed (and would have been broken).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.path = os.path.join(directory, MANIFEST_LOCK_NAME)
+
+    def __enter__(self) -> "ManifestLock":
+        deadline = time.time() + LOCK_STALE_SECONDS
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.time() > deadline:
+                    raise CatalogError(
+                        f"manifest lock {self.path!r} held for over "
+                        f"{LOCK_STALE_SECONDS}s; giving up"
+                    ) from None
+                time.sleep(0.005)
+                continue
+            os.close(fd)
+            return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already broken
+            pass
+
+    def _break_if_stale(self) -> None:
+        try:
+            stale = os.stat(self.path)
+        except OSError:
+            return  # released between our open() and stat(): retry the open
+        if time.time() - stale.st_mtime <= LOCK_STALE_SECONDS:
+            return
+        # A blind unlink after the stat would race: another process may
+        # break the stale file AND a third may create a fresh lock before
+        # our unlink runs, which would then destroy the live holder's
+        # mutex.  Rename is atomic and exclusive — exactly one breaker
+        # captures the file — and the capture is verified by identity
+        # before the debris is discarded.
+        debris = f"{self.path}.stale.{os.getpid()}.{threading.get_ident()}"
+        try:
+            os.rename(self.path, debris)
+        except OSError:
+            return  # someone else released or broke it first
+        try:
+            captured = os.stat(debris)
+        except OSError:  # pragma: no cover - debris swept externally
+            return
+        identity = (stale.st_ino, stale.st_dev, stale.st_mtime_ns)
+        # The mtime participates in the identity check because inode
+        # numbers are recycled: an unlink-then-create can hand a fresh lock
+        # the stale file's inode, and a lock file is written exactly once,
+        # so its mtime is its birth certificate.
+        if (captured.st_ino, captured.st_dev, captured.st_mtime_ns) == identity:
+            os.unlink(debris)  # verified: the very file we stat()ed as stale
+            return
+        # We captured a lock created *after* our stat — a live one.  Put it
+        # back; link (not rename) so an even newer lock, created since our
+        # rename, is never clobbered.  If the link fails because one exists,
+        # the displaced holder re-enters contention on its next operation.
+        try:
+            os.link(debris, self.path)
+        except OSError:  # pragma: no cover - newer lock already in place
+            pass
+        os.unlink(debris)

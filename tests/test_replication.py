@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import threading
 import time
 
 import pytest
@@ -38,7 +40,9 @@ from repro.replication import (
     release,
     renew,
 )
+from repro.replication.tailer import POLL_ERRORS_BEFORE_STALE
 from repro.server import AsyncCubeServer, serve_tcp
+from repro.storage.locks import MANIFEST_LOCK_NAME, ManifestLock
 
 ROWS = [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
 SCHEMA = ["A", "B"]
@@ -125,6 +129,91 @@ def test_fenced_append_rejected(directory, catalog):
     # The fenced batch must not have reached the journal: a fresh load
     # sees only the rows appended under valid leadership.
     assert CubeCatalog(directory).open("sales").relation.num_tuples == 4
+
+
+def test_chain_flip_cannot_roll_back_concurrent_takeover(directory, catalog):
+    """_save_manifest's load-merge-save excludes lease transitions.
+
+    The regression: a chain flip loading the manifest just before a lease
+    takeover saved, then saving itself, re-published the old holder/epoch —
+    inverting the fence during failover.  Both writers now hold the
+    directory's ManifestLock, so while a transition's lock is held a
+    catalog save must block rather than write a stale triple.
+    """
+    lock_path = os.path.join(directory, MANIFEST_LOCK_NAME)
+    with open(lock_path, "w"):
+        pass  # a lease transition is mid-critical-section
+
+    saved = threading.Event()
+
+    def flip():
+        catalog.append("sales", [("a3", "b3")])
+        catalog.save("sales")
+        saved.set()
+
+    flipper = threading.Thread(target=flip, daemon=True)
+    flipper.start()
+    assert not saved.wait(0.3)  # blocked behind the held transition lock
+    os.unlink(lock_path)  # transition completes
+    assert saved.wait(10.0)
+    flipper.join()
+
+
+def test_stale_manifest_lock_is_broken(directory, catalog):
+    lock_path = os.path.join(directory, MANIFEST_LOCK_NAME)
+    with open(lock_path, "w"):
+        pass
+    old = time.time() - 120
+    os.utime(lock_path, (old, old))
+    # A crashed transition's debris must not wedge the next acquirer.
+    lease = acquire(directory, "sales", "writer-1")
+    assert lease.holder_id == "writer-1"
+    assert not os.path.exists(lock_path)
+
+
+def test_fresh_lock_not_broken(directory, catalog):
+    lock = ManifestLock(directory)
+    with open(lock.path, "w"):
+        pass  # a live holder's fresh lock
+    lock._break_if_stale()
+    assert os.path.exists(lock.path)  # too young: untouched
+
+
+def test_fresh_lock_survives_a_racing_stale_breaker(directory, catalog, monkeypatch):
+    """_break_if_stale must verify identity before discarding its capture.
+
+    The TOCTOU regression: stat says stale; before this breaker acts,
+    another process breaks the debris and a new holder creates a fresh
+    lock; the first breaker's blind unlink then destroys the *live* lock,
+    letting two processes into the manifest critical section.  The
+    rename-and-verify break restores a capture it cannot match to the
+    recorded stat.
+    """
+    import repro.storage.locks as locks_mod
+
+    lock = ManifestLock(directory)
+    with open(lock.path, "w"):
+        pass
+    os.utime(lock.path, (time.time() - 120, time.time() - 120))  # stale
+
+    real_rename = os.rename
+
+    def racing_rename(src, dst):
+        # Between the breaker's stat and its rename: the stale debris is
+        # swept and a different process acquires a fresh lock (new inode).
+        os.unlink(lock.path)
+        with open(lock.path, "w"):
+            pass
+        real_rename(src, dst)
+
+    monkeypatch.setattr(locks_mod.os, "rename", racing_rename)
+    lock._break_if_stale()
+    # The captured fresh lock failed identity verification and was put
+    # back, not destroyed: the live holder still holds its mutex.
+    assert os.path.exists(lock.path)
+    assert time.time() - os.path.getmtime(lock.path) < 60
+    debris = [p for p in os.listdir(directory) if ".stale." in p]
+    assert debris == []  # the mismatched capture was restored, not leaked
 
 
 def test_lease_survives_chain_flips(directory, catalog):
@@ -248,6 +337,113 @@ def test_promote_takes_lease_and_installs(directory, catalog):
     # The deposed leader's straggler append is fenced.
     with pytest.raises(LeaseFencedError):
         catalog.append("sales", [("a7", "b7")], lease=old)
+
+
+def test_promote_refuses_replica_that_cannot_catch_up(
+    directory, catalog, monkeypatch
+):
+    """A behind replica must never be installed as leader.
+
+    Installing it would let the new leader's next compaction snapshot the
+    behind in-memory state and truncate journal rows it never replayed —
+    permanent data loss.  promote() must keep polling until caught up and,
+    on timeout, release the lease (epoch bump kept) and raise.
+    """
+    old = acquire(directory, "sales", "leader-1", ttl=0.05)
+    tailer = ReplicationTailer(directory, ["sales"], poll_interval=0.01)
+    tailer.wait_caught_up(timeout=5.0)
+    time.sleep(0.1)  # let the old lease expire
+
+    follower = tailer.followers["sales"]
+    monkeypatch.setattr(
+        follower,
+        "lag",
+        lambda: {"journal_bytes": 64, "epoch_delta": 0, "caught_up": False},
+    )
+    with pytest.raises(ReplicationError):
+        tailer.promote("sales", "leader-2", catchup_timeout=0.2)
+    # Still following — the replica was not handed over...
+    assert "sales" in tailer.followers
+    # ...and the lease was freed for the next candidate, with the epoch
+    # bump kept (monotonic: the old leader stays fenced).
+    after = read(directory, "sales")
+    assert after.holder_id == ""
+    assert after.epoch == old.epoch + 1
+
+
+def test_promote_mid_run_keeps_other_followers_alive(directory, catalog):
+    """Removing a promoted cube must not kill the background tailer.
+
+    The regression: promote()'s `del` from the caller's thread landed in
+    the middle of the _run loop's dict iteration, raising RuntimeError in
+    the daemon thread — every remaining follower silently froze while
+    still reporting its last cached (caught-up) lag.
+    """
+    catalog.create("ads", ROWS, schema=SCHEMA)
+    with ReplicationTailer(
+        directory, ["ads", "sales"], poll_interval=0.001
+    ) as tailer:
+        tailer.wait_caught_up(timeout=5.0)
+        target = CubeCatalog(directory)
+        tailer.promote("sales", "leader-1", catalog=target)
+        assert "sales" not in tailer.followers
+
+        catalog.append("ads", [("a5", "b5")])
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if tailer.view("ads").point({"A": "a5"}).count == 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("surviving follower stopped replicating after promote")
+
+
+def test_tailer_outlives_poll_exceptions(directory, catalog, monkeypatch):
+    """Non-ReplicationError poll failures must not kill the daemon thread.
+
+    A leader compaction can unlink a stale snapshot between a follower's
+    manifest read and its ServingCube.load (FileNotFoundError).  The
+    regression: the thread died silently and stats kept reporting the last
+    cached caught-up lag.  Now the error is counted, surfaced, flips
+    caught_up off after a streak, and the tailer recovers.
+    """
+    tailer = ReplicationTailer(directory, ["sales"], poll_interval=0.001)
+    tailer.start()
+    try:
+        tailer.wait_caught_up(timeout=5.0)
+        follower = tailer.followers["sales"]
+        real_poll = follower.poll
+
+        def torn_poll():
+            raise FileNotFoundError("snapshot unlinked by leader compaction")
+
+        monkeypatch.setattr(follower, "poll", torn_poll)
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if follower.counters["poll_errors"] >= POLL_ERRORS_BEFORE_STALE:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("tailer thread died instead of recording poll errors")
+        # The degradation is visible: a follower that cannot poll stops
+        # claiming its last cached caught-up lag.
+        assert follower.lag()["caught_up"] is False
+        assert "FileNotFoundError" in follower.stats()["last_error"]
+
+        monkeypatch.setattr(follower, "poll", real_poll)
+        catalog.append("sales", [("a5", "b5")])
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if (
+                follower.lag().get("caught_up")
+                and tailer.view("sales").point({"A": "a5"}).count == 1
+            ):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("tailer did not recover once polls stopped failing")
+    finally:
+        tailer.stop()
 
 
 # --------------------------------------------------------------------------- #
